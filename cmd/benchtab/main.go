@@ -1,0 +1,115 @@
+// Command benchtab regenerates any table or figure of the paper's
+// evaluation and prints it in the paper's layout.
+//
+// Usage:
+//
+//	benchtab -exp tab3 -scale 0.15 -seed 42
+//	benchtab -exp all
+//
+// Experiments: fig1 tab1 tab2 fig2 fig3 tab3 fig4 tab4 fig5a fig5b tab5,
+// plus the extensions extgran (decision granularity), extlat (detection
+// latency) and extint (co-scheduling interference); all runs everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"twosmart"
+	"twosmart/internal/corpus"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig1|tab1|tab2|fig2|fig3|tab3|fig4|tab4|fig5a|fig5b|tab5|extgran|extlat|extint|all")
+	scale := flag.Float64("scale", 0.15, "corpus scale (1.0 = the paper's 3621 applications)")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	budget := flag.Int64("budget", 0, "per-run instruction budget (0 = default)")
+	faithful := flag.Bool("faithful", false, "use the 11-batch multiplexed collection path instead of the omniscient fast path")
+	jsonOut := flag.String("json", "", "also run every experiment and write the aggregate machine-readable report to this file (use - for stdout)")
+	flag.Parse()
+
+	opts := twosmart.ExperimentOptions{
+		Corpus: corpus.Config{
+			Scale:      *scale,
+			Seed:       *seed,
+			Budget:     *budget,
+			Omniscient: !*faithful,
+		},
+		Seed: *seed,
+	}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "collecting corpus (scale %.3g)...\n", *scale)
+	ctx, err := twosmart.NewExperiments(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "corpus ready: %d samples in %v\n\n", ctx.Data.Len(), time.Since(start).Round(time.Millisecond))
+
+	type driver struct {
+		id  string
+		run func() (fmt.Stringer, error)
+	}
+	drivers := []driver{
+		{"fig1", func() (fmt.Stringer, error) { return ctx.Fig1() }},
+		{"tab1", func() (fmt.Stringer, error) { return ctx.Table1() }},
+		{"tab2", func() (fmt.Stringer, error) { return ctx.Table2() }},
+		{"fig2", func() (fmt.Stringer, error) { return ctx.Fig2() }},
+		{"fig3", func() (fmt.Stringer, error) { return ctx.Fig3() }},
+		{"tab3", func() (fmt.Stringer, error) { return ctx.Table3() }},
+		{"fig4", func() (fmt.Stringer, error) { return ctx.Fig4() }},
+		{"tab4", func() (fmt.Stringer, error) { return ctx.Table4() }},
+		{"fig5a", func() (fmt.Stringer, error) { return ctx.Fig5a() }},
+		{"fig5b", func() (fmt.Stringer, error) { return ctx.Fig5b() }},
+		{"tab5", func() (fmt.Stringer, error) { return ctx.Table5() }},
+		// Extensions beyond the paper's evaluation (run with -exp ext*).
+		{"extgran", func() (fmt.Stringer, error) { return ctx.ExtGranularity() }},
+		{"extlat", func() (fmt.Stringer, error) { return ctx.ExtLatency() }},
+		{"extint", func() (fmt.Stringer, error) { return ctx.ExtInterference() }},
+	}
+
+	ran := false
+	for _, d := range drivers {
+		if *exp != "all" && *exp != d.id {
+			continue
+		}
+		ran = true
+		t0 := time.Now()
+		res, err := d.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", d.id, err))
+		}
+		fmt.Printf("==== %s (%v) ====\n%s\n", d.id, time.Since(t0).Round(time.Millisecond), res)
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+
+	if *jsonOut != "" {
+		report, err := ctx.Report()
+		if err != nil {
+			fatal(err)
+		}
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := report.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+		if *jsonOut != "-" {
+			fmt.Fprintf(os.Stderr, "wrote JSON report to %s\n", *jsonOut)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command hpctrace runs one synthetic application inside a disposable
+// sandbox container and prints its HPC trace: per-10 ms-sample counts of up
+// to four events (the modelled machine's programmable-counter limit), plus
+// the fixed-function instruction and cycle counters.
+//
+// Usage:
+//
+//	hpctrace -class virus -id 3 -events branch-instructions,branch-misses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"twosmart/internal/hpc"
+	"twosmart/internal/microarch"
+	"twosmart/internal/sandbox"
+	"twosmart/internal/workload"
+)
+
+func main() {
+	class := flag.String("class", "benign", "application class: benign|backdoor|rootkit|virus|trojan")
+	id := flag.Int("id", 0, "application variant id")
+	events := flag.String("events", "branch-instructions,branch-misses,cache-references,node-stores",
+		"comma-separated perf event names (at most 4)")
+	budget := flag.Int64("budget", 4*workload.DefaultBudget, "dynamic instruction budget")
+	seed := flag.Int64("seed", 0, "corpus seed")
+	list := flag.Bool("list", false, "list the 44 available events and exit")
+	stats := flag.Bool("stats", false, "also print whole-run microarchitectural statistics (simulator-omniscient)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range hpc.AllEvents() {
+			fmt.Println(e)
+		}
+		return
+	}
+
+	cls, ok := workload.ClassByName(*class)
+	if !ok {
+		fatal(fmt.Errorf("unknown class %q", *class))
+	}
+	var evs []hpc.Event
+	for _, name := range strings.Split(*events, ",") {
+		e, ok := hpc.EventByName(strings.TrimSpace(name))
+		if !ok {
+			fatal(fmt.Errorf("unknown event %q (use -list)", name))
+		}
+		evs = append(evs, e)
+	}
+
+	prog := workload.Generate(cls, *id, workload.Options{Budget: *budget, Seed: *seed})
+	mgr := sandbox.NewManager(microarch.DefaultConfig())
+	c, err := mgr.Create()
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Destroy()
+
+	cf := hpc.NewCounterFile()
+	if err := cf.Program(evs...); err != nil {
+		fatal(err)
+	}
+	samples, err := c.Profile(prog.MustStream(), evs, sandbox.ProfileOptions{
+		FreqHz: 4e6,
+		Period: 10 * time.Millisecond,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# app=%s container=%s events=%s\n", prog.Name, c.Name(), *events)
+	fmt.Printf("%-7s %-12s %-12s", "sample", "instructions", "cycles")
+	for _, e := range evs {
+		fmt.Printf(" %-22s", e)
+	}
+	fmt.Println()
+	for _, s := range samples {
+		fmt.Printf("%-7d %-12d %-12d", s.Index, s.Fixed[0], s.Fixed[1])
+		for _, v := range s.Counts {
+			fmt.Printf(" %-22d", v)
+		}
+		fmt.Println()
+	}
+
+	if *stats {
+		// Replay the identical deterministic program on an omniscient
+		// core to report every structure's statistics (the 4-register
+		// hardware above cannot observe these all at once).
+		acc := &hpc.Accumulator{}
+		core, err := microarch.NewCore(microarch.DefaultConfig(), acc)
+		if err != nil {
+			fatal(err)
+		}
+		core.Bind(workload.Generate(cls, *id, workload.Options{Budget: *budget, Seed: *seed}).MustStream())
+		for core.Run(4096) > 0 {
+		}
+		fmt.Printf("\n# whole-run statistics (omniscient replay)\n%s", acc.Summary())
+		if p, ok := workload.Describe(cls); ok {
+			fmt.Printf("# behavioural model: %s\n", p.Behaviour)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpctrace:", err)
+	os.Exit(1)
+}

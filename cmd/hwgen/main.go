@@ -1,0 +1,129 @@
+// Command hwgen trains a specialized stage-2 detector and emits a
+// synthesizable combinational Verilog module implementing it — the
+// HDL-implementation step of the paper's hardware evaluation (Table V),
+// here as generated RTL instead of a Vivado-HLS flow.
+//
+// Usage:
+//
+//	hwgen -class virus -kind J48 -hpcs 4 -o virus_j48.v
+//	hwgen -class rootkit -kind JRip -hpcs 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twosmart"
+	"twosmart/internal/core"
+	"twosmart/internal/hls"
+	"twosmart/internal/workload"
+)
+
+func main() {
+	className := flag.String("class", "virus", "malware class: backdoor|rootkit|virus|trojan")
+	kindName := flag.String("kind", "J48", "classifier kind: J48|JRip|OneR (combinational families)")
+	hpcs := flag.Int("hpcs", 4, "feature count: 4 (Common) or 8 (per-class Custom)")
+	scale := flag.Float64("scale", 0.05, "training corpus scale")
+	seed := flag.Int64("seed", 42, "training seed")
+	module := flag.String("module", "", "Verilog module name (default <class>_<kind>)")
+	out := flag.String("o", "", "output file (default stdout)")
+	tbOut := flag.String("tb", "", "also write a self-checking testbench (with dataset-derived vectors) to this file")
+	tbVectors := flag.Int("vectors", 32, "number of testbench vectors")
+	flag.Parse()
+
+	class, ok := workload.ClassByName(*className)
+	if !ok || !class.IsMalware() {
+		fatal(fmt.Errorf("unknown malware class %q", *className))
+	}
+	kind, ok := core.KindByName(*kindName)
+	if !ok {
+		fatal(fmt.Errorf("unknown classifier kind %q", *kindName))
+	}
+	var feats []string
+	switch *hpcs {
+	case 4:
+		feats = twosmart.CommonFeatures()
+	case 8:
+		var err error
+		feats, err = twosmart.CustomFeatures(class)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("-hpcs must be 4 or 8, got %d", *hpcs))
+	}
+
+	fmt.Fprintf(os.Stderr, "collecting corpus (scale %.3g) and training %v %s detector...\n", *scale, kind, class)
+	data, err := twosmart.Collect(twosmart.CollectConfig{Scale: *scale, Seed: *seed, Omniscient: true})
+	if err != nil {
+		fatal(err)
+	}
+	binary, err := core.BinaryTask(data, class)
+	if err != nil {
+		fatal(err)
+	}
+	binary, err = binary.SelectByName(feats)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := core.NewTrainer(kind, *seed).Train(binary)
+	if err != nil {
+		fatal(err)
+	}
+
+	name := *module
+	if name == "" {
+		name = fmt.Sprintf("%s_%s", class, kind)
+	}
+	verilog, err := hls.GenerateVerilog(model, name, feats)
+	if err != nil {
+		fatal(err)
+	}
+	cost, err := hls.Estimate(model)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "estimated cost: %d cycles @10ns, %d LUTs, %d FFs (%.2f%% of an OpenSPARC core)\n",
+		cost.LatencyCycles, cost.LUTs, cost.FFs, cost.AreaPercent())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := fmt.Fprint(w, verilog); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+
+	if *tbOut != "" {
+		n := *tbVectors
+		if n > binary.Len() {
+			n = binary.Len()
+		}
+		vectors := make([][]float64, 0, n)
+		for _, ins := range binary.Instances[:n] {
+			vectors = append(vectors, ins.Features)
+		}
+		tb, err := hls.GenerateTestbench(model, name, feats, vectors)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*tbOut, []byte(tb), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote testbench (%d vectors) to %s\n", len(vectors), *tbOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hwgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command smartdetect demonstrates the run-time detection flow end to end:
+// it trains a 2SMaRT detector restricted to the four Common HPC events
+// (exactly what a four-register machine can collect in one run), then
+// profiles a stream of previously unseen applications — one single run
+// each, no multiplexing — and prints the per-sample verdicts.
+//
+// Usage:
+//
+//	smartdetect -apps 12 -scale 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"twosmart"
+	"twosmart/internal/hpc"
+	"twosmart/internal/microarch"
+	"twosmart/internal/sandbox"
+	"twosmart/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "training corpus scale")
+	apps := flag.Int("apps", 12, "number of unseen applications to stream")
+	seed := flag.Int64("seed", 42, "training seed")
+	boost := flag.Bool("boost", true, "boost the stage-2 detectors (the paper's run-time configuration)")
+	modelIn := flag.String("model", "", "load a detector (JSON, from smartrain -model) instead of training; it must have been trained on the Common-4 feature space")
+	flag.Parse()
+
+	common := twosmart.CommonFeatures()
+	var det *twosmart.Detector
+	if *modelIn != "" {
+		blob, err := os.ReadFile(*modelIn)
+		if err != nil {
+			fatal(err)
+		}
+		det, err = twosmart.LoadDetector(blob)
+		if err != nil {
+			fatal(err)
+		}
+		if got := det.FeatureNames(); len(got) != len(common) {
+			fatal(fmt.Errorf("model expects %d features; the run-time monitor collects the %d Common events", len(got), len(common)))
+		}
+		fmt.Fprintf(os.Stderr, "loaded detector from %s\n\n", *modelIn)
+	} else {
+		// --- Train on the Common-4 feature space.
+		fmt.Fprintf(os.Stderr, "collecting training corpus (scale %.3g)...\n", *scale)
+		full, err := twosmart.Collect(twosmart.CollectConfig{Scale: *scale, Seed: *seed, Omniscient: true})
+		if err != nil {
+			fatal(err)
+		}
+		data, err := full.SelectByName(common)
+		if err != nil {
+			fatal(err)
+		}
+		det, err = twosmart.Train(data, twosmart.TrainConfig{Boost: *boost, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "detector ready (features: %v)\n\n", common)
+	}
+
+	// --- Stream unseen applications: one single-run profile each.
+	events := make([]hpc.Event, len(common))
+	for i, name := range common {
+		e, ok := hpc.EventByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown event %q", name))
+		}
+		events[i] = e
+	}
+	mgr := sandbox.NewManager(microarch.DefaultConfig())
+	// Unseen: a different corpus seed than training.
+	wopts := workload.Options{Seed: *seed + 1000}
+
+	correct, total := 0, 0
+	for i := 0; i < *apps; i++ {
+		class := workload.AllClasses()[i%workload.NumClasses]
+		prog := workload.Generate(class, 1000+i, wopts)
+		samples, err := mgr.RunIsolated(prog.MustStream(), events, sandbox.ProfileOptions{
+			FreqHz: 4e6, Period: 10 * time.Millisecond,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// Majority vote across the application's samples.
+		malVotes := 0
+		for _, s := range samples {
+			fv := make([]float64, len(events))
+			instr := float64(s.Fixed[0])
+			for j, c := range s.Counts {
+				fv[j] = float64(c) * 1000 / instr
+			}
+			v, err := det.Detect(fv)
+			if err != nil {
+				fatal(err)
+			}
+			if v.Malware {
+				malVotes++
+			}
+		}
+		verdict := malVotes*2 > len(samples)
+		ok := verdict == class.IsMalware()
+		if ok {
+			correct++
+		}
+		total++
+		status := "OK "
+		if !ok {
+			status = "MISS"
+		}
+		fmt.Printf("%-4s %-16s samples=%-3d malware-votes=%-3d verdict=%v actual=%v\n",
+			status, prog.Name, len(samples), malVotes, verdict, class.IsMalware())
+	}
+	fmt.Printf("\n%d/%d applications classified correctly\n", correct, total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smartdetect:", err)
+	os.Exit(1)
+}

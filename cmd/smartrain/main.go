@@ -1,0 +1,166 @@
+// Command smartrain collects the profiling corpus, runs the feature
+// reduction pipeline, trains the 2SMaRT two-stage detector and reports its
+// held-out detection quality. The collected dataset can be exported to CSV
+// for later reuse (cmd/smartdetect and the experiment drivers accept it).
+//
+// Usage:
+//
+//	smartrain -scale 0.15 -out corpus.csv
+//	smartrain -in corpus.csv -boost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"twosmart"
+	"twosmart/internal/corpus"
+	"twosmart/internal/dataset"
+	"twosmart/internal/metrics"
+	"twosmart/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.15, "corpus scale (1.0 = the paper's 3621 applications)")
+	seed := flag.Int64("seed", 42, "seed for corpus, split and training")
+	boost := flag.Bool("boost", false, "wrap stage-2 detectors in AdaBoost.M1")
+	rounds := flag.Int("rounds", 10, "AdaBoost rounds when -boost is set")
+	outCSV := flag.String("out", "", "write the collected dataset to this CSV file")
+	inCSV := flag.String("in", "", "load the dataset from this CSV file instead of collecting")
+	modelOut := flag.String("model", "", "write the trained detector (JSON) to this file")
+	manifestOut := flag.String("manifest", "", "write the corpus provenance manifest (JSON) to this file")
+	runtimeModel := flag.Bool("runtime", false, "train on the 4 Common HPC features only, producing a model deployable with cmd/smartdetect -model")
+	faithful := flag.Bool("faithful", false, "use the 11-batch multiplexed collection path")
+	flag.Parse()
+
+	data, err := loadOrCollect(*inCSV, *scale, *seed, *faithful)
+	if err != nil {
+		fatal(err)
+	}
+	if *outCSV != "" {
+		f, err := os.Create(*outCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := data.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", data.Len(), *outCSV)
+	}
+
+	if *manifestOut != "" {
+		f, err := os.Create(*manifestOut)
+		if err != nil {
+			fatal(err)
+		}
+		m := corpus.Config{Scale: *scale, Seed: *seed, Omniscient: !*faithful}.Manifest()
+		if err := m.WriteJSON(f, time.Now()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote manifest to %s\n", *manifestOut)
+	}
+
+	if *runtimeModel {
+		data, err = data.SelectByName(twosmart.CommonFeatures())
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	train, test, err := data.Split(0.6, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "training 2SMaRT on %d samples (boost=%v)...\n", train.Len(), *boost)
+	t0 := time.Now()
+	det, err := twosmart.Train(train, twosmart.TrainConfig{
+		Boost:       *boost,
+		BoostRounds: *rounds,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "trained in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	if *modelOut != "" {
+		blob, err := det.Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*modelOut, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote detector (%d bytes) to %s\n", len(blob), *modelOut)
+	}
+
+	fmt.Println("stage-2 specialized detectors:")
+	for _, c := range twosmart.MalwareClasses() {
+		kind, feats, err := det.Stage2Info(c)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-10s %-5v features=%v\n", c, kind, feats)
+	}
+
+	var pooled metrics.Confusion
+	perClass := map[workload.Class]*metrics.Confusion{}
+	for _, c := range twosmart.MalwareClasses() {
+		perClass[c] = &metrics.Confusion{}
+	}
+	for _, ins := range test.Instances {
+		v, err := det.Detect(ins.Features)
+		if err != nil {
+			fatal(err)
+		}
+		actual := workload.Class(ins.Label)
+		pooled.Add(actual.IsMalware(), v.Malware)
+		for _, c := range twosmart.MalwareClasses() {
+			if actual == workload.Benign || actual == c {
+				perClass[c].Add(actual == c, v.Malware)
+			}
+		}
+	}
+	fmt.Printf("\nheld-out detection (%d samples):\n", test.Len())
+	fmt.Printf("  pooled: F=%.1f%% precision=%.1f%% recall=%.1f%%\n",
+		100*pooled.F1(), 100*pooled.Precision(), 100*pooled.Recall())
+	for _, c := range twosmart.MalwareClasses() {
+		fmt.Printf("  %-10s F=%.1f%%\n", c, 100*perClass[c].F1())
+	}
+}
+
+func loadOrCollect(inCSV string, scale float64, seed int64, faithful bool) (*twosmart.Dataset, error) {
+	if inCSV != "" {
+		f, err := os.Open(inCSV)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return readCSV(f)
+	}
+	fmt.Fprintf(os.Stderr, "collecting corpus (scale %.3g)...\n", scale)
+	return twosmart.Collect(twosmart.CollectConfig{
+		Scale:      scale,
+		Seed:       seed,
+		Omniscient: !faithful,
+	})
+}
+
+// readCSV parses a dataset written by WriteCSV under the standard 5-class
+// naming.
+func readCSV(f *os.File) (*twosmart.Dataset, error) {
+	return dataset.ReadCSV(f, corpus.ClassNames())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smartrain:", err)
+	os.Exit(1)
+}

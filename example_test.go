@@ -1,0 +1,53 @@
+package twosmart_test
+
+import (
+	"fmt"
+
+	"twosmart"
+)
+
+// The four Common HPC events are the features a 4-register machine can
+// collect in a single run — the heart of the paper's run-time argument.
+func ExampleCommonFeatures() {
+	for _, name := range twosmart.CommonFeatures() {
+		fmt.Println(name)
+	}
+	// Output:
+	// branch-instructions
+	// cache-references
+	// branch-misses
+	// node-stores
+}
+
+// Each malware class extends the Common four with its own Custom four
+// (the paper's Table II).
+func ExampleCustomFeatures() {
+	feats, err := twosmart.CustomFeatures(twosmart.Virus)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, name := range feats[4:] { // the class-specific half
+		fmt.Println(name)
+	}
+	// Output:
+	// LLC-loads
+	// L1-dcache-loads
+	// L1-dcache-stores
+	// iTLB-load-misses
+}
+
+// The corpus mirrors the paper's population and class imbalance.
+func ExampleCollectConfig() {
+	cfg := twosmart.CollectConfig{Scale: 1.0}
+	counts := cfg.Counts()
+	fmt.Println("backdoor:", counts[twosmart.Backdoor])
+	fmt.Println("rootkit:", counts[twosmart.Rootkit])
+	fmt.Println("virus:", counts[twosmart.Virus])
+	fmt.Println("trojan:", counts[twosmart.Trojan])
+	// Output:
+	// backdoor: 452
+	// rootkit: 350
+	// virus: 650
+	// trojan: 1169
+}

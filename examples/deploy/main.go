@@ -1,0 +1,113 @@
+// Deploy: the full production lifecycle of a 2SMaRT detector.
+//
+//  1. Train the run-time (4-counter, boosted) configuration.
+//  2. Serialise the detector to JSON and reload it (train once, deploy
+//     many — nothing is retrained on the deployment host).
+//  3. Estimate the hardware cost of the deployed two-stage design.
+//  4. Generate synthesizable Verilog for one specialized detector.
+//  5. Monitor live applications with smoothing and alarm hysteresis.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"twosmart"
+	"twosmart/internal/hpc"
+	"twosmart/internal/microarch"
+	"twosmart/internal/sandbox"
+	"twosmart/internal/workload"
+)
+
+func main() {
+	common := twosmart.CommonFeatures()
+
+	// --- 1. Train.
+	data, err := twosmart.Collect(twosmart.CollectConfig{Scale: 0.03, Seed: 21, Omniscient: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runtimeData, err := data.SelectByName(common)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trained, err := twosmart.Train(runtimeData, twosmart.TrainConfig{Boost: true, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 2. Ship: serialise, "transfer", reload.
+	blob, err := trained.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialised detector: %d bytes of JSON\n", len(blob))
+	det, err := twosmart.LoadDetector(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 3. Hardware budget of the deployed design.
+	cost, err := twosmart.EstimateDetectorHardware(det)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two-stage hardware: %d cycles @10ns decision latency, %.2f%% of an OpenSPARC core\n",
+		cost.LatencyCycles, cost.AreaPercent())
+
+	// --- 4. RTL: the combinational generator covers the unboosted
+	// tree/rule families (boosted ensembles are sequential datapaths),
+	// so generate from an unboosted sibling of the deployed detector.
+	plain, err := twosmart.Train(runtimeData, twosmart.TrainConfig{
+		Stage2Kinds: map[twosmart.Class]twosmart.Kind{
+			twosmart.Backdoor: twosmart.J48, twosmart.Rootkit: twosmart.J48,
+			twosmart.Virus: twosmart.J48, twosmart.Trojan: twosmart.J48,
+		},
+		Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := plain.Stage2Model(twosmart.Virus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verilog, err := twosmart.GenerateVerilog(model, "virus_stage2", common)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d lines of Verilog for the virus J48 detector\n",
+		strings.Count(verilog, "\n"))
+
+	// --- 5. Monitor a live application.
+	tracker, err := twosmart.NewTracker(det, twosmart.MonitorConfig{MinSamples: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := make([]hpc.Event, len(common))
+	for i, name := range common {
+		events[i], _ = hpc.EventByName(name)
+	}
+	mgr := sandbox.NewManager(microarch.DefaultConfig())
+	prog := workload.Generate(workload.Backdoor, 9001, workload.Options{Seed: 77})
+	samples, err := mgr.RunIsolated(prog.MustStream(), events, sandbox.ProfileOptions{
+		FreqHz: 4e6, Period: 10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range samples {
+		fv := make([]float64, len(events))
+		for j, c := range s.Counts {
+			fv[j] = float64(c) * 1000 / float64(s.Fixed[0])
+		}
+		if _, err := tracker.Observe(prog.Name, fv); err != nil {
+			log.Fatal(err)
+		}
+	}
+	summary, _ := tracker.Close(prog.Name)
+	fmt.Printf("monitored %s: %d samples, %d alarm(s) raised, peak smoothed score %.2f\n",
+		prog.Name, summary.Samples, summary.Alarms, summary.MaxSmoothed)
+}

@@ -1,0 +1,59 @@
+// Feature reduction: run the paper's 44 -> 16 -> 8 pipeline on a freshly
+// collected corpus — correlation attribute evaluation followed by per-class
+// PCA — and compare the data-driven selection against the paper's published
+// Table II feature sets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twosmart"
+	"twosmart/internal/core"
+	"twosmart/internal/features"
+	"twosmart/internal/workload"
+)
+
+func main() {
+	data, err := twosmart.Collect(twosmart.CollectConfig{Scale: 0.03, Seed: 11, Omniscient: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d samples x %d events\n\n", data.Len(), data.NumFeatures())
+
+	// Step 1: correlation attribute evaluation over all 44 events.
+	ranked, err := features.CorrelationRank(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("correlation ranking (top 16 of 44):")
+	for i, r := range ranked[:16] {
+		fmt.Printf("  %2d. %-28s score=%.3f\n", i+1, r.Name, r.Score)
+	}
+	top16 := features.Names(ranked, 16)
+
+	// Step 2: per-class PCA over the 16 survivors; keep 8 raw events per
+	// class by their loadings on the leading components.
+	fmt.Println("\nper-class PCA top-8 (data-driven) vs paper's Table II:")
+	for _, class := range workload.MalwareClasses() {
+		binary, err := core.BinaryTask(data, class)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sub, err := binary.SelectByName(top16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pca, err := features.FitPCA(sub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mine := features.Names(pca.RankFeatures(8), 8)
+		paper, _ := twosmart.CustomFeatures(class)
+		fmt.Printf("\n  %s:\n    measured: %v\n    paper:    %v\n", class, mine, paper)
+
+		ratios := pca.ExplainedRatio()
+		fmt.Printf("    PC1 explains %.0f%%, PC1-4 explain %.0f%% of variance\n",
+			100*ratios[0], 100*(ratios[0]+ratios[1]+ratios[2]+ratios[3]))
+	}
+}

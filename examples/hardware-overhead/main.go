@@ -1,0 +1,68 @@
+// Hardware overhead: train every stage-2 classifier family at the 8-HPC,
+// 4-HPC and boosted-4-HPC configurations and estimate its FPGA
+// implementation cost (latency at a 10 ns clock, area relative to an
+// OpenSPARC core) with the HLS-style cost model — the analysis behind the
+// paper's Table V.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twosmart"
+	"twosmart/internal/core"
+	"twosmart/internal/ml"
+	"twosmart/internal/ml/ensemble"
+	"twosmart/internal/workload"
+)
+
+func main() {
+	data, err := twosmart.Collect(twosmart.CollectConfig{Scale: 0.03, Seed: 13, Omniscient: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Cost the Virus detector (the per-class models are similar in
+	// structure; cmd/benchtab -exp tab5 averages over all four classes).
+	binary, err := core.BinaryTask(data, workload.Virus)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []struct {
+		name  string
+		feats func() []string
+		boost bool
+	}{
+		{"8HPC", func() []string { f, _ := twosmart.CustomFeatures(workload.Virus); return f }, false},
+		{"4HPC", twosmart.CommonFeatures, false},
+		{"4HPC-Boosted", twosmart.CommonFeatures, true},
+	}
+
+	fmt.Printf("%-6s %-13s %10s %10s %8s %8s %6s %8s\n",
+		"model", "config", "latency", "latency", "LUTs", "FFs", "DSPs", "area")
+	fmt.Printf("%-6s %-13s %10s %10s %8s %8s %6s %8s\n",
+		"", "", "(cycles)", "(ns)", "", "", "", "(%)")
+	for _, kind := range []twosmart.Kind{twosmart.J48, twosmart.JRip, twosmart.MLP, twosmart.OneR} {
+		for _, cfg := range configs {
+			sub, err := binary.SelectByName(cfg.feats())
+			if err != nil {
+				log.Fatal(err)
+			}
+			var trainer ml.Trainer = core.NewTrainer(kind, 1)
+			if cfg.boost {
+				trainer = &ensemble.AdaBoostTrainer{Base: trainer, Rounds: 10, Seed: 1}
+			}
+			model, err := trainer.Train(sub)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cost, err := twosmart.EstimateHardware(model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6v %-13s %10d %10d %8d %8d %6d %7.2f%%\n",
+				kind, cfg.name, cost.LatencyCycles, cost.LatencyNs(),
+				cost.LUTs, cost.FFs, cost.DSPs, cost.AreaPercent())
+		}
+	}
+}

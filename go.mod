@@ -1,0 +1,3 @@
+module twosmart
+
+go 1.22

@@ -1,0 +1,159 @@
+// Package baseline implements the state-of-the-art single-stage
+// hardware-assisted malware detectors 2SMaRT is compared against in Fig 5b
+// (Patel et al., DAC'17 [2]): one general binary classifier trained on the
+// pooled malware-versus-benign dataset — no per-class specialization and no
+// class prediction stage — using a given number of HPC features selected by
+// correlation ranking.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"twosmart/internal/core"
+	"twosmart/internal/dataset"
+	"twosmart/internal/features"
+	"twosmart/internal/ml"
+	"twosmart/internal/workload"
+)
+
+// Config configures a single-stage detector.
+type Config struct {
+	// Kind is the classifier algorithm.
+	Kind core.Kind
+	// NumHPCs is how many events the detector may use (4 or 8 in the
+	// paper's comparison). Features are chosen by correlation ranking on
+	// the pooled binary training data.
+	NumHPCs int
+	// Features overrides automatic selection with explicit event names.
+	Features []string
+	// Seed drives stochastic trainers.
+	Seed int64
+}
+
+// Detector is a trained single-stage general HMD.
+type Detector struct {
+	model        ml.Classifier
+	featureIdx   []int
+	featureNames []string
+	inputWidth   int
+	kind         core.Kind
+}
+
+// PoolMalware converts a 5-class dataset into the pooled binary task:
+// label 0 = benign, 1 = any malware class.
+func PoolMalware(d *dataset.Dataset) (*dataset.Dataset, error) {
+	if d.NumClasses() != workload.NumClasses {
+		return nil, fmt.Errorf("baseline: dataset has %d classes, want %d", d.NumClasses(), workload.NumClasses)
+	}
+	return d.Relabel([]string{"benign", "malware"}, func(old int) int {
+		if workload.Class(old).IsMalware() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Train fits a single-stage detector on a 5-class dataset.
+func Train(d *dataset.Dataset, cfg Config) (*Detector, error) {
+	if d.Len() == 0 {
+		return nil, errors.New("baseline: empty training set")
+	}
+	binary, err := PoolMalware(d)
+	if err != nil {
+		return nil, err
+	}
+
+	var names []string
+	if cfg.Features != nil {
+		names = cfg.Features
+	} else {
+		n := cfg.NumHPCs
+		if n <= 0 {
+			n = 4
+		}
+		if n > binary.NumFeatures() {
+			n = binary.NumFeatures()
+		}
+		ranked, err := features.CorrelationRank(binary)
+		if err != nil {
+			return nil, err
+		}
+		names = features.Names(ranked, n)
+	}
+
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := d.FeatureIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("baseline: feature %q not in dataset", n)
+		}
+		idx[i] = j
+	}
+	sub, err := binary.Select(idx)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.NewTrainer(cfg.Kind, cfg.Seed).Train(sub)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: training %v: %w", cfg.Kind, err)
+	}
+	return &Detector{
+		model:        model,
+		featureIdx:   idx,
+		featureNames: names,
+		inputWidth:   d.NumFeatures(),
+		kind:         cfg.Kind,
+	}, nil
+}
+
+// Detect reports whether the sample is classified as malware.
+func (det *Detector) Detect(featureVector []float64) (bool, error) {
+	s, err := det.Score(featureVector)
+	if err != nil {
+		return false, err
+	}
+	return s > 0.5, nil
+}
+
+// Score returns the malware-ness ranking score in [0,1].
+func (det *Detector) Score(featureVector []float64) (float64, error) {
+	if len(featureVector) != det.inputWidth {
+		return 0, fmt.Errorf("baseline: sample has %d features, want %d", len(featureVector), det.inputWidth)
+	}
+	sub := make([]float64, len(det.featureIdx))
+	for i, j := range det.featureIdx {
+		sub[i] = featureVector[j]
+	}
+	scores := det.model.Scores(sub)
+	total := scores[0] + scores[1]
+	if total <= 0 {
+		return 0.5, nil
+	}
+	return scores[1] / total, nil
+}
+
+// Kind returns the detector's algorithm.
+func (det *Detector) Kind() core.Kind { return det.kind }
+
+// Features returns the event names the detector uses.
+func (det *Detector) Features() []string {
+	return append([]string(nil), det.featureNames...)
+}
+
+// Model exposes the trained classifier (for the hardware cost model).
+func (det *Detector) Model() ml.Classifier { return det.model }
+
+// Evaluate computes the paper's binary metrics for the detector over a
+// 5-class test set (pooled to binary).
+func (det *Detector) Evaluate(test *dataset.Dataset) (ml.BinaryEval, error) {
+	binary, err := PoolMalware(test)
+	if err != nil {
+		return ml.BinaryEval{}, err
+	}
+	sub, err := binary.Select(det.featureIdx)
+	if err != nil {
+		return ml.BinaryEval{}, err
+	}
+	return ml.EvaluateBinary(det.model, sub)
+}

@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+
+	"twosmart/internal/core"
+	"twosmart/internal/corpus"
+	"twosmart/internal/dataset"
+	"twosmart/internal/workload"
+)
+
+var (
+	once sync.Once
+	data *dataset.Dataset
+	derr error
+)
+
+func testData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	once.Do(func() {
+		data, derr = corpus.Collect(corpus.Config{
+			Scale:       0.001,
+			MinPerClass: 20,
+			Budget:      30000,
+			Seed:        11,
+			Omniscient:  true,
+		})
+	})
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	return data
+}
+
+func TestPoolMalware(t *testing.T) {
+	d := testData(t)
+	b, err := PoolMalware(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumClasses() != 2 || b.Len() != d.Len() {
+		t.Fatal("pooling changed size or class count")
+	}
+	counts := b.ClassCounts()
+	full := d.ClassCounts()
+	if counts[0] != full[int(workload.Benign)] {
+		t.Fatal("benign count changed")
+	}
+	if counts[1] != d.Len()-full[int(workload.Benign)] {
+		t.Fatal("malware pool count wrong")
+	}
+	binary, _ := PoolMalware(d)
+	if _, err := PoolMalware(binary); err == nil {
+		t.Fatal("re-pooling a binary dataset accepted")
+	}
+}
+
+func TestTrainAndEvaluate(t *testing.T) {
+	d := testData(t)
+	train, test, err := d.Split(0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(train, Config{Kind: core.J48, NumHPCs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Features()) != 4 {
+		t.Fatalf("selected %d features, want 4", len(det.Features()))
+	}
+	if det.Kind() != core.J48 {
+		t.Fatal("kind wrong")
+	}
+	ev, err := det.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.F1 < 0.6 {
+		t.Fatalf("single-stage F1=%v, too weak", ev.F1)
+	}
+	t.Logf("single-stage J48-4HPC F1=%.3f AUC=%.3f", ev.F1, ev.AUC)
+}
+
+func TestMoreHPCsSelectsMore(t *testing.T) {
+	d := testData(t)
+	det8, err := Train(d, Config{Kind: core.JRip, NumHPCs: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det8.Features()) != 8 {
+		t.Fatalf("selected %d features, want 8", len(det8.Features()))
+	}
+}
+
+func TestExplicitFeatures(t *testing.T) {
+	d := testData(t)
+	det, err := Train(d, Config{Kind: core.OneR, Features: core.CommonFeatures, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := det.Features()
+	if len(feats) != 4 || feats[0] != "branch-instructions" {
+		t.Fatalf("features=%v", feats)
+	}
+	if _, err := Train(d, Config{Kind: core.OneR, Features: []string{"junk"}}); err == nil {
+		t.Fatal("unknown explicit feature accepted")
+	}
+}
+
+func TestDetectAndScore(t *testing.T) {
+	d := testData(t)
+	det, err := Train(d, Config{Kind: core.J48, NumHPCs: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range d.Instances[:30] {
+		s, err := det.Score(ins.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v", s)
+		}
+		mal, err := det.Detect(ins.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mal != (s > 0.5) {
+			t.Fatal("Detect disagrees with Score")
+		}
+	}
+	if _, err := det.Score([]float64{1}); err == nil {
+		t.Fatal("short vector accepted")
+	}
+	if det.Model() == nil {
+		t.Fatal("no model")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	d := testData(t)
+	empty := dataset.New(d.FeatureNames, d.ClassNames)
+	if _, err := Train(empty, Config{Kind: core.J48}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}

@@ -1,0 +1,341 @@
+// Package corpus assembles the profiling corpus and drives data collection:
+// it generates the benign and malware application population (scaled from
+// the paper's 1000+ benign, 452 Backdoor, 350 Rootkit, 650 Virus and 1169
+// Trojan samples), executes every application in disposable sandbox
+// containers, collects the 44 perf events through the 4-register counter
+// file using the 11-batch multiplexing schedule (one fresh container per
+// batch, as the paper runs each application 11 times), and emits a labelled
+// dataset with one instance per 10 ms sample.
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"twosmart/internal/dataset"
+	"twosmart/internal/hpc"
+	"twosmart/internal/microarch"
+	"twosmart/internal/sandbox"
+	"twosmart/internal/workload"
+)
+
+// PaperCounts returns the application population of the paper: the four
+// malware class sizes from Section III-A plus ~1000 benign applications
+// (MiBench, system programs, browsers, editors, word processors) making the
+// stated "more than 3000" total.
+func PaperCounts() map[workload.Class]int {
+	return map[workload.Class]int{
+		workload.Benign:   1000,
+		workload.Backdoor: 452,
+		workload.Rootkit:  350,
+		workload.Virus:    650,
+		workload.Trojan:   1169,
+	}
+}
+
+// Config controls corpus generation and profiling.
+type Config struct {
+	// Scale multiplies the paper's per-class application counts
+	// (1.0 = full 3621-application corpus). Each class keeps at least
+	// MinPerClass applications.
+	Scale float64
+	// MinPerClass floors the per-class population (default 8).
+	MinPerClass int
+	// Budget is the per-run dynamic instruction count
+	// (default workload.DefaultBudget).
+	Budget int64
+	// Seed perturbs the whole corpus deterministically.
+	Seed int64
+	// SamplesPerApp caps the 10 ms samples kept per application
+	// (default 4; 0 keeps all).
+	SamplesPerApp int
+	// FreqHz is the modelled core frequency. The default of 4 MHz is the
+	// X5550's 2.67 GHz scaled down by the same factor as the instruction
+	// budgets, so a 10 ms sampling period spans a proportionate slice of
+	// each program's execution.
+	FreqHz float64
+	// Arch is the processor model (default microarch.DefaultConfig).
+	Arch *microarch.Config
+	// Omniscient collects all 44 events in a single run per application
+	// using a simulator-only sink, instead of the faithful 11-batch
+	// multiplexed schedule. Because program streams are deterministic,
+	// the two paths produce identical datasets; the omniscient path is
+	// 11x faster and intended for tests. The faithful path is the
+	// default and is what the methodology experiments exercise.
+	Omniscient bool
+	// Workers bounds profiling parallelism (default NumCPU).
+	Workers int
+}
+
+// DefaultFreqHz is the scaled modelled core frequency used for sampling.
+const DefaultFreqHz = 4e6
+
+func (c *Config) fill() Config {
+	out := *c
+	if out.Scale <= 0 {
+		out.Scale = 1
+	}
+	if out.MinPerClass <= 0 {
+		out.MinPerClass = 8
+	}
+	if out.Budget <= 0 {
+		out.Budget = workload.DefaultBudget
+	}
+	if out.SamplesPerApp < 0 {
+		out.SamplesPerApp = 0
+	} else if out.SamplesPerApp == 0 {
+		out.SamplesPerApp = 4
+	}
+	if out.FreqHz <= 0 {
+		out.FreqHz = DefaultFreqHz
+	}
+	if out.Arch == nil {
+		cfg := microarch.DefaultConfig()
+		out.Arch = &cfg
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.NumCPU()
+	}
+	return out
+}
+
+// Counts returns the scaled per-class application counts for this config.
+func (c Config) Counts() map[workload.Class]int {
+	cfg := c.fill()
+	out := make(map[workload.Class]int, workload.NumClasses)
+	for cls, n := range PaperCounts() {
+		scaled := int(float64(n) * cfg.Scale)
+		if scaled < cfg.MinPerClass {
+			scaled = cfg.MinPerClass
+		}
+		out[cls] = scaled
+	}
+	return out
+}
+
+// App identifies one application in the corpus.
+type App struct {
+	Class workload.Class
+	ID    int
+	Name  string
+}
+
+// Apps enumerates the corpus population in deterministic order: benign
+// first, then the malware classes in canonical order.
+func (c Config) Apps() []App {
+	counts := c.Counts()
+	var apps []App
+	for _, cls := range workload.AllClasses() {
+		for id := 0; id < counts[cls]; id++ {
+			apps = append(apps, App{
+				Class: cls,
+				ID:    id,
+				Name:  fmt.Sprintf("%s-%04d", cls, id),
+			})
+		}
+	}
+	return apps
+}
+
+// ClassNames returns the dataset class naming, indexed by workload.Class.
+func ClassNames() []string {
+	names := make([]string, workload.NumClasses)
+	for _, c := range workload.AllClasses() {
+		names[c] = c.String()
+	}
+	return names
+}
+
+// FeatureNames returns the 44 event names in canonical order.
+func FeatureNames() []string {
+	events := hpc.AllEvents()
+	names := make([]string, len(events))
+	for i, e := range events {
+		names[i] = e.String()
+	}
+	return names
+}
+
+// Collect profiles the whole corpus and returns the labelled dataset: one
+// instance per (application, sample) with 44 features in canonical event
+// order.
+func Collect(cfg Config) (*dataset.Dataset, error) {
+	c := cfg.fill()
+	apps := c.Apps()
+	d := dataset.New(FeatureNames(), ClassNames())
+
+	type result struct {
+		rows [][]float64
+		err  error
+	}
+	results := make([]result, len(apps))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.Workers)
+	for i := range apps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows, err := profileApp(&c, apps[i])
+			results[i] = result{rows: rows, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("corpus: profiling %s: %w", apps[i].Name, res.err)
+		}
+		for _, row := range res.rows {
+			if err := d.Add(dataset.Instance{
+				Features: row,
+				Label:    int(apps[i].Class),
+				App:      apps[i].Name,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d.Len() == 0 {
+		return nil, errors.New("corpus: no samples collected; budget too small for one sampling period")
+	}
+	return d, nil
+}
+
+// profileApp collects the per-sample 44-event rows for one application.
+func profileApp(c *Config, app App) ([][]float64, error) {
+	opts := workload.Options{Budget: c.Budget, Seed: c.Seed}
+	if c.Omniscient {
+		return profileOmniscient(c, app, opts)
+	}
+	return profileMultiplexed(c, app, opts)
+}
+
+// profileMultiplexed is the faithful path: 11 batches of at most 4 events,
+// each batch executed in a fresh container (the paper destroys the LXC
+// container after every run to avoid contamination). Deterministic program
+// streams make the 11 executions identical, so per-batch samples align
+// exactly by index.
+func profileMultiplexed(c *Config, app App, opts workload.Options) ([][]float64, error) {
+	mgr := sandbox.NewManager(*c.Arch)
+	groups := hpc.MultiplexSchedule(hpc.AllEvents())
+	profOpts := sandbox.ProfileOptions{
+		FreqHz:     c.FreqHz,
+		Period:     10 * time.Millisecond,
+		MaxSamples: c.SamplesPerApp,
+	}
+
+	var rows [][]float64
+	numSamples := -1
+	for _, group := range groups {
+		prog := workload.Generate(app.Class, app.ID, opts)
+		stream, err := prog.Stream()
+		if err != nil {
+			return nil, err
+		}
+		samples, err := mgr.RunIsolated(stream, []hpc.Event(group), profOpts)
+		if err != nil {
+			return nil, err
+		}
+		if numSamples < 0 {
+			numSamples = len(samples)
+			rows = make([][]float64, numSamples)
+			for i := range rows {
+				rows[i] = make([]float64, hpc.NumEvents)
+			}
+		} else if len(samples) != numSamples {
+			return nil, fmt.Errorf("batch produced %d samples, want %d (non-deterministic replay?)", len(samples), numSamples)
+		}
+		for si, s := range samples {
+			for ei, ev := range group {
+				rows[si][int(ev)] = float64(s.Counts[ei])
+			}
+			// The fixed-function counters come for free with every
+			// batch; any batch may fill them in (all agree, since
+			// replay is deterministic).
+			for fi, ev := range hpc.FixedEvents {
+				rows[si][int(ev)] = float64(s.Fixed[fi])
+			}
+		}
+	}
+	for _, row := range rows {
+		normalizeRow(row)
+	}
+	return rows, nil
+}
+
+// normalizeRow converts raw per-interval counts into the detector feature
+// representation: every event becomes a rate per thousand retired
+// instructions, using the fixed-function instruction counter that run-time
+// detectors read alongside the programmable registers. The instruction
+// count itself stays raw (per-interval throughput is informative in its own
+// right). Normalising removes the CPI confound: a miss-heavy payload that
+// stalls the core retires fewer instructions per 10 ms, which would
+// otherwise scale every event down together.
+func normalizeRow(row []float64) {
+	instr := row[int(hpc.EvInstrs)]
+	if instr <= 0 {
+		return
+	}
+	k := 1000 / instr
+	for e := range row {
+		if hpc.Event(e) == hpc.EvInstrs {
+			continue
+		}
+		row[e] *= k
+	}
+}
+
+// profileOmniscient collects all 44 events in one run.
+func profileOmniscient(c *Config, app App, opts workload.Options) ([][]float64, error) {
+	prog := workload.Generate(app.Class, app.ID, opts)
+	stream, err := prog.Stream()
+	if err != nil {
+		return nil, err
+	}
+	sink := &hpc.Accumulator{}
+	core, err := microarch.NewCore(*c.Arch, sink)
+	if err != nil {
+		return nil, err
+	}
+	core.Bind(stream)
+
+	cyclesPerPeriod := uint64(c.FreqHz * (10 * time.Millisecond).Seconds())
+	if cyclesPerPeriod == 0 {
+		return nil, errors.New("sampling period shorter than one cycle")
+	}
+	var rows [][]float64
+	var prev [hpc.NumEvents]uint64
+	boundary := cyclesPerPeriod
+	for {
+		if core.Run(1024) == 0 {
+			return rows, nil // drop partial tail, as the sampler does
+		}
+		for core.CycleCount() >= boundary {
+			// Software clocks advance per period, as in hpc.Sampler.
+			ns := uint64((10 * time.Millisecond).Nanoseconds())
+			sink.Inc(hpc.EvCPUClock, ns)
+			sink.Inc(hpc.EvTaskClock, ns)
+			row := make([]float64, hpc.NumEvents)
+			for e := 0; e < hpc.NumEvents; e++ {
+				cur := sink.Count(hpc.Event(e))
+				row[e] = float64(cur - prev[e])
+				prev[e] = cur
+			}
+			normalizeRow(row)
+			rows = append(rows, row)
+			// Coalesce missed ticks, mirroring hpc.Sampler.
+			for boundary <= core.CycleCount() {
+				boundary += cyclesPerPeriod
+			}
+			if c.SamplesPerApp > 0 && len(rows) >= c.SamplesPerApp {
+				return rows, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"twosmart/internal/hpc"
+	"twosmart/internal/workload"
+)
+
+func smallConfig() Config {
+	return Config{
+		Scale:       0.001, // floors at MinPerClass
+		MinPerClass: 3,
+		Budget:      30000,
+		Seed:        1,
+	}
+}
+
+func TestPaperCounts(t *testing.T) {
+	counts := PaperCounts()
+	if counts[workload.Backdoor] != 452 || counts[workload.Rootkit] != 350 ||
+		counts[workload.Virus] != 650 || counts[workload.Trojan] != 1169 {
+		t.Fatalf("malware counts %v do not match the paper", counts)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total <= 3000 {
+		t.Fatalf("total corpus %d, paper says more than 3000", total)
+	}
+}
+
+func TestCountsScaling(t *testing.T) {
+	c := Config{Scale: 0.1, MinPerClass: 5}
+	counts := c.Counts()
+	if counts[workload.Trojan] != 116 {
+		t.Fatalf("trojan scaled count=%d, want 116", counts[workload.Trojan])
+	}
+	if counts[workload.Rootkit] != 35 {
+		t.Fatalf("rootkit scaled count=%d, want 35", counts[workload.Rootkit])
+	}
+	tiny := Config{Scale: 0.0001, MinPerClass: 5}
+	for cls, n := range tiny.Counts() {
+		if n != 5 {
+			t.Fatalf("%v count=%d, want MinPerClass floor 5", cls, n)
+		}
+	}
+}
+
+func TestAppsEnumeration(t *testing.T) {
+	c := smallConfig()
+	apps := c.Apps()
+	if len(apps) != 15 { // 5 classes x 3
+		t.Fatalf("apps=%d, want 15", len(apps))
+	}
+	if apps[0].Class != workload.Benign || apps[0].ID != 0 {
+		t.Fatal("enumeration must start with benign-0000")
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a.Name] {
+			t.Fatalf("duplicate app %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestSchemaNames(t *testing.T) {
+	feats := FeatureNames()
+	if len(feats) != hpc.NumEvents {
+		t.Fatalf("features=%d, want %d", len(feats), hpc.NumEvents)
+	}
+	if feats[int(hpc.EvBranchInstr)] != "branch-instructions" {
+		t.Fatal("feature order must follow event order")
+	}
+	classes := ClassNames()
+	if classes[int(workload.Benign)] != "benign" || classes[int(workload.Trojan)] != "trojan" {
+		t.Fatalf("class names %v", classes)
+	}
+}
+
+func TestCollectOmniscient(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Omniscient = true
+	d, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFeatures() != hpc.NumEvents || d.NumClasses() != workload.NumClasses {
+		t.Fatalf("schema %dx%d", d.NumFeatures(), d.NumClasses())
+	}
+	if d.Len() == 0 {
+		t.Fatal("no instances")
+	}
+	counts := d.ClassCounts()
+	for cls, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %s has no samples", d.ClassNames[cls])
+		}
+	}
+	// Every app contributes at most SamplesPerApp instances.
+	perApp := map[string]int{}
+	for _, ins := range d.Instances {
+		perApp[ins.App]++
+		if perApp[ins.App] > 4 {
+			t.Fatalf("app %s has %d samples, cap is 4", ins.App, perApp[ins.App])
+		}
+	}
+	// instructions (a always-counted event) must be positive everywhere.
+	instrIdx := d.FeatureIndex("instructions")
+	for _, ins := range d.Instances {
+		if ins.Features[instrIdx] <= 0 {
+			t.Fatal("sample with no instructions")
+		}
+	}
+}
+
+// The faithful 11-batch multiplexed path and the omniscient single-run path
+// must produce identical datasets, because program replay is deterministic.
+// This is the property that lets the 11 per-application runs be merged
+// sample-by-sample.
+func TestMultiplexedMatchesOmniscient(t *testing.T) {
+	base := smallConfig()
+	base.MinPerClass = 2
+
+	omni := base
+	omni.Omniscient = true
+	do, err := Collect(omni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faithful := base
+	faithful.Omniscient = false
+	df, err := Collect(faithful)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if do.Len() != df.Len() {
+		t.Fatalf("lengths differ: omniscient=%d multiplexed=%d", do.Len(), df.Len())
+	}
+	for i := range do.Instances {
+		a, b := do.Instances[i], df.Instances[i]
+		if a.App != b.App || a.Label != b.Label {
+			t.Fatalf("instance %d metadata differs", i)
+		}
+		for j := range a.Features {
+			if a.Features[j] != b.Features[j] {
+				t.Fatalf("instance %d (%s) feature %s differs: %v vs %v",
+					i, a.App, do.FeatureNames[j], a.Features[j], b.Features[j])
+			}
+		}
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Omniscient = true
+	a, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("collections differ in length")
+	}
+	for i := range a.Instances {
+		for j := range a.Instances[i].Features {
+			if a.Instances[i].Features[j] != b.Instances[i].Features[j] {
+				t.Fatal("collections differ despite identical config")
+			}
+		}
+	}
+}
+
+func TestCollectTooSmallBudget(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Omniscient = true
+	cfg.Budget = 50 // far less than one 10 ms period
+	if _, err := Collect(cfg); err == nil {
+		t.Fatal("expected error when no sample fits the budget")
+	}
+}
+
+func TestManifest(t *testing.T) {
+	cfg := Config{Scale: 0.1, Seed: 5, Budget: 40000}
+	m := cfg.Manifest()
+	if m.Total <= 0 {
+		t.Fatal("empty manifest population")
+	}
+	if m.Counts["trojan"] != 116 {
+		t.Fatalf("trojan count=%d", m.Counts["trojan"])
+	}
+	if m.CounterRegisters != 4 || m.MultiplexBatches != 11 {
+		t.Fatalf("registers=%d batches=%d", m.CounterRegisters, m.MultiplexBatches)
+	}
+	if m.RunsPerApp != 11 {
+		t.Fatalf("faithful runs per app=%d, want 11", m.RunsPerApp)
+	}
+	omni := cfg
+	omni.Omniscient = true
+	if omni.Manifest().RunsPerApp != 1 {
+		t.Fatal("omniscient runs per app wrong")
+	}
+	if len(m.EventNames) != hpc.NumEvents || len(m.ClassNames) != workload.NumClasses {
+		t.Fatal("schema wrong")
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf, time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if round["generated_at"] != "2026-07-01T00:00:00Z" {
+		t.Fatalf("timestamp=%v", round["generated_at"])
+	}
+	if round["total_applications"].(float64) <= 0 {
+		t.Fatal("total missing in JSON")
+	}
+}

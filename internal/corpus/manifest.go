@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"twosmart/internal/hpc"
+	"twosmart/internal/workload"
+)
+
+// Manifest describes a corpus configuration in a machine-readable form: the
+// population, profiling parameters and schema. It is the provenance record
+// written next to an exported dataset so downstream users know exactly what
+// produced it.
+type Manifest struct {
+	// Population.
+	Counts map[string]int `json:"counts"`
+	Total  int            `json:"total_applications"`
+	// Profiling parameters.
+	Scale             float64  `json:"scale"`
+	Seed              int64    `json:"seed"`
+	BudgetInstrs      int64    `json:"budget_instructions"`
+	SamplesPerApp     int      `json:"samples_per_app"`
+	FreqHz            float64  `json:"freq_hz"`
+	SamplingPeriodMS  int      `json:"sampling_period_ms"`
+	Omniscient        bool     `json:"omniscient_collection"`
+	CounterRegisters  int      `json:"counter_registers"`
+	MultiplexBatches  int      `json:"multiplex_batches"`
+	RunsPerApp        int      `json:"runs_per_application"`
+	EventNames        []string `json:"event_names"`
+	ClassNames        []string `json:"class_names"`
+	BenignArchetypes  []string `json:"benign_archetypes"`
+	FeatureNormalised string   `json:"feature_normalisation"`
+}
+
+// Manifest builds the provenance record for this configuration.
+func (c Config) Manifest() Manifest {
+	cfg := c.fill()
+	counts := c.Counts()
+	m := Manifest{
+		Counts:            make(map[string]int, len(counts)),
+		Scale:             cfg.Scale,
+		Seed:              cfg.Seed,
+		BudgetInstrs:      cfg.Budget,
+		SamplesPerApp:     cfg.SamplesPerApp,
+		FreqHz:            cfg.FreqHz,
+		SamplingPeriodMS:  10,
+		Omniscient:        cfg.Omniscient,
+		CounterRegisters:  hpc.MaxProgrammable,
+		MultiplexBatches:  len(hpc.MultiplexSchedule(hpc.AllEvents())),
+		EventNames:        FeatureNames(),
+		ClassNames:        ClassNames(),
+		BenignArchetypes:  workload.BenignArchetypes(),
+		FeatureNormalised: "events per 1000 retired instructions (fixed-function counter)",
+	}
+	m.RunsPerApp = m.MultiplexBatches
+	if cfg.Omniscient {
+		m.RunsPerApp = 1
+	}
+	for class, n := range counts {
+		m.Counts[class.String()] = n
+		m.Total += n
+	}
+	return m
+}
+
+// WriteJSON writes the manifest as indented JSON with a generation
+// timestamp comment field.
+func (m Manifest) WriteJSON(w io.Writer, now time.Time) error {
+	type stamped struct {
+		GeneratedAt string `json:"generated_at,omitempty"`
+		Manifest
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	s := stamped{Manifest: m}
+	if !now.IsZero() {
+		s.GeneratedAt = now.UTC().Format(time.RFC3339)
+	}
+	return enc.Encode(s)
+}

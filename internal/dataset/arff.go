@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteARFF writes the dataset in WEKA's ARFF format: numeric attributes
+// for every feature plus a nominal class attribute. The paper performs its
+// learning in WEKA, so datasets exported this way can be loaded there
+// directly for side-by-side comparison.
+func (d *Dataset) WriteARFF(w io.Writer, relation string) error {
+	bw := bufio.NewWriter(w)
+	if relation == "" {
+		relation = "twosmart"
+	}
+	if _, err := fmt.Fprintf(bw, "@RELATION %s\n\n", arffQuote(relation)); err != nil {
+		return err
+	}
+	for _, name := range d.FeatureNames {
+		if _, err := fmt.Fprintf(bw, "@ATTRIBUTE %s NUMERIC\n", arffQuote(name)); err != nil {
+			return err
+		}
+	}
+	quoted := make([]string, len(d.ClassNames))
+	for i, c := range d.ClassNames {
+		quoted[i] = arffQuote(c)
+	}
+	if _, err := fmt.Fprintf(bw, "@ATTRIBUTE class {%s}\n\n@DATA\n", strings.Join(quoted, ",")); err != nil {
+		return err
+	}
+	for _, ins := range d.Instances {
+		for _, v := range ins.Features {
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(arffQuote(d.ClassNames[ins.Label])); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// arffQuote quotes a name if it contains characters ARFF treats specially.
+func arffQuote(s string) string {
+	if strings.ContainsAny(s, " ,{}%'\"\t") {
+		return "'" + strings.ReplaceAll(s, "'", "\\'") + "'"
+	}
+	return s
+}
+
+// ReadARFF parses a (numeric-attributes + nominal class) ARFF stream
+// written by WriteARFF or WEKA. Only the subset of ARFF this repository
+// emits is supported: NUMERIC attributes followed by one nominal class
+// attribute, dense @DATA rows.
+func ReadARFF(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var featureNames []string
+	var classNames []string
+	var d *Dataset
+	inData := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		if !inData {
+			upper := strings.ToUpper(text)
+			switch {
+			case strings.HasPrefix(upper, "@RELATION"):
+				// name ignored
+			case strings.HasPrefix(upper, "@ATTRIBUTE"):
+				rest := strings.TrimSpace(text[len("@ATTRIBUTE"):])
+				name, kind, err := splitAttribute(rest)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: arff line %d: %w", line, err)
+				}
+				if strings.HasPrefix(kind, "{") {
+					if name != "class" {
+						return nil, fmt.Errorf("dataset: arff line %d: nominal attribute %q (only class may be nominal)", line, name)
+					}
+					inner := strings.TrimSuffix(strings.TrimPrefix(kind, "{"), "}")
+					for _, c := range strings.Split(inner, ",") {
+						classNames = append(classNames, arffUnquote(strings.TrimSpace(c)))
+					}
+				} else if strings.EqualFold(kind, "NUMERIC") || strings.EqualFold(kind, "REAL") {
+					featureNames = append(featureNames, name)
+				} else {
+					return nil, fmt.Errorf("dataset: arff line %d: unsupported attribute type %q", line, kind)
+				}
+			case strings.HasPrefix(upper, "@DATA"):
+				if len(classNames) == 0 {
+					return nil, fmt.Errorf("dataset: arff has no class attribute")
+				}
+				d = New(featureNames, classNames)
+				inData = true
+			default:
+				return nil, fmt.Errorf("dataset: arff line %d: unexpected header %q", line, text)
+			}
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != len(featureNames)+1 {
+			return nil, fmt.Errorf("dataset: arff line %d: %d fields, want %d", line, len(fields), len(featureNames)+1)
+		}
+		fv := make([]float64, len(featureNames))
+		for j := 0; j < len(featureNames); j++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: arff line %d field %d: %w", line, j, err)
+			}
+			fv[j] = v
+		}
+		className := arffUnquote(strings.TrimSpace(fields[len(fields)-1]))
+		label := -1
+		for i, c := range classNames {
+			if c == className {
+				label = i
+				break
+			}
+		}
+		if label < 0 {
+			return nil, fmt.Errorf("dataset: arff line %d: unknown class %q", line, className)
+		}
+		if err := d.Add(Instance{Features: fv, Label: label}); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, fmt.Errorf("dataset: arff stream has no @DATA section")
+	}
+	return d, nil
+}
+
+// splitAttribute splits "@ATTRIBUTE <name> <type>" taking quoting into
+// account.
+func splitAttribute(rest string) (name, kind string, err error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", "", fmt.Errorf("empty attribute declaration")
+	}
+	if rest[0] == '\'' {
+		end := strings.Index(rest[1:], "'")
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated quoted name")
+		}
+		name = rest[1 : 1+end]
+		kind = strings.TrimSpace(rest[2+end:])
+	} else {
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) != 2 {
+			return "", "", fmt.Errorf("attribute %q missing type", rest)
+		}
+		name = parts[0]
+		kind = strings.TrimSpace(parts[1])
+	}
+	if kind == "" {
+		return "", "", fmt.Errorf("attribute %q missing type", name)
+	}
+	return name, kind, nil
+}
+
+func arffUnquote(s string) string {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return strings.ReplaceAll(s[1:len(s)-1], "\\'", "'")
+	}
+	return s
+}

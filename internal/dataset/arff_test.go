@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func arffSample() *Dataset {
+	d := New([]string{"branch-instructions", "cache-references"}, []string{"benign", "malware"})
+	d.Add(Instance{Features: []float64{120.5, 33}, Label: 0})
+	d.Add(Instance{Features: []float64{240, 90.25}, Label: 1})
+	d.Add(Instance{Features: []float64{100, 10}, Label: 0})
+	return d
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	d := arffSample()
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, "hmd"); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"@RELATION hmd", "@ATTRIBUTE branch-instructions NUMERIC", "@ATTRIBUTE class {benign,malware}", "@DATA"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("ARFF missing %q:\n%s", want, text)
+		}
+	}
+	got, err := ReadARFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.NumFeatures() != d.NumFeatures() || got.NumClasses() != d.NumClasses() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range d.Instances {
+		if got.Instances[i].Label != d.Instances[i].Label {
+			t.Fatalf("label changed at %d", i)
+		}
+		for j := range d.Instances[i].Features {
+			if got.Instances[i].Features[j] != d.Instances[i].Features[j] {
+				t.Fatalf("feature changed at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestARFFQuoting(t *testing.T) {
+	d := New([]string{"has space", "normal"}, []string{"class a", "b"})
+	d.Add(Instance{Features: []float64{1, 2}, Label: 0})
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, "my relation"); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "'has space'") || !strings.Contains(text, "'my relation'") {
+		t.Fatalf("quoting missing:\n%s", text)
+	}
+	got, err := ReadARFF(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FeatureNames[0] != "has space" || got.ClassNames[0] != "class a" {
+		t.Fatalf("quoted names lost: %v %v", got.FeatureNames, got.ClassNames)
+	}
+}
+
+func TestARFFCommentsAndBlanks(t *testing.T) {
+	src := `% a comment
+@RELATION r
+
+@ATTRIBUTE f NUMERIC
+@ATTRIBUTE class {x,y}
+
+@DATA
+% data comment
+1.5,x
+
+2,y
+`
+	d, err := ReadARFF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len=%d", d.Len())
+	}
+}
+
+func TestARFFErrors(t *testing.T) {
+	cases := []string{
+		"",                                    // empty
+		"@RELATION r\n@ATTRIBUTE f NUMERIC\n", // no data section
+		"@RELATION r\n@ATTRIBUTE f STRING\n@DATA\n",                                   // unsupported type
+		"@RELATION r\n@ATTRIBUTE f {a,b}\n@ATTRIBUTE class {x}\n@DATA\n",              // nominal non-class
+		"@RELATION r\n@ATTRIBUTE f NUMERIC\n@DATA\n1,x\n",                             // no class attr
+		"@RELATION r\n@ATTRIBUTE f NUMERIC\n@ATTRIBUTE class {x}\n@DATA\n1\n",         // missing field
+		"@RELATION r\n@ATTRIBUTE f NUMERIC\n@ATTRIBUTE class {x}\n@DATA\nz,x\n",       // bad number
+		"@RELATION r\n@ATTRIBUTE f NUMERIC\n@ATTRIBUTE class {x}\n@DATA\n1,unknown\n", // bad class
+		"bogus header\n@DATA\n", // unexpected header
+	}
+	for i, src := range cases {
+		if _, err := ReadARFF(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, src)
+		}
+	}
+}
+
+func TestARFFDefaultRelation(t *testing.T) {
+	d := arffSample()
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "@RELATION twosmart") {
+		t.Fatal("default relation missing")
+	}
+}

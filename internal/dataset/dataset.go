@@ -1,0 +1,323 @@
+// Package dataset provides the labelled feature-vector containers shared by
+// the feature-reduction, training and evaluation stages: instances with
+// provenance, stratified train/test splitting (the paper uses a 60%/40%
+// split), feature projection, relabelling for per-class binary tasks, CSV
+// interchange and z-score standardisation.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"twosmart/internal/mat"
+)
+
+// Instance is one labelled observation: a feature vector plus the class
+// index and the application it was sampled from.
+type Instance struct {
+	Features []float64
+	Label    int
+	App      string
+}
+
+// Dataset is an ordered collection of instances with shared feature and
+// class naming.
+type Dataset struct {
+	FeatureNames []string
+	ClassNames   []string
+	Instances    []Instance
+}
+
+// New returns an empty dataset with the given schema.
+func New(featureNames, classNames []string) *Dataset {
+	return &Dataset{
+		FeatureNames: append([]string(nil), featureNames...),
+		ClassNames:   append([]string(nil), classNames...),
+	}
+}
+
+// Add appends an instance after validating its shape.
+func (d *Dataset) Add(ins Instance) error {
+	if len(ins.Features) != len(d.FeatureNames) {
+		return fmt.Errorf("dataset: instance has %d features, want %d", len(ins.Features), len(d.FeatureNames))
+	}
+	if ins.Label < 0 || ins.Label >= len(d.ClassNames) {
+		return fmt.Errorf("dataset: label %d out of range [0,%d)", ins.Label, len(d.ClassNames))
+	}
+	d.Instances = append(d.Instances, ins)
+	return nil
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.Instances) }
+
+// NumFeatures returns the feature dimensionality.
+func (d *Dataset) NumFeatures() int { return len(d.FeatureNames) }
+
+// NumClasses returns the number of classes in the schema.
+func (d *Dataset) NumClasses() int { return len(d.ClassNames) }
+
+// ClassCounts returns the number of instances per class.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, len(d.ClassNames))
+	for _, ins := range d.Instances {
+		counts[ins.Label]++
+	}
+	return counts
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := New(d.FeatureNames, d.ClassNames)
+	out.Instances = make([]Instance, len(d.Instances))
+	for i, ins := range d.Instances {
+		out.Instances[i] = Instance{
+			Features: append([]float64(nil), ins.Features...),
+			Label:    ins.Label,
+			App:      ins.App,
+		}
+	}
+	return out
+}
+
+// Split partitions the dataset into train and test sets with a stratified
+// shuffle: each class contributes trainFrac of its instances to the
+// training set (rounded), preserving the paper's class imbalance in both
+// halves. The split is deterministic in seed.
+func (d *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: trainFrac %v outside (0,1)", trainFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := make([][]int, len(d.ClassNames))
+	for i, ins := range d.Instances {
+		byClass[ins.Label] = append(byClass[ins.Label], i)
+	}
+	train = New(d.FeatureNames, d.ClassNames)
+	test = New(d.FeatureNames, d.ClassNames)
+	for _, idxs := range byClass {
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		nTrain := int(math.Round(trainFrac * float64(len(idxs))))
+		for k, idx := range idxs {
+			if k < nTrain {
+				train.Instances = append(train.Instances, d.Instances[idx])
+			} else {
+				test.Instances = append(test.Instances, d.Instances[idx])
+			}
+		}
+	}
+	return train, test, nil
+}
+
+// Select projects the dataset onto the given feature indices, in order.
+func (d *Dataset) Select(featIdx []int) (*Dataset, error) {
+	names := make([]string, len(featIdx))
+	for i, f := range featIdx {
+		if f < 0 || f >= len(d.FeatureNames) {
+			return nil, fmt.Errorf("dataset: feature index %d out of range", f)
+		}
+		names[i] = d.FeatureNames[f]
+	}
+	out := New(names, d.ClassNames)
+	out.Instances = make([]Instance, len(d.Instances))
+	for i, ins := range d.Instances {
+		fv := make([]float64, len(featIdx))
+		for j, f := range featIdx {
+			fv[j] = ins.Features[f]
+		}
+		out.Instances[i] = Instance{Features: fv, Label: ins.Label, App: ins.App}
+	}
+	return out, nil
+}
+
+// SelectByName projects onto the named features.
+func (d *Dataset) SelectByName(names []string) (*Dataset, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		found := -1
+		for j, fn := range d.FeatureNames {
+			if fn == n {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("dataset: unknown feature %q", n)
+		}
+		idx[i] = found
+	}
+	return d.Select(idx)
+}
+
+// FeatureIndex returns the index of the named feature, or -1.
+func (d *Dataset) FeatureIndex(name string) int {
+	for i, n := range d.FeatureNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Filter returns the instances for which keep returns true. Feature vectors
+// are shared, not copied.
+func (d *Dataset) Filter(keep func(Instance) bool) *Dataset {
+	out := New(d.FeatureNames, d.ClassNames)
+	for _, ins := range d.Instances {
+		if keep(ins) {
+			out.Instances = append(out.Instances, ins)
+		}
+	}
+	return out
+}
+
+// Relabel maps every label through fn under a new class naming. Instances
+// for which fn returns a negative value are dropped.
+func (d *Dataset) Relabel(classNames []string, fn func(old int) int) (*Dataset, error) {
+	out := New(d.FeatureNames, classNames)
+	for _, ins := range d.Instances {
+		nl := fn(ins.Label)
+		if nl < 0 {
+			continue
+		}
+		if nl >= len(classNames) {
+			return nil, fmt.Errorf("dataset: relabel produced %d outside [0,%d)", nl, len(classNames))
+		}
+		out.Instances = append(out.Instances, Instance{Features: ins.Features, Label: nl, App: ins.App})
+	}
+	return out, nil
+}
+
+// Column returns a copy of feature column j across all instances.
+func (d *Dataset) Column(j int) []float64 {
+	out := make([]float64, len(d.Instances))
+	for i, ins := range d.Instances {
+		out[i] = ins.Features[j]
+	}
+	return out
+}
+
+// Labels returns a copy of all labels.
+func (d *Dataset) Labels() []int {
+	out := make([]int, len(d.Instances))
+	for i, ins := range d.Instances {
+		out[i] = ins.Label
+	}
+	return out
+}
+
+// Matrix returns the feature matrix (instances x features).
+func (d *Dataset) Matrix() *mat.Matrix {
+	m := mat.New(len(d.Instances), len(d.FeatureNames))
+	for i, ins := range d.Instances {
+		copy(m.Row(i), ins.Features)
+	}
+	return m
+}
+
+// WriteCSV writes the dataset with a header row of feature names plus
+// "class"; classes are written by name.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), d.FeatureNames...), "class")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(d.FeatureNames)+1)
+	for _, ins := range d.Instances {
+		for j, v := range ins.Features {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[len(row)-1] = d.ClassNames[ins.Label]
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. classNames fixes the label
+// space (and ordering); rows with unknown class names are rejected.
+func ReadCSV(r io.Reader, classNames []string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) < 2 || header[len(header)-1] != "class" {
+		return nil, fmt.Errorf("dataset: header must end with \"class\"")
+	}
+	d := New(header[:len(header)-1], classNames)
+	classIdx := map[string]int{}
+	for i, n := range classNames {
+		classIdx[n] = i
+	}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		fv := make([]float64, len(row)-1)
+		for j := 0; j < len(row)-1; j++ {
+			fv[j], err = strconv.ParseFloat(row[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d field %d: %w", len(d.Instances)+1, j, err)
+			}
+		}
+		label, ok := classIdx[row[len(row)-1]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown class %q", row[len(row)-1])
+		}
+		if err := d.Add(Instance{Features: fv, Label: label}); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Scaler holds z-score standardisation parameters fitted on a training set.
+type Scaler struct {
+	Means []float64
+	Stds  []float64
+}
+
+// FitScaler computes per-feature means and standard deviations. Constant
+// features get a standard deviation of 1 so they map to zero.
+func FitScaler(d *Dataset) *Scaler {
+	n := d.NumFeatures()
+	s := &Scaler{Means: make([]float64, n), Stds: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		col := d.Column(j)
+		s.Means[j] = mat.Mean(col)
+		sd := mat.StdDev(col)
+		if sd == 0 {
+			sd = 1
+		}
+		s.Stds[j] = sd
+	}
+	return s
+}
+
+// Transform standardises a single feature vector in place.
+func (s *Scaler) Transform(features []float64) {
+	for j := range features {
+		features[j] = (features[j] - s.Means[j]) / s.Stds[j]
+	}
+}
+
+// Apply returns a standardised copy of the dataset.
+func (s *Scaler) Apply(d *Dataset) *Dataset {
+	out := d.Clone()
+	for i := range out.Instances {
+		s.Transform(out.Instances[i].Features)
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func sample() *Dataset {
+	d := New([]string{"f0", "f1", "f2"}, []string{"benign", "malware"})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		label := 0
+		if i%4 == 0 {
+			label = 1
+		}
+		d.Add(Instance{
+			Features: []float64{rng.Float64(), float64(label) + rng.Float64(), float64(i)},
+			Label:    label,
+			App:      "app",
+		})
+	}
+	return d
+}
+
+func TestAddValidation(t *testing.T) {
+	d := New([]string{"a"}, []string{"x", "y"})
+	if err := d.Add(Instance{Features: []float64{1, 2}, Label: 0}); err == nil {
+		t.Fatal("wrong-width instance accepted")
+	}
+	if err := d.Add(Instance{Features: []float64{1}, Label: 5}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if err := d.Add(Instance{Features: []float64{1}, Label: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.NumFeatures() != 1 || d.NumClasses() != 2 {
+		t.Fatal("dimensions wrong")
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	d := sample()
+	counts := d.ClassCounts()
+	if counts[0] != 75 || counts[1] != 25 {
+		t.Fatalf("counts=%v, want [75 25]", counts)
+	}
+}
+
+func TestSplitStratified(t *testing.T) {
+	d := sample()
+	train, test, err := d.Split(0.6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != d.Len() {
+		t.Fatal("split lost instances")
+	}
+	tc := train.ClassCounts()
+	if tc[0] != 45 || tc[1] != 15 {
+		t.Fatalf("train counts=%v, want [45 15] (stratified 60%%)", tc)
+	}
+	// Determinism.
+	train2, _, _ := d.Split(0.6, 7)
+	for i := range train.Instances {
+		if train.Instances[i].Features[2] != train2.Instances[i].Features[2] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	// Different seed shuffles differently.
+	train3, _, _ := d.Split(0.6, 8)
+	same := true
+	for i := range train.Instances {
+		if train.Instances[i].Features[2] != train3.Instances[i].Features[2] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical splits")
+	}
+}
+
+func TestSplitRejectsBadFrac(t *testing.T) {
+	d := sample()
+	for _, f := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := d.Split(f, 1); err == nil {
+			t.Fatalf("Split(%v) accepted", f)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	d := sample()
+	s, err := d.Select([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FeatureNames[0] != "f2" || s.FeatureNames[1] != "f0" {
+		t.Fatalf("names=%v", s.FeatureNames)
+	}
+	if s.Instances[5].Features[0] != d.Instances[5].Features[2] {
+		t.Fatal("projection wrong")
+	}
+	if _, err := d.Select([]int{9}); err == nil {
+		t.Fatal("out-of-range feature accepted")
+	}
+}
+
+func TestSelectByName(t *testing.T) {
+	d := sample()
+	s, err := d.SelectByName([]string{"f1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFeatures() != 1 || s.Instances[0].Features[0] != d.Instances[0].Features[1] {
+		t.Fatal("SelectByName wrong")
+	}
+	if _, err := d.SelectByName([]string{"zzz"}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if d.FeatureIndex("f1") != 1 || d.FeatureIndex("zzz") != -1 {
+		t.Fatal("FeatureIndex wrong")
+	}
+}
+
+func TestFilterAndRelabel(t *testing.T) {
+	d := sample()
+	mal := d.Filter(func(ins Instance) bool { return ins.Label == 1 })
+	if mal.Len() != 25 {
+		t.Fatalf("filter kept %d, want 25", mal.Len())
+	}
+	// Relabel dropping class 1.
+	r, err := d.Relabel([]string{"only"}, func(old int) int {
+		if old == 1 {
+			return -1
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 75 || r.NumClasses() != 1 {
+		t.Fatal("relabel wrong")
+	}
+	if _, err := d.Relabel([]string{"only"}, func(int) int { return 3 }); err == nil {
+		t.Fatal("out-of-range relabel accepted")
+	}
+}
+
+func TestColumnLabelsMatrix(t *testing.T) {
+	d := sample()
+	col := d.Column(2)
+	if len(col) != 100 || col[10] != 10 {
+		t.Fatal("Column wrong")
+	}
+	labels := d.Labels()
+	if labels[4] != 1 || labels[5] != 0 {
+		t.Fatal("Labels wrong")
+	}
+	m := d.Matrix()
+	if m.Rows != 100 || m.Cols != 3 || m.At(10, 2) != 10 {
+		t.Fatal("Matrix wrong")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, d.ClassNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip lost instances: %d vs %d", got.Len(), d.Len())
+	}
+	for i := range d.Instances {
+		if got.Instances[i].Label != d.Instances[i].Label {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		for j := range d.Instances[i].Features {
+			if got.Instances[i].Features[j] != d.Instances[i].Features[j] {
+				t.Fatalf("feature mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), []string{"x"}); err == nil {
+		t.Fatal("header without class column accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,class\nnope,x\n"), []string{"x"}); err == nil {
+		t.Fatal("non-numeric feature accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,class\n1,unknown\n"), []string{"x"}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestScaler(t *testing.T) {
+	d := New([]string{"a", "b"}, []string{"c"})
+	d.Add(Instance{Features: []float64{1, 5}, Label: 0})
+	d.Add(Instance{Features: []float64{3, 5}, Label: 0})
+	s := FitScaler(d)
+	if s.Means[0] != 2 {
+		t.Fatalf("mean=%v", s.Means[0])
+	}
+	if s.Stds[1] != 1 {
+		t.Fatal("constant feature must get std 1")
+	}
+	out := s.Apply(d)
+	if math.Abs(out.Instances[0].Features[0]+1) > 1e-9 {
+		t.Fatalf("standardised value=%v, want -1", out.Instances[0].Features[0])
+	}
+	if out.Instances[0].Features[1] != 0 {
+		t.Fatal("constant feature must map to 0")
+	}
+	// Original untouched.
+	if d.Instances[0].Features[0] != 1 {
+		t.Fatal("Apply mutated the input dataset")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := sample()
+	c := d.Clone()
+	c.Instances[0].Features[0] = 999
+	if d.Instances[0].Features[0] == 999 {
+		t.Fatal("Clone shares feature storage")
+	}
+}

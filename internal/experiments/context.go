@@ -1,0 +1,88 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: per-experiment drivers over a shared collected corpus, each
+// returning a typed result with a String() rendering that mirrors the
+// paper's layout. See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for measured-versus-paper numbers.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"twosmart/internal/corpus"
+	"twosmart/internal/dataset"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Corpus configures data collection. The zero value uses a reduced
+	// but representative corpus (Scale 0.15) with the omniscient
+	// collection path; the methodology experiment (Fig 2) always
+	// exercises the faithful 11-batch multiplexed path regardless.
+	Corpus corpus.Config
+	// Seed drives splits and stochastic trainers.
+	Seed int64
+	// BoostRounds is the AdaBoost round count for the boosted
+	// configurations (default 10).
+	BoostRounds int
+	// TrainFrac is the train share of the split (default 0.6, the
+	// paper's 60%/40% protocol).
+	TrainFrac float64
+}
+
+func (o Options) fill() Options {
+	if o.Corpus.Scale <= 0 {
+		o.Corpus.Scale = 0.15
+		o.Corpus.Omniscient = true
+	}
+	if o.Corpus.Seed == 0 {
+		o.Corpus.Seed = o.Seed
+	}
+	if o.BoostRounds <= 0 {
+		o.BoostRounds = 10
+	}
+	if o.TrainFrac <= 0 || o.TrainFrac >= 1 {
+		o.TrainFrac = 0.6
+	}
+	return o
+}
+
+// Context carries the shared corpus, the 60/40 split, and caches for the
+// expensive intermediate artifacts (feature reduction, the classifier
+// sweep) that several experiments share.
+type Context struct {
+	Opts  Options
+	Data  *dataset.Dataset
+	Train *dataset.Dataset
+	Test  *dataset.Dataset
+
+	mu        sync.Mutex
+	reduction *Table2Result
+	sweep     *SweepResult
+}
+
+// NewContext collects the corpus and performs the standard 60/40 stratified
+// split.
+func NewContext(opts Options) (*Context, error) {
+	o := opts.fill()
+	data, err := corpus.Collect(o.Corpus)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: collecting corpus: %w", err)
+	}
+	train, test, err := data.Split(o.TrainFrac, o.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Opts: o, Data: data, Train: train, Test: test}, nil
+}
+
+// NewContextFromDataset builds a context over an already-collected dataset
+// (used by tests and by tools that persist the corpus to CSV).
+func NewContextFromDataset(d *dataset.Dataset, opts Options) (*Context, error) {
+	o := opts.fill()
+	train, test, err := d.Split(o.TrainFrac, o.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Opts: o, Data: d, Train: train, Test: test}, nil
+}

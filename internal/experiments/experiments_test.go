@@ -1,0 +1,402 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"twosmart/internal/core"
+	"twosmart/internal/corpus"
+	"twosmart/internal/hpc"
+	"twosmart/internal/workload"
+)
+
+var (
+	ctxOnce sync.Once
+	ctxVal  *Context
+	ctxErr  error
+)
+
+// testContext builds one reduced-scale shared context for the whole test
+// package (collection plus the sweep dominate test time).
+func testContext(t *testing.T) *Context {
+	t.Helper()
+	ctxOnce.Do(func() {
+		ctxVal, ctxErr = NewContext(Options{
+			Corpus: corpus.Config{
+				Scale:       0.001,
+				MinPerClass: 40,
+				Budget:      30000,
+				Seed:        3,
+				Omniscient:  true,
+			},
+			Seed:        3,
+			BoostRounds: 8,
+		})
+	})
+	if ctxErr != nil {
+		t.Fatal(ctxErr)
+	}
+	return ctxVal
+}
+
+func validEvent(name string) bool {
+	_, ok := hpc.EventByName(name)
+	return ok
+}
+
+func TestTable2Reduction(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CorrelationTop16) != 16 {
+		t.Fatalf("correlation kept %d features", len(res.CorrelationTop16))
+	}
+	for _, n := range res.CorrelationTop16 {
+		if !validEvent(n) {
+			t.Fatalf("unknown event %q in top-16", n)
+		}
+	}
+	for _, c := range workload.MalwareClasses() {
+		if len(res.Top8[c]) != 8 {
+			t.Fatalf("%v top-8 has %d entries", c, len(res.Top8[c]))
+		}
+	}
+	if len(res.Common) != 4 {
+		t.Fatalf("common set has %d features", len(res.Common))
+	}
+	if s := res.String(); len(s) == 0 {
+		t.Fatal("empty rendering")
+	}
+	t.Logf("\n%s", res)
+
+	// Feature-set accessor.
+	if _, err := res.ClassFeatureSet(workload.Virus, 12); err == nil {
+		t.Fatal("unsupported HPC count accepted")
+	}
+	f4, _ := res.ClassFeatureSet(workload.Virus, 4)
+	if len(f4) != 4 {
+		t.Fatal("4-HPC set wrong size")
+	}
+}
+
+func TestTable1Winners(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range workload.MalwareClasses() {
+		for _, hpcs := range []int{16, 8, 4} {
+			k := res.Best[c][hpcs]
+			if k.String() == "" {
+				t.Fatalf("no winner for %v/%d", c, hpcs)
+			}
+		}
+	}
+	t.Logf("\n%s\ndistinct winners: %d", res, res.DistinctWinners())
+}
+
+func TestTable3FMeasures(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum16, sum4 float64
+	var n int
+	for _, c := range workload.MalwareClasses() {
+		for _, k := range core.Kinds() {
+			for _, config := range SweepConfigs {
+				f := res.F[c][k][config]
+				if f < 0 || f > 100 {
+					t.Fatalf("%v/%v/%s F=%v outside [0,100]", c, k, config, f)
+				}
+			}
+			sum16 += res.F[c][k]["16"]
+			sum4 += res.F[c][k]["4"]
+			n++
+		}
+	}
+	t.Logf("\n%s", res)
+	t.Logf("mean F: 16HPC=%.1f 4HPC=%.1f", sum16/float64(n), sum4/float64(n))
+}
+
+func TestTable4Improvements(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range core.Kinds() {
+		if _, ok := res.ImprovementOver8[k]; !ok {
+			t.Fatalf("missing improvement for %v", k)
+		}
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestFig4Performance(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, config := range SweepConfigs {
+		avg := res.Average(config)
+		if avg <= 0 || avg > 100 {
+			t.Fatalf("average performance %v for %s", avg, config)
+		}
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestFig3TwoStage(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stage1Accuracy4 < 0.4 {
+		t.Fatalf("stage-1 accuracy %.2f too low", res.Stage1Accuracy4)
+	}
+	if res.EndToEndF < 0.5 {
+		t.Fatalf("end-to-end F %.2f too low", res.EndToEndF)
+	}
+	if len(res.Stage2Winners) != 4 {
+		t.Fatal("missing stage-2 winners")
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestFig5aTwoStageBeatsStage1(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Fig5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range workload.MalwareClasses() {
+		if res.Stage1F[c] < 0 || res.Stage1F[c] > 1 || res.TwoStageF[c] < 0 || res.TwoStageF[c] > 1 {
+			t.Fatalf("F out of range for %v", c)
+		}
+	}
+	// The paper's claim: the second stage improves on MLR alone (up to
+	// +19 points). Allow slack for the reduced corpus but require the
+	// average not to regress materially.
+	if imp := res.AverageImprovement(); imp < -3 {
+		t.Fatalf("two-stage average improvement %.1f points (regressed)", imp)
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestFig5bBeatsSingleStage(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Fig5b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range core.Kinds() {
+		for _, m := range []map[core.Kind]float64{res.SingleStage4, res.SingleStage8, res.TwoStage4, res.TwoStage4Boosted} {
+			if f, ok := m[k]; !ok || f < 0 || f > 1 {
+				t.Fatalf("missing or invalid F for %v", k)
+			}
+		}
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestTable5Hardware(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OneR decides in one cycle regardless of configuration.
+	if res.Latency[core.OneR]["4"] != 1 || res.Latency[core.OneR]["8"] != 1 {
+		t.Fatalf("OneR latency %v/%v, want 1", res.Latency[core.OneR]["8"], res.Latency[core.OneR]["4"])
+	}
+	// MLP dominates latency and area at every configuration.
+	for _, config := range Table5Configs {
+		for _, k := range []core.Kind{core.J48, core.JRip, core.OneR} {
+			if res.Latency[core.MLP][config] <= res.Latency[k][config] {
+				t.Fatalf("MLP latency %v not above %v's %v at %s",
+					res.Latency[core.MLP][config], k, res.Latency[k][config], config)
+			}
+			if res.Area[core.MLP][config] <= res.Area[k][config] {
+				t.Fatalf("MLP area %v not above %v's %v at %s",
+					res.Area[core.MLP][config], k, res.Area[k][config], config)
+			}
+		}
+	}
+	// Boosting increases latency over the unboosted 4-HPC detector.
+	for _, k := range core.Kinds() {
+		if res.Latency[k]["4-Boosted"] <= res.Latency[k]["4"] {
+			t.Fatalf("%v boosted latency %v not above unboosted %v",
+				k, res.Latency[k]["4-Boosted"], res.Latency[k]["4"])
+		}
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestFig1Traces(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BenignBranches) == 0 || len(res.MalwareBranches) == 0 {
+		t.Fatal("missing trace samples")
+	}
+	// Fig 1's claim is that malware traces differ significantly from
+	// benign ones on both events. Direction depends on CPI (per-interval
+	// counts shrink when miss-heavy payloads stall the core), so require
+	// a large relative difference either way.
+	relDiff := func(a, b float64) float64 {
+		if b == 0 {
+			return 1
+		}
+		d := a/b - 1
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	if relDiff(res.MalwareMeanBranch, res.BenignMeanBranch) < 0.3 {
+		t.Fatalf("branch traces too similar: malware %.0f vs benign %.0f",
+			res.MalwareMeanBranch, res.BenignMeanBranch)
+	}
+	if relDiff(res.MalwareMeanMiss, res.BenignMeanMiss) < 0.3 {
+		t.Fatalf("branch-miss traces too similar: malware %.0f vs benign %.0f",
+			res.MalwareMeanMiss, res.BenignMeanMiss)
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestFig2Pipeline(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 11 || res.EventsPerBatch != 4 || res.TotalEvents != 44 {
+		t.Fatalf("schedule %d batches x %d events over %d total",
+			res.Batches, res.EventsPerBatch, res.TotalEvents)
+	}
+	if res.RunsPerApp != 11 {
+		t.Fatalf("runs per app=%d, want 11", res.RunsPerApp)
+	}
+	if res.ContainersCreated != 11 || res.ContainersAlive != 0 {
+		t.Fatalf("containers created=%d alive=%d, want 11/0",
+			res.ContainersCreated, res.ContainersAlive)
+	}
+	if !res.OverLimitRejected {
+		t.Fatal("counter file accepted more events than registers")
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestContextFromDataset(t *testing.T) {
+	ctx := testContext(t)
+	ctx2, err := NewContextFromDataset(ctx.Data, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx2.Train.Len()+ctx2.Test.Len() != ctx.Data.Len() {
+		t.Fatal("split lost instances")
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	ctx := testContext(t)
+	report, err := ctx.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Meta.CorpusSamples != ctx.Data.Len() {
+		t.Fatal("meta wrong")
+	}
+	if len(report.Table3) != 4 || len(report.Fig4) != 4 {
+		t.Fatal("sweep sections incomplete")
+	}
+	if len(report.Table2.Top8) != 4 || len(report.Table2.CorrelationTop16) != 16 {
+		t.Fatal("reduction section incomplete")
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"meta", "fig1", "table1", "table2", "fig2", "fig3", "table3_f_measure", "fig4_performance", "table4", "fig5a", "fig5b", "table5"} {
+		if _, ok := round[key]; !ok {
+			t.Fatalf("report missing section %q", key)
+		}
+	}
+}
+
+func TestExtGranularity(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.ExtGranularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleF <= 0 || res.SampleF > 1 || res.AppF <= 0 || res.AppF > 1 {
+		t.Fatalf("F out of range: sample=%v app=%v", res.SampleF, res.AppF)
+	}
+	if res.Apps == 0 {
+		t.Fatal("no applications")
+	}
+	// Majority voting must not be materially worse than per-sample
+	// decisions (it denoises them).
+	if res.AppF < res.SampleF-0.05 {
+		t.Fatalf("app-level F %.3f well below sample-level %.3f", res.AppF, res.SampleF)
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestExtLatency(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.ExtLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 || res.BenignTotal == 0 {
+		t.Fatal("no applications streamed")
+	}
+	if res.Detected < res.Total*2/3 {
+		t.Fatalf("monitor detected only %d/%d malware apps", res.Detected, res.Total)
+	}
+	if res.Detected > 0 && res.MeanSamples <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestExtInterference(t *testing.T) {
+	ctx := testContext(t)
+	res, err := ctx.ExtInterference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recall) != len(res.Shares) {
+		t.Fatal("shape mismatch")
+	}
+	for i, r := range res.Recall {
+		if r < 0 || r > 1 {
+			t.Fatalf("recall[%d]=%v", i, r)
+		}
+	}
+	// Isolated malware must be detected well; dilution reduces recall.
+	if res.Recall[0] < 0.6 {
+		t.Fatalf("isolated recall %.2f too low", res.Recall[0])
+	}
+	if res.Recall[len(res.Recall)-1] > res.Recall[0]+0.05 {
+		t.Fatalf("dilution did not reduce recall: %v", res.Recall)
+	}
+	t.Logf("\n%s", res)
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"twosmart/internal/core"
+	"twosmart/internal/hpc"
+	"twosmart/internal/isa"
+	"twosmart/internal/metrics"
+	"twosmart/internal/microarch"
+	"twosmart/internal/monitor"
+	"twosmart/internal/sandbox"
+	"twosmart/internal/workload"
+)
+
+// The experiments in this file go beyond the paper's evaluation: they
+// quantify properties the paper motivates but does not measure —
+// application-level decision aggregation, detection latency, and robustness
+// to co-scheduled benign work.
+
+// ExtGranularityResult compares detection quality at two decision
+// granularities: per 10 ms sample (the paper's evaluation unit) and per
+// application (majority vote over the application's samples, which is what
+// an OS response policy would act on).
+type ExtGranularityResult struct {
+	SampleF float64
+	AppF    float64
+	Apps    int
+}
+
+// ExtGranularity evaluates the 4-HPC two-stage detector at sample and
+// application granularity on the held-out test split.
+func (ctx *Context) ExtGranularity() (*ExtGranularityResult, error) {
+	det, err := ctx.runtimeDetector(false)
+	if err != nil {
+		return nil, err
+	}
+	test, err := ctx.Test.SelectByName(core.CommonFeatures)
+	if err != nil {
+		return nil, err
+	}
+	var sampleConf metrics.Confusion
+	type appAgg struct {
+		malware bool
+		votes   int
+		samples int
+	}
+	apps := map[string]*appAgg{}
+	for _, ins := range test.Instances {
+		v, err := det.Detect(ins.Features)
+		if err != nil {
+			return nil, err
+		}
+		actual := workload.Class(ins.Label).IsMalware()
+		sampleConf.Add(actual, v.Malware)
+		agg, ok := apps[ins.App]
+		if !ok {
+			agg = &appAgg{malware: actual}
+			apps[ins.App] = agg
+		}
+		agg.samples++
+		if v.Malware {
+			agg.votes++
+		}
+	}
+	var appConf metrics.Confusion
+	for _, agg := range apps {
+		appConf.Add(agg.malware, 2*agg.votes > agg.samples)
+	}
+	return &ExtGranularityResult{
+		SampleF: sampleConf.F1(),
+		AppF:    appConf.F1(),
+		Apps:    len(apps),
+	}, nil
+}
+
+// String renders the granularity comparison.
+func (res *ExtGranularityResult) String() string {
+	return fmt.Sprintf(
+		"Extension: decision granularity (4 Common HPCs)\n\n"+
+			"per-sample F-measure:      %.1f%%\n"+
+			"per-application F-measure: %.1f%% (majority vote over %d apps)\n",
+		100*res.SampleF, 100*res.AppF, res.Apps)
+}
+
+// ExtLatencyResult measures detection latency: how many 10 ms samples a
+// freshly started malware application runs before the run-time monitor
+// raises its first alarm (the paper's introduction motivates HMD by
+// detection-latency reduction but reports no latency numbers).
+type ExtLatencyResult struct {
+	// MeanSamples/MaxSamples to first alarm over the detected apps.
+	MeanSamples float64
+	MaxSamples  int
+	// Detected / Total malware applications streamed.
+	Detected, Total int
+	// BenignFalseAlarms counts benign applications whose monitor ever
+	// raised.
+	BenignFalseAlarms, BenignTotal int
+}
+
+// ExtLatency streams unseen applications through the boosted 4-HPC detector
+// wrapped in the run-time monitor and measures time to first alarm.
+func (ctx *Context) ExtLatency() (*ExtLatencyResult, error) {
+	det, err := ctx.runtimeDetector(true)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.NewTracker(det, monitor.Config{MinSamples: 2})
+	if err != nil {
+		return nil, err
+	}
+	mgr := sandbox.NewManager(microarch.DefaultConfig())
+	events, err := commonEvents()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ExtLatencyResult{}
+	var totalLatency int
+	const appsPerClass = 6
+	for _, class := range workload.AllClasses() {
+		for id := 0; id < appsPerClass; id++ {
+			prog := workload.Generate(class, 5000+id, workload.Options{
+				Budget: 4 * workloadBudget(ctx),
+				Seed:   ctx.Opts.Seed + 777,
+			})
+			samples, err := mgr.RunIsolated(prog.MustStream(), events, sandbox.ProfileOptions{
+				FreqHz: corpusFreq(ctx), Period: 10 * time.Millisecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			firstAlarm := -1
+			for _, s := range samples {
+				fv := make([]float64, len(events))
+				for j, c := range s.Counts {
+					fv[j] = float64(c) * 1000 / float64(s.Fixed[0])
+				}
+				ev, err := mon.Observe(prog.Name, fv)
+				if err != nil {
+					return nil, err
+				}
+				if ev.Alarm && firstAlarm < 0 {
+					firstAlarm = s.Index + 1
+				}
+			}
+			mon.Close(prog.Name)
+			if class.IsMalware() {
+				res.Total++
+				if firstAlarm >= 0 {
+					res.Detected++
+					totalLatency += firstAlarm
+					if firstAlarm > res.MaxSamples {
+						res.MaxSamples = firstAlarm
+					}
+				}
+			} else {
+				res.BenignTotal++
+				if firstAlarm >= 0 {
+					res.BenignFalseAlarms++
+				}
+			}
+		}
+	}
+	if res.Detected > 0 {
+		res.MeanSamples = float64(totalLatency) / float64(res.Detected)
+	}
+	return res, nil
+}
+
+// String renders the latency measurement.
+func (res *ExtLatencyResult) String() string {
+	return fmt.Sprintf(
+		"Extension: run-time detection latency (boosted 4-HPC detector + monitor)\n\n"+
+			"malware detected:        %d/%d applications\n"+
+			"mean time to alarm:      %.1f samples (%.0f ms)\n"+
+			"worst time to alarm:     %d samples (%d ms)\n"+
+			"benign false alarms:     %d/%d applications\n",
+		res.Detected, res.Total,
+		res.MeanSamples, res.MeanSamples*10,
+		res.MaxSamples, res.MaxSamples*10,
+		res.BenignFalseAlarms, res.BenignTotal)
+}
+
+// ExtInterferenceResult measures robustness to co-scheduling: malware
+// timeslice-interleaved with benign work dilutes its HPC signature; the
+// table reports detection recall as the malware's share of the timeslices
+// shrinks.
+type ExtInterferenceResult struct {
+	// Recall[i] corresponds to Shares[i] (fraction of quanta that run
+	// malware; 1.0 = the paper's isolated-profiling setting).
+	Shares []float64
+	Recall []float64
+}
+
+// ExtInterference profiles trojan applications interleaved with benign ones
+// at several timeslice shares and reports sample-level detection recall.
+func (ctx *Context) ExtInterference() (*ExtInterferenceResult, error) {
+	det, err := ctx.runtimeDetector(true)
+	if err != nil {
+		return nil, err
+	}
+	mgr := sandbox.NewManager(microarch.DefaultConfig())
+	events, err := commonEvents()
+	if err != nil {
+		return nil, err
+	}
+	res := &ExtInterferenceResult{Shares: []float64{1.0, 0.5, 0.25}}
+	const quantum = 2000 // instructions per timeslice
+	const apps = 8
+	for _, share := range res.Shares {
+		detected, total := 0, 0
+		for id := 0; id < apps; id++ {
+			mal := workload.Generate(workload.Trojan, 6000+id, workload.Options{
+				Budget: workloadBudget(ctx), Seed: ctx.Opts.Seed + 888,
+			})
+			var stream isa.Stream = mal.MustStream()
+			if share < 1 {
+				// One malware stream against k benign streams gives
+				// the malware a 1/(k+1) share of the quanta.
+				k := int(1/share) - 1
+				streams := []isa.Stream{stream}
+				for b := 0; b < k; b++ {
+					ben := workload.Generate(workload.Benign, 6100+id*4+b, workload.Options{
+						Budget: workloadBudget(ctx), Seed: ctx.Opts.Seed + 888,
+					})
+					streams = append(streams, ben.MustStream())
+				}
+				stream = isa.Interleave(quantum, streams...)
+			}
+			samples, err := mgr.RunIsolated(stream, events, sandbox.ProfileOptions{
+				FreqHz: corpusFreq(ctx), Period: 10 * time.Millisecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range samples {
+				fv := make([]float64, len(events))
+				for j, c := range s.Counts {
+					fv[j] = float64(c) * 1000 / float64(s.Fixed[0])
+				}
+				v, err := det.Detect(fv)
+				if err != nil {
+					return nil, err
+				}
+				total++
+				if v.Malware {
+					detected++
+				}
+			}
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("experiments: no samples at share %.2f", share)
+		}
+		res.Recall = append(res.Recall, float64(detected)/float64(total))
+	}
+	return res, nil
+}
+
+// String renders the interference sweep.
+func (res *ExtInterferenceResult) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: co-scheduling interference (trojan interleaved with benign)\n\n")
+	fmt.Fprintf(&b, "%-16s | %-14s\n", "malware share", "sample recall")
+	for i, share := range res.Shares {
+		fmt.Fprintf(&b, "%15.0f%% | %13.1f%%\n", 100*share, 100*res.Recall[i])
+	}
+	return b.String()
+}
+
+// runtimeDetector trains the run-time configuration (Common-4 features,
+// J48 stage 2) used by the extension experiments.
+func (ctx *Context) runtimeDetector(boost bool) (*core.Detector, error) {
+	feats := map[workload.Class][]string{}
+	kinds := map[workload.Class]core.Kind{}
+	for _, c := range workload.MalwareClasses() {
+		feats[c] = core.CommonFeatures
+		kinds[c] = core.J48
+	}
+	full, err := ctx.Train.SelectByName(core.CommonFeatures)
+	if err != nil {
+		return nil, err
+	}
+	return core.Train(full, core.TrainConfig{
+		Stage1Features: core.CommonFeatures,
+		Stage2Features: map[workload.Class][]string{
+			workload.Backdoor: core.CommonFeatures, workload.Rootkit: core.CommonFeatures,
+			workload.Virus: core.CommonFeatures, workload.Trojan: core.CommonFeatures,
+		},
+		Stage2Kinds: kinds,
+		Boost:       boost,
+		BoostRounds: ctx.Opts.BoostRounds,
+		Seed:        ctx.Opts.Seed,
+	})
+}
+
+func commonEvents() ([]hpc.Event, error) {
+	events := make([]hpc.Event, 0, len(core.CommonFeatures))
+	for _, name := range core.CommonFeatures {
+		e, ok := hpc.EventByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown event %q", name)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}

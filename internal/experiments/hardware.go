@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"twosmart/internal/core"
+	"twosmart/internal/hls"
+	"twosmart/internal/workload"
+)
+
+// Table5Configs are the hardware configurations of Table V.
+var Table5Configs = []string{"8", "4", "4-Boosted"}
+
+// Table5Result reproduces Table V: hardware implementation cost (latency in
+// cycles @10 ns and area as % of an OpenSPARC core) of each stage-2
+// classifier at 8 HPCs, 4 HPCs and boosted 4 HPCs. Costs are averaged over
+// the four per-class specialized models from the sweep.
+type Table5Result struct {
+	// Latency[kind][config] in cycles; Area[kind][config] in percent.
+	Latency map[core.Kind]map[string]float64
+	Area    map[core.Kind]map[string]float64
+}
+
+// Table5 estimates hardware costs for the sweep's trained models.
+func (ctx *Context) Table5() (*Table5Result, error) {
+	sweep, err := ctx.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table5Result{
+		Latency: make(map[core.Kind]map[string]float64),
+		Area:    make(map[core.Kind]map[string]float64),
+	}
+	for _, kind := range core.Kinds() {
+		res.Latency[kind] = make(map[string]float64)
+		res.Area[kind] = make(map[string]float64)
+		for _, config := range Table5Configs {
+			var lat, area float64
+			n := 0
+			for _, class := range workload.MalwareClasses() {
+				model := sweep.Models[class][kind][config]
+				if model == nil {
+					return nil, fmt.Errorf("experiments: missing model %v/%v/%s", class, kind, config)
+				}
+				cost, err := hls.Estimate(model)
+				if err != nil {
+					return nil, err
+				}
+				lat += float64(cost.LatencyCycles)
+				area += cost.AreaPercent()
+				n++
+			}
+			res.Latency[kind][config] = lat / float64(n)
+			res.Area[kind][config] = area / float64(n)
+		}
+	}
+	return res, nil
+}
+
+// String renders the result in the shape of Table V.
+func (res *Table5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table V: hardware implementation results (cycles @10 ns, area % of OpenSPARC core)\n\n")
+	fmt.Fprintf(&b, "%-6s", "Kind")
+	for _, config := range Table5Configs {
+		fmt.Fprintf(&b, " | %-10s %-8s", config+" lat", config+" area")
+	}
+	b.WriteString("\n")
+	for _, kind := range core.Kinds() {
+		fmt.Fprintf(&b, "%-6s", kind)
+		for _, config := range Table5Configs {
+			fmt.Fprintf(&b, " | %10.0f %7.2f%%", res.Latency[kind][config], res.Area[kind][config])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

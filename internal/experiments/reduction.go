@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"twosmart/internal/core"
+	"twosmart/internal/features"
+	"twosmart/internal/workload"
+)
+
+// Table2Result reproduces Table II: the feature-reduction pipeline's output
+// — the shared correlation top-16, each malware class's PCA top-8, and the
+// derived Common (shared across all classes) and per-class feature sets
+// used by the detector sweep.
+type Table2Result struct {
+	// CorrelationTop16 is the shared correlation-selected event list
+	// (rank order) computed on the multiclass training data.
+	CorrelationTop16 []string
+	// Top8 is each class's PCA-selected eight events (rank order).
+	Top8 map[workload.Class][]string
+	// Common are the events shared by every class's top-8 (the paper
+	// finds exactly four), padded from the correlation ranking if fewer
+	// than four are shared; truncated to four if more are.
+	Common []string
+	// PaperCommon is the paper's published Common set, for comparison.
+	PaperCommon []string
+}
+
+// Table2 runs the feature-reduction pipeline of Section III-B: correlation
+// attribute evaluation keeps 16 of the 44 events; per-class PCA over those
+// 16 keeps 8 per malware class; the events shared by all classes form the
+// Common set.
+func (ctx *Context) Table2() (*Table2Result, error) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if ctx.reduction != nil {
+		return ctx.reduction, nil
+	}
+
+	ranked, err := features.CorrelationRank(ctx.Train)
+	if err != nil {
+		return nil, err
+	}
+	top16 := features.Names(ranked, 16)
+
+	res := &Table2Result{
+		CorrelationTop16: top16,
+		Top8:             make(map[workload.Class][]string),
+		PaperCommon:      append([]string(nil), core.CommonFeatures...),
+	}
+
+	for _, class := range workload.MalwareClasses() {
+		binary, err := core.BinaryTask(ctx.Train, class)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := binary.SelectByName(top16)
+		if err != nil {
+			return nil, err
+		}
+		pca, err := features.FitPCA(sub)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: PCA for %v: %w", class, err)
+		}
+		// Rank over the leading components carrying most variance.
+		res.Top8[class] = features.Names(pca.RankFeatures(8), 8)
+	}
+
+	res.Common = deriveCommon(res, top16)
+	ctx.reduction = res
+	return res, nil
+}
+
+// deriveCommon intersects the per-class top-8 sets and returns the four
+// best-ranked shared events, padding from the correlation order when the
+// intersection is smaller than four.
+func deriveCommon(res *Table2Result, corrOrder []string) []string {
+	shared := map[string]int{}
+	for _, class := range workload.MalwareClasses() {
+		for _, name := range res.Top8[class] {
+			shared[name]++
+		}
+	}
+	rank := map[string]int{}
+	for i, name := range corrOrder {
+		rank[name] = i
+	}
+	var common []string
+	for name, n := range shared {
+		if n == len(workload.MalwareClasses()) {
+			common = append(common, name)
+		}
+	}
+	sort.Slice(common, func(i, j int) bool { return rank[common[i]] < rank[common[j]] })
+	if len(common) > 4 {
+		common = common[:4]
+	}
+	for _, name := range corrOrder {
+		if len(common) >= 4 {
+			break
+		}
+		already := false
+		for _, c := range common {
+			if c == name {
+				already = true
+				break
+			}
+		}
+		if !already {
+			common = append(common, name)
+		}
+	}
+	return common
+}
+
+// ClassFeatureSet returns the feature list the detector experiments use for
+// one class at a given HPC count. The 16-HPC set is the measured
+// correlation selection (the paper does not publish its 16). The 8- and
+// 4-HPC sets are the paper's published Table II configuration (per-class
+// Custom-8 and the Common-4): the experiments reproduce the paper's
+// *configured system*, while the data-driven reduction output (Top8 /
+// Common) is reported by Table2 for comparison — our simulator's most
+// correlated events differ from the Xeon's, which EXPERIMENTS.md discusses.
+func (res *Table2Result) ClassFeatureSet(class workload.Class, numHPCs int) ([]string, error) {
+	switch numHPCs {
+	case 16:
+		return res.CorrelationTop16, nil
+	case 8:
+		return core.CustomFeatures(class)
+	case 4:
+		return core.CommonFeatures, nil
+	default:
+		return nil, fmt.Errorf("experiments: unsupported HPC count %d (want 16, 8 or 4)", numHPCs)
+	}
+}
+
+// String renders the result in the shape of Table II.
+func (res *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: prominent top-8 HPC features per malware class\n")
+	fmt.Fprintf(&b, "(correlation top-16: %s)\n\n", strings.Join(res.CorrelationTop16, ", "))
+	classes := workload.MalwareClasses()
+	fmt.Fprintf(&b, "%-4s", "rank")
+	for _, c := range classes {
+		fmt.Fprintf(&b, " | %-26s", c)
+	}
+	b.WriteString("\n")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "%-4d", i+1)
+		for _, c := range classes {
+			fmt.Fprintf(&b, " | %-26s", res.Top8[c][i])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\nderived Common set: %s\n", strings.Join(res.Common, ", "))
+	fmt.Fprintf(&b, "paper's Common set: %s\n", strings.Join(res.PaperCommon, ", "))
+	return b.String()
+}

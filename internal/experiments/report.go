@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"twosmart/internal/core"
+	"twosmart/internal/workload"
+)
+
+// Report aggregates every experiment into one machine-readable artifact
+// (cmd/benchtab -json). Map keys are class, algorithm and configuration
+// names, so the JSON is plot-script friendly.
+type Report struct {
+	Meta struct {
+		CorpusSamples int     `json:"corpus_samples"`
+		CorpusScale   float64 `json:"corpus_scale"`
+		Seed          int64   `json:"seed"`
+		TrainFrac     float64 `json:"train_frac"`
+	} `json:"meta"`
+
+	Fig1 struct {
+		BenignApp       string    `json:"benign_app"`
+		MalwareApp      string    `json:"malware_app"`
+		BenignBranches  []float64 `json:"benign_branches"`
+		BenignMisses    []float64 `json:"benign_misses"`
+		MalwareBranches []float64 `json:"malware_branches"`
+		MalwareMisses   []float64 `json:"malware_misses"`
+	} `json:"fig1"`
+
+	Table1 map[string]map[string]string `json:"table1"` // class -> hpcs -> kind
+
+	Table2 struct {
+		CorrelationTop16 []string            `json:"correlation_top16"`
+		Top8             map[string][]string `json:"top8"`
+		Common           []string            `json:"common"`
+		PaperCommon      []string            `json:"paper_common"`
+	} `json:"table2"`
+
+	Fig2 *Fig2Result `json:"fig2"`
+
+	Fig3 struct {
+		Stage1Accuracy4  float64           `json:"stage1_accuracy_4hpc"`
+		Stage1Accuracy16 float64           `json:"stage1_accuracy_16hpc"`
+		EndToEndF        float64           `json:"end_to_end_f"`
+		Stage2Winners    map[string]string `json:"stage2_winners"`
+	} `json:"fig3"`
+
+	// Table3/Fig4: class -> kind -> config -> value (percent).
+	Table3 map[string]map[string]map[string]float64 `json:"table3_f_measure"`
+	Fig4   map[string]map[string]map[string]float64 `json:"fig4_performance"`
+
+	Table4 struct {
+		Over8 map[string]float64 `json:"improvement_over_8hpc"`
+		Over4 map[string]float64 `json:"improvement_over_4hpc"`
+	} `json:"table4"`
+
+	Fig5a struct {
+		Stage1F   map[string]float64 `json:"stage1_f"`
+		TwoStageF map[string]float64 `json:"two_stage_f"`
+	} `json:"fig5a"`
+
+	Fig5b struct {
+		SingleStage4     map[string]float64 `json:"single_stage_4hpc"`
+		SingleStage8     map[string]float64 `json:"single_stage_8hpc"`
+		TwoStage4        map[string]float64 `json:"two_stage_4hpc"`
+		TwoStage4Boosted map[string]float64 `json:"two_stage_4hpc_boosted"`
+	} `json:"fig5b"`
+
+	Table5 struct {
+		Latency map[string]map[string]float64 `json:"latency_cycles"`
+		Area    map[string]map[string]float64 `json:"area_percent"`
+	} `json:"table5"`
+
+	// Extensions beyond the paper's evaluation.
+	Extensions struct {
+		Granularity  *ExtGranularityResult  `json:"granularity"`
+		Latency      *ExtLatencyResult      `json:"detection_latency"`
+		Interference *ExtInterferenceResult `json:"interference"`
+	} `json:"extensions"`
+}
+
+// Report runs every experiment driver and assembles the aggregate report.
+func (ctx *Context) Report() (*Report, error) {
+	r := &Report{}
+	r.Meta.CorpusSamples = ctx.Data.Len()
+	r.Meta.CorpusScale = ctx.Opts.Corpus.Scale
+	r.Meta.Seed = ctx.Opts.Seed
+	r.Meta.TrainFrac = ctx.Opts.TrainFrac
+
+	fig1, err := ctx.Fig1()
+	if err != nil {
+		return nil, err
+	}
+	r.Fig1.BenignApp = fig1.BenignApp
+	r.Fig1.MalwareApp = fig1.MalwareApp
+	r.Fig1.BenignBranches = fig1.BenignBranches
+	r.Fig1.BenignMisses = fig1.BenignMisses
+	r.Fig1.MalwareBranches = fig1.MalwareBranches
+	r.Fig1.MalwareMisses = fig1.MalwareMisses
+
+	tab1, err := ctx.Table1()
+	if err != nil {
+		return nil, err
+	}
+	r.Table1 = map[string]map[string]string{}
+	for class, byHPC := range tab1.Best {
+		m := map[string]string{}
+		for hpcs, kind := range byHPC {
+			m[hpcsKey(hpcs)] = kind.String()
+		}
+		r.Table1[class.String()] = m
+	}
+
+	tab2, err := ctx.Table2()
+	if err != nil {
+		return nil, err
+	}
+	r.Table2.CorrelationTop16 = tab2.CorrelationTop16
+	r.Table2.Common = tab2.Common
+	r.Table2.PaperCommon = tab2.PaperCommon
+	r.Table2.Top8 = map[string][]string{}
+	for class, feats := range tab2.Top8 {
+		r.Table2.Top8[class.String()] = feats
+	}
+
+	if r.Fig2, err = ctx.Fig2(); err != nil {
+		return nil, err
+	}
+
+	fig3, err := ctx.Fig3()
+	if err != nil {
+		return nil, err
+	}
+	r.Fig3.Stage1Accuracy4 = fig3.Stage1Accuracy4
+	r.Fig3.Stage1Accuracy16 = fig3.Stage1Accuracy16
+	r.Fig3.EndToEndF = fig3.EndToEndF
+	r.Fig3.Stage2Winners = map[string]string{}
+	for class, kind := range fig3.Stage2Winners {
+		r.Fig3.Stage2Winners[class.String()] = kind.String()
+	}
+
+	tab3, err := ctx.Table3()
+	if err != nil {
+		return nil, err
+	}
+	r.Table3 = classKindConfig(tab3.F)
+
+	fig4, err := ctx.Fig4()
+	if err != nil {
+		return nil, err
+	}
+	r.Fig4 = classKindConfig(fig4.Performance)
+
+	tab4, err := ctx.Table4()
+	if err != nil {
+		return nil, err
+	}
+	r.Table4.Over8 = kindMap(tab4.ImprovementOver8)
+	r.Table4.Over4 = kindMap(tab4.ImprovementOver4)
+
+	fig5a, err := ctx.Fig5a()
+	if err != nil {
+		return nil, err
+	}
+	r.Fig5a.Stage1F = classMap(fig5a.Stage1F)
+	r.Fig5a.TwoStageF = classMap(fig5a.TwoStageF)
+
+	fig5b, err := ctx.Fig5b()
+	if err != nil {
+		return nil, err
+	}
+	r.Fig5b.SingleStage4 = kindMap(fig5b.SingleStage4)
+	r.Fig5b.SingleStage8 = kindMap(fig5b.SingleStage8)
+	r.Fig5b.TwoStage4 = kindMap(fig5b.TwoStage4)
+	r.Fig5b.TwoStage4Boosted = kindMap(fig5b.TwoStage4Boosted)
+
+	tab5, err := ctx.Table5()
+	if err != nil {
+		return nil, err
+	}
+	r.Table5.Latency = kindConfig(tab5.Latency)
+	r.Table5.Area = kindConfig(tab5.Area)
+
+	if r.Extensions.Granularity, err = ctx.ExtGranularity(); err != nil {
+		return nil, err
+	}
+	if r.Extensions.Latency, err = ctx.ExtLatency(); err != nil {
+		return nil, err
+	}
+	if r.Extensions.Interference, err = ctx.ExtInterference(); err != nil {
+		return nil, err
+	}
+
+	return r, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func hpcsKey(hpcs int) string {
+	switch hpcs {
+	case 16:
+		return "16"
+	case 8:
+		return "8"
+	default:
+		return "4"
+	}
+}
+
+func classKindConfig(src map[workload.Class]map[core.Kind]map[string]float64) map[string]map[string]map[string]float64 {
+	out := map[string]map[string]map[string]float64{}
+	for class, byKind := range src {
+		km := map[string]map[string]float64{}
+		for kind, byConfig := range byKind {
+			cm := map[string]float64{}
+			for config, v := range byConfig {
+				cm[config] = v
+			}
+			km[kind.String()] = cm
+		}
+		out[class.String()] = km
+	}
+	return out
+}
+
+func kindMap(src map[core.Kind]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range src {
+		out[k.String()] = v
+	}
+	return out
+}
+
+func classMap(src map[workload.Class]float64) map[string]float64 {
+	out := map[string]float64{}
+	for c, v := range src {
+		out[c.String()] = v
+	}
+	return out
+}
+
+func kindConfig(src map[core.Kind]map[string]float64) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	for k, byConfig := range src {
+		cm := map[string]float64{}
+		for config, v := range byConfig {
+			cm[config] = v
+		}
+		out[k.String()] = cm
+	}
+	return out
+}

@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"twosmart/internal/core"
+	"twosmart/internal/dataset"
+	"twosmart/internal/ml"
+	"twosmart/internal/ml/ensemble"
+	"twosmart/internal/workload"
+)
+
+// SweepConfigs are the four detector configurations of Tables III/IV and
+// Fig 4: 16, 8 and 4 HPC features without boosting, plus the 4-HPC
+// AdaBoost-boosted configuration.
+var SweepConfigs = []string{"16", "8", "4", "4-Boosted"}
+
+// SweepResult holds the full specialized-detector sweep: one binary
+// evaluation per (malware class, algorithm, configuration). It backs
+// Table I, Table III, Table IV and Fig 4.
+type SweepResult struct {
+	Evals map[workload.Class]map[core.Kind]map[string]ml.BinaryEval
+	// Models keeps the trained classifiers for the hardware cost
+	// analysis (Table V).
+	Models map[workload.Class]map[core.Kind]map[string]ml.Classifier
+}
+
+// Sweep trains and evaluates every specialized detector combination. The
+// result is cached on the context.
+func (ctx *Context) Sweep() (*SweepResult, error) {
+	ctx.mu.Lock()
+	cached := ctx.sweep
+	ctx.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+
+	red, err := ctx.Table2()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{
+		Evals:  make(map[workload.Class]map[core.Kind]map[string]ml.BinaryEval),
+		Models: make(map[workload.Class]map[core.Kind]map[string]ml.Classifier),
+	}
+	for _, class := range workload.MalwareClasses() {
+		res.Evals[class] = make(map[core.Kind]map[string]ml.BinaryEval)
+		res.Models[class] = make(map[core.Kind]map[string]ml.Classifier)
+		for _, kind := range core.Kinds() {
+			res.Evals[class][kind] = make(map[string]ml.BinaryEval)
+			res.Models[class][kind] = make(map[string]ml.Classifier)
+		}
+	}
+
+	type job struct {
+		class  workload.Class
+		kind   core.Kind
+		config string
+	}
+	var jobs []job
+	for _, class := range workload.MalwareClasses() {
+		for _, kind := range core.Kinds() {
+			for _, config := range SweepConfigs {
+				jobs = append(jobs, job{class, kind, config})
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, 8)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			model, ev, err := ctx.trainSpecialized(red, j.class, j.kind, j.config)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: %v/%v/%s: %w", j.class, j.kind, j.config, err)
+				}
+				return
+			}
+			res.Evals[j.class][j.kind][j.config] = ev
+			res.Models[j.class][j.kind][j.config] = model
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	ctx.mu.Lock()
+	ctx.sweep = res
+	ctx.mu.Unlock()
+	return res, nil
+}
+
+// trainSpecialized trains one specialized binary detector and evaluates it
+// on the held-out test data.
+func (ctx *Context) trainSpecialized(red *Table2Result, class workload.Class, kind core.Kind, config string) (ml.Classifier, ml.BinaryEval, error) {
+	numHPCs := 4
+	boosted := false
+	switch config {
+	case "16":
+		numHPCs = 16
+	case "8":
+		numHPCs = 8
+	case "4":
+		numHPCs = 4
+	case "4-Boosted":
+		numHPCs = 4
+		boosted = true
+	default:
+		return nil, ml.BinaryEval{}, fmt.Errorf("unknown sweep config %q", config)
+	}
+	feats, err := red.ClassFeatureSet(class, numHPCs)
+	if err != nil {
+		return nil, ml.BinaryEval{}, err
+	}
+
+	trainBin, err := binaryView(ctx.Train, class, feats)
+	if err != nil {
+		return nil, ml.BinaryEval{}, err
+	}
+	testBin, err := binaryView(ctx.Test, class, feats)
+	if err != nil {
+		return nil, ml.BinaryEval{}, err
+	}
+
+	var trainer ml.Trainer = core.NewTrainer(kind, ctx.Opts.Seed)
+	if boosted {
+		trainer = &ensemble.AdaBoostTrainer{
+			Base:   core.NewTrainer(kind, ctx.Opts.Seed),
+			Rounds: ctx.Opts.BoostRounds,
+			Seed:   ctx.Opts.Seed,
+		}
+	}
+	model, err := trainer.Train(trainBin)
+	if err != nil {
+		return nil, ml.BinaryEval{}, err
+	}
+	ev, err := ml.EvaluateBinary(model, testBin)
+	if err != nil {
+		return nil, ml.BinaryEval{}, err
+	}
+	return model, ev, nil
+}
+
+func binaryView(d *dataset.Dataset, class workload.Class, feats []string) (*dataset.Dataset, error) {
+	binary, err := core.BinaryTask(d, class)
+	if err != nil {
+		return nil, err
+	}
+	return binary.SelectByName(feats)
+}
+
+// --- Table I ---------------------------------------------------------------
+
+// Table1Result reproduces Table I: the algorithm with the highest detection
+// rate per malware class at 16, 8 and 4 HPCs.
+type Table1Result struct {
+	// Best[class][hpcs] is the winning algorithm; hpcs in {16, 8, 4}.
+	Best map[workload.Class]map[int]core.Kind
+}
+
+// Table1 derives the per-class winners from the sweep.
+func (ctx *Context) Table1() (*Table1Result, error) {
+	sweep, err := ctx.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Best: make(map[workload.Class]map[int]core.Kind)}
+	for _, class := range workload.MalwareClasses() {
+		res.Best[class] = make(map[int]core.Kind)
+		for _, hpcs := range []int{16, 8, 4} {
+			config := fmt.Sprintf("%d", hpcs)
+			bestKind := core.J48
+			bestF := -1.0
+			for _, kind := range core.Kinds() {
+				if ev := sweep.Evals[class][kind][config]; ev.F1 > bestF {
+					bestF = ev.F1
+					bestKind = kind
+				}
+			}
+			res.Best[class][hpcs] = bestKind
+		}
+	}
+	return res, nil
+}
+
+// DistinctWinners counts how many different algorithms appear in the table
+// — the paper's point is that no single classifier wins everywhere.
+func (res *Table1Result) DistinctWinners() int {
+	seen := map[core.Kind]bool{}
+	for _, byHPC := range res.Best {
+		for _, k := range byHPC {
+			seen[k] = true
+		}
+	}
+	return len(seen)
+}
+
+// String renders the result in the shape of Table I.
+func (res *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table I: ML classifiers with highest per-class detection rate\n\n")
+	fmt.Fprintf(&b, "%-10s | %-6s | %-6s | %-6s\n", "Class", "16HPCs", "8HPCs", "4HPCs")
+	for _, class := range workload.MalwareClasses() {
+		fmt.Fprintf(&b, "%-10s | %-6s | %-6s | %-6s\n", class,
+			res.Best[class][16], res.Best[class][8], res.Best[class][4])
+	}
+	return b.String()
+}
+
+// --- Table III --------------------------------------------------------------
+
+// Table3Result reproduces Table III: F-measure (x100) of every specialized
+// detector with and without boosting.
+type Table3Result struct {
+	// F[class][kind][config] is the F-measure in percent.
+	F map[workload.Class]map[core.Kind]map[string]float64
+}
+
+// Table3 derives the F-measure table from the sweep.
+func (ctx *Context) Table3() (*Table3Result, error) {
+	sweep, err := ctx.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{F: make(map[workload.Class]map[core.Kind]map[string]float64)}
+	for class, byKind := range sweep.Evals {
+		res.F[class] = make(map[core.Kind]map[string]float64)
+		for kind, byConfig := range byKind {
+			res.F[class][kind] = make(map[string]float64)
+			for config, ev := range byConfig {
+				res.F[class][kind][config] = 100 * ev.F1
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the result in the shape of Table III.
+func (res *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table III: F-measure (%) of 2SMaRT detectors with and without boosting\n")
+	for _, class := range workload.MalwareClasses() {
+		fmt.Fprintf(&b, "\n%s:\n%-6s", class, "")
+		for _, config := range SweepConfigs {
+			fmt.Fprintf(&b, " | %9s", config)
+		}
+		b.WriteString("\n")
+		for _, kind := range core.Kinds() {
+			fmt.Fprintf(&b, "%-6s", kind)
+			for _, config := range SweepConfigs {
+				fmt.Fprintf(&b, " | %9.1f", res.F[class][kind][config])
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// --- Fig 4 ------------------------------------------------------------------
+
+// Fig4Result reproduces Fig 4: detection performance (F x AUC, x100) for
+// every classifier, class and configuration.
+type Fig4Result struct {
+	Performance map[workload.Class]map[core.Kind]map[string]float64
+}
+
+// Fig4 derives detection performance from the sweep.
+func (ctx *Context) Fig4() (*Fig4Result, error) {
+	sweep, err := ctx.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{Performance: make(map[workload.Class]map[core.Kind]map[string]float64)}
+	for class, byKind := range sweep.Evals {
+		res.Performance[class] = make(map[core.Kind]map[string]float64)
+		for kind, byConfig := range byKind {
+			res.Performance[class][kind] = make(map[string]float64)
+			for config, ev := range byConfig {
+				res.Performance[class][kind][config] = 100 * ev.Performance
+			}
+		}
+	}
+	return res, nil
+}
+
+// Average returns the mean detection performance across classes and kinds
+// for one configuration (the paper quotes 74.8% at 16 HPCs dropping to
+// 70.9% at 4 HPCs).
+func (res *Fig4Result) Average(config string) float64 {
+	var sum float64
+	var n int
+	for _, byKind := range res.Performance {
+		for _, byConfig := range byKind {
+			sum += byConfig[config]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// String renders the per-class performance series of Fig 4.
+func (res *Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 4: malware detection performance (F x AUC, %) of 2SMaRT\n")
+	for _, class := range workload.MalwareClasses() {
+		fmt.Fprintf(&b, "\n%s:\n%-6s", class, "")
+		for _, config := range SweepConfigs {
+			fmt.Fprintf(&b, " | %9s", config)
+		}
+		b.WriteString("\n")
+		for _, kind := range core.Kinds() {
+			fmt.Fprintf(&b, "%-6s", kind)
+			for _, config := range SweepConfigs {
+				fmt.Fprintf(&b, " | %9.1f", res.Performance[class][kind][config])
+			}
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, "\naverage performance: 16HPC=%.1f%% 8HPC=%.1f%% 4HPC=%.1f%% 4-Boosted=%.1f%%\n",
+		res.Average("16"), res.Average("8"), res.Average("4"), res.Average("4-Boosted"))
+	return b.String()
+}
+
+// --- Table IV ---------------------------------------------------------------
+
+// Table4Result reproduces Table IV: the average detection-performance
+// improvement of the boosted 4-HPC detector over the unboosted 8-HPC and
+// 4-HPC detectors, per algorithm.
+type Table4Result struct {
+	// ImprovementOver8 and ImprovementOver4 are percentages (positive =
+	// boosting helps), averaged across malware classes.
+	ImprovementOver8 map[core.Kind]float64
+	ImprovementOver4 map[core.Kind]float64
+}
+
+// Table4 derives the improvement table from the sweep.
+func (ctx *Context) Table4() (*Table4Result, error) {
+	fig4, err := ctx.Fig4()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{
+		ImprovementOver8: make(map[core.Kind]float64),
+		ImprovementOver4: make(map[core.Kind]float64),
+	}
+	for _, kind := range core.Kinds() {
+		var over8, over4 float64
+		n := 0
+		for _, class := range workload.MalwareClasses() {
+			perf := fig4.Performance[class][kind]
+			boosted := perf["4-Boosted"]
+			if perf["8"] > 0 {
+				over8 += 100 * (boosted - perf["8"]) / perf["8"]
+			}
+			if perf["4"] > 0 {
+				over4 += 100 * (boosted - perf["4"]) / perf["4"]
+			}
+			n++
+		}
+		res.ImprovementOver8[kind] = over8 / float64(n)
+		res.ImprovementOver4[kind] = over4 / float64(n)
+	}
+	return res, nil
+}
+
+// String renders the result in the shape of Table IV.
+func (res *Table4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table IV: average performance improvement of 2SMaRT\n\n")
+	fmt.Fprintf(&b, "%-6s | %-22s | %-22s\n", "Kind", "8HPC->4HPC-Boosted", "4HPC->4HPC-Boosted")
+	for _, kind := range core.Kinds() {
+		fmt.Fprintf(&b, "%-6s | %21.1f%% | %21.1f%%\n", kind,
+			res.ImprovementOver8[kind], res.ImprovementOver4[kind])
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"twosmart/internal/hpc"
+	"twosmart/internal/microarch"
+	"twosmart/internal/sandbox"
+	"twosmart/internal/workload"
+)
+
+// Fig1Result reproduces Fig 1: the branch-instructions and branch-misses
+// HPC traces of a benign and a malware application, sampled every 10 ms.
+type Fig1Result struct {
+	// BenignBranches/BenignMisses and MalwareBranches/MalwareMisses are
+	// per-sample counts.
+	BenignApp, MalwareApp               string
+	BenignBranches, BenignMisses        []float64
+	MalwareBranches, MalwareMisses      []float64
+	BenignMeanBranch, MalwareMeanBranch float64
+	BenignMeanMiss, MalwareMeanMiss     float64
+}
+
+// Fig1 profiles one benign and one malware application with the two events
+// of Fig 1 on a fresh container each (two of the four counter registers).
+func (ctx *Context) Fig1() (*Fig1Result, error) {
+	arch := microarch.DefaultConfig()
+	mgr := sandbox.NewManager(arch)
+	events := []hpc.Event{hpc.EvBranchInstr, hpc.EvBranchMiss}
+	opts := sandbox.ProfileOptions{
+		FreqHz: ctx.Opts.Corpus.FreqHz,
+		Period: 10 * time.Millisecond,
+	}
+	if opts.FreqHz <= 0 {
+		opts.FreqHz = corpusFreq(ctx)
+	}
+
+	wopts := workload.Options{Budget: 4 * workloadBudget(ctx), Seed: ctx.Opts.Seed}
+	benign := workload.Generate(workload.Benign, 0, wopts)
+	malware := workload.Generate(workload.Trojan, 0, wopts)
+
+	res := &Fig1Result{BenignApp: benign.Name, MalwareApp: malware.Name}
+	bs, err := mgr.RunIsolated(benign.MustStream(), events, opts)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := mgr.RunIsolated(malware.MustStream(), events, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range bs {
+		res.BenignBranches = append(res.BenignBranches, float64(s.Counts[0]))
+		res.BenignMisses = append(res.BenignMisses, float64(s.Counts[1]))
+	}
+	for _, s := range ms {
+		res.MalwareBranches = append(res.MalwareBranches, float64(s.Counts[0]))
+		res.MalwareMisses = append(res.MalwareMisses, float64(s.Counts[1]))
+	}
+	res.BenignMeanBranch = mean(res.BenignBranches)
+	res.MalwareMeanBranch = mean(res.MalwareBranches)
+	res.BenignMeanMiss = mean(res.BenignMisses)
+	res.MalwareMeanMiss = mean(res.MalwareMisses)
+	return res, nil
+}
+
+func corpusFreq(ctx *Context) float64 {
+	if ctx.Opts.Corpus.FreqHz > 0 {
+		return ctx.Opts.Corpus.FreqHz
+	}
+	return 4e6
+}
+
+func workloadBudget(ctx *Context) int64 {
+	if ctx.Opts.Corpus.Budget > 0 {
+		return ctx.Opts.Corpus.Budget
+	}
+	return workload.DefaultBudget
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// String renders the traces as aligned per-sample series.
+func (res *Fig1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 1: HPC traces of branch-instructions and branch-misses\n\n")
+	fmt.Fprintf(&b, "benign app %s: mean branches/sample=%.0f mean misses/sample=%.0f\n",
+		res.BenignApp, res.BenignMeanBranch, res.BenignMeanMiss)
+	fmt.Fprintf(&b, "malware app %s: mean branches/sample=%.0f mean misses/sample=%.0f\n\n",
+		res.MalwareApp, res.MalwareMeanBranch, res.MalwareMeanMiss)
+	n := len(res.BenignBranches)
+	if len(res.MalwareBranches) > n {
+		n = len(res.MalwareBranches)
+	}
+	fmt.Fprintf(&b, "%-6s | %-12s %-12s | %-12s %-12s\n", "sample",
+		"benign-br", "benign-miss", "malware-br", "malware-miss")
+	for i := 0; i < n; i++ {
+		row := func(s []float64) string {
+			if i < len(s) {
+				return fmt.Sprintf("%-12.0f", s[i])
+			}
+			return fmt.Sprintf("%-12s", "-")
+		}
+		fmt.Fprintf(&b, "%-6d | %s %s | %s %s\n", i,
+			row(res.BenignBranches), row(res.BenignMisses),
+			row(res.MalwareBranches), row(res.MalwareMisses))
+	}
+	return b.String()
+}
+
+// Fig2Result reproduces Fig 2, the data-collection methodology: the 44
+// events split into 11 batches of 4, one fresh (and afterwards destroyed)
+// container per batch, 10 ms sampling.
+type Fig2Result struct {
+	TotalEvents       int
+	Batches           int
+	EventsPerBatch    int
+	RunsPerApp        int
+	ContainersCreated int
+	ContainersAlive   int
+	SamplesCollected  int
+	// OverLimitRejected confirms the counter file refuses more events
+	// than registers.
+	OverLimitRejected bool
+}
+
+// Fig2 executes one application through the faithful multiplexed pipeline
+// and reports the methodology statistics.
+func (ctx *Context) Fig2() (*Fig2Result, error) {
+	arch := microarch.DefaultConfig()
+	mgr := sandbox.NewManager(arch)
+	groups := hpc.MultiplexSchedule(hpc.AllEvents())
+	opts := sandbox.ProfileOptions{
+		FreqHz: corpusFreq(ctx),
+		Period: 10 * time.Millisecond,
+	}
+	res := &Fig2Result{
+		TotalEvents:    hpc.NumEvents,
+		Batches:        len(groups),
+		EventsPerBatch: hpc.MaxProgrammable,
+	}
+
+	// The 4-register limit is physical: programming five events fails.
+	cf := hpc.NewCounterFile()
+	res.OverLimitRejected = cf.Program(hpc.EvCycles, hpc.EvInstrs, hpc.EvCacheRef,
+		hpc.EvCacheMiss, hpc.EvBranchInstr) != nil
+
+	prog := workload.Generate(workload.Virus, 0, workload.Options{Budget: workloadBudget(ctx), Seed: ctx.Opts.Seed})
+	for _, group := range groups {
+		samples, err := mgr.RunIsolated(prog.MustStream(), []hpc.Event(group), opts)
+		if err != nil {
+			return nil, err
+		}
+		res.SamplesCollected += len(samples)
+		res.RunsPerApp++
+	}
+	res.ContainersCreated = mgr.Created()
+	res.ContainersAlive = mgr.Live()
+	return res, nil
+}
+
+// String summarises the pipeline statistics.
+func (res *Fig2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 2: data-collection pipeline (multiplexed HPC profiling)\n\n")
+	fmt.Fprintf(&b, "events to collect:        %d\n", res.TotalEvents)
+	fmt.Fprintf(&b, "counter registers:        %d\n", res.EventsPerBatch)
+	fmt.Fprintf(&b, "batches (runs per app):   %d\n", res.Batches)
+	fmt.Fprintf(&b, "containers created:       %d\n", res.ContainersCreated)
+	fmt.Fprintf(&b, "containers left alive:    %d (destroyed after every run)\n", res.ContainersAlive)
+	fmt.Fprintf(&b, "samples collected:        %d\n", res.SamplesCollected)
+	fmt.Fprintf(&b, ">4 events rejected:       %v\n", res.OverLimitRejected)
+	return b.String()
+}

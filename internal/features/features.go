@@ -1,0 +1,245 @@
+// Package features implements the paper's two-step feature-reduction
+// pipeline: correlation attribute evaluation (ranking the 44 collected HPC
+// events by correlation with the class label, keeping the top 16) followed
+// by principal component analysis over the survivors, ranking the original
+// events by their loadings on the leading components and keeping the top 8
+// per malware class. The selected features remain raw HPC events — as in
+// the paper's Table II — rather than projected components, so a run-time
+// detector can collect them directly from counter registers.
+package features
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"twosmart/internal/dataset"
+	"twosmart/internal/mat"
+)
+
+// Ranked is one feature with its ranking score, higher being more relevant.
+type Ranked struct {
+	Index int
+	Name  string
+	Score float64
+}
+
+// CorrelationRank scores every feature by its correlation with the class
+// label, as WEKA's CorrelationAttributeEval does: for each class the label
+// is binarised one-vs-rest, the absolute Pearson correlation with the
+// feature is computed, and the per-class correlations are averaged weighted
+// by class prevalence. The result is sorted by descending score.
+func CorrelationRank(d *dataset.Dataset) ([]Ranked, error) {
+	if d.Len() < 2 {
+		return nil, errors.New("features: need at least two instances")
+	}
+	counts := d.ClassCounts()
+	labels := d.Labels()
+	n := float64(d.Len())
+
+	out := make([]Ranked, d.NumFeatures())
+	indicator := make([]float64, d.Len())
+	for j := 0; j < d.NumFeatures(); j++ {
+		col := d.Column(j)
+		var score float64
+		for c, cnt := range counts {
+			if cnt == 0 {
+				continue
+			}
+			for i, l := range labels {
+				if l == c {
+					indicator[i] = 1
+				} else {
+					indicator[i] = 0
+				}
+			}
+			score += (float64(cnt) / n) * math.Abs(mat.PearsonCorrelation(col, indicator))
+		}
+		// With two classes both one-vs-rest correlations are identical;
+		// the prevalence weighting already sums to one either way.
+		out[j] = Ranked{Index: j, Name: d.FeatureNames[j], Score: score}
+	}
+	sortRanked(out)
+	return out, nil
+}
+
+func sortRanked(r []Ranked) {
+	sort.SliceStable(r, func(i, j int) bool {
+		if r[i].Score != r[j].Score {
+			return r[i].Score > r[j].Score
+		}
+		return r[i].Index < r[j].Index // deterministic tie-break
+	})
+}
+
+// TopK returns the feature indices of the best k entries of a ranking.
+func TopK(ranked []Ranked, k int) []int {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ranked[i].Index
+	}
+	return out
+}
+
+// Names returns the feature names of the best k entries of a ranking.
+func Names(ranked []Ranked, k int) []string {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = ranked[i].Name
+	}
+	return out
+}
+
+// PCA holds a fitted principal component analysis: the scaler used to
+// standardise inputs, the component matrix (features x components, one
+// eigenvector per column) and the explained variance of each component.
+type PCA struct {
+	FeatureNames []string
+	Scaler       *dataset.Scaler
+	Components   *mat.Matrix
+	Explained    []float64 // eigenvalues, descending
+}
+
+// FitPCA standardises the dataset's features and computes the principal
+// components of the correlation matrix.
+func FitPCA(d *dataset.Dataset) (*PCA, error) {
+	if d.Len() < 2 {
+		return nil, errors.New("features: PCA needs at least two instances")
+	}
+	if d.NumFeatures() == 0 {
+		return nil, errors.New("features: PCA needs at least one feature")
+	}
+	scaler := dataset.FitScaler(d)
+	std := scaler.Apply(d)
+	cov, err := std.Matrix().Covariance()
+	if err != nil {
+		return nil, err
+	}
+	eig, err := mat.SymmetricEigen(cov)
+	if err != nil {
+		return nil, fmt.Errorf("features: PCA eigendecomposition: %w", err)
+	}
+	return &PCA{
+		FeatureNames: append([]string(nil), d.FeatureNames...),
+		Scaler:       scaler,
+		Components:   eig.Vectors,
+		Explained:    eig.Values,
+	}, nil
+}
+
+// ExplainedRatio returns the fraction of total variance captured by each
+// component.
+func (p *PCA) ExplainedRatio() []float64 {
+	var total float64
+	for _, v := range p.Explained {
+		if v > 0 {
+			total += v
+		}
+	}
+	out := make([]float64, len(p.Explained))
+	if total == 0 {
+		return out
+	}
+	for i, v := range p.Explained {
+		if v > 0 {
+			out[i] = v / total
+		}
+	}
+	return out
+}
+
+// Project maps a raw feature vector onto the first k principal components.
+func (p *PCA) Project(features []float64, k int) ([]float64, error) {
+	if len(features) != len(p.FeatureNames) {
+		return nil, fmt.Errorf("features: vector has %d features, want %d", len(features), len(p.FeatureNames))
+	}
+	if k <= 0 || k > p.Components.Cols {
+		return nil, fmt.Errorf("features: k=%d outside [1,%d]", k, p.Components.Cols)
+	}
+	std := append([]float64(nil), features...)
+	p.Scaler.Transform(std)
+	out := make([]float64, k)
+	for c := 0; c < k; c++ {
+		var s float64
+		for r := 0; r < p.Components.Rows; r++ {
+			s += std[r] * p.Components.At(r, c)
+		}
+		out[c] = s
+	}
+	return out, nil
+}
+
+// RankFeatures ranks the original features by their importance across the
+// first numPCs principal components: the absolute loading on each component
+// weighted by the square root of its eigenvalue (i.e. by how much variance
+// the component carries). This keeps the selection in the original event
+// space, as Table II requires.
+func (p *PCA) RankFeatures(numPCs int) []Ranked {
+	if numPCs <= 0 || numPCs > p.Components.Cols {
+		numPCs = p.Components.Cols
+	}
+	out := make([]Ranked, len(p.FeatureNames))
+	for f := range p.FeatureNames {
+		var score float64
+		for c := 0; c < numPCs; c++ {
+			ev := p.Explained[c]
+			if ev < 0 {
+				ev = 0
+			}
+			score += math.Abs(p.Components.At(f, c)) * math.Sqrt(ev)
+		}
+		out[f] = Ranked{Index: f, Name: p.FeatureNames[f], Score: score}
+	}
+	sortRanked(out)
+	return out
+}
+
+// Reduction is the result of the full two-step pipeline for one detection
+// task.
+type Reduction struct {
+	// CorrelationTop are the names of the correlation-selected features
+	// (the paper's 16), in rank order.
+	CorrelationTop []string
+	// Selected are the names of the final PCA-selected features (the
+	// paper's 8), in rank order over the correlation survivors.
+	Selected []string
+	// PCA is the analysis fitted on the correlation survivors.
+	PCA *PCA
+}
+
+// Reduce runs correlation attribute evaluation keeping corrK features, then
+// PCA-based ranking keeping pcaK of them. The paper uses corrK=16, pcaK=8.
+func Reduce(d *dataset.Dataset, corrK, pcaK int) (*Reduction, error) {
+	if corrK <= 0 || pcaK <= 0 || pcaK > corrK {
+		return nil, fmt.Errorf("features: invalid reduction sizes corrK=%d pcaK=%d", corrK, pcaK)
+	}
+	ranked, err := CorrelationRank(d)
+	if err != nil {
+		return nil, err
+	}
+	corrTop := TopK(ranked, corrK)
+	sub, err := d.Select(corrTop)
+	if err != nil {
+		return nil, err
+	}
+	pca, err := FitPCA(sub)
+	if err != nil {
+		return nil, err
+	}
+	// Rank over the leading components that explain most variance; using
+	// half the dimensionality keeps noise components out of the score.
+	numPCs := (corrK + 1) / 2
+	pcaRank := pca.RankFeatures(numPCs)
+	return &Reduction{
+		CorrelationTop: Names(ranked, corrK),
+		Selected:       Names(pcaRank, pcaK),
+		PCA:            pca,
+	}, nil
+}

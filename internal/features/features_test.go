@@ -1,0 +1,299 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twosmart/internal/dataset"
+)
+
+// syntheticDataset builds a binary dataset where feature relevance is known
+// by construction: f0 is perfectly informative, f1 is weakly informative,
+// f2 is pure noise, f3 duplicates f0 with noise.
+func syntheticDataset(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New([]string{"f0", "f1", "f2", "f3"}, []string{"benign", "malware"})
+	for i := 0; i < n; i++ {
+		label := i % 2
+		f0 := float64(label)*4 + rng.NormFloat64()*0.3
+		f1 := float64(label)*1 + rng.NormFloat64()*1.5
+		f2 := rng.NormFloat64()
+		f3 := f0 + rng.NormFloat64()*0.5
+		d.Add(dataset.Instance{Features: []float64{f0, f1, f2, f3}, Label: label})
+	}
+	return d
+}
+
+func TestCorrelationRankOrdersByRelevance(t *testing.T) {
+	d := syntheticDataset(400, 1)
+	ranked, err := CorrelationRank(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 4 {
+		t.Fatalf("ranked %d features", len(ranked))
+	}
+	// f0 (or its noisy copy f3) must rank above f1, which ranks above f2.
+	pos := map[string]int{}
+	for i, r := range ranked {
+		pos[r.Name] = i
+	}
+	if pos["f0"] > 1 {
+		t.Fatalf("f0 ranked %d, want top-2: %+v", pos["f0"], ranked)
+	}
+	if pos["f2"] != 3 {
+		t.Fatalf("noise feature f2 ranked %d, want last", pos["f2"])
+	}
+	if ranked[0].Score < ranked[1].Score || ranked[2].Score < ranked[3].Score {
+		t.Fatal("scores not descending")
+	}
+}
+
+func TestCorrelationRankMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := dataset.New([]string{"sig", "noise"}, []string{"a", "b", "c"})
+	for i := 0; i < 300; i++ {
+		label := i % 3
+		d.Add(dataset.Instance{
+			Features: []float64{float64(label) + rng.NormFloat64()*0.2, rng.NormFloat64()},
+			Label:    label,
+		})
+	}
+	ranked, err := CorrelationRank(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Name != "sig" {
+		t.Fatalf("multiclass ranking put %q first", ranked[0].Name)
+	}
+}
+
+func TestCorrelationRankErrors(t *testing.T) {
+	d := dataset.New([]string{"a"}, []string{"x"})
+	if _, err := CorrelationRank(d); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestTopKAndNames(t *testing.T) {
+	r := []Ranked{{Index: 2, Name: "c", Score: 3}, {Index: 0, Name: "a", Score: 2}, {Index: 1, Name: "b", Score: 1}}
+	if got := TopK(r, 2); got[0] != 2 || got[1] != 0 {
+		t.Fatalf("TopK=%v", got)
+	}
+	if got := TopK(r, 10); len(got) != 3 {
+		t.Fatalf("TopK overflow=%v", got)
+	}
+	if got := Names(r, 2); got[0] != "c" || got[1] != "a" {
+		t.Fatalf("Names=%v", got)
+	}
+}
+
+func TestFitPCAKnownStructure(t *testing.T) {
+	// Two perfectly correlated features and one independent: the first
+	// component must capture the correlated pair.
+	rng := rand.New(rand.NewSource(3))
+	d := dataset.New([]string{"x", "y", "z"}, []string{"only"})
+	for i := 0; i < 500; i++ {
+		v := rng.NormFloat64()
+		d.Add(dataset.Instance{Features: []float64{v, 2 * v, rng.NormFloat64() * 0.1}, Label: 0})
+	}
+	pca, err := FitPCA(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := pca.ExplainedRatio()
+	if ratios[0] < 0.5 {
+		t.Fatalf("first component explains %.2f, want > 0.5", ratios[0])
+	}
+	var sum float64
+	for _, r := range ratios {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("explained ratios sum to %v", sum)
+	}
+	// The loading of z on PC1 must be small relative to x and y.
+	if math.Abs(pca.Components.At(2, 0)) > 0.3 {
+		t.Fatalf("independent feature has PC1 loading %v", pca.Components.At(2, 0))
+	}
+}
+
+func TestPCAProject(t *testing.T) {
+	d := syntheticDataset(200, 4)
+	pca, err := FitPCA(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := pca.Project(d.Instances[0].Features, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != 2 {
+		t.Fatalf("projection length %d", len(proj))
+	}
+	if _, err := pca.Project([]float64{1}, 2); err == nil {
+		t.Fatal("wrong-width projection accepted")
+	}
+	if _, err := pca.Project(d.Instances[0].Features, 99); err == nil {
+		t.Fatal("excess components accepted")
+	}
+}
+
+func TestPCARankFeatures(t *testing.T) {
+	d := syntheticDataset(400, 5)
+	pca, err := FitPCA(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank over PC1 only: the correlated informative cluster (f0, f3)
+	// carries the leading component. (With more PCs, independent noise
+	// directions legitimately score high — PCA is unsupervised, which is
+	// exactly why the pipeline runs correlation filtering first.)
+	ranked := pca.RankFeatures(1)
+	if len(ranked) != 4 {
+		t.Fatalf("ranked %d", len(ranked))
+	}
+	top2 := map[string]bool{ranked[0].Name: true, ranked[1].Name: true}
+	if !top2["f0"] || !top2["f3"] {
+		t.Fatalf("top-2 by PCA loadings = %v, want f0 and f3", top2)
+	}
+}
+
+func TestReducePipeline(t *testing.T) {
+	d := syntheticDataset(400, 6)
+	red, err := Reduce(d, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.CorrelationTop) != 3 || len(red.Selected) != 2 {
+		t.Fatalf("sizes: corr=%d selected=%d", len(red.CorrelationTop), len(red.Selected))
+	}
+	// Noise must not survive to the final selection.
+	for _, n := range red.Selected {
+		if n == "f2" {
+			t.Fatal("noise feature survived reduction")
+		}
+	}
+	// Selected features must come from the correlation survivors.
+	surv := map[string]bool{}
+	for _, n := range red.CorrelationTop {
+		surv[n] = true
+	}
+	for _, n := range red.Selected {
+		if !surv[n] {
+			t.Fatalf("selected %q not among correlation survivors", n)
+		}
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	d := syntheticDataset(100, 7)
+	for _, c := range []struct{ corrK, pcaK int }{{0, 1}, {4, 0}, {2, 3}} {
+		if _, err := Reduce(d, c.corrK, c.pcaK); err == nil {
+			t.Fatalf("Reduce(%d,%d) accepted", c.corrK, c.pcaK)
+		}
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	d := syntheticDataset(300, 8)
+	a, err := Reduce(d, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reduce(d, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Selected {
+		if a.Selected[i] != b.Selected[i] {
+			t.Fatal("reduction not deterministic")
+		}
+	}
+}
+
+func TestFitPCAErrors(t *testing.T) {
+	d := dataset.New([]string{"a"}, []string{"x"})
+	if _, err := FitPCA(d); err == nil {
+		t.Fatal("PCA on empty dataset accepted")
+	}
+	empty := dataset.New(nil, []string{"x"})
+	empty.Instances = append(empty.Instances, dataset.Instance{}, dataset.Instance{})
+	if _, err := FitPCA(empty); err == nil {
+		t.Fatal("PCA with zero features accepted")
+	}
+}
+
+func TestInfoGainRankOrdersByRelevance(t *testing.T) {
+	d := syntheticDataset(500, 21)
+	ranked, err := InfoGainRank(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, r := range ranked {
+		pos[r.Name] = i
+	}
+	if pos["f0"] > 1 {
+		t.Fatalf("f0 ranked %d by info gain, want top-2: %+v", pos["f0"], ranked)
+	}
+	if pos["f2"] != 3 {
+		t.Fatalf("noise feature ranked %d, want last", pos["f2"])
+	}
+	for _, r := range ranked {
+		if r.Score < 0 {
+			t.Fatalf("negative gain %v", r.Score)
+		}
+	}
+	// Gain is bounded by the label entropy (1 bit for balanced binary).
+	if ranked[0].Score > 1.0+1e-9 {
+		t.Fatalf("gain %v exceeds label entropy", ranked[0].Score)
+	}
+}
+
+func TestInfoGainAgreesWithCorrelationOnStrongSignal(t *testing.T) {
+	d := syntheticDataset(500, 22)
+	ig, err := InfoGainRank(d, 0) // default bins
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := CorrelationRank(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both rankers must put the informative pair {f0,f3} in their top 2.
+	for name, ranked := range map[string][]Ranked{"infogain": ig, "correlation": corr} {
+		top := map[string]bool{ranked[0].Name: true, ranked[1].Name: true}
+		if !top["f0"] || !top["f3"] {
+			t.Fatalf("%s top-2 = %v", name, top)
+		}
+	}
+}
+
+func TestInfoGainErrors(t *testing.T) {
+	d := dataset.New([]string{"a"}, []string{"x"})
+	if _, err := InfoGainRank(d, 10); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestInfoGainConstantFeature(t *testing.T) {
+	d := dataset.New([]string{"const", "sig"}, []string{"a", "b"})
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		label := i % 2
+		d.Add(dataset.Instance{Features: []float64{5, float64(label) + rng.NormFloat64()*0.1}, Label: label})
+	}
+	ranked, err := InfoGainRank(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Name != "sig" {
+		t.Fatalf("ranking=%v", ranked)
+	}
+	// A constant feature carries zero information.
+	if ranked[1].Score > 1e-9 {
+		t.Fatalf("constant feature has gain %v", ranked[1].Score)
+	}
+}

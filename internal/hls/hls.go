@@ -1,0 +1,239 @@
+// Package hls estimates the hardware implementation cost of trained
+// classifiers, standing in for the paper's Vivado-HLS flow onto a Xilinx
+// Virtex-7 FPGA. Each trained model's structure (tree nodes, rule
+// conditions, perceptron weights, ensemble members) is scheduled onto a
+// simple datapath model, yielding latency in clock cycles at a 10 ns clock
+// and resource usage (LUTs, FFs, DSPs) expressed relative to an OpenSPARC
+// T1 core budget — the same normalisation the paper uses. The model is
+// calibrated so that the paper's qualitative relations hold: MLP dominates
+// both latency and area; rule- and tree-based detectors cost a few percent;
+// 4-HPC models are smaller than 8-HPC models; boosting multiplies latency
+// by roughly the round count but adds only a few percent area because
+// members share the comparator datapath.
+package hls
+
+import (
+	"fmt"
+	"math"
+
+	"twosmart/internal/ml"
+	"twosmart/internal/ml/ensemble"
+	"twosmart/internal/ml/linear"
+	"twosmart/internal/ml/nn"
+	"twosmart/internal/ml/rules"
+	"twosmart/internal/ml/tree"
+)
+
+// ClockNs is the modelled clock period (the paper reports cycles @10 ns).
+const ClockNs = 10
+
+// OpenSPARC T1 single-core FPGA budget used as the area reference.
+const (
+	RefLUTs = 60000
+	RefFFs  = 40000
+	RefDSPs = 16
+)
+
+// Per-structure resource costs (32-bit fixed-point datapath).
+const (
+	lutsPerComparator = 48  // compare + threshold register mux path
+	ffsPerComparator  = 40  // threshold + pipeline registers
+	lutsPerRuleAND    = 16  // AND-reduce + priority encoding per rule
+	lutsPerWeight     = 500 // serial MAC share + weight storage + routing
+	ffsPerWeight      = 64
+	lutsMLPFixed      = 8000 // activation tables, control FSM
+	ffsMLPFixed       = 2000
+	lutsPerLinWeight  = 220 // MLR: MAC share + weight store (no activation)
+	ffsPerLinWeight   = 48
+	lutsVoteLogic     = 220 // ensemble: weighted-vote accumulator
+	ffsVoteLogic      = 160
+)
+
+// Latency model constants.
+const (
+	cyclesPerMAC        = 5  // pipelined multiply-accumulate occupancy
+	cyclesPerActivation = 10 // sigmoid/softmax lookup + interpolation
+	cyclesVote          = 5  // weighted vote accumulate per member
+	cyclesFinalCompare  = 2
+)
+
+// Cost is the estimated hardware implementation cost of one model.
+type Cost struct {
+	// LatencyCycles is the end-to-end decision latency in cycles at the
+	// 10 ns clock.
+	LatencyCycles int
+	LUTs, FFs     int
+	DSPs          int
+}
+
+// LatencyNs returns the decision latency in nanoseconds.
+func (c Cost) LatencyNs() int { return c.LatencyCycles * ClockNs }
+
+// AreaPercent expresses the resource usage relative to the OpenSPARC core
+// budget, combining LUTs, FFs and DSPs with the weighting the repository
+// uses throughout (FFs count half a LUT; a DSP counts 50 LUTs).
+func (c Cost) AreaPercent() float64 {
+	used := float64(c.LUTs) + float64(c.FFs)/2 + float64(c.DSPs)*50
+	ref := float64(RefLUTs) + float64(RefFFs)/2 + float64(RefDSPs)*50
+	return 100 * used / ref
+}
+
+// Add returns the component-wise sum of two costs with serial latency.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		LatencyCycles: c.LatencyCycles + o.LatencyCycles,
+		LUTs:          c.LUTs + o.LUTs,
+		FFs:           c.FFs + o.FFs,
+		DSPs:          c.DSPs + o.DSPs,
+	}
+}
+
+// Estimate computes the implementation cost of a trained classifier. It
+// recognises the repository's model families (J48, JRip, OneR, MLP, MLR and
+// AdaBoost ensembles of these).
+func Estimate(c ml.Classifier) (Cost, error) {
+	// J48 tree: one comparator per node; decision walks root-to-leaf.
+	if nodes, _, depth, ok := tree.Complexity(c); ok {
+		internal := nodes // leaves store distributions; count them at half weight below
+		return Cost{
+			LatencyCycles: depth,
+			LUTs:          internal * lutsPerComparator,
+			FFs:           internal * ffsPerComparator,
+		}, nil
+	}
+	// JRip: all conditions evaluate in parallel, then an AND tree per
+	// rule and a priority select.
+	if nRules, nConds, ok := rules.Complexity(c); ok {
+		maxConds := 1
+		if nRules > 0 {
+			// conservative: assume the longest rule holds the mean
+			// plus one condition
+			maxConds = nConds/maxInt(1, nRules) + 1
+		}
+		latency := 2 + ceilLog2(maxConds)
+		return Cost{
+			LatencyCycles: latency,
+			LUTs:          nConds*lutsPerComparator + nRules*lutsPerRuleAND,
+			FFs:           nConds * ffsPerComparator,
+		}, nil
+	}
+	// OneR: parallel comparators against the bin thresholds plus a
+	// priority encoder -- single-cycle.
+	if bins, ok := rules.OneRComplexity(c); ok {
+		return Cost{
+			LatencyCycles: 1,
+			LUTs:          bins * lutsPerComparator,
+			FFs:           bins * ffsPerComparator,
+		}, nil
+	}
+	// MLP: weights stream through a small set of MAC units; activations
+	// are table lookups.
+	if in, hidden, out, ok := nn.Complexity(c); ok {
+		weights := (in+1)*hidden + (hidden+1)*out
+		neurons := hidden + out
+		return Cost{
+			LatencyCycles: weights*cyclesPerMAC + neurons*cyclesPerActivation,
+			LUTs:          weights*lutsPerWeight + lutsMLPFixed,
+			FFs:           weights*ffsPerWeight + ffsMLPFixed,
+			DSPs:          minInt(RefDSPs, weights/4),
+		}, nil
+	}
+	// MLR: one dot product per class plus an argmax (no activation
+	// hardware needed for classification).
+	if in, out, ok := linear.Complexity(c); ok {
+		weights := (in + 1) * out
+		return Cost{
+			LatencyCycles: weights*cyclesPerMAC + cyclesFinalCompare,
+			LUTs:          weights * lutsPerLinWeight,
+			FFs:           weights * ffsPerLinWeight,
+			DSPs:          minInt(RefDSPs, weights/8),
+		}, nil
+	}
+	// AdaBoost: members execute sequentially on a shared datapath; area
+	// is the largest member plus per-member threshold/weight storage.
+	if members, _, ok := ensemble.Members(c); ok {
+		var total Cost
+		var maxLUTs, maxFFs, maxDSPs int
+		var storageLUTs, storageFFs int
+		for _, m := range members {
+			mc, err := Estimate(m)
+			if err != nil {
+				return Cost{}, err
+			}
+			total.LatencyCycles += mc.LatencyCycles + cyclesVote
+			if mc.LUTs > maxLUTs {
+				maxLUTs = mc.LUTs
+			}
+			if mc.FFs > maxFFs {
+				maxFFs = mc.FFs
+			}
+			if mc.DSPs > maxDSPs {
+				maxDSPs = mc.DSPs
+			}
+			// Sharing the datapath still needs each member's
+			// constants resident (threshold/weight ROMs are an
+			// order of magnitude denser than active datapath).
+			storageLUTs += mc.LUTs / 10
+			storageFFs += mc.FFs / 10
+		}
+		total.LatencyCycles += cyclesFinalCompare
+		total.LUTs = maxLUTs + storageLUTs + lutsVoteLogic
+		total.FFs = maxFFs + storageFFs + ffsVoteLogic
+		total.DSPs = maxDSPs
+		return total, nil
+	}
+	return Cost{}, fmt.Errorf("hls: unsupported classifier type %T", c)
+}
+
+// TwoStage composes the implementation cost of a full 2SMaRT deployment:
+// the stage-1 classifier plus all four per-class stage-2 detectors
+// instantiated side by side (the predicted class selects which one's output
+// is used, so area is the sum while the decision latency is stage 1 plus
+// the *slowest* stage-2 detector — the paper's "latency of first stage and
+// second stage").
+func TwoStage(stage1 ml.Classifier, stage2 []ml.Classifier) (Cost, error) {
+	if stage1 == nil || len(stage2) == 0 {
+		return Cost{}, fmt.Errorf("hls: two-stage composition needs a stage-1 model and stage-2 detectors")
+	}
+	total, err := Estimate(stage1)
+	if err != nil {
+		return Cost{}, fmt.Errorf("hls: stage 1: %w", err)
+	}
+	worst := 0
+	for i, m := range stage2 {
+		c, err := Estimate(m)
+		if err != nil {
+			return Cost{}, fmt.Errorf("hls: stage-2 detector %d: %w", i, err)
+		}
+		total.LUTs += c.LUTs
+		total.FFs += c.FFs
+		total.DSPs += c.DSPs
+		if c.LatencyCycles > worst {
+			worst = c.LatencyCycles
+		}
+	}
+	total.LatencyCycles += worst
+	return total, nil
+}
+
+// ceilLog2 returns ceil(log2(x)) with a floor of 1.
+func ceilLog2(x int) int {
+	if x <= 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(x))))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,222 @@
+package hls
+
+import (
+	"strings"
+	"testing"
+
+	"twosmart/internal/ml"
+	"twosmart/internal/ml/mltest"
+	"twosmart/internal/ml/nn"
+	"twosmart/internal/ml/rules"
+	"twosmart/internal/ml/tree"
+)
+
+var verilogFeatures = []string{"branch-instructions", "cache-references", "branch-misses", "node-stores"}
+
+func trainFor(t *testing.T, tr ml.Trainer) ml.Classifier {
+	t.Helper()
+	d := mltest.Gaussian2Class(500, 4, 2.0, 9)
+	m, err := tr.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestToFixed(t *testing.T) {
+	if ToFixed(1.0) != 1<<16 {
+		t.Fatalf("ToFixed(1)=%d", ToFixed(1.0))
+	}
+	if ToFixed(-2.5) != -(5 << 15) {
+		t.Fatalf("ToFixed(-2.5)=%d", ToFixed(-2.5))
+	}
+	if ToFixed(1e12) != 1<<31-1 {
+		t.Fatal("positive saturation failed")
+	}
+	if ToFixed(-1e12) != -(1 << 31) {
+		t.Fatal("negative saturation failed")
+	}
+}
+
+func TestGenerateVerilogTree(t *testing.T) {
+	m := trainFor(t, &tree.J48Trainer{MaxDepth: 5})
+	v, err := GenerateVerilog(m, "j48_virus", verilogFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module j48_virus (",
+		"input  signed [31:0] branch_instructions",
+		"input  signed [31:0] node_stores",
+		"output [0:0] class_out",
+		"assign class_out =",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("generated Verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Balanced ternaries: every '?' pairs with a ':'.
+	if strings.Count(v, "?") == 0 || strings.Count(v, "?") > strings.Count(v, ":") {
+		t.Fatalf("malformed conditional structure:\n%s", v)
+	}
+}
+
+func TestGenerateVerilogRules(t *testing.T) {
+	m := trainFor(t, &rules.JRipTrainer{Seed: 1})
+	v, err := GenerateVerilog(m, "jrip_rootkit", verilogFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v, "wire rule0 =") {
+		t.Fatalf("no rule wires:\n%s", v)
+	}
+	if !strings.Contains(v, "rule0 ?") {
+		t.Fatalf("no priority chain:\n%s", v)
+	}
+	if !strings.Contains(v, "endmodule") {
+		t.Fatal("unterminated module")
+	}
+}
+
+func TestGenerateVerilogOneR(t *testing.T) {
+	m := trainFor(t, &rules.OneRTrainer{})
+	v, err := GenerateVerilog(m, "", verilogFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v, "module classifier (") {
+		t.Fatal("default module name missing")
+	}
+	if !strings.Contains(v, "<=") {
+		t.Fatal("no threshold comparisons")
+	}
+}
+
+func TestGenerateVerilogUnsupported(t *testing.T) {
+	m := trainFor(t, &nn.MLPTrainer{Epochs: 2, Seed: 1})
+	if _, err := GenerateVerilog(m, "x", verilogFeatures); err == nil {
+		t.Fatal("MLP accepted by the combinational generator")
+	}
+}
+
+func TestGenerateVerilogFeatureCountMismatch(t *testing.T) {
+	m := trainFor(t, &tree.J48Trainer{})
+	if _, err := GenerateVerilog(m, "x", []string{"only-one"}); err == nil {
+		t.Fatal("insufficient feature names accepted")
+	}
+}
+
+// The fixed-point golden model must agree with the floating-point model on
+// virtually every sample: Q16.16 quantisation only flips decisions within
+// half an LSB of a threshold.
+func TestEvaluateFixedMatchesFloat(t *testing.T) {
+	d := mltest.Gaussian2Class(800, 4, 2.0, 10)
+	for name, tr := range map[string]ml.Trainer{
+		"J48":  &tree.J48Trainer{},
+		"JRip": &rules.JRipTrainer{Seed: 2},
+		"OneR": &rules.OneRTrainer{},
+	} {
+		m, err := tr.Train(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mismatches := 0
+		for _, ins := range d.Instances {
+			fixed, err := EvaluateFixed(m, ins.Features)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if fixed != m.Predict(ins.Features) {
+				mismatches++
+			}
+		}
+		if frac := float64(mismatches) / float64(d.Len()); frac > 0.01 {
+			t.Fatalf("%s: fixed-point disagrees with float on %.2f%% of samples", name, 100*frac)
+		}
+	}
+}
+
+func TestEvaluateFixedUnsupported(t *testing.T) {
+	m := trainFor(t, &nn.MLPTrainer{Epochs: 2, Seed: 1})
+	if _, err := EvaluateFixed(m, make([]float64, 4)); err == nil {
+		t.Fatal("MLP accepted by the fixed-point evaluator")
+	}
+}
+
+func TestSignalNameSanitisation(t *testing.T) {
+	cases := map[string]string{
+		"branch-instructions": "branch_instructions",
+		"L1-dcache-loads":     "L1_dcache_loads",
+		"0weird":              "f_0weird",
+		"":                    "f_",
+	}
+	for in, want := range cases {
+		if got := signalName(in); got != want {
+			t.Fatalf("signalName(%q)=%q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestClassWidth(t *testing.T) {
+	if classWidth(2) != 1 || classWidth(3) != 2 || classWidth(5) != 3 {
+		t.Fatal("class width wrong")
+	}
+}
+
+func TestFixedLiteralNegative(t *testing.T) {
+	if fixedLiteral(-1.0) != "-32'sd65536" {
+		t.Fatalf("negative literal=%q", fixedLiteral(-1.0))
+	}
+	if fixedLiteral(0.5) != "32'sd32768" {
+		t.Fatalf("positive literal=%q", fixedLiteral(0.5))
+	}
+}
+
+func TestGenerateTestbench(t *testing.T) {
+	m := trainFor(t, &tree.J48Trainer{MaxDepth: 4})
+	d := mltest.Gaussian2Class(20, 4, 2.0, 11)
+	vectors := make([][]float64, 0, 10)
+	for _, ins := range d.Instances[:10] {
+		vectors = append(vectors, ins.Features)
+	}
+	tb, err := GenerateTestbench(m, "j48_dut", verilogFeatures, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module j48_dut_tb;",
+		"j48_dut dut (",
+		".class_out(class_out)",
+		"task check(",
+		"$finish;",
+		"check(",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Fatalf("testbench missing %q:\n%s", want, tb)
+		}
+	}
+	if got := strings.Count(tb, "check("); got != 11 { // task decl + 10 calls
+		t.Fatalf("check appears %d times, want 11", got)
+	}
+	// Expected values must match the golden model.
+	for _, vec := range vectors {
+		if _, err := EvaluateFixed(m, vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenerateTestbenchValidation(t *testing.T) {
+	m := trainFor(t, &tree.J48Trainer{})
+	if _, err := GenerateTestbench(m, "x", verilogFeatures, nil); err == nil {
+		t.Fatal("empty vector set accepted")
+	}
+	if _, err := GenerateTestbench(m, "x", verilogFeatures, [][]float64{{1}}); err == nil {
+		t.Fatal("short vector accepted")
+	}
+	mlpModel := trainFor(t, &nn.MLPTrainer{Epochs: 2, Seed: 1})
+	if _, err := GenerateTestbench(mlpModel, "x", verilogFeatures, [][]float64{{1, 2, 3, 4}}); err == nil {
+		t.Fatal("unsupported model accepted")
+	}
+}

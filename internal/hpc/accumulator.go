@@ -1,0 +1,84 @@
+package hpc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Accumulator is a Sink that counts every event with no register limit — a
+// simulator-only omniscient observer used by the fast collection path, by
+// tooling that reports microarchitectural statistics, and by tests. Real
+// hardware cannot do this; that is the paper's point, and the reason the
+// CounterFile exists.
+type Accumulator struct {
+	counts [NumEvents]uint64
+}
+
+// Inc implements Sink.
+func (a *Accumulator) Inc(e Event, n uint64) {
+	if int(e) < NumEvents {
+		a.counts[e] += n
+	}
+}
+
+// Count returns the accumulated count of e.
+func (a *Accumulator) Count(e Event) uint64 {
+	if int(e) >= NumEvents {
+		return 0
+	}
+	return a.counts[e]
+}
+
+// Snapshot returns a copy of all counts in canonical event order.
+func (a *Accumulator) Snapshot() [NumEvents]uint64 { return a.counts }
+
+// Reset zeroes every count.
+func (a *Accumulator) Reset() { a.counts = [NumEvents]uint64{} }
+
+// IPC returns retired instructions per cycle (0 when no cycles elapsed).
+func (a *Accumulator) IPC() float64 {
+	cycles := a.counts[EvCycles]
+	if cycles == 0 {
+		return 0
+	}
+	return float64(a.counts[EvInstrs]) / float64(cycles)
+}
+
+// Ratio returns counts[num]/counts[den], or 0 when the denominator is zero.
+// Use it for miss ratios, e.g. Ratio(EvL1DLoadMiss, EvL1DLoads).
+func (a *Accumulator) Ratio(num, den Event) float64 {
+	d := a.Count(den)
+	if d == 0 {
+		return 0
+	}
+	return float64(a.Count(num)) / float64(d)
+}
+
+// PerKiloInstr returns the rate of e per thousand retired instructions.
+func (a *Accumulator) PerKiloInstr(e Event) float64 {
+	instr := a.counts[EvInstrs]
+	if instr == 0 {
+		return 0
+	}
+	return 1000 * float64(a.Count(e)) / float64(instr)
+}
+
+// Summary renders the headline microarchitectural statistics.
+func (a *Accumulator) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instructions: %d  cycles: %d  IPC: %.3f\n",
+		a.counts[EvInstrs], a.counts[EvCycles], a.IPC())
+	fmt.Fprintf(&b, "L1D load miss ratio:  %.3f  (%d/%d)\n",
+		a.Ratio(EvL1DLoadMiss, EvL1DLoads), a.Count(EvL1DLoadMiss), a.Count(EvL1DLoads))
+	fmt.Fprintf(&b, "L1I load miss ratio:  %.3f  (%d/%d)\n",
+		a.Ratio(EvL1ILoadMiss, EvL1ILoads), a.Count(EvL1ILoadMiss), a.Count(EvL1ILoads))
+	fmt.Fprintf(&b, "LLC miss ratio:       %.3f  (%d/%d refs)\n",
+		a.Ratio(EvCacheMiss, EvCacheRef), a.Count(EvCacheMiss), a.Count(EvCacheRef))
+	fmt.Fprintf(&b, "branch mispredict:    %.3f  (%d/%d)\n",
+		a.Ratio(EvBranchMiss, EvBranchInstr), a.Count(EvBranchMiss), a.Count(EvBranchInstr))
+	fmt.Fprintf(&b, "dTLB load miss ratio: %.3f   iTLB load miss ratio: %.3f\n",
+		a.Ratio(EvDTLBLoadMiss, EvDTLBLoads), a.Ratio(EvITLBLoadMiss, EvITLBLoads))
+	fmt.Fprintf(&b, "page faults: %d (minor %d / major %d)  ctx switches: %d\n",
+		a.Count(EvPageFaults), a.Count(EvMinorFault), a.Count(EvMajorFault), a.Count(EvCtxSwitch))
+	return b.String()
+}

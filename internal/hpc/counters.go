@@ -1,0 +1,140 @@
+package hpc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxProgrammable is the number of programmable counter registers on the
+// modelled processor. The Intel Xeon X5550 the paper profiles on exposes
+// four general-purpose counters, which is the central constraint 2SMaRT is
+// designed around: only four events can be captured in a single run.
+const MaxProgrammable = 4
+
+// FixedEvents are the events counted by the PMU's fixed-function counters,
+// which Intel cores provide in addition to the programmable registers:
+// retired instructions, core cycles and reference cycles are always
+// available without consuming a programmable slot. Run-time detectors rely
+// on this to normalise event counts per retired instruction.
+var FixedEvents = [3]Event{EvInstrs, EvCycles, EvRefCycles}
+
+// CounterFile models the processor's performance-counter register file: a
+// fixed set of programmable registers, each bound to at most one event,
+// plus the three fixed-function counters that always count. Events that
+// are neither fixed nor bound to a register are physically invisible — Inc
+// calls for them are dropped, exactly as real hardware cannot count an
+// unprogrammed event.
+type CounterFile struct {
+	enabled [NumEvents]bool
+	counts  [NumEvents]uint64
+	bound   []Event
+}
+
+// NewCounterFile returns a counter file with no programmable events bound;
+// the fixed-function counters are always active.
+func NewCounterFile() *CounterFile {
+	cf := &CounterFile{}
+	for _, e := range FixedEvents {
+		cf.enabled[e] = true
+	}
+	return cf
+}
+
+// Program binds the given events to the programmable registers, replacing
+// any previous programming and clearing all counts. Fixed-function events
+// need not (and do not) consume programmable slots; requesting one here is
+// allowed but counts against the register budget like real perf tooling
+// falling back to a generic counter. It returns an error if more than
+// MaxProgrammable events are requested or an event is duplicated.
+func (cf *CounterFile) Program(events ...Event) error {
+	if len(events) > MaxProgrammable {
+		return fmt.Errorf("hpc: cannot program %d events; only %d counter registers available", len(events), MaxProgrammable)
+	}
+	seen := map[Event]bool{}
+	for _, e := range events {
+		if int(e) >= NumEvents {
+			return fmt.Errorf("hpc: unknown event %d", e)
+		}
+		if seen[e] {
+			return fmt.Errorf("hpc: event %v programmed twice", e)
+		}
+		seen[e] = true
+	}
+	*cf = CounterFile{}
+	for _, e := range events {
+		cf.enabled[e] = true
+	}
+	for _, e := range FixedEvents {
+		cf.enabled[e] = true
+	}
+	cf.bound = append([]Event(nil), events...)
+	return nil
+}
+
+// Programmed returns the events currently bound to registers, in programming
+// order.
+func (cf *CounterFile) Programmed() []Event {
+	return append([]Event(nil), cf.bound...)
+}
+
+// Inc implements Sink. Occurrences of unprogrammed events are dropped.
+func (cf *CounterFile) Inc(e Event, n uint64) {
+	if cf.enabled[e] {
+		cf.counts[e] += n
+	}
+}
+
+// Read returns the current count of e and whether e is programmed. Reading
+// an unprogrammed event returns (0, false).
+func (cf *CounterFile) Read(e Event) (uint64, bool) {
+	if !cf.enabled[e] {
+		return 0, false
+	}
+	return cf.counts[e], true
+}
+
+// ReadAll returns the counts of all programmed events in programming order.
+func (cf *CounterFile) ReadAll() []uint64 {
+	out := make([]uint64, len(cf.bound))
+	for i, e := range cf.bound {
+		out[i] = cf.counts[e]
+	}
+	return out
+}
+
+// ReadFixed returns the fixed-function counter values in FixedEvents order
+// (instructions, cycles, reference cycles).
+func (cf *CounterFile) ReadFixed() [3]uint64 {
+	var out [3]uint64
+	for i, e := range FixedEvents {
+		out[i] = cf.counts[e]
+	}
+	return out
+}
+
+// Zero clears all counts without changing the programming.
+func (cf *CounterFile) Zero() {
+	cf.counts = [NumEvents]uint64{}
+}
+
+// Group is a set of events scheduled together on the counter registers.
+type Group []Event
+
+// MultiplexSchedule partitions events into groups of at most
+// MaxProgrammable events each, in canonical event order. For the full
+// 44-event set this yields the paper's 11 batches of 4 events, each batch
+// requiring its own run of the application.
+func MultiplexSchedule(events []Event) []Group {
+	sorted := append([]Event(nil), events...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var groups []Group
+	for len(sorted) > 0 {
+		n := MaxProgrammable
+		if len(sorted) < n {
+			n = len(sorted)
+		}
+		groups = append(groups, Group(append([]Event(nil), sorted[:n]...)))
+		sorted = sorted[n:]
+	}
+	return groups
+}

@@ -1,0 +1,164 @@
+// Package hpc models the hardware-performance-counter subsystem of the
+// simulated processor: the 44 perf-style events the paper collects, a
+// counter file with exactly four programmable registers (the Intel Xeon
+// X5550 constraint the paper is built around), an event-group multiplexer
+// that schedules the 44 events into 11 batches of 4, and a sampler that
+// reads the enabled counters every 10 ms of virtual time.
+package hpc
+
+import "fmt"
+
+// Event identifies one of the 44 microarchitectural/OS events available
+// under the simulated perf interface.
+type Event uint8
+
+// The 44 events, mirroring Linux perf's generalized hardware, software and
+// cache events on the paper's Xeon X5550 platform. Names follow perf-list
+// conventions; the short aliases used in the paper's Table II are noted.
+const (
+	// Hardware events.
+	EvCycles      Event = iota // cpu-cycles
+	EvInstrs                   // instructions
+	EvCacheRef                 // cache-references ("cache-ref")
+	EvCacheMiss                // cache-misses ("cache-miss")
+	EvBranchInstr              // branch-instructions ("branch-inst")
+	EvBranchMiss               // branch-misses ("branch-miss")
+	EvRefCycles                // ref-cycles
+	EvStallFront               // stalled-cycles-frontend
+	EvStallBack                // stalled-cycles-backend
+
+	// Software events.
+	EvCPUClock   // cpu-clock
+	EvTaskClock  // task-clock
+	EvPageFaults // page-faults
+	EvCtxSwitch  // context-switches
+	EvMigrations // cpu-migrations
+	EvMinorFault // minor-faults
+	EvMajorFault // major-faults
+
+	// Cache events.
+	EvL1DLoads        // L1-dcache-loads ("L1-dcache-lds")
+	EvL1DLoadMiss     // L1-dcache-load-misses
+	EvL1DStores       // L1-dcache-stores ("L1-dcache-st")
+	EvL1DStoreMiss    // L1-dcache-store-misses
+	EvL1DPrefetch     // L1-dcache-prefetches
+	EvL1DPrefetchMiss // L1-dcache-prefetch-misses
+	EvL1ILoads        // L1-icache-loads
+	EvL1ILoadMiss     // L1-icache-load-misses ("L1-icache-ld-miss")
+	EvLLCLoads        // LLC-loads ("LLC-lds")
+	EvLLCLoadMiss     // LLC-load-misses ("LLC-ld-miss")
+	EvLLCStores       // LLC-stores
+	EvLLCStoreMiss    // LLC-store-misses
+	EvLLCPrefetch     // LLC-prefetches
+	EvLLCPrefetchMiss // LLC-prefetch-misses
+	EvDTLBLoads       // dTLB-loads
+	EvDTLBLoadMiss    // dTLB-load-misses
+	EvDTLBStores      // dTLB-stores
+	EvDTLBStoreMiss   // dTLB-store-misses
+	EvITLBLoads       // iTLB-loads
+	EvITLBLoadMiss    // iTLB-load-misses ("iTLB-ld-miss")
+	EvBranchLoads     // branch-loads ("branch-lds"): branch-unit (BTB) reads
+	EvBranchLoadMiss  // branch-load-misses: BTB misses
+	EvNodeLoads       // node-loads
+	EvNodeLoadMiss    // node-load-misses
+	EvNodeStores      // node-stores ("node-st")
+	EvNodeStoreMiss   // node-store-misses
+	EvNodePrefetch    // node-prefetches
+	EvNodePrefetchMiss
+
+	// NumEvents is the number of distinct events (44, as in the paper).
+	NumEvents = int(EvNodePrefetchMiss) + 1
+)
+
+var eventNames = [NumEvents]string{
+	EvCycles:           "cpu-cycles",
+	EvInstrs:           "instructions",
+	EvCacheRef:         "cache-references",
+	EvCacheMiss:        "cache-misses",
+	EvBranchInstr:      "branch-instructions",
+	EvBranchMiss:       "branch-misses",
+	EvRefCycles:        "ref-cycles",
+	EvStallFront:       "stalled-cycles-frontend",
+	EvStallBack:        "stalled-cycles-backend",
+	EvCPUClock:         "cpu-clock",
+	EvTaskClock:        "task-clock",
+	EvPageFaults:       "page-faults",
+	EvCtxSwitch:        "context-switches",
+	EvMigrations:       "cpu-migrations",
+	EvMinorFault:       "minor-faults",
+	EvMajorFault:       "major-faults",
+	EvL1DLoads:         "L1-dcache-loads",
+	EvL1DLoadMiss:      "L1-dcache-load-misses",
+	EvL1DStores:        "L1-dcache-stores",
+	EvL1DStoreMiss:     "L1-dcache-store-misses",
+	EvL1DPrefetch:      "L1-dcache-prefetches",
+	EvL1DPrefetchMiss:  "L1-dcache-prefetch-misses",
+	EvL1ILoads:         "L1-icache-loads",
+	EvL1ILoadMiss:      "L1-icache-load-misses",
+	EvLLCLoads:         "LLC-loads",
+	EvLLCLoadMiss:      "LLC-load-misses",
+	EvLLCStores:        "LLC-stores",
+	EvLLCStoreMiss:     "LLC-store-misses",
+	EvLLCPrefetch:      "LLC-prefetches",
+	EvLLCPrefetchMiss:  "LLC-prefetch-misses",
+	EvDTLBLoads:        "dTLB-loads",
+	EvDTLBLoadMiss:     "dTLB-load-misses",
+	EvDTLBStores:       "dTLB-stores",
+	EvDTLBStoreMiss:    "dTLB-store-misses",
+	EvITLBLoads:        "iTLB-loads",
+	EvITLBLoadMiss:     "iTLB-load-misses",
+	EvBranchLoads:      "branch-loads",
+	EvBranchLoadMiss:   "branch-load-misses",
+	EvNodeLoads:        "node-loads",
+	EvNodeLoadMiss:     "node-load-misses",
+	EvNodeStores:       "node-stores",
+	EvNodeStoreMiss:    "node-store-misses",
+	EvNodePrefetch:     "node-prefetches",
+	EvNodePrefetchMiss: "node-prefetch-misses",
+}
+
+// String returns the perf-style name of e.
+func (e Event) String() string {
+	if int(e) < NumEvents {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// AllEvents returns the 44 events in canonical order.
+func AllEvents() []Event {
+	out := make([]Event, NumEvents)
+	for i := range out {
+		out[i] = Event(i)
+	}
+	return out
+}
+
+// EventByName returns the event with the given perf-style name.
+func EventByName(name string) (Event, bool) {
+	for i, n := range eventNames {
+		if n == name {
+			return Event(i), true
+		}
+	}
+	return 0, false
+}
+
+// Sink receives event occurrences from the microarchitectural models. The
+// counter file implements Sink; tests may supply their own.
+type Sink interface {
+	// Inc records n occurrences of event e.
+	Inc(e Event, n uint64)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(e Event, n uint64)
+
+// Inc implements Sink.
+func (f SinkFunc) Inc(e Event, n uint64) { f(e, n) }
+
+// NullSink discards all events.
+type NullSink struct{}
+
+// Inc implements Sink.
+func (NullSink) Inc(Event, uint64) {}

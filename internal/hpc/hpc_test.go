@@ -1,0 +1,335 @@
+package hpc
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventNamesUniqueAndComplete(t *testing.T) {
+	if NumEvents != 44 {
+		t.Fatalf("NumEvents=%d, want 44 (the paper's event count)", NumEvents)
+	}
+	seen := map[string]bool{}
+	for _, e := range AllEvents() {
+		name := e.String()
+		if name == "" {
+			t.Fatalf("event %d has empty name", e)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate event name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestEventByName(t *testing.T) {
+	e, ok := EventByName("branch-instructions")
+	if !ok || e != EvBranchInstr {
+		t.Fatalf("EventByName(branch-instructions)=(%v,%v)", e, ok)
+	}
+	if _, ok := EventByName("nonsense"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestEventStringUnknown(t *testing.T) {
+	if got := Event(200).String(); got != "event(200)" {
+		t.Fatalf("unknown event string=%q", got)
+	}
+}
+
+func TestCounterFileEnforcesFourRegisters(t *testing.T) {
+	cf := NewCounterFile()
+	err := cf.Program(EvCycles, EvInstrs, EvCacheRef, EvCacheMiss, EvBranchInstr)
+	if err == nil {
+		t.Fatal("programmed five events onto four registers")
+	}
+	if err := cf.Program(EvCycles, EvInstrs, EvCacheRef, EvCacheMiss); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterFileRejectsDuplicatesAndUnknown(t *testing.T) {
+	cf := NewCounterFile()
+	if err := cf.Program(EvCycles, EvCycles); err == nil {
+		t.Fatal("duplicate event accepted")
+	}
+	if err := cf.Program(Event(99)); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+}
+
+func TestCounterFileDropsUnprogrammedEvents(t *testing.T) {
+	cf := NewCounterFile()
+	if err := cf.Program(EvBranchInstr); err != nil {
+		t.Fatal(err)
+	}
+	cf.Inc(EvBranchInstr, 10)
+	cf.Inc(EvCacheRef, 999) // not programmed, not fixed: invisible
+	if v, ok := cf.Read(EvBranchInstr); !ok || v != 10 {
+		t.Fatalf("Read(branches)=(%d,%v), want (10,true)", v, ok)
+	}
+	if _, ok := cf.Read(EvCacheRef); ok {
+		t.Fatal("read an unprogrammed counter")
+	}
+}
+
+func TestFixedFunctionCounters(t *testing.T) {
+	cf := NewCounterFile()
+	// Fixed counters count even with nothing programmed.
+	cf.Inc(EvInstrs, 5)
+	cf.Inc(EvCycles, 9)
+	if v, ok := cf.Read(EvInstrs); !ok || v != 5 {
+		t.Fatalf("fixed instructions=(%d,%v)", v, ok)
+	}
+	fixed := cf.ReadFixed()
+	if fixed[0] != 5 || fixed[1] != 9 || fixed[2] != 0 {
+		t.Fatalf("ReadFixed=%v", fixed)
+	}
+	// Programming four other events leaves the fixed counters active and
+	// does not consume registers for them.
+	if err := cf.Program(EvCacheRef, EvCacheMiss, EvBranchInstr, EvBranchMiss); err != nil {
+		t.Fatal(err)
+	}
+	cf.Inc(EvInstrs, 3)
+	if v, _ := cf.Read(EvInstrs); v != 3 {
+		t.Fatalf("fixed counter after reprogram=%d, want 3", v)
+	}
+	if len(cf.Programmed()) != 4 {
+		t.Fatal("fixed events leaked into programming")
+	}
+}
+
+func TestCounterFileReprogramClears(t *testing.T) {
+	cf := NewCounterFile()
+	cf.Program(EvInstrs)
+	cf.Inc(EvInstrs, 5)
+	cf.Program(EvInstrs, EvCycles)
+	if v, _ := cf.Read(EvInstrs); v != 0 {
+		t.Fatalf("reprogramming kept stale count %d", v)
+	}
+}
+
+func TestCounterFileReadAllOrder(t *testing.T) {
+	cf := NewCounterFile()
+	cf.Program(EvBranchInstr, EvCacheRef)
+	cf.Inc(EvBranchInstr, 3)
+	cf.Inc(EvCacheRef, 7)
+	got := cf.ReadAll()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("ReadAll=%v, want [3 7] in programming order", got)
+	}
+	prog := cf.Programmed()
+	if len(prog) != 2 || prog[0] != EvBranchInstr || prog[1] != EvCacheRef {
+		t.Fatalf("Programmed=%v", prog)
+	}
+}
+
+func TestCounterFileZero(t *testing.T) {
+	cf := NewCounterFile()
+	cf.Program(EvInstrs)
+	cf.Inc(EvInstrs, 5)
+	cf.Zero()
+	if v, _ := cf.Read(EvInstrs); v != 0 {
+		t.Fatalf("Zero left count %d", v)
+	}
+	if len(cf.Programmed()) != 1 {
+		t.Fatal("Zero changed programming")
+	}
+}
+
+func TestMultiplexScheduleElevenBatches(t *testing.T) {
+	groups := MultiplexSchedule(AllEvents())
+	if len(groups) != 11 {
+		t.Fatalf("full schedule has %d groups, want 11 (paper: 11 batches of 4)", len(groups))
+	}
+	seen := map[Event]bool{}
+	for _, g := range groups {
+		if len(g) > MaxProgrammable {
+			t.Fatalf("group of %d events exceeds %d registers", len(g), MaxProgrammable)
+		}
+		for _, e := range g {
+			if seen[e] {
+				t.Fatalf("event %v scheduled twice", e)
+			}
+			seen[e] = true
+		}
+	}
+	if len(seen) != NumEvents {
+		t.Fatalf("schedule covers %d events, want %d", len(seen), NumEvents)
+	}
+}
+
+func TestMultiplexSchedulePartialGroup(t *testing.T) {
+	groups := MultiplexSchedule([]Event{EvCycles, EvInstrs, EvCacheRef, EvCacheMiss, EvBranchInstr})
+	if len(groups) != 2 || len(groups[0]) != 4 || len(groups[1]) != 1 {
+		t.Fatalf("unexpected schedule %v", groups)
+	}
+}
+
+// fakeProc runs a fixed number of instructions, advancing a fixed number of
+// cycles per instruction and emitting one instructions-event each.
+type fakeProc struct {
+	remaining int64
+	cpi       uint64
+	cycles    uint64
+	sink      Sink
+}
+
+func (p *fakeProc) Run(maxInstrs int64) int64 {
+	n := maxInstrs
+	if p.remaining < n {
+		n = p.remaining
+	}
+	p.remaining -= n
+	p.cycles += uint64(n) * p.cpi
+	p.sink.Inc(EvInstrs, uint64(n))
+	return n
+}
+
+func (p *fakeProc) CycleCount() uint64 { return p.cycles }
+
+func TestSamplerPeriodBoundaries(t *testing.T) {
+	cf := NewCounterFile()
+	if err := cf.Program(EvInstrs); err != nil {
+		t.Fatal(err)
+	}
+	// 1000 cycles per period at freq 1e5 Hz and 10ms period.
+	proc := &fakeProc{remaining: 10000, cpi: 1, sink: cf}
+	s := &Sampler{Proc: proc, CF: cf, FreqHz: 1e5, Period: 10 * time.Millisecond, ChunkInstrs: 100}
+	samples, err := s.Collect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10000 instructions at 1 CPI = 10000 cycles = 10 periods of 1000.
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples, want 10", len(samples))
+	}
+	var total uint64
+	for i, smp := range samples {
+		if smp.Index != i {
+			t.Fatalf("sample %d has index %d", i, smp.Index)
+		}
+		if len(smp.Counts) != 1 {
+			t.Fatalf("sample has %d counts, want 1", len(smp.Counts))
+		}
+		total += smp.Counts[0]
+	}
+	if total != 10000 {
+		t.Fatalf("samples sum to %d instructions, want 10000", total)
+	}
+}
+
+func TestSamplerMaxSamples(t *testing.T) {
+	cf := NewCounterFile()
+	cf.Program(EvInstrs)
+	proc := &fakeProc{remaining: 100000, cpi: 1, sink: cf}
+	s := &Sampler{Proc: proc, CF: cf, FreqHz: 1e5, Period: 10 * time.Millisecond}
+	samples, err := s.Collect(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+}
+
+func TestSamplerDropsPartialTail(t *testing.T) {
+	cf := NewCounterFile()
+	cf.Program(EvInstrs)
+	// 1500 cycles: one full 1000-cycle period plus a 500-cycle tail.
+	proc := &fakeProc{remaining: 1500, cpi: 1, sink: cf}
+	s := &Sampler{Proc: proc, CF: cf, FreqHz: 1e5, Period: 10 * time.Millisecond, ChunkInstrs: 10}
+	samples, err := s.Collect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1 (partial tail dropped)", len(samples))
+	}
+}
+
+func TestSamplerClockEvents(t *testing.T) {
+	cf := NewCounterFile()
+	cf.Program(EvTaskClock, EvInstrs)
+	proc := &fakeProc{remaining: 5000, cpi: 1, sink: cf}
+	s := &Sampler{Proc: proc, CF: cf, FreqHz: 1e5, Period: 10 * time.Millisecond}
+	samples, err := s.Collect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, smp := range samples {
+		if smp.Counts[0] != uint64(10*time.Millisecond.Nanoseconds())*1e6/1e6 {
+			// task-clock advances by the period in nanoseconds
+			if smp.Counts[0] != 1e7 {
+				t.Fatalf("task-clock delta=%d, want 1e7 ns", smp.Counts[0])
+			}
+		}
+	}
+}
+
+func TestSamplerRequiresProcAndCF(t *testing.T) {
+	s := &Sampler{}
+	if _, err := s.Collect(0); err == nil {
+		t.Fatal("sampler without processor accepted")
+	}
+}
+
+func TestSinkFuncAndNullSink(t *testing.T) {
+	var got Event
+	var n uint64
+	SinkFunc(func(e Event, k uint64) { got, n = e, k }).Inc(EvCycles, 4)
+	if got != EvCycles || n != 4 {
+		t.Fatal("SinkFunc did not forward")
+	}
+	NullSink{}.Inc(EvCycles, 1) // must not panic
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	a.Inc(EvInstrs, 1000)
+	a.Inc(EvCycles, 2000)
+	a.Inc(EvL1DLoads, 100)
+	a.Inc(EvL1DLoadMiss, 25)
+	a.Inc(EvBranchInstr, 200)
+	a.Inc(EvBranchMiss, 10)
+	a.Inc(Event(250), 5) // out of range: ignored
+
+	if a.Count(EvInstrs) != 1000 || a.Count(Event(250)) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if ipc := a.IPC(); ipc != 0.5 {
+		t.Fatalf("IPC=%v, want 0.5", ipc)
+	}
+	if r := a.Ratio(EvL1DLoadMiss, EvL1DLoads); r != 0.25 {
+		t.Fatalf("miss ratio=%v, want 0.25", r)
+	}
+	if r := a.Ratio(EvL1DLoadMiss, EvLLCStores); r != 0 {
+		t.Fatal("zero denominator must give 0")
+	}
+	if pk := a.PerKiloInstr(EvBranchInstr); pk != 200 {
+		t.Fatalf("per-kiloinstr=%v, want 200", pk)
+	}
+	snap := a.Snapshot()
+	if snap[EvInstrs] != 1000 {
+		t.Fatal("snapshot wrong")
+	}
+	s := a.Summary()
+	for _, want := range []string{"IPC: 0.500", "branch mispredict", "page faults"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	a.Reset()
+	if a.Count(EvInstrs) != 0 || a.IPC() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	var empty Accumulator
+	if empty.PerKiloInstr(EvCycles) != 0 {
+		t.Fatal("empty accumulator rates must be 0")
+	}
+}

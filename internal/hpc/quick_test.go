@@ -1,0 +1,109 @@
+package hpc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the counter file only ever exposes counts for programmed or
+// fixed events, and counts are exactly the sum of Inc calls for them.
+func TestQuickCounterFileAccounting(t *testing.T) {
+	f := func(eventsRaw []uint8, incsRaw []uint16) bool {
+		// Build a valid programming of at most 4 distinct non-fixed events.
+		cf := NewCounterFile()
+		var events []Event
+		seen := map[Event]bool{}
+		for _, raw := range eventsRaw {
+			e := Event(raw) % Event(NumEvents)
+			if seen[e] || isFixed(e) {
+				continue
+			}
+			seen[e] = true
+			events = append(events, e)
+			if len(events) == MaxProgrammable {
+				break
+			}
+		}
+		if err := cf.Program(events...); err != nil {
+			return false
+		}
+		want := map[Event]uint64{}
+		for _, raw := range incsRaw {
+			e := Event(raw) % Event(NumEvents)
+			n := uint64(raw%7) + 1
+			cf.Inc(e, n)
+			want[e] += n
+		}
+		// Programmed and fixed events read back their exact sums.
+		for _, e := range events {
+			if v, ok := cf.Read(e); !ok || v != want[e] {
+				return false
+			}
+		}
+		for _, e := range FixedEvents {
+			if v, ok := cf.Read(e); !ok || v != want[e] {
+				return false
+			}
+		}
+		// Everything else is invisible.
+		for e := 0; e < NumEvents; e++ {
+			ev := Event(e)
+			if seen[ev] || isFixed(ev) {
+				continue
+			}
+			if _, ok := cf.Read(ev); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isFixed(e Event) bool {
+	for _, f := range FixedEvents {
+		if f == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: every multiplex schedule partitions its input exactly.
+func TestQuickMultiplexPartition(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seen := map[Event]bool{}
+		var events []Event
+		for _, r := range raw {
+			e := Event(r) % Event(NumEvents)
+			if !seen[e] {
+				seen[e] = true
+				events = append(events, e)
+			}
+		}
+		groups := MultiplexSchedule(events)
+		covered := map[Event]int{}
+		for _, g := range groups {
+			if len(g) == 0 || len(g) > MaxProgrammable {
+				return false
+			}
+			for _, e := range g {
+				covered[e]++
+			}
+		}
+		if len(covered) != len(events) {
+			return false
+		}
+		for _, n := range covered {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

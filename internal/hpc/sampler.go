@@ -1,0 +1,122 @@
+package hpc
+
+import (
+	"errors"
+	"time"
+)
+
+// Processor is the minimal view of an executing core the sampler needs: it
+// can run a bounded number of instructions (emitting events into whatever
+// Sink it was constructed with) and report elapsed core cycles.
+// internal/microarch.Core satisfies this interface.
+type Processor interface {
+	// Run executes up to maxInstrs instructions of the bound workload and
+	// returns the number actually executed; 0 means the program finished.
+	Run(maxInstrs int64) int64
+	// CycleCount returns the total core cycles elapsed so far.
+	CycleCount() uint64
+}
+
+// Sample is one sampling-period observation: the per-interval delta of every
+// programmed counter register, in programming order, plus the deltas of the
+// fixed-function counters (instructions, cycles, reference cycles) that are
+// always available.
+type Sample struct {
+	Index  int
+	Counts []uint64
+	Fixed  [3]uint64 // deltas in FixedEvents order
+}
+
+// Sampler reads the programmed counter registers every Period of virtual
+// time while the processor executes, reproducing the paper's 10 ms perf
+// sampling. Virtual time is derived from core cycles at FreqHz.
+type Sampler struct {
+	Proc   Processor
+	CF     *CounterFile
+	FreqHz float64       // core frequency; the X5550 runs at 2.67 GHz
+	Period time.Duration // sampling period; the paper uses 10 ms
+
+	// ChunkInstrs bounds how many instructions run between boundary
+	// checks. Smaller values give finer sample alignment at slightly
+	// higher overhead. Defaults to 1024.
+	ChunkInstrs int64
+}
+
+// DefaultFreqHz is the modelled core frequency (2.67 GHz, Xeon X5550).
+const DefaultFreqHz = 2.67e9
+
+// DefaultPeriod is the paper's perf sampling period.
+const DefaultPeriod = 10 * time.Millisecond
+
+// Collect runs the processor to completion (or until maxSamples samples have
+// been taken, if maxSamples > 0), reading the counters at each period
+// boundary. A trailing partial interval is discarded, matching periodic
+// perf sampling. The software clock events (cpu-clock, task-clock) are
+// advanced by the sampler, since they are OS timer based rather than
+// microarchitectural.
+func (s *Sampler) Collect(maxSamples int) ([]Sample, error) {
+	if s.Proc == nil || s.CF == nil {
+		return nil, errors.New("hpc: sampler requires a processor and a counter file")
+	}
+	freq := s.FreqHz
+	if freq <= 0 {
+		freq = DefaultFreqHz
+	}
+	period := s.Period
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	chunk := s.ChunkInstrs
+	if chunk <= 0 {
+		chunk = 1024
+	}
+	cyclesPerPeriod := uint64(freq * period.Seconds())
+	if cyclesPerPeriod == 0 {
+		return nil, errors.New("hpc: sampling period shorter than one cycle")
+	}
+
+	var samples []Sample
+	prev := make([]uint64, len(s.CF.Programmed()))
+	var prevFixed [3]uint64
+	boundary := s.Proc.CycleCount() + cyclesPerPeriod
+	for {
+		ran := s.Proc.Run(chunk)
+		if ran == 0 {
+			// Program finished; drop the partial tail interval.
+			return samples, nil
+		}
+		for s.Proc.CycleCount() >= boundary {
+			s.tickClocks(period)
+			cur := s.CF.ReadAll()
+			counts := make([]uint64, len(cur))
+			for i := range cur {
+				counts[i] = cur[i] - prev[i]
+				prev[i] = cur[i]
+			}
+			curFixed := s.CF.ReadFixed()
+			var fixed [3]uint64
+			for i := range curFixed {
+				fixed[i] = curFixed[i] - prevFixed[i]
+				prevFixed[i] = curFixed[i]
+			}
+			samples = append(samples, Sample{Index: len(samples), Counts: counts, Fixed: fixed})
+			// Coalesce missed ticks: when a burst of long-latency
+			// instructions (e.g. a page-fault storm) spans several
+			// periods, the next sample starts at the next boundary
+			// after "now", as an OS timer interrupt would.
+			for boundary <= s.Proc.CycleCount() {
+				boundary += cyclesPerPeriod
+			}
+			if maxSamples > 0 && len(samples) >= maxSamples {
+				return samples, nil
+			}
+		}
+	}
+}
+
+// tickClocks advances the OS software-clock events by one period.
+func (s *Sampler) tickClocks(period time.Duration) {
+	ns := uint64(period.Nanoseconds())
+	s.CF.Inc(EvCPUClock, ns)
+	s.CF.Inc(EvTaskClock, ns)
+}

@@ -1,0 +1,172 @@
+// Package isa defines the instruction-stream representation shared by the
+// workload generators and the microarchitecture simulator.
+//
+// The reproduction does not need a full binary ISA: hardware-performance-
+// counter based malware detection observes only the *microarchitectural side
+// effects* of execution (cache lookups, branch outcomes, TLB walks, memory
+// node traffic). An instruction here therefore carries exactly the
+// information the structural models in internal/microarch consume: its kind,
+// its program-counter address (instruction-cache and iTLB behaviour), its
+// effective memory address (data-cache and dTLB behaviour) and its branch
+// outcome.
+package isa
+
+import "fmt"
+
+// Kind enumerates the instruction classes the simulator distinguishes.
+type Kind uint8
+
+const (
+	// KindALU is a simple integer ALU operation.
+	KindALU Kind = iota
+	// KindMul is an integer/floating multiply.
+	KindMul
+	// KindDiv is a long-latency divide.
+	KindDiv
+	// KindLoad reads memory at Addr.
+	KindLoad
+	// KindStore writes memory at Addr.
+	KindStore
+	// KindBranch is a conditional branch; Taken and Target describe the
+	// resolved outcome.
+	KindBranch
+	// KindCall is an unconditional call (always taken control transfer).
+	KindCall
+	// KindReturn is a function return (always taken control transfer).
+	KindReturn
+	// KindSyscall is a system-call trap; it flushes speculative state.
+	KindSyscall
+	// KindNop does nothing but occupy a pipeline slot.
+	KindNop
+
+	numKinds = int(KindNop) + 1
+)
+
+// NumKinds is the number of distinct instruction kinds.
+const NumKinds = numKinds
+
+var kindNames = [...]string{
+	KindALU:     "alu",
+	KindMul:     "mul",
+	KindDiv:     "div",
+	KindLoad:    "load",
+	KindStore:   "store",
+	KindBranch:  "branch",
+	KindCall:    "call",
+	KindReturn:  "return",
+	KindSyscall: "syscall",
+	KindNop:     "nop",
+}
+
+// String returns the lower-case mnemonic for k.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsMem reports whether k accesses data memory.
+func (k Kind) IsMem() bool { return k == KindLoad || k == KindStore }
+
+// IsControl reports whether k transfers control flow.
+func (k Kind) IsControl() bool {
+	return k == KindBranch || k == KindCall || k == KindReturn
+}
+
+// Instr is one dynamic instruction in a program's execution trace.
+type Instr struct {
+	Kind   Kind
+	PC     uint64 // virtual address of the instruction
+	Addr   uint64 // effective address for loads/stores, else 0
+	Taken  bool   // resolved outcome for conditional branches
+	Target uint64 // branch/call target, else 0
+}
+
+// Stream produces a dynamic instruction trace. Implementations fill *Instr
+// in place to avoid per-instruction allocation; Next returns false when the
+// program has finished executing.
+type Stream interface {
+	Next(ins *Instr) bool
+}
+
+// Func adapts an ordinary function to the Stream interface.
+type Func func(ins *Instr) bool
+
+// Next implements Stream.
+func (f Func) Next(ins *Instr) bool { return f(ins) }
+
+// Concat returns a Stream that plays each input stream to completion in
+// order.
+func Concat(streams ...Stream) Stream {
+	i := 0
+	return Func(func(ins *Instr) bool {
+		for i < len(streams) {
+			if streams[i].Next(ins) {
+				return true
+			}
+			i++
+		}
+		return false
+	})
+}
+
+// Interleave returns a Stream that alternates between the input streams in
+// round-robin quanta of the given instruction count, modelling timeslice
+// interleaving of co-scheduled programs on one core. Exhausted streams drop
+// out of the rotation; the result ends when every input has ended.
+func Interleave(quantum int64, streams ...Stream) Stream {
+	if quantum <= 0 {
+		quantum = 1
+	}
+	live := append([]Stream(nil), streams...)
+	cur := 0
+	var left int64 = quantum
+	return Func(func(ins *Instr) bool {
+		for len(live) > 0 {
+			if left <= 0 {
+				cur = (cur + 1) % len(live)
+				left = quantum
+			}
+			if live[cur].Next(ins) {
+				left--
+				return true
+			}
+			// Stream exhausted: remove it and continue with the next.
+			live = append(live[:cur], live[cur+1:]...)
+			if len(live) == 0 {
+				return false
+			}
+			cur %= len(live)
+			left = quantum
+		}
+		return false
+	})
+}
+
+// Limit returns a Stream that yields at most n instructions from s.
+func Limit(s Stream, n int64) Stream {
+	remaining := n
+	return Func(func(ins *Instr) bool {
+		if remaining <= 0 {
+			return false
+		}
+		if !s.Next(ins) {
+			remaining = 0
+			return false
+		}
+		remaining--
+		return true
+	})
+}
+
+// Count drains s and returns the number of instructions it produced.
+// Intended for tests and tooling, not the hot path.
+func Count(s Stream) int64 {
+	var ins Instr
+	var n int64
+	for s.Next(&ins) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,360 @@
+package isa
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindALU:     "alu",
+		KindLoad:    "load",
+		KindStore:   "store",
+		KindBranch:  "branch",
+		KindSyscall: "syscall",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String()=%q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !KindLoad.IsMem() || !KindStore.IsMem() || KindALU.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if !KindBranch.IsControl() || !KindCall.IsControl() || !KindReturn.IsControl() || KindLoad.IsControl() {
+		t.Error("IsControl wrong")
+	}
+}
+
+func simpleBlock() Block {
+	var mix OpMix
+	mix[KindALU] = 0.5
+	mix[KindLoad] = 0.2
+	mix[KindStore] = 0.1
+	mix[KindBranch] = 0.2
+	return Block{
+		Name:     "b",
+		Mix:      mix,
+		CodeBase: 0x1000,
+		CodeSize: 4096,
+		Loads:    AccessPattern{Kind: AccessSequential, Base: 0x100000, WorkingSet: 1 << 16},
+		Stores:   AccessPattern{Kind: AccessSequential, Base: 0x200000, WorkingSet: 1 << 16},
+		Len:      100,
+	}
+}
+
+func simpleProgram(budget int64, seed int64) *Program {
+	return &Program{
+		Name:   "test",
+		Blocks: []Block{simpleBlock()},
+		Budget: budget,
+		Seed:   seed,
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := simpleProgram(1000, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	bad := simpleProgram(1000, 1)
+	bad.Blocks = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty blocks accepted")
+	}
+
+	bad = simpleProgram(0, 1)
+	if err := bad.Validate(); err == nil {
+		t.Error("zero budget accepted")
+	}
+
+	bad = simpleProgram(100, 1)
+	bad.Blocks[0].Len = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-length block accepted")
+	}
+
+	bad = simpleProgram(100, 1)
+	bad.Blocks[0].Mix = OpMix{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty mix accepted")
+	}
+
+	bad = simpleProgram(100, 1)
+	bad.Blocks[0].Loads.WorkingSet = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("memory ops without working set accepted")
+	}
+
+	bad = simpleProgram(100, 1)
+	bad.Trans = [][]float64{{1}, {1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong-shaped transition matrix accepted")
+	}
+
+	bad = simpleProgram(100, 1)
+	bad.Trans = [][]float64{{0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero transition row accepted")
+	}
+}
+
+func TestStreamBudget(t *testing.T) {
+	p := simpleProgram(1234, 7)
+	s, err := p.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Count(s); n != 1234 {
+		t.Fatalf("stream emitted %d instructions, want 1234", n)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	p := simpleProgram(5000, 42)
+	s1 := p.MustStream()
+	s2 := p.MustStream()
+	var a, b Instr
+	for i := 0; i < 5000; i++ {
+		ok1 := s1.Next(&a)
+		ok2 := s2.Next(&b)
+		if ok1 != ok2 {
+			t.Fatalf("streams diverge in length at %d", i)
+		}
+		if a != b {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestStreamSeedChangesTrace(t *testing.T) {
+	a := simpleProgram(2000, 1).MustStream()
+	b := simpleProgram(2000, 2).MustStream()
+	var ia, ib Instr
+	diff := 0
+	for a.Next(&ia) && b.Next(&ib) {
+		if ia != ib {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestStreamMixApproximation(t *testing.T) {
+	p := simpleProgram(200000, 3)
+	s := p.MustStream()
+	var ins Instr
+	counts := make(map[Kind]int64)
+	var total int64
+	for s.Next(&ins) {
+		counts[ins.Kind]++
+		total++
+	}
+	wantFrac := map[Kind]float64{KindALU: 0.5, KindLoad: 0.2, KindStore: 0.1, KindBranch: 0.2}
+	for k, want := range wantFrac {
+		got := float64(counts[k]) / float64(total)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("kind %v fraction = %.3f, want ~%.2f", k, got, want)
+		}
+	}
+}
+
+func TestStreamAddressesWithinWorkingSet(t *testing.T) {
+	p := simpleProgram(50000, 9)
+	s := p.MustStream()
+	var ins Instr
+	for s.Next(&ins) {
+		switch ins.Kind {
+		case KindLoad:
+			if ins.Addr < 0x100000 || ins.Addr >= 0x100000+1<<16 {
+				t.Fatalf("load address %#x outside working set", ins.Addr)
+			}
+		case KindStore:
+			if ins.Addr < 0x200000 || ins.Addr >= 0x200000+1<<16 {
+				t.Fatalf("store address %#x outside working set", ins.Addr)
+			}
+		}
+		if ins.PC < 0x1000 || ins.PC >= 0x1000+4096 {
+			t.Fatalf("PC %#x outside code region", ins.PC)
+		}
+	}
+}
+
+func TestBranchBias(t *testing.T) {
+	p := simpleProgram(100000, 5)
+	p.Blocks[0].BranchBias = 0.9
+	p.Blocks[0].BranchEntropy = 1.0
+	s := p.MustStream()
+	var ins Instr
+	var taken, branches int
+	for s.Next(&ins) {
+		if ins.Kind == KindBranch {
+			branches++
+			if ins.Taken {
+				taken++
+			}
+		}
+	}
+	frac := float64(taken) / float64(branches)
+	if math.Abs(frac-0.9) > 0.03 {
+		t.Fatalf("taken fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestLowEntropyBranchesRepeat(t *testing.T) {
+	p := simpleProgram(10000, 5)
+	p.Blocks[0].BranchBias = 0.5
+	p.Blocks[0].BranchEntropy = 0 // fully patterned
+	s := p.MustStream()
+	var ins Instr
+	var outcomes []bool
+	for s.Next(&ins) {
+		if ins.Kind == KindBranch {
+			outcomes = append(outcomes, ins.Taken)
+		}
+	}
+	if len(outcomes) < 64 {
+		t.Fatalf("too few branches: %d", len(outcomes))
+	}
+	// Pattern repeats with period 16.
+	for i := 16; i < len(outcomes); i++ {
+		if outcomes[i] != outcomes[i-16] {
+			t.Fatalf("low-entropy outcomes not periodic at %d", i)
+		}
+	}
+}
+
+func TestMarkovTransitions(t *testing.T) {
+	b0 := simpleBlock()
+	b0.Name = "a"
+	b1 := simpleBlock()
+	b1.Name = "b"
+	b1.CodeBase = 0x9000
+	p := &Program{
+		Name:   "markov",
+		Blocks: []Block{b0, b1},
+		// Always move to the other block.
+		Trans:  [][]float64{{0, 1}, {1, 0}},
+		Budget: 1000,
+		Seed:   1,
+	}
+	s, err := p.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins Instr
+	sawA, sawB := false, false
+	for s.Next(&ins) {
+		if ins.PC >= 0x9000 {
+			sawB = true
+		} else {
+			sawA = true
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatalf("markov chain did not visit both blocks (a=%v b=%v)", sawA, sawB)
+	}
+}
+
+func TestConcatAndLimit(t *testing.T) {
+	p1 := simpleProgram(100, 1).MustStream()
+	p2 := simpleProgram(200, 2).MustStream()
+	if n := Count(Concat(p1, p2)); n != 300 {
+		t.Fatalf("Concat count = %d, want 300", n)
+	}
+	p3 := simpleProgram(1000, 3).MustStream()
+	if n := Count(Limit(p3, 150)); n != 150 {
+		t.Fatalf("Limit count = %d, want 150", n)
+	}
+	p4 := simpleProgram(10, 4).MustStream()
+	if n := Count(Limit(p4, 100)); n != 10 {
+		t.Fatalf("Limit beyond end count = %d, want 10", n)
+	}
+}
+
+func TestMustStreamPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustStream did not panic on invalid program")
+		}
+	}()
+	(&Program{Name: "bad"}).MustStream()
+}
+
+func TestCallReturnTargets(t *testing.T) {
+	b := simpleBlock()
+	b.Mix = OpMix{}
+	b.Mix[KindCall] = 0.5
+	b.Mix[KindReturn] = 0.5
+	p := &Program{Name: "callret", Blocks: []Block{b}, Budget: 1000, Seed: 6}
+	s := p.MustStream()
+	var ins Instr
+	for s.Next(&ins) {
+		if !ins.Taken {
+			t.Fatal("call/return must be taken")
+		}
+		if ins.Target == 0 {
+			t.Fatal("call/return must have a target")
+		}
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := simpleProgram(100, 1).MustStream()
+	b := simpleProgram(200, 2).MustStream()
+	if n := Count(Interleave(10, a, b)); n != 300 {
+		t.Fatalf("interleave count=%d, want 300", n)
+	}
+	// Quanta alternate: with quantum 10, the first 10 instructions come
+	// from stream a, the next 10 from b.
+	a2 := simpleProgram(100, 1).MustStream()
+	b2 := simpleProgram(200, 2).MustStream()
+	ref := simpleProgram(100, 1).MustStream()
+	inter := Interleave(10, a2, b2)
+	var got, want Instr
+	for i := 0; i < 10; i++ {
+		if !inter.Next(&got) || !ref.Next(&want) || got != want {
+			t.Fatalf("first quantum diverges at %d", i)
+		}
+	}
+	// Next quantum must come from stream b (different code base is not
+	// guaranteed, but the trace must diverge from ref's continuation).
+	refNext := make([]Instr, 10)
+	gotNext := make([]Instr, 10)
+	for i := 0; i < 10; i++ {
+		ref.Next(&refNext[i])
+		inter.Next(&gotNext[i])
+	}
+	same := true
+	for i := range refNext {
+		if refNext[i] != gotNext[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("second quantum did not switch streams")
+	}
+	// Zero/negative quantum clamps rather than hanging.
+	if n := Count(Interleave(0, simpleProgram(5, 3).MustStream())); n != 5 {
+		t.Fatalf("quantum clamp failed: %d", n)
+	}
+	// Uneven lengths: short stream drops out, long stream finishes.
+	short := simpleProgram(7, 4).MustStream()
+	long := simpleProgram(50, 5).MustStream()
+	if n := Count(Interleave(4, short, long)); n != 57 {
+		t.Fatalf("uneven interleave count=%d, want 57", n)
+	}
+	if n := Count(Interleave(8)); n != 0 {
+		t.Fatalf("empty interleave count=%d", n)
+	}
+}

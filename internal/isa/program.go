@@ -1,0 +1,342 @@
+package isa
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AccessKind selects how a block generates effective addresses for its loads
+// and stores.
+type AccessKind uint8
+
+const (
+	// AccessSequential walks memory with a fixed small stride (streaming).
+	AccessSequential AccessKind = iota
+	// AccessStrided walks memory with a configurable stride.
+	AccessStrided
+	// AccessRandom draws uniformly from the working set.
+	AccessRandom
+	// AccessPointerChase follows a pseudo-random permutation, defeating
+	// both spatial locality and prefetching.
+	AccessPointerChase
+)
+
+// AccessPattern describes the data-memory behaviour of a block.
+type AccessPattern struct {
+	Kind       AccessKind
+	Base       uint64 // base virtual address of the region
+	WorkingSet uint64 // region size in bytes (must be > 0 if the block has memory ops)
+	Stride     uint64 // bytes, for AccessStrided (AccessSequential uses 8)
+}
+
+// OpMix gives the relative weight of each instruction kind emitted by a
+// block. Weights need not sum to 1; they are normalised at build time.
+type OpMix [NumKinds]float64
+
+// Block is a basic-block archetype: a unit of straight-line-ish code with a
+// characteristic instruction mix, memory behaviour and branch bias.
+type Block struct {
+	Name string
+	Mix  OpMix
+
+	// CodeBase/CodeSize bound the PCs generated for this block's
+	// instructions, controlling instruction-cache and iTLB footprint.
+	CodeBase uint64
+	CodeSize uint64
+
+	Loads  AccessPattern
+	Stores AccessPattern
+
+	// BranchBias is the probability that a conditional branch in this
+	// block is taken.
+	BranchBias float64
+	// BranchEntropy in [0,1] controls how predictable branch outcomes
+	// are: 0 means outcomes follow a short repeating history (easy for
+	// the predictor), 1 means independent Bernoulli draws.
+	BranchEntropy float64
+
+	// Len is the number of instructions emitted per visit to the block.
+	Len int
+}
+
+// Program is a Markov chain over block archetypes plus a total dynamic
+// instruction budget. It is the common shape of both benign and malware
+// workloads in this reproduction.
+type Program struct {
+	Name   string
+	Blocks []Block
+	// Trans[i][j] is the unnormalised probability of moving from block i
+	// to block j after a visit. A nil Trans means uniform transitions.
+	Trans  [][]float64
+	Budget int64 // total dynamic instructions
+	Seed   int64
+}
+
+// Validate checks structural invariants of the program description.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("isa: program %q has no blocks", p.Name)
+	}
+	if p.Budget <= 0 {
+		return fmt.Errorf("isa: program %q has non-positive budget %d", p.Name, p.Budget)
+	}
+	for i, b := range p.Blocks {
+		if b.Len <= 0 {
+			return fmt.Errorf("isa: program %q block %d (%s) has non-positive length", p.Name, i, b.Name)
+		}
+		if b.CodeSize == 0 {
+			return fmt.Errorf("isa: program %q block %d (%s) has zero code size", p.Name, i, b.Name)
+		}
+		var total float64
+		for _, w := range b.Mix {
+			if w < 0 {
+				return fmt.Errorf("isa: program %q block %d (%s) has negative mix weight", p.Name, i, b.Name)
+			}
+			total += w
+		}
+		if total == 0 {
+			return fmt.Errorf("isa: program %q block %d (%s) has empty op mix", p.Name, i, b.Name)
+		}
+		if (b.Mix[KindLoad] > 0 && b.Loads.WorkingSet == 0) ||
+			(b.Mix[KindStore] > 0 && b.Stores.WorkingSet == 0) {
+			return fmt.Errorf("isa: program %q block %d (%s) has memory ops but no working set", p.Name, i, b.Name)
+		}
+	}
+	if p.Trans != nil {
+		if len(p.Trans) != len(p.Blocks) {
+			return fmt.Errorf("isa: program %q transition matrix has %d rows, want %d", p.Name, len(p.Trans), len(p.Blocks))
+		}
+		for i, row := range p.Trans {
+			if len(row) != len(p.Blocks) {
+				return fmt.Errorf("isa: program %q transition row %d has %d cols, want %d", p.Name, i, len(row), len(p.Blocks))
+			}
+			var total float64
+			for _, w := range row {
+				if w < 0 {
+					return fmt.Errorf("isa: program %q transition row %d has negative weight", p.Name, i)
+				}
+				total += w
+			}
+			if total == 0 {
+				return fmt.Errorf("isa: program %q transition row %d sums to zero", p.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Stream compiles the program into a dynamic instruction stream. Each call
+// returns an independent stream seeded from p.Seed, so repeated runs of the
+// same program replay identical traces.
+func (p *Program) Stream() (Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return newProgramStream(p), nil
+}
+
+// MustStream is Stream but panics on an invalid program. Intended for
+// statically-constructed workloads whose validity is covered by tests.
+func (p *Program) MustStream() Stream {
+	s, err := p.Stream()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type blockState struct {
+	block *Block
+	// cumulative mix for kind sampling
+	cum [NumKinds]float64
+	// per-pattern cursors
+	loadCursor  uint64
+	storeCursor uint64
+	// branch history position for low-entropy blocks
+	histPos int
+	hist    []bool
+	// branchSites are the static branch PCs of this block. Real code has
+	// a handful of branch sites per block; concentrating dynamic
+	// branches on them lets the modelled predictor train, so branch-miss
+	// counts reflect outcome entropy rather than PC sparsity.
+	branchSites [4]uint64
+	nextSite    int
+}
+
+type programStream struct {
+	prog    *Program
+	rng     *rand.Rand
+	states  []blockState
+	cur     int   // current block index
+	left    int   // instructions left in current block visit
+	emitted int64 // total instructions emitted
+	callPC  []uint64
+}
+
+func newProgramStream(p *Program) *programStream {
+	ps := &programStream{
+		prog:   p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		states: make([]blockState, len(p.Blocks)),
+	}
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		st := &ps.states[i]
+		st.block = b
+		var total float64
+		for _, w := range b.Mix {
+			total += w
+		}
+		var acc float64
+		for k, w := range b.Mix {
+			acc += w / total
+			st.cum[k] = acc
+		}
+		// Low-entropy branch history: a loop-like repeating pattern (a
+		// contiguous run of taken outcomes followed by not-taken ones)
+		// whose taken-fraction approximates the bias. Runs are what
+		// loop exit branches produce and are highly learnable.
+		const histLen = 16
+		st.hist = make([]bool, histLen)
+		taken := int(b.BranchBias*histLen + 0.5)
+		for j := 0; j < taken; j++ {
+			st.hist[j] = true
+		}
+		for s := range st.branchSites {
+			st.branchSites[s] = b.CodeBase + uint64(s)*(b.CodeSize/4)&^3
+		}
+	}
+	ps.cur = 0
+	ps.left = p.Blocks[0].Len
+	return ps
+}
+
+func (ps *programStream) Next(ins *Instr) bool {
+	if ps.emitted >= ps.prog.Budget {
+		return false
+	}
+	if ps.left <= 0 {
+		ps.advanceBlock()
+	}
+	st := &ps.states[ps.cur]
+	b := st.block
+	ps.left--
+	ps.emitted++
+
+	kind := ps.sampleKind(st)
+	*ins = Instr{Kind: kind, PC: ps.pcFor(st)}
+
+	switch kind {
+	case KindLoad:
+		ins.Addr = nextAddr(&b.Loads, &st.loadCursor, ps.rng)
+	case KindStore:
+		ins.Addr = nextAddr(&b.Stores, &st.storeCursor, ps.rng)
+	case KindBranch:
+		ins.PC = st.branchSites[st.nextSite]
+		st.nextSite = (st.nextSite + 1) % len(st.branchSites)
+		ins.Taken = ps.branchOutcome(st)
+		if ins.Taken {
+			ins.Target = b.CodeBase + ps.rng.Uint64()%b.CodeSize
+		}
+	case KindCall:
+		ins.Taken = true
+		// Calls target the start of another block's code region,
+		// mimicking function entry points.
+		callee := ps.rng.Intn(len(ps.prog.Blocks))
+		ins.Target = ps.prog.Blocks[callee].CodeBase
+		ps.callPC = append(ps.callPC, ins.PC+4)
+	case KindReturn:
+		ins.Taken = true
+		if n := len(ps.callPC); n > 0 {
+			ins.Target = ps.callPC[n-1]
+			ps.callPC = ps.callPC[:n-1]
+		} else {
+			ins.Target = b.CodeBase
+		}
+	}
+	return true
+}
+
+func (ps *programStream) sampleKind(st *blockState) Kind {
+	u := ps.rng.Float64()
+	for k := 0; k < NumKinds; k++ {
+		if u <= st.cum[k] {
+			return Kind(k)
+		}
+	}
+	return KindALU
+}
+
+func (ps *programStream) pcFor(st *blockState) uint64 {
+	b := st.block
+	// Mostly-sequential fetch within the block's code region with
+	// occasional jumps, approximating straight-line code plus loops.
+	off := (uint64(ps.emitted) * 4) % b.CodeSize
+	return b.CodeBase + off
+}
+
+func (ps *programStream) branchOutcome(st *blockState) bool {
+	b := st.block
+	if ps.rng.Float64() < b.BranchEntropy {
+		return ps.rng.Float64() < b.BranchBias
+	}
+	out := st.hist[st.histPos]
+	st.histPos = (st.histPos + 1) % len(st.hist)
+	return out
+}
+
+func (ps *programStream) advanceBlock() {
+	p := ps.prog
+	if p.Trans == nil {
+		ps.cur = ps.rng.Intn(len(p.Blocks))
+	} else {
+		row := p.Trans[ps.cur]
+		var total float64
+		for _, w := range row {
+			total += w
+		}
+		u := ps.rng.Float64() * total
+		var acc float64
+		next := len(row) - 1
+		for j, w := range row {
+			acc += w
+			if u <= acc {
+				next = j
+				break
+			}
+		}
+		ps.cur = next
+	}
+	ps.left = p.Blocks[ps.cur].Len
+}
+
+func nextAddr(ap *AccessPattern, cursor *uint64, rng *rand.Rand) uint64 {
+	ws := ap.WorkingSet
+	if ws == 0 {
+		return ap.Base
+	}
+	switch ap.Kind {
+	case AccessSequential:
+		a := ap.Base + (*cursor % ws)
+		*cursor += 8
+		return a
+	case AccessStrided:
+		stride := ap.Stride
+		if stride == 0 {
+			stride = 64
+		}
+		a := ap.Base + (*cursor % ws)
+		*cursor += stride
+		return a
+	case AccessRandom:
+		return ap.Base + (rng.Uint64()%ws)&^7
+	case AccessPointerChase:
+		// A linear-congruential permutation walk over the working set:
+		// successive addresses are far apart and unpredictable, like a
+		// pointer chase through a shuffled linked list.
+		*cursor = (*cursor*6364136223846793005 + 1442695040888963407)
+		return ap.Base + (*cursor%ws)&^7
+	default:
+		return ap.Base
+	}
+}

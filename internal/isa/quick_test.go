@@ -1,0 +1,95 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests over the program/stream invariants using
+// testing/quick: whatever the (bounded) parameters, a valid program must
+// produce exactly Budget instructions, stay inside its declared footprints,
+// and replay identically.
+func quickProgram(seed int64, budgetRaw uint16, loadFrac, branchFrac uint8, wsRaw uint16) *Program {
+	budget := int64(budgetRaw)%5000 + 100
+	lf := 0.05 + float64(loadFrac%100)/200  // 0.05 .. 0.55
+	bf := 0.05 + float64(branchFrac%60)/200 // 0.05 .. 0.35
+	ws := uint64(wsRaw)%(1<<16) + 256
+
+	var mix OpMix
+	mix[KindALU] = 1 - lf - bf
+	mix[KindLoad] = lf
+	mix[KindBranch] = bf
+	return &Program{
+		Name: "quick",
+		Blocks: []Block{{
+			Name:       "b",
+			Mix:        mix,
+			CodeBase:   0x1000,
+			CodeSize:   4096,
+			Loads:      AccessPattern{Kind: AccessRandom, Base: 0x10000, WorkingSet: ws},
+			BranchBias: 0.5,
+			Len:        50,
+		}},
+		Budget: budget,
+		Seed:   seed,
+	}
+}
+
+func TestQuickBudgetExact(t *testing.T) {
+	f := func(seed int64, budget uint16, lf, bf uint8, ws uint16) bool {
+		p := quickProgram(seed, budget, lf, bf, ws)
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		return Count(p.MustStream()) == p.Budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddressesInFootprint(t *testing.T) {
+	f := func(seed int64, budget uint16, lf, bf uint8, ws uint16) bool {
+		p := quickProgram(seed, budget, lf, bf, ws)
+		s := p.MustStream()
+		var ins Instr
+		lo := p.Blocks[0].Loads.Base
+		hi := lo + p.Blocks[0].Loads.WorkingSet
+		for s.Next(&ins) {
+			if ins.Kind == KindLoad && (ins.Addr < lo || ins.Addr >= hi) {
+				return false
+			}
+			if ins.PC < p.Blocks[0].CodeBase || ins.PC >= p.Blocks[0].CodeBase+p.Blocks[0].CodeSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReplayIdentical(t *testing.T) {
+	f := func(seed int64, budget uint16, lf, bf uint8, ws uint16) bool {
+		p := quickProgram(seed, budget, lf, bf, ws)
+		a, b := p.MustStream(), p.MustStream()
+		var ia, ib Instr
+		for {
+			oka := a.Next(&ia)
+			okb := b.Next(&ib)
+			if oka != okb {
+				return false
+			}
+			if !oka {
+				return true
+			}
+			if ia != ib {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

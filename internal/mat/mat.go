@@ -1,0 +1,394 @@
+// Package mat provides small dense matrix and vector helpers used by the
+// feature-reduction (PCA) and machine-learning packages. It is deliberately
+// minimal: row-major float64 matrices, the handful of operations the rest of
+// the repository needs, and a Jacobi eigensolver for symmetric matrices.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// New returns a zero-filled Rows x Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("mat: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("mat: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m*v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("mat: cannot multiply %dx%d by vector of length %d", m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of a and b. It panics if lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: dot of unequal lengths %d and %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Scale multiplies every element of v by s in place.
+func Scale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// AddScaled adds s*src to dst element-wise in place.
+func AddScaled(dst, src []float64, s float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mat: addScaled of unequal lengths %d and %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i] += s * src[i]
+	}
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v, or 0 for fewer than two
+// samples.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mu := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 { return math.Sqrt(Variance(v)) }
+
+// ColumnMeans returns the mean of each column of m.
+func (m *Matrix) ColumnMeans() []float64 {
+	means := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return means
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// Covariance returns the column covariance matrix of m (population
+// normalisation, centring each column on its mean).
+func (m *Matrix) Covariance() (*Matrix, error) {
+	if m.Rows < 2 {
+		return nil, errors.New("mat: covariance needs at least two rows")
+	}
+	means := m.ColumnMeans()
+	cov := New(m.Cols, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i := 0; i < m.Cols; i++ {
+			di := row[i] - means[i]
+			if di == 0 {
+				continue
+			}
+			crow := cov.Row(i)
+			for j := i; j < m.Cols; j++ {
+				crow[j] += di * (row[j] - means[j])
+			}
+		}
+	}
+	inv := 1 / float64(m.Rows-1)
+	for i := 0; i < m.Cols; i++ {
+		for j := i; j < m.Cols; j++ {
+			v := cov.At(i, j) * inv
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return cov, nil
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Eigen holds the result of a symmetric eigendecomposition: Values[i] is the
+// eigenvalue associated with the eigenvector in column i of Vectors.
+// Eigenpairs are sorted by descending eigenvalue.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix // Cols eigenvectors, each of length Rows
+}
+
+// SymmetricEigen computes the eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi method. It returns an error if a is not square or not
+// symmetric, or if the iteration fails to converge.
+func SymmetricEigen(a *Matrix) (*Eigen, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: eigen of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-9) {
+		return nil, errors.New("mat: eigen of non-symmetric matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+	if offDiagNorm(w) > 1e-6 {
+		return nil, errors.New("mat: jacobi eigensolver failed to converge")
+	}
+
+	eig := &Eigen{Values: make([]float64, n), Vectors: v}
+	for i := 0; i < n; i++ {
+		eig.Values[i] = w.At(i, i)
+	}
+	sortEigen(eig)
+	return eig, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// rotate applies the Jacobi rotation G(p,q,c,s) as w = G' w G and
+// accumulates the rotation into v.
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for k := 0; k < n; k++ {
+		wkp, wkq := w.At(k, p), w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk, wqk := w.At(p, k), w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func sortEigen(e *Eigen) {
+	n := len(e.Values)
+	// Selection sort: n is small (feature counts), and we must permute the
+	// eigenvector columns alongside the values.
+	for i := 0; i < n-1; i++ {
+		max := i
+		for j := i + 1; j < n; j++ {
+			if e.Values[j] > e.Values[max] {
+				max = j
+			}
+		}
+		if max != i {
+			e.Values[i], e.Values[max] = e.Values[max], e.Values[i]
+			swapCols(e.Vectors, i, max)
+		}
+	}
+}
+
+func swapCols(m *Matrix, a, b int) {
+	for i := 0; i < m.Rows; i++ {
+		va, vb := m.At(i, a), m.At(i, b)
+		m.Set(i, a, vb)
+		m.Set(i, b, va)
+	}
+}
+
+// PearsonCorrelation returns the Pearson correlation coefficient between a
+// and b, or 0 if either input is constant. It panics if lengths differ.
+func PearsonCorrelation(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: correlation of unequal lengths %d and %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var num, da, db float64
+	for i := range a {
+		xa := a[i] - ma
+		xb := b[i] - mb
+		num += xa * xb
+		da += xa * xa
+		db += xb * xb
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}

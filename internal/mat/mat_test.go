@@ -1,0 +1,333 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZeroFilled(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromRowsRaggedRejected(t *testing.T) {
+	_, err := FromRows([][]float64{{1, 2}, {3}})
+	if err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+}
+
+func TestFromRowsCopiesData(t *testing.T) {
+	src := [][]float64{{1, 2}, {3, 4}}
+	m, err := FromRows(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0][0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatalf("FromRows aliased input: At(0,0)=%v", m.At(0, 0))
+	}
+}
+
+func TestAtSetRowCol(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2)=%v, want 7", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row(1)[2]=%v, want 7", row[2])
+	}
+	col := m.Col(2)
+	if col[1] != 7 || col[0] != 0 {
+		t.Fatalf("Col(2)=%v, want [0 7]", col)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose is %dx%d, want 3x2", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("transpose values wrong: %v", tr.Data)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c[%d][%d]=%v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := Mul(a, b); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	v, err := m.MulVec([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 7 || v[1] != 6 {
+		t.Fatalf("MulVec=%v, want [7 6]", v)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot=%v, want 32", d)
+	}
+	if n := Norm2([]float64{3, 4}); n != 5 {
+		t.Fatalf("Norm2=%v, want 5", n)
+	}
+}
+
+func TestScaleAddScaled(t *testing.T) {
+	v := []float64{1, 2}
+	Scale(v, 3)
+	if v[0] != 3 || v[1] != 6 {
+		t.Fatalf("Scale=%v", v)
+	}
+	AddScaled(v, []float64{1, 1}, 2)
+	if v[0] != 5 || v[1] != 8 {
+		t.Fatalf("AddScaled=%v", v)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(v); m != 5 {
+		t.Fatalf("Mean=%v, want 5", m)
+	}
+	if va := Variance(v); !almostEqual(va, 4, 1e-9) {
+		t.Fatalf("Variance=%v", va)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty/singleton cases should be 0")
+	}
+}
+
+func TestColumnMeans(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 10}, {3, 20}})
+	means := m.ColumnMeans()
+	if means[0] != 2 || means[1] != 15 {
+		t.Fatalf("ColumnMeans=%v", means)
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	cov, err := m.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// var(col0)=1, var(col1)=4, cov=2 with sample normalisation
+	if !almostEqual(cov.At(0, 0), 1, 1e-9) || !almostEqual(cov.At(1, 1), 4, 1e-9) || !almostEqual(cov.At(0, 1), 2, 1e-9) {
+		t.Fatalf("Covariance=%v", cov.Data)
+	}
+	if !cov.IsSymmetric(1e-12) {
+		t.Fatal("covariance must be symmetric")
+	}
+}
+
+func TestCovarianceTooFewRows(t *testing.T) {
+	m := New(1, 3)
+	if _, err := m.Covariance(); err == nil {
+		t.Fatal("expected error for single-row covariance")
+	}
+}
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 0}, {0, 1}})
+	e, err := SymmetricEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.Values[0], 3, 1e-9) || !almostEqual(e.Values[1], 1, 1e-9) {
+		t.Fatalf("eigenvalues=%v", e.Values)
+	}
+}
+
+func TestSymmetricEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := SymmetricEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.Values[0], 3, 1e-9) || !almostEqual(e.Values[1], 1, 1e-9) {
+		t.Fatalf("eigenvalues=%v, want [3 1]", e.Values)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+	v0 := e.Vectors.Col(0)
+	if !almostEqual(math.Abs(v0[0]), 1/math.Sqrt2, 1e-6) || !almostEqual(math.Abs(v0[1]), 1/math.Sqrt2, 1e-6) {
+		t.Fatalf("eigenvector=%v", v0)
+	}
+}
+
+func TestSymmetricEigenRejectsNonSymmetric(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := SymmetricEigen(a); err == nil {
+		t.Fatal("expected error for non-symmetric input")
+	}
+	b := New(2, 3)
+	if _, err := SymmetricEigen(b); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+// Property: for random symmetric matrices, A v = lambda v for every pair and
+// eigenvalues are sorted descending.
+func TestSymmetricEigenProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		e, err := SymmetricEigen(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for k := 0; k < n; k++ {
+			if k > 0 && e.Values[k] > e.Values[k-1]+1e-9 {
+				t.Fatalf("trial %d: eigenvalues not sorted: %v", trial, e.Values)
+			}
+			v := e.Vectors.Col(k)
+			av, _ := a.MulVec(v)
+			for i := range av {
+				if !almostEqual(av[i], e.Values[k]*v[i], 1e-6) {
+					t.Fatalf("trial %d: A v != lambda v at eig %d (%v vs %v)", trial, k, av[i], e.Values[k]*v[i])
+				}
+			}
+			if !almostEqual(Norm2(v), 1, 1e-6) {
+				t.Fatalf("trial %d: eigenvector %d not unit norm", trial, k)
+			}
+		}
+	}
+}
+
+// Property: trace is preserved by eigendecomposition (sum of eigenvalues).
+func TestEigenTraceProperty(t *testing.T) {
+	f := func(a1, a2, a3 float64) bool {
+		// Clamp to avoid degenerate huge values from quick.
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 100)
+		}
+		a1, a2, a3 = clamp(a1), clamp(a2), clamp(a3)
+		m, _ := FromRows([][]float64{{a1, a3}, {a3, a2}})
+		e, err := SymmetricEigen(m)
+		if err != nil {
+			return false
+		}
+		return almostEqual(e.Values[0]+e.Values[1], a1+a2, 1e-6*(1+math.Abs(a1)+math.Abs(a2)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if c := PearsonCorrelation(a, b); !almostEqual(c, 1, 1e-12) {
+		t.Fatalf("corr=%v, want 1", c)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if c := PearsonCorrelation(a, neg); !almostEqual(c, -1, 1e-12) {
+		t.Fatalf("corr=%v, want -1", c)
+	}
+	if c := PearsonCorrelation(a, []float64{5, 5, 5, 5}); c != 0 {
+		t.Fatalf("corr with constant=%v, want 0", c)
+	}
+	if c := PearsonCorrelation(nil, nil); c != 0 {
+		t.Fatalf("corr of empty=%v, want 0", c)
+	}
+}
+
+// Property: correlation is bounded in [-1, 1] and symmetric.
+func TestPearsonCorrelationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		c1 := PearsonCorrelation(a, b)
+		c2 := PearsonCorrelation(b, a)
+		if math.Abs(c1) > 1+1e-12 {
+			t.Fatalf("correlation out of range: %v", c1)
+		}
+		if !almostEqual(c1, c2, 1e-12) {
+			t.Fatalf("correlation not symmetric: %v vs %v", c1, c2)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Identity(3)[%d][%d]=%v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases data")
+	}
+}

@@ -1,0 +1,226 @@
+// Package metrics implements the evaluation metrics the paper reports:
+// precision, recall, F-measure (the detection-rate metric), accuracy,
+// ROC curves and the area under the ROC curve (the robustness metric), and
+// the combined detection-performance metric F x AUC.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix with the malware-detection
+// convention: positive = malware.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add accumulates one prediction.
+func (c *Confusion) Add(actualPositive, predictedPositive bool) {
+	switch {
+	case actualPositive && predictedPositive:
+		c.TP++
+	case actualPositive && !predictedPositive:
+		c.FN++
+	case !actualPositive && predictedPositive:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of accumulated predictions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no actual positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall: 2pr/(p+r).
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d", c.TP, c.FP, c.TN, c.FN)
+}
+
+// MultiConfusion is a k-class confusion matrix; Counts[actual][predicted].
+type MultiConfusion struct {
+	Classes []string
+	Counts  [][]int
+}
+
+// NewMultiConfusion returns an empty k-class matrix.
+func NewMultiConfusion(classes []string) *MultiConfusion {
+	counts := make([][]int, len(classes))
+	for i := range counts {
+		counts[i] = make([]int, len(classes))
+	}
+	return &MultiConfusion{Classes: append([]string(nil), classes...), Counts: counts}
+}
+
+// Add accumulates one prediction.
+func (m *MultiConfusion) Add(actual, predicted int) error {
+	k := len(m.Classes)
+	if actual < 0 || actual >= k || predicted < 0 || predicted >= k {
+		return fmt.Errorf("metrics: class index out of range (actual=%d predicted=%d k=%d)", actual, predicted, k)
+	}
+	m.Counts[actual][predicted]++
+	return nil
+}
+
+// Total returns the number of accumulated predictions.
+func (m *MultiConfusion) Total() int {
+	t := 0
+	for _, row := range m.Counts {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Accuracy returns the overall fraction of correct predictions.
+func (m *MultiConfusion) Accuracy() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range m.Counts {
+		correct += m.Counts[i][i]
+	}
+	return float64(correct) / float64(t)
+}
+
+// PerClass returns the one-vs-rest binary confusion for class i.
+func (m *MultiConfusion) PerClass(i int) Confusion {
+	var c Confusion
+	for a, row := range m.Counts {
+		for p, n := range row {
+			switch {
+			case a == i && p == i:
+				c.TP += n
+			case a == i && p != i:
+				c.FN += n
+			case a != i && p == i:
+				c.FP += n
+			default:
+				c.TN += n
+			}
+		}
+	}
+	return c
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores.
+func (m *MultiConfusion) MacroF1() float64 {
+	if len(m.Classes) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range m.Classes {
+		sum += m.PerClass(i).F1()
+	}
+	return sum / float64(len(m.Classes))
+}
+
+// ROCPoint is one (false-positive-rate, true-positive-rate) point.
+type ROCPoint struct {
+	FPR, TPR float64
+}
+
+// ROC computes the ROC curve for scores (higher = more likely positive)
+// against binary labels (true = positive). Points are ordered from (0,0)
+// to (1,1), one per distinct threshold.
+func ROC(scores []float64, labels []bool) ([]ROCPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, errors.New("metrics: scores and labels length mismatch")
+	}
+	var pos, neg int
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, errors.New("metrics: ROC requires both positive and negative instances")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	points := []ROCPoint{{0, 0}}
+	tp, fp := 0, 0
+	i := 0
+	for i < len(idx) {
+		// Process ties together: all instances with equal score share a
+		// threshold.
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		i = j
+		points = append(points, ROCPoint{
+			FPR: float64(fp) / float64(neg),
+			TPR: float64(tp) / float64(pos),
+		})
+	}
+	return points, nil
+}
+
+// AUC returns the area under the ROC curve by trapezoidal integration,
+// equivalent to the Mann-Whitney U statistic with tie correction.
+func AUC(scores []float64, labels []bool) (float64, error) {
+	points, err := ROC(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area, nil
+}
+
+// DetectionPerformance is the paper's combined metric: F-measure times
+// robustness (AUC). Both inputs are in [0,1]; the result is in [0,1].
+func DetectionPerformance(f1, auc float64) float64 { return f1 * auc }

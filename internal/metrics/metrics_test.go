@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion %v", c)
+	}
+	if c.Total() != 5 {
+		t.Fatalf("total=%d", c.Total())
+	}
+	if p := c.Precision(); math.Abs(p-2.0/3) > 1e-9 {
+		t.Fatalf("precision=%v", p)
+	}
+	if r := c.Recall(); math.Abs(r-2.0/3) > 1e-9 {
+		t.Fatalf("recall=%v", r)
+	}
+	if f := c.F1(); math.Abs(f-2.0/3) > 1e-9 {
+		t.Fatalf("f1=%v", f)
+	}
+	if a := c.Accuracy(); math.Abs(a-0.6) > 1e-9 {
+		t.Fatalf("accuracy=%v", a)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Fatal("empty confusion must yield zeros")
+	}
+	c.Add(false, false)
+	if c.F1() != 0 {
+		t.Fatal("no-positives F1 must be 0")
+	}
+}
+
+func TestF1HarmonicMeanProperty(t *testing.T) {
+	// F1 is always between min and max of precision and recall, and equals
+	// them when they are equal.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		c := Confusion{TP: rng.Intn(50) + 1, FP: rng.Intn(50), TN: rng.Intn(50), FN: rng.Intn(50)}
+		p, r, f := c.Precision(), c.Recall(), c.F1()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		if f < lo-1e-12 || f > hi+1e-12 {
+			t.Fatalf("F1 %v outside [%v,%v]", f, lo, hi)
+		}
+	}
+}
+
+func TestMultiConfusion(t *testing.T) {
+	m := NewMultiConfusion([]string{"a", "b", "c"})
+	m.Add(0, 0)
+	m.Add(0, 1)
+	m.Add(1, 1)
+	m.Add(2, 2)
+	m.Add(2, 0)
+	if m.Total() != 5 {
+		t.Fatalf("total=%d", m.Total())
+	}
+	if acc := m.Accuracy(); math.Abs(acc-0.6) > 1e-9 {
+		t.Fatalf("accuracy=%v", acc)
+	}
+	pc := m.PerClass(0)
+	if pc.TP != 1 || pc.FN != 1 || pc.FP != 1 || pc.TN != 2 {
+		t.Fatalf("per-class confusion %v", pc)
+	}
+	if m.MacroF1() <= 0 || m.MacroF1() > 1 {
+		t.Fatalf("macro F1 = %v", m.MacroF1())
+	}
+	if err := m.Add(5, 0); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("perfect AUC=%v, want 1", auc)
+	}
+}
+
+func TestROCWorstClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	auc, _ := AUC(scores, labels)
+	if auc != 0 {
+		t.Fatalf("inverted AUC=%v, want 0", auc)
+	}
+}
+
+func TestROCRandomClassifierNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2) == 0
+	}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("random AUC=%v, want ~0.5", auc)
+	}
+}
+
+func TestROCTieHandling(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 (one diagonal segment).
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Fatalf("all-ties AUC=%v, want 0.5", auc)
+	}
+	points, _ := ROC(scores, labels)
+	if len(points) != 2 {
+		t.Fatalf("all-ties ROC has %d points, want 2", len(points))
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ROC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Fatal("single-class ROC accepted")
+	}
+}
+
+func TestROCMonotonicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(100)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		pos := false
+		neg := false
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Intn(2) == 0
+			if labels[i] {
+				pos = true
+			} else {
+				neg = true
+			}
+		}
+		if !pos || !neg {
+			continue
+		}
+		points, err := ROC(scores, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(points); i++ {
+			if points[i].FPR < points[i-1].FPR || points[i].TPR < points[i-1].TPR {
+				t.Fatal("ROC not monotonic")
+			}
+		}
+		last := points[len(points)-1]
+		if last.FPR != 1 || last.TPR != 1 {
+			t.Fatalf("ROC does not end at (1,1): %+v", last)
+		}
+	}
+}
+
+func TestAUCSeparationProperty(t *testing.T) {
+	// Better-separated score distributions give higher AUC.
+	rng := rand.New(rand.NewSource(5))
+	aucAt := func(sep float64) float64 {
+		n := 1000
+		scores := make([]float64, 2*n)
+		labels := make([]bool, 2*n)
+		for i := 0; i < n; i++ {
+			scores[i] = rng.NormFloat64() + sep
+			labels[i] = true
+			scores[n+i] = rng.NormFloat64()
+			labels[n+i] = false
+		}
+		a, err := AUC(scores, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	weak, strong := aucPair(aucAt)
+	if strong <= weak {
+		t.Fatalf("AUC not increasing with separation: weak=%v strong=%v", weak, strong)
+	}
+}
+
+func aucPair(auc func(float64) float64) (weak, strong float64) {
+	return auc(0.5), auc(3.0)
+}
+
+func TestDetectionPerformance(t *testing.T) {
+	if math.Abs(DetectionPerformance(0.9, 0.8)-0.72) > 1e-12 {
+		t.Fatal("detection performance must be F x AUC")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	if c.String() != "TP=1 FP=2 TN=3 FN=4" {
+		t.Fatalf("String=%q", c.String())
+	}
+}

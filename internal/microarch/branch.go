@@ -1,0 +1,97 @@
+package microarch
+
+// BranchPredictor is a gshare direction predictor (global history XOR PC
+// indexing a table of 2-bit saturating counters) paired with a
+// direct-mapped branch target buffer. Conditional-branch direction
+// mispredictions drive the branch-misses event; BTB misses drive the
+// branch-load-misses event (every control-flow instruction performs a
+// branch-unit lookup, which is the branch-loads event).
+type BranchPredictor struct {
+	historyBits uint
+	history     uint64
+	pht         []uint8 // 2-bit saturating counters
+
+	btbMask uint64
+	btbTag  []uint64
+	btbDst  []uint64
+	btbVal  []bool
+}
+
+// NewBranchPredictor builds a gshare predictor with 2^historyBits pattern
+// history table entries and a direct-mapped BTB with btbEntries entries
+// (must be a power of two).
+func NewBranchPredictor(historyBits uint, btbEntries int) *BranchPredictor {
+	if historyBits == 0 || historyBits > 20 {
+		panic("microarch: historyBits must be in 1..20")
+	}
+	if !isPow2(btbEntries) {
+		panic("microarch: btbEntries must be a power of two")
+	}
+	return &BranchPredictor{
+		historyBits: historyBits,
+		pht:         make([]uint8, 1<<historyBits),
+		btbMask:     uint64(btbEntries - 1),
+		btbTag:      make([]uint64, btbEntries),
+		btbDst:      make([]uint64, btbEntries),
+		btbVal:      make([]bool, btbEntries),
+	}
+}
+
+func (bp *BranchPredictor) phtIndex(pc uint64) int {
+	mask := uint64(1)<<bp.historyBits - 1
+	return int(((pc >> 2) ^ bp.history) & mask)
+}
+
+// PredictDirection returns the predicted direction for the conditional
+// branch at pc.
+func (bp *BranchPredictor) PredictDirection(pc uint64) bool {
+	return bp.pht[bp.phtIndex(pc)] >= 2
+}
+
+// UpdateDirection trains the predictor with the resolved outcome and shifts
+// the global history.
+func (bp *BranchPredictor) UpdateDirection(pc uint64, taken bool) {
+	idx := bp.phtIndex(pc)
+	ctr := bp.pht[idx]
+	if taken {
+		if ctr < 3 {
+			ctr++
+		}
+	} else if ctr > 0 {
+		ctr--
+	}
+	bp.pht[idx] = ctr
+	bp.history = (bp.history << 1) & (uint64(1)<<bp.historyBits - 1)
+	if taken {
+		bp.history |= 1
+	}
+}
+
+// LookupBTB performs a branch-target-buffer lookup for the control
+// instruction at pc, reporting whether the entry hit with the given target.
+func (bp *BranchPredictor) LookupBTB(pc uint64) (target uint64, hit bool) {
+	idx := (pc >> 2) & bp.btbMask
+	if bp.btbVal[idx] && bp.btbTag[idx] == pc {
+		return bp.btbDst[idx], true
+	}
+	return 0, false
+}
+
+// UpdateBTB installs the resolved target for the control instruction at pc.
+func (bp *BranchPredictor) UpdateBTB(pc, target uint64) {
+	idx := (pc >> 2) & bp.btbMask
+	bp.btbTag[idx] = pc
+	bp.btbDst[idx] = target
+	bp.btbVal[idx] = true
+}
+
+// Reset returns the predictor to its power-on state.
+func (bp *BranchPredictor) Reset() {
+	bp.history = 0
+	for i := range bp.pht {
+		bp.pht[i] = 0
+	}
+	for i := range bp.btbVal {
+		bp.btbVal[i] = false
+	}
+}

@@ -1,0 +1,202 @@
+// Package microarch implements the behavioural microarchitecture model that
+// produces hardware-performance-counter events for the 2SMaRT reproduction:
+// a two-level cache hierarchy (split L1, unified LLC), instruction and data
+// TLBs, a gshare branch predictor with a BTB, a next-line prefetcher, a
+// NUMA-node memory interface and the retired-instruction core model that
+// drives them all and emits perf-style events into an hpc.Sink.
+//
+// The model is behavioural, not cycle-accurate: HPC-based malware detection
+// consumes event *counts*, so each structure is modelled at the fidelity
+// needed to make counts respond to workload behaviour (working-set size,
+// access pattern, branch predictability, code footprint), while cycle costs
+// are charged with fixed per-event penalties.
+package microarch
+
+import "fmt"
+
+// Policy selects the cache replacement policy.
+type Policy uint8
+
+const (
+	// PolicyLRU is true least-recently-used replacement (default).
+	PolicyLRU Policy = iota
+	// PolicyRandom picks a pseudo-random victim way; cheaper in hardware
+	// but weaker on looping working sets. Exposed for the replacement
+	// ablation.
+	PolicyRandom
+)
+
+// Cache is a set-associative cache (or TLB, with line size = page size)
+// with configurable replacement.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+	policy    Policy
+
+	tags  []uint64 // sets*ways entries
+	valid []bool
+	stamp []uint64 // LRU timestamps
+	clock uint64
+	rng   uint64 // xorshift state for PolicyRandom
+}
+
+// NewCache builds a cache of the given total size in bytes. Size, ways and
+// lineSize must be powers of two with size >= ways*lineSize.
+func NewCache(sizeBytes, ways, lineSize int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 {
+		return nil, fmt.Errorf("microarch: invalid cache geometry size=%d ways=%d line=%d", sizeBytes, ways, lineSize)
+	}
+	if !isPow2(sizeBytes) || !isPow2(ways) || !isPow2(lineSize) {
+		return nil, fmt.Errorf("microarch: cache geometry must be powers of two (size=%d ways=%d line=%d)", sizeBytes, ways, lineSize)
+	}
+	lines := sizeBytes / lineSize
+	if lines < ways {
+		return nil, fmt.Errorf("microarch: cache of %d bytes cannot hold %d ways of %d-byte lines", sizeBytes, ways, lineSize)
+	}
+	sets := lines / ways
+	c := &Cache{
+		sets:      sets,
+		ways:      ways,
+		lineShift: log2(uint64(lineSize)),
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, lines),
+		valid:     make([]bool, lines),
+		stamp:     make([]uint64, lines),
+		rng:       0x2545F4914F6CDD1D,
+	}
+	return c, nil
+}
+
+// SetPolicy selects the replacement policy (PolicyLRU by default).
+func (c *Cache) SetPolicy(p Policy) { c.policy = p }
+
+// MustNewCache is NewCache but panics on invalid geometry; for use with
+// static configurations validated by tests.
+func MustNewCache(sizeBytes, ways, lineSize int) *Cache {
+	c, err := NewCache(sizeBytes, ways, lineSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func isPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
+
+func log2(x uint64) uint {
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineSize returns the line (or page) size in bytes.
+func (c *Cache) LineSize() int { return 1 << c.lineShift }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr >> c.lineShift
+	return int(line & c.setMask), line >> log2(uint64(c.sets))
+}
+
+// victim selects the replacement way within the set starting at base:
+// an invalid way if one exists, otherwise per the configured policy.
+func (c *Cache) victim(base int) int {
+	for i := base; i < base+c.ways; i++ {
+		if !c.valid[i] {
+			return i
+		}
+	}
+	if c.policy == PolicyRandom {
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return base + int(c.rng%uint64(c.ways))
+	}
+	victim := base
+	for i := base + 1; i < base+c.ways; i++ {
+		if c.stamp[i] < c.stamp[victim] {
+			victim = i
+		}
+	}
+	return victim
+}
+
+// Access looks up addr, allocating the line on a miss (write-allocate /
+// fetch-on-miss for all access types). It reports whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	c.clock++
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp[i] = c.clock
+			return true
+		}
+	}
+	victim := c.victim(base)
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.stamp[victim] = c.clock
+	return false
+}
+
+// Probe reports whether addr is present without changing any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places addr's line into the cache (used by the prefetcher) without
+// counting as a demand access.
+func (c *Cache) Insert(addr uint64) {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	c.clock++
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			return // already present
+		}
+	}
+	victim := c.victim(base)
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.stamp[victim] = c.clock
+}
+
+// Reset invalidates every line, returning the cache to a cold state
+// (including the replacement randomness, so resets restore determinism).
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.stamp[i] = 0
+	}
+	c.clock = 0
+	c.rng = 0x2545F4914F6CDD1D
+}
+
+// Occupancy returns the number of valid lines (useful for contamination
+// tests: a destroyed container must observe zero occupancy).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

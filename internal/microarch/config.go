@@ -1,0 +1,82 @@
+package microarch
+
+// Config describes the modelled processor. The defaults are a scaled-down
+// Intel Xeon X5550: structure sizes are reduced so that the short
+// instruction budgets used in simulation exercise the same capacity and
+// conflict behaviour that multi-second runs exercise on real silicon (a
+// working set that overflows the real 8 MB LLC in a multi-second run
+// overflows the scaled 128 KB LLC within a few tens of thousands of
+// instructions). Relative sizing between levels is preserved.
+type Config struct {
+	// L1 instruction cache.
+	L1ISize, L1IWays, L1ILine int
+	// L1 data cache.
+	L1DSize, L1DWays, L1DLine int
+	// Unified last-level cache.
+	LLCSize, LLCWays, LLCLine int
+	// TLBs; entries at PageSize granularity.
+	ITLBEntries, ITLBWays int
+	DTLBEntries, DTLBWays int
+	PageSize              int
+	// CachePolicy is the replacement policy for all caches and TLBs
+	// (PolicyLRU by default; PolicyRandom for the replacement ablation).
+	CachePolicy Policy
+	// Branch prediction.
+	HistoryBits uint
+	BTBEntries  int
+	// Penalties, in cycles.
+	L1MissPenalty  uint64 // L1 miss that hits LLC
+	LLCMissPenalty uint64 // LLC miss serviced by the local node
+	RemotePenalty  uint64 // additional latency for remote-node access
+	TLBMissPenalty uint64
+	MispredPenalty uint64
+	SyscallPenalty uint64
+	MinorFaultCost uint64
+	MajorFaultCost uint64
+	DivLatency     uint64
+	MulLatency     uint64
+	// RemoteNodeFraction in [0,1] is the fraction of memory (by address
+	// hash) homed on a remote NUMA node.
+	RemoteNodeFraction float64
+	// SyscallsPerSwitch is the number of syscalls per observed context
+	// switch; SwitchesPerMigration likewise for CPU migrations.
+	SyscallsPerSwitch    uint64
+	SwitchesPerMigration uint64
+	// FileBackedBase: data addresses at or above this are file-backed
+	// mappings; their first touch raises a major fault instead of a
+	// minor fault. Workload generators place file-scan regions here.
+	FileBackedBase uint64
+}
+
+// DefaultFileBackedBase is the conventional base address of file-backed
+// mappings used by the workload generators.
+const DefaultFileBackedBase = 1 << 32
+
+// DefaultConfig returns the scaled X5550 model used throughout the
+// reproduction.
+func DefaultConfig() Config {
+	return Config{
+		L1ISize: 8 << 10, L1IWays: 2, L1ILine: 64,
+		L1DSize: 8 << 10, L1DWays: 4, L1DLine: 64,
+		LLCSize: 128 << 10, LLCWays: 8, LLCLine: 64,
+		ITLBEntries: 32, ITLBWays: 4,
+		DTLBEntries: 32, DTLBWays: 4,
+		PageSize:             4096,
+		HistoryBits:          10,
+		BTBEntries:           256,
+		L1MissPenalty:        10,
+		LLCMissPenalty:       100,
+		RemotePenalty:        60,
+		TLBMissPenalty:       20,
+		MispredPenalty:       15,
+		SyscallPenalty:       150,
+		MinorFaultCost:       400,
+		MajorFaultCost:       4000,
+		DivLatency:           20,
+		MulLatency:           3,
+		RemoteNodeFraction:   0.25,
+		SyscallsPerSwitch:    4,
+		SwitchesPerMigration: 64,
+		FileBackedBase:       DefaultFileBackedBase,
+	}
+}

@@ -1,0 +1,366 @@
+package microarch
+
+import (
+	"twosmart/internal/hpc"
+	"twosmart/internal/isa"
+)
+
+// Core is the retired-instruction processor model. Each instruction drives
+// the structural models (caches, TLBs, branch predictor, prefetcher, NUMA
+// node interface) and emits the corresponding perf-style events into the
+// bound hpc.Sink.
+type Core struct {
+	cfg  Config
+	sink hpc.Sink
+
+	l1i, l1d, llc *Cache
+	itlb, dtlb    *Cache
+	bp            *BranchPredictor
+
+	stream isa.Stream
+	cycles uint64
+
+	lastFetchLine uint64
+	lastFetchPage uint64
+	haveFetch     bool
+
+	// next-line prefetcher state
+	lastMissLine uint64
+
+	touchedPages map[uint64]struct{}
+
+	syscalls uint64
+	switches uint64
+
+	ins isa.Instr // scratch, avoids per-step allocation
+}
+
+// NewCore builds a core with the given configuration, emitting events into
+// sink. A nil sink discards all events.
+func NewCore(cfg Config, sink hpc.Sink) (*Core, error) {
+	if sink == nil {
+		sink = hpc.NullSink{}
+	}
+	l1i, err := NewCache(cfg.L1ISize, cfg.L1IWays, cfg.L1ILine)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1DSize, cfg.L1DWays, cfg.L1DLine)
+	if err != nil {
+		return nil, err
+	}
+	llc, err := NewCache(cfg.LLCSize, cfg.LLCWays, cfg.LLCLine)
+	if err != nil {
+		return nil, err
+	}
+	itlb, err := NewCache(cfg.ITLBEntries*cfg.PageSize, cfg.ITLBWays, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	dtlb, err := NewCache(cfg.DTLBEntries*cfg.PageSize, cfg.DTLBWays, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []*Cache{l1i, l1d, llc, itlb, dtlb} {
+		c.SetPolicy(cfg.CachePolicy)
+	}
+	return &Core{
+		cfg:          cfg,
+		sink:         sink,
+		l1i:          l1i,
+		l1d:          l1d,
+		llc:          llc,
+		itlb:         itlb,
+		dtlb:         dtlb,
+		bp:           NewBranchPredictor(cfg.HistoryBits, cfg.BTBEntries),
+		touchedPages: make(map[uint64]struct{}),
+	}, nil
+}
+
+// MustNewCore is NewCore but panics on configuration errors.
+func MustNewCore(cfg Config, sink hpc.Sink) *Core {
+	c, err := NewCore(cfg, sink)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetSink redirects event emission, e.g. when the counter file is
+// reprogrammed between multiplexing batches.
+func (c *Core) SetSink(sink hpc.Sink) {
+	if sink == nil {
+		sink = hpc.NullSink{}
+	}
+	c.sink = sink
+}
+
+// Bind attaches a workload instruction stream to the core.
+func (c *Core) Bind(s isa.Stream) { c.stream = s }
+
+// CycleCount implements hpc.Processor.
+func (c *Core) CycleCount() uint64 { return c.cycles }
+
+// Reset returns every structure to its power-on state: cold caches, cold
+// TLBs, cleared predictor and no touched pages. This models destroying and
+// recreating the execution container between profiling runs; skipping it
+// leaves residual state that contaminates the next run's counters.
+func (c *Core) Reset() {
+	c.l1i.Reset()
+	c.l1d.Reset()
+	c.llc.Reset()
+	c.itlb.Reset()
+	c.dtlb.Reset()
+	c.bp.Reset()
+	c.cycles = 0
+	c.haveFetch = false
+	c.lastMissLine = 0
+	c.touchedPages = make(map[uint64]struct{})
+	c.syscalls = 0
+	c.switches = 0
+}
+
+// Occupancy returns the total number of valid lines across caches and TLBs,
+// exposing residual state for the sandbox contamination model.
+func (c *Core) Occupancy() int {
+	return c.l1i.Occupancy() + c.l1d.Occupancy() + c.llc.Occupancy() +
+		c.itlb.Occupancy() + c.dtlb.Occupancy()
+}
+
+// Run implements hpc.Processor: it executes up to maxInstrs instructions of
+// the bound stream, returning the number executed (0 when the program has
+// finished or no stream is bound).
+func (c *Core) Run(maxInstrs int64) int64 {
+	if c.stream == nil {
+		return 0
+	}
+	var n int64
+	for n < maxInstrs {
+		if !c.stream.Next(&c.ins) {
+			break
+		}
+		c.step(&c.ins)
+		n++
+	}
+	return n
+}
+
+func (c *Core) step(ins *isa.Instr) {
+	cfg := &c.cfg
+	sink := c.sink
+	sink.Inc(hpc.EvInstrs, 1)
+	cycles := uint64(1)
+	var stallFront, stallBack uint64
+
+	// --- Front end: instruction fetch through L1i and iTLB. A fetch
+	// access occurs when execution enters a new cache line or page.
+	line := ins.PC >> 6
+	page := ins.PC / uint64(cfg.PageSize)
+	if !c.haveFetch || line != c.lastFetchLine {
+		sink.Inc(hpc.EvL1ILoads, 1)
+		if !c.l1i.Access(ins.PC) {
+			sink.Inc(hpc.EvL1ILoadMiss, 1)
+			sink.Inc(hpc.EvCacheRef, 1)
+			sink.Inc(hpc.EvLLCLoads, 1)
+			if !c.llc.Access(ins.PC) {
+				sink.Inc(hpc.EvLLCLoadMiss, 1)
+				sink.Inc(hpc.EvCacheMiss, 1)
+				c.nodeLoad(ins.PC, &stallBack)
+				stallFront += cfg.LLCMissPenalty
+			} else {
+				stallFront += cfg.L1MissPenalty
+			}
+		}
+	}
+	if !c.haveFetch || page != c.lastFetchPage {
+		sink.Inc(hpc.EvITLBLoads, 1)
+		if !c.itlb.Access(ins.PC) {
+			sink.Inc(hpc.EvITLBLoadMiss, 1)
+			stallFront += cfg.TLBMissPenalty
+		}
+	}
+	c.lastFetchLine, c.lastFetchPage, c.haveFetch = line, page, true
+
+	switch ins.Kind {
+	case isa.KindLoad:
+		c.dataAccess(ins.Addr, false, &stallBack)
+	case isa.KindStore:
+		c.dataAccess(ins.Addr, true, &stallBack)
+	case isa.KindBranch:
+		sink.Inc(hpc.EvBranchInstr, 1)
+		sink.Inc(hpc.EvBranchLoads, 1)
+		predicted := c.bp.PredictDirection(ins.PC)
+		if _, hit := c.bp.LookupBTB(ins.PC); !hit {
+			sink.Inc(hpc.EvBranchLoadMiss, 1)
+			if ins.Taken {
+				// Taken branch with unknown target redirects fetch.
+				stallFront += cfg.MispredPenalty
+			}
+		}
+		if predicted != ins.Taken {
+			sink.Inc(hpc.EvBranchMiss, 1)
+			stallFront += cfg.MispredPenalty
+		}
+		c.bp.UpdateDirection(ins.PC, ins.Taken)
+		if ins.Taken {
+			c.bp.UpdateBTB(ins.PC, ins.Target)
+		}
+	case isa.KindCall, isa.KindReturn:
+		sink.Inc(hpc.EvBranchInstr, 1)
+		sink.Inc(hpc.EvBranchLoads, 1)
+		if _, hit := c.bp.LookupBTB(ins.PC); !hit {
+			sink.Inc(hpc.EvBranchLoadMiss, 1)
+			stallFront += cfg.MispredPenalty
+		}
+		c.bp.UpdateBTB(ins.PC, ins.Target)
+	case isa.KindSyscall:
+		c.syscalls++
+		cycles += cfg.SyscallPenalty
+		stallFront += cfg.SyscallPenalty
+		if cfg.SyscallsPerSwitch > 0 && c.syscalls%cfg.SyscallsPerSwitch == 0 {
+			sink.Inc(hpc.EvCtxSwitch, 1)
+			c.switches++
+			if cfg.SwitchesPerMigration > 0 && c.switches%cfg.SwitchesPerMigration == 0 {
+				sink.Inc(hpc.EvMigrations, 1)
+			}
+		}
+	case isa.KindDiv:
+		cycles += cfg.DivLatency
+		stallBack += cfg.DivLatency
+	case isa.KindMul:
+		cycles += cfg.MulLatency
+	}
+
+	cycles += stallFront + stallBack
+	c.cycles += cycles
+	sink.Inc(hpc.EvCycles, cycles)
+	sink.Inc(hpc.EvRefCycles, cycles)
+	if stallFront > 0 {
+		sink.Inc(hpc.EvStallFront, stallFront)
+	}
+	if stallBack > 0 {
+		sink.Inc(hpc.EvStallBack, stallBack)
+	}
+}
+
+// dataAccess models a load or store through the dTLB, L1d, LLC and node
+// interface, plus demand paging on first touch.
+func (c *Core) dataAccess(addr uint64, store bool, stallBack *uint64) {
+	cfg := &c.cfg
+	sink := c.sink
+
+	// Demand paging: first touch of a page faults.
+	page := addr / uint64(cfg.PageSize)
+	if _, ok := c.touchedPages[page]; !ok {
+		c.touchedPages[page] = struct{}{}
+		sink.Inc(hpc.EvPageFaults, 1)
+		if addr >= cfg.FileBackedBase {
+			sink.Inc(hpc.EvMajorFault, 1)
+			*stallBack += cfg.MajorFaultCost
+		} else {
+			sink.Inc(hpc.EvMinorFault, 1)
+			*stallBack += cfg.MinorFaultCost
+		}
+	}
+
+	if store {
+		sink.Inc(hpc.EvDTLBStores, 1)
+		if !c.dtlb.Access(addr) {
+			sink.Inc(hpc.EvDTLBStoreMiss, 1)
+			*stallBack += cfg.TLBMissPenalty
+		}
+		sink.Inc(hpc.EvL1DStores, 1)
+		if !c.l1d.Access(addr) {
+			sink.Inc(hpc.EvL1DStoreMiss, 1)
+			sink.Inc(hpc.EvCacheRef, 1)
+			sink.Inc(hpc.EvLLCStores, 1)
+			if !c.llc.Access(addr) {
+				sink.Inc(hpc.EvLLCStoreMiss, 1)
+				sink.Inc(hpc.EvCacheMiss, 1)
+				c.nodeStore(addr, stallBack)
+			} else {
+				*stallBack += cfg.L1MissPenalty
+			}
+		}
+		return
+	}
+
+	sink.Inc(hpc.EvDTLBLoads, 1)
+	if !c.dtlb.Access(addr) {
+		sink.Inc(hpc.EvDTLBLoadMiss, 1)
+		*stallBack += cfg.TLBMissPenalty
+	}
+	sink.Inc(hpc.EvL1DLoads, 1)
+	if !c.l1d.Access(addr) {
+		sink.Inc(hpc.EvL1DLoadMiss, 1)
+		sink.Inc(hpc.EvCacheRef, 1)
+		sink.Inc(hpc.EvLLCLoads, 1)
+		if !c.llc.Access(addr) {
+			sink.Inc(hpc.EvLLCLoadMiss, 1)
+			sink.Inc(hpc.EvCacheMiss, 1)
+			c.nodeLoad(addr, stallBack)
+		} else {
+			*stallBack += cfg.L1MissPenalty
+		}
+		c.prefetch(addr, stallBack)
+	}
+}
+
+// prefetch issues a next-line prefetch after a demand L1d load miss.
+func (c *Core) prefetch(addr uint64, stallBack *uint64) {
+	sink := c.sink
+	line := addr >> 6
+	// Only prefetch on the second consecutive-line miss (simple stream
+	// detection); random patterns rarely trigger it.
+	trigger := line == c.lastMissLine+1
+	c.lastMissLine = line
+	if !trigger {
+		return
+	}
+	next := (line + 1) << 6
+	if c.l1d.Probe(next) {
+		return
+	}
+	sink.Inc(hpc.EvL1DPrefetch, 1)
+	if !c.llc.Probe(next) {
+		// Deep prefetch: fill from memory into LLC and L1d.
+		sink.Inc(hpc.EvL1DPrefetchMiss, 1)
+		sink.Inc(hpc.EvLLCPrefetch, 1)
+		sink.Inc(hpc.EvLLCPrefetchMiss, 1)
+		sink.Inc(hpc.EvNodePrefetch, 1)
+		if c.isRemote(next) {
+			sink.Inc(hpc.EvNodePrefetchMiss, 1)
+		}
+		c.llc.Insert(next)
+	}
+	c.l1d.Insert(next)
+	_ = stallBack // prefetches are charged no demand stall
+}
+
+// isRemote hashes a physical line address onto the two-node topology.
+func (c *Core) isRemote(addr uint64) bool {
+	if c.cfg.RemoteNodeFraction <= 0 {
+		return false
+	}
+	h := (addr >> 6) * 0x9E3779B97F4A7C15
+	frac := float64(h>>40) / float64(1<<24)
+	return frac < c.cfg.RemoteNodeFraction
+}
+
+func (c *Core) nodeLoad(addr uint64, stallBack *uint64) {
+	c.sink.Inc(hpc.EvNodeLoads, 1)
+	*stallBack += c.cfg.LLCMissPenalty
+	if c.isRemote(addr) {
+		c.sink.Inc(hpc.EvNodeLoadMiss, 1)
+		*stallBack += c.cfg.RemotePenalty
+	}
+}
+
+func (c *Core) nodeStore(addr uint64, stallBack *uint64) {
+	c.sink.Inc(hpc.EvNodeStores, 1)
+	*stallBack += c.cfg.LLCMissPenalty
+	if c.isRemote(addr) {
+		c.sink.Inc(hpc.EvNodeStoreMiss, 1)
+		*stallBack += c.cfg.RemotePenalty
+	}
+}

@@ -1,0 +1,287 @@
+package microarch
+
+import (
+	"testing"
+
+	"twosmart/internal/hpc"
+	"twosmart/internal/isa"
+)
+
+// countingSink records every event, regardless of counter-register limits.
+type countingSink struct {
+	counts [hpc.NumEvents]uint64
+}
+
+func (s *countingSink) Inc(e hpc.Event, n uint64) { s.counts[e] += n }
+
+func (s *countingSink) get(e hpc.Event) uint64 { return s.counts[e] }
+
+func runProgram(t *testing.T, p *isa.Program) *countingSink {
+	t.Helper()
+	sink := &countingSink{}
+	core := MustNewCore(DefaultConfig(), sink)
+	stream, err := p.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Bind(stream)
+	for core.Run(4096) > 0 {
+	}
+	return sink
+}
+
+func testProgram(seed int64, budget int64, mutate func(*isa.Block)) *isa.Program {
+	var mix isa.OpMix
+	mix[isa.KindALU] = 0.5
+	mix[isa.KindLoad] = 0.25
+	mix[isa.KindStore] = 0.1
+	mix[isa.KindBranch] = 0.15
+	b := isa.Block{
+		Name:       "main",
+		Mix:        mix,
+		CodeBase:   0x1000,
+		CodeSize:   2048,
+		Loads:      isa.AccessPattern{Kind: isa.AccessSequential, Base: 0x100000, WorkingSet: 4 << 10},
+		Stores:     isa.AccessPattern{Kind: isa.AccessSequential, Base: 0x200000, WorkingSet: 4 << 10},
+		BranchBias: 0.6,
+		Len:        200,
+	}
+	if mutate != nil {
+		mutate(&b)
+	}
+	return &isa.Program{Name: "t", Blocks: []isa.Block{b}, Budget: budget, Seed: seed}
+}
+
+func TestCoreCountsInstructions(t *testing.T) {
+	sink := runProgram(t, testProgram(1, 10000, nil))
+	if got := sink.get(hpc.EvInstrs); got != 10000 {
+		t.Fatalf("instructions=%d, want 10000", got)
+	}
+	if sink.get(hpc.EvCycles) < 10000 {
+		t.Fatalf("cycles=%d, want >= instructions", sink.get(hpc.EvCycles))
+	}
+	if sink.get(hpc.EvCycles) != sink.get(hpc.EvRefCycles) {
+		t.Fatal("ref-cycles must equal cycles in the fixed-frequency model")
+	}
+}
+
+func TestCoreRunBoundsAndEnd(t *testing.T) {
+	core := MustNewCore(DefaultConfig(), nil)
+	if n := core.Run(100); n != 0 {
+		t.Fatalf("unbound core ran %d instructions", n)
+	}
+	stream := testProgram(1, 100, nil).MustStream()
+	core.Bind(stream)
+	if n := core.Run(60); n != 60 {
+		t.Fatalf("Run(60)=%d", n)
+	}
+	if n := core.Run(60); n != 40 {
+		t.Fatalf("second Run(60)=%d, want 40", n)
+	}
+	if n := core.Run(60); n != 0 {
+		t.Fatalf("Run after end=%d, want 0", n)
+	}
+}
+
+func TestCoreMemoryEvents(t *testing.T) {
+	sink := runProgram(t, testProgram(2, 50000, nil))
+	loads := sink.get(hpc.EvL1DLoads)
+	stores := sink.get(hpc.EvL1DStores)
+	if loads == 0 || stores == 0 {
+		t.Fatalf("no memory events: loads=%d stores=%d", loads, stores)
+	}
+	// Mix is 25% loads, 10% stores.
+	if ratio := float64(loads) / float64(stores); ratio < 1.5 || ratio > 4 {
+		t.Fatalf("load/store ratio=%.2f, want ~2.5", ratio)
+	}
+	if sink.get(hpc.EvDTLBLoads) != loads {
+		t.Fatal("every load must access the dTLB")
+	}
+	if sink.get(hpc.EvDTLBStores) != stores {
+		t.Fatal("every store must access the dTLB")
+	}
+	// Misses cannot exceed accesses.
+	if sink.get(hpc.EvL1DLoadMiss) > loads {
+		t.Fatal("more load misses than loads")
+	}
+}
+
+func TestCoreWorkingSetDrivesMissRate(t *testing.T) {
+	small := runProgram(t, testProgram(3, 100000, func(b *isa.Block) {
+		b.Loads.WorkingSet = 4 << 10 // fits L1d
+		b.Loads.Kind = isa.AccessRandom
+	}))
+	large := runProgram(t, testProgram(3, 100000, func(b *isa.Block) {
+		b.Loads.WorkingSet = 1 << 20 // 1 MB >> LLC
+		b.Loads.Kind = isa.AccessRandom
+	}))
+	smallRate := float64(small.get(hpc.EvL1DLoadMiss)) / float64(small.get(hpc.EvL1DLoads))
+	largeRate := float64(large.get(hpc.EvL1DLoadMiss)) / float64(large.get(hpc.EvL1DLoads))
+	if largeRate < 4*smallRate {
+		t.Fatalf("miss rates small=%.3f large=%.3f: large working set should miss far more", smallRate, largeRate)
+	}
+	if large.get(hpc.EvLLCLoadMiss) == 0 || large.get(hpc.EvNodeLoads) == 0 {
+		t.Fatal("over-LLC working set produced no LLC misses / node loads")
+	}
+	if large.get(hpc.EvCacheMiss) == 0 {
+		t.Fatal("cache-misses not counted")
+	}
+}
+
+func TestCoreBranchPredictability(t *testing.T) {
+	patterned := runProgram(t, testProgram(4, 100000, func(b *isa.Block) {
+		b.BranchEntropy = 0
+	}))
+	random := runProgram(t, testProgram(4, 100000, func(b *isa.Block) {
+		b.BranchEntropy = 1
+		b.BranchBias = 0.5
+	}))
+	pRate := float64(patterned.get(hpc.EvBranchMiss)) / float64(patterned.get(hpc.EvBranchInstr))
+	rRate := float64(random.get(hpc.EvBranchMiss)) / float64(random.get(hpc.EvBranchInstr))
+	if rRate < 2*pRate {
+		t.Fatalf("mispredict rates patterned=%.3f random=%.3f: random should be much worse", pRate, rRate)
+	}
+	if patterned.get(hpc.EvBranchLoads) != patterned.get(hpc.EvBranchInstr) {
+		t.Fatal("every branch must perform a branch-unit load")
+	}
+}
+
+func TestCorePageFaults(t *testing.T) {
+	sink := runProgram(t, testProgram(5, 50000, func(b *isa.Block) {
+		b.Loads.WorkingSet = 64 << 10 // 16 pages
+	}))
+	pages := sink.get(hpc.EvPageFaults)
+	// 16 load pages + up to 1 store page... store WS is 4KB = 1 page.
+	if pages < 16 || pages > 20 {
+		t.Fatalf("page faults=%d, want ~17 (one per touched page)", pages)
+	}
+	if sink.get(hpc.EvMinorFault) != pages {
+		t.Fatal("anonymous pages must fault as minor faults")
+	}
+	if sink.get(hpc.EvMajorFault) != 0 {
+		t.Fatal("no file-backed pages were touched")
+	}
+}
+
+func TestCoreMajorFaultsForFileBackedRegions(t *testing.T) {
+	sink := runProgram(t, testProgram(6, 50000, func(b *isa.Block) {
+		b.Loads.Base = DefaultFileBackedBase // file-backed mapping
+		b.Loads.WorkingSet = 64 << 10
+	}))
+	if sink.get(hpc.EvMajorFault) == 0 {
+		t.Fatal("file-backed first touches must raise major faults")
+	}
+	if sink.get(hpc.EvMajorFault)+sink.get(hpc.EvMinorFault) != sink.get(hpc.EvPageFaults) {
+		t.Fatal("minor+major faults must equal page faults")
+	}
+}
+
+func TestCoreSyscallsDriveContextSwitches(t *testing.T) {
+	sink := runProgram(t, testProgram(7, 50000, func(b *isa.Block) {
+		b.Mix[isa.KindSyscall] = 0.05
+	}))
+	if sink.get(hpc.EvCtxSwitch) == 0 {
+		t.Fatal("syscalls produced no context switches")
+	}
+	quiet := runProgram(t, testProgram(7, 50000, nil))
+	if quiet.get(hpc.EvCtxSwitch) != 0 {
+		t.Fatal("program without syscalls produced context switches")
+	}
+}
+
+func TestCoreSequentialBenefitsFromPrefetch(t *testing.T) {
+	seqMiss := func(ws uint64) (float64, uint64) {
+		sink := runProgram(t, testProgram(8, 200000, func(b *isa.Block) {
+			b.Loads.Kind = isa.AccessSequential
+			b.Loads.WorkingSet = ws
+		}))
+		return float64(sink.get(hpc.EvLLCLoadMiss)) / float64(sink.get(hpc.EvL1DLoads)),
+			sink.get(hpc.EvL1DPrefetch)
+	}
+	_, prefetches := seqMiss(1 << 20)
+	if prefetches == 0 {
+		t.Fatal("sequential streaming triggered no prefetches")
+	}
+	randSink := runProgram(t, testProgram(8, 200000, func(b *isa.Block) {
+		b.Loads.Kind = isa.AccessPointerChase
+		b.Loads.WorkingSet = 1 << 20
+	}))
+	if randSink.get(hpc.EvL1DPrefetch) > prefetches/4 {
+		t.Fatalf("pointer chase triggered %d prefetches vs %d sequential: stream detector too eager",
+			randSink.get(hpc.EvL1DPrefetch), prefetches)
+	}
+}
+
+func TestCoreResetClearsState(t *testing.T) {
+	sink := &countingSink{}
+	core := MustNewCore(DefaultConfig(), sink)
+	core.Bind(testProgram(9, 20000, nil).MustStream())
+	for core.Run(4096) > 0 {
+	}
+	if core.Occupancy() == 0 {
+		t.Fatal("expected residual cache state after a run")
+	}
+	if core.CycleCount() == 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	core.Reset()
+	if core.Occupancy() != 0 {
+		t.Fatal("Reset left residual cache state")
+	}
+	if core.CycleCount() != 0 {
+		t.Fatal("Reset did not clear the cycle count")
+	}
+}
+
+func TestCoreWarmStateChangesCounts(t *testing.T) {
+	// Running the same program twice without Reset must produce fewer
+	// misses the second time (contamination), and identical counts with
+	// Reset between runs (clean containers).
+	prog := testProgram(10, 30000, nil)
+
+	run := func(core *Core) uint64 {
+		sink := &countingSink{}
+		core.SetSink(sink)
+		core.Bind(prog.MustStream())
+		for core.Run(4096) > 0 {
+		}
+		return sink.get(hpc.EvL1DLoadMiss) + sink.get(hpc.EvL1ILoadMiss)
+	}
+
+	core := MustNewCore(DefaultConfig(), nil)
+	first := run(core)
+	warm := run(core) // no reset: warm caches
+	core.Reset()
+	clean := run(core)
+
+	if warm >= first {
+		t.Fatalf("warm rerun misses=%d, want < cold first run %d", warm, first)
+	}
+	if clean != first {
+		t.Fatalf("clean rerun misses=%d, want exactly first run's %d", clean, first)
+	}
+}
+
+func TestCoreInvalidConfigRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1DSize = 100 // not a power of two
+	if _, err := NewCore(cfg, nil); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestCoreICachePressureFromLargeCode(t *testing.T) {
+	smallCode := runProgram(t, testProgram(11, 100000, func(b *isa.Block) {
+		b.CodeSize = 2048
+	}))
+	largeCode := runProgram(t, testProgram(11, 100000, func(b *isa.Block) {
+		b.CodeSize = 256 << 10 // 256 KB code >> 8 KB L1i
+	}))
+	if largeCode.get(hpc.EvL1ILoadMiss) <= smallCode.get(hpc.EvL1ILoadMiss)*2 {
+		t.Fatalf("icache misses small=%d large=%d: large code should thrash L1i",
+			smallCode.get(hpc.EvL1ILoadMiss), largeCode.get(hpc.EvL1ILoadMiss))
+	}
+	if largeCode.get(hpc.EvITLBLoadMiss) == 0 {
+		t.Fatal("256 KB code footprint should miss the 128 KB-coverage iTLB")
+	}
+}

@@ -1,0 +1,143 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"twosmart/internal/dataset"
+	"twosmart/internal/ml"
+	"twosmart/internal/ml/mltest"
+)
+
+func TestNBSeparable(t *testing.T) {
+	d := mltest.Gaussian2Class(600, 4, 3.0, 1)
+	ev, err := ml.TrainAndEvaluate(&NBTrainer{}, d, 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.F1 < 0.9 {
+		t.Fatalf("NB F1=%v on Gaussian data (its home turf)", ev.F1)
+	}
+	if ev.AUC < 0.95 {
+		t.Fatalf("NB AUC=%v", ev.AUC)
+	}
+}
+
+func TestNBMulticlass(t *testing.T) {
+	d := mltest.MultiClass(600, 4, 3, 3.0, 3)
+	model, err := (&NBTrainer{}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := ml.EvaluateMulti(model, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Accuracy() < 0.85 {
+		t.Fatalf("multiclass accuracy=%v", mc.Accuracy())
+	}
+}
+
+func TestNBCannotSolveXOR(t *testing.T) {
+	// Naive Bayes assumes feature independence given the class; XOR
+	// violates it maximally.
+	d := mltest.XOR(800, 0.2, 4)
+	model, err := (&NBTrainer{}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, ins := range d.Instances {
+		if model.Predict(ins.Features) == ins.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(d.Len()); acc > 0.65 {
+		t.Fatalf("NB accuracy %v on XOR; independence assumption should fail", acc)
+	}
+}
+
+func TestNBScoresAreProbabilities(t *testing.T) {
+	d := mltest.Gaussian2Class(300, 3, 2.0, 5)
+	model, err := (&NBTrainer{}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range d.Instances[:30] {
+		s := model.Scores(ins.Features)
+		var sum float64
+		for _, v := range s {
+			if v < 0 || v > 1 {
+				t.Fatalf("posterior %v outside [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("posteriors sum to %v", sum)
+		}
+	}
+}
+
+func TestNBConstantFeatureHandled(t *testing.T) {
+	// A zero-variance feature must not produce NaN/Inf posteriors.
+	d := mltest.Gaussian2Class(200, 2, 2.0, 6)
+	for i := range d.Instances {
+		d.Instances[i].Features[1] = 7 // constant
+	}
+	model, err := (&NBTrainer{}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := model.Scores(d.Instances[0].Features)
+	for _, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("degenerate posterior %v", v)
+		}
+	}
+}
+
+func TestNBComplexityAndErrors(t *testing.T) {
+	d := mltest.Gaussian2Class(100, 5, 2.0, 7)
+	model, err := (&NBTrainer{}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, feats, ok := Complexity(model)
+	if !ok || classes != 2 || feats != 5 {
+		t.Fatalf("complexity=(%d,%d,%v)", classes, feats, ok)
+	}
+	empty := mltest.Gaussian2Class(0, 2, 1, 1)
+	if _, err := (&NBTrainer{}).Train(empty); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if (&NBTrainer{}).Name() != "NaiveBayes" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestNBImbalancedPriors(t *testing.T) {
+	// With a 9:1 prior and fully overlapping features, NB must lean on
+	// the prior and predict the majority class.
+	d := mltest.Gaussian2Class(400, 2, 0.0, 8)
+	minority := 0
+	d2 := d.Filter(func(ins dataset.Instance) bool {
+		if ins.Label == 0 {
+			return true
+		}
+		minority++
+		return minority%10 == 0
+	})
+	model, err := (&NBTrainer{}).Train(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	majorityVotes := 0
+	for _, ins := range d2.Instances {
+		if model.Predict(ins.Features) == 0 {
+			majorityVotes++
+		}
+	}
+	if frac := float64(majorityVotes) / float64(d2.Len()); frac < 0.8 {
+		t.Fatalf("NB ignored the class prior: majority fraction %v", frac)
+	}
+}

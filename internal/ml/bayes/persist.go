@@ -1,0 +1,59 @@
+package bayes
+
+import (
+	"encoding/json"
+	"errors"
+
+	"twosmart/internal/ml"
+)
+
+type nbDTO struct {
+	LogPriors  []float64   `json:"log_priors"`
+	Means      [][]float64 `json:"means"`
+	Variances  [][]float64 `json:"variances"`
+	NumClasses int         `json:"num_classes"`
+}
+
+// Marshal serialises a Naive Bayes model to JSON; it reports false if c is
+// not one.
+func Marshal(c ml.Classifier) ([]byte, bool, error) {
+	m, ok := c.(*naiveBayes)
+	if !ok {
+		return nil, false, nil
+	}
+	data, err := json.Marshal(nbDTO{
+		LogPriors: m.logPriors, Means: m.means,
+		Variances: m.variances, NumClasses: m.numClasses,
+	})
+	return data, true, err
+}
+
+// Unmarshal reconstructs a Naive Bayes model serialised by Marshal.
+func Unmarshal(data []byte) (ml.Classifier, error) {
+	var dto nbDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, err
+	}
+	k := dto.NumClasses
+	if k <= 0 || len(dto.LogPriors) != k || len(dto.Means) != k || len(dto.Variances) != k {
+		return nil, errors.New("bayes: inconsistent class dimensions")
+	}
+	if len(dto.Means[0]) == 0 {
+		return nil, errors.New("bayes: no features")
+	}
+	nf := len(dto.Means[0])
+	for c := 0; c < k; c++ {
+		if len(dto.Means[c]) != nf || len(dto.Variances[c]) != nf {
+			return nil, errors.New("bayes: ragged parameter tables")
+		}
+		for _, v := range dto.Variances[c] {
+			if v <= 0 {
+				return nil, errors.New("bayes: non-positive variance")
+			}
+		}
+	}
+	return &naiveBayes{
+		logPriors: dto.LogPriors, means: dto.Means,
+		variances: dto.Variances, numClasses: k,
+	}, nil
+}

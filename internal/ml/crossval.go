@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"twosmart/internal/dataset"
+)
+
+// CVResult summarises a k-fold cross-validation: per-fold binary
+// evaluations plus their mean and standard deviation of F-measure and
+// detection performance.
+type CVResult struct {
+	Folds    []BinaryEval
+	MeanF    float64
+	StdF     float64
+	MeanPerf float64
+	StdPerf  float64
+}
+
+// CrossValidate performs stratified k-fold cross-validation of a trainer on
+// a binary dataset: each class's instances are shuffled (deterministically
+// in seed) and dealt round-robin into k folds, so every fold preserves the
+// class imbalance. The paper uses a single 60/40 split; cross-validation is
+// provided for variance estimates on small corpora.
+func CrossValidate(tr Trainer, d *dataset.Dataset, k int, seed int64) (*CVResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: cross-validation needs k >= 2, got %d", k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("ml: %d instances cannot fill %d folds", d.Len(), k)
+	}
+	// Stratified round-robin assignment.
+	rng := rand.New(rand.NewSource(seed))
+	foldOf := make([]int, d.Len())
+	byClass := make(map[int][]int)
+	for i, ins := range d.Instances {
+		byClass[ins.Label] = append(byClass[ins.Label], i)
+	}
+	next := 0
+	for label := 0; label < d.NumClasses(); label++ {
+		idxs := byClass[label]
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		for _, idx := range idxs {
+			foldOf[idx] = next % k
+			next++
+		}
+	}
+
+	res := &CVResult{}
+	for fold := 0; fold < k; fold++ {
+		train := dataset.New(d.FeatureNames, d.ClassNames)
+		test := dataset.New(d.FeatureNames, d.ClassNames)
+		for i, ins := range d.Instances {
+			if foldOf[i] == fold {
+				test.Instances = append(test.Instances, ins)
+			} else {
+				train.Instances = append(train.Instances, ins)
+			}
+		}
+		model, err := tr.Train(train)
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", fold, err)
+		}
+		ev, err := EvaluateBinary(model, test)
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", fold, err)
+		}
+		res.Folds = append(res.Folds, ev)
+	}
+
+	res.MeanF, res.StdF = meanStd(res.Folds, func(e BinaryEval) float64 { return e.F1 })
+	res.MeanPerf, res.StdPerf = meanStd(res.Folds, func(e BinaryEval) float64 { return e.Performance })
+	return res, nil
+}
+
+func meanStd(folds []BinaryEval, get func(BinaryEval) float64) (mean, std float64) {
+	for _, f := range folds {
+		mean += get(f)
+	}
+	mean /= float64(len(folds))
+	for _, f := range folds {
+		d := get(f) - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(folds)))
+}

@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"testing"
+
+	"twosmart/internal/dataset"
+	"twosmart/internal/ml/mltest"
+)
+
+func TestCrossValidateBasics(t *testing.T) {
+	d := mltest.Gaussian2Class(300, 3, 3.0, 1)
+	res, err := CrossValidate(thresholdTrainer{}, d, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 5 {
+		t.Fatalf("folds=%d", len(res.Folds))
+	}
+	if res.MeanF < 0.8 {
+		t.Fatalf("mean F=%v on separable data", res.MeanF)
+	}
+	if res.StdF < 0 || res.StdF > 0.5 {
+		t.Fatalf("std F=%v", res.StdF)
+	}
+	if res.MeanPerf <= 0 {
+		t.Fatal("mean performance missing")
+	}
+	// Every instance appears in exactly one test fold: total test size
+	// across folds equals the dataset.
+	total := 0
+	for _, f := range res.Folds {
+		total += f.Confusion.Total()
+	}
+	if total != d.Len() {
+		t.Fatalf("fold tests cover %d instances, want %d", total, d.Len())
+	}
+}
+
+func TestCrossValidateStratification(t *testing.T) {
+	// Keep only every tenth positive (~9% positives): each of 5 folds
+	// must still contain positives.
+	d := mltest.Gaussian2Class(400, 2, 3.0, 2)
+	positives := 0
+	unbalanced := d.Filter(func(ins dataset.Instance) bool {
+		if ins.Label == 0 {
+			return true
+		}
+		positives++
+		return positives%10 == 0
+	})
+	res, err := CrossValidate(thresholdTrainer{}, unbalanced, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Folds {
+		if f.Confusion.TP+f.Confusion.FN == 0 {
+			t.Fatalf("fold %d has no positive instances (stratification broken)", i)
+		}
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	d := mltest.Gaussian2Class(50, 2, 2.0, 4)
+	if _, err := CrossValidate(thresholdTrainer{}, d, 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	tiny := mltest.Gaussian2Class(2, 2, 2.0, 5)
+	if _, err := CrossValidate(thresholdTrainer{}, tiny, 10, 1); err == nil {
+		t.Fatal("more folds than instances accepted")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	d := mltest.Gaussian2Class(200, 2, 2.0, 6)
+	a, err := CrossValidate(thresholdTrainer{}, d, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(thresholdTrainer{}, d, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Folds {
+		if a.Folds[i].F1 != b.Folds[i].F1 {
+			t.Fatal("cross-validation not deterministic")
+		}
+	}
+}

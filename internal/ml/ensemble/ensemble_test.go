@@ -1,0 +1,151 @@
+package ensemble
+
+import (
+	"testing"
+
+	"twosmart/internal/dataset"
+	"twosmart/internal/ml"
+	"twosmart/internal/ml/mltest"
+	"twosmart/internal/ml/tree"
+)
+
+// stump trains a depth-1 decision tree: a canonical weak learner.
+func stump() ml.Trainer { return &tree.J48Trainer{MaxDepth: 1, Confidence: 1} }
+
+func TestAdaBoostImprovesWeakLearner(t *testing.T) {
+	// A single stump can only use one of the four weakly-informative
+	// features; boosting combines axis-aligned cuts across features.
+	d := mltest.Gaussian2Class(1000, 4, 1.2, 1)
+	weak, err := ml.TrainAndEvaluate(stump(), d, 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := ml.TrainAndEvaluate(&AdaBoostTrainer{Base: stump(), Rounds: 25, Seed: 3}, d, 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.F1 <= weak.F1+0.02 {
+		t.Fatalf("boosting did not help: weak F1=%v boosted F1=%v", weak.F1, boosted.F1)
+	}
+	if boosted.F1 < 0.8 {
+		t.Fatalf("boosted F1=%v", boosted.F1)
+	}
+}
+
+func TestAdaBoostMembers(t *testing.T) {
+	d := mltest.Gaussian2Class(400, 3, 1.0, 4)
+	model, err := (&AdaBoostTrainer{Base: stump(), Rounds: 8, Seed: 5}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, alphas, ok := Members(model)
+	if !ok {
+		t.Fatal("Members failed on AdaBoost model")
+	}
+	if len(members) == 0 || len(members) != len(alphas) {
+		t.Fatalf("members=%d alphas=%d", len(members), len(alphas))
+	}
+	if len(members) > 8 {
+		t.Fatalf("more members than rounds: %d", len(members))
+	}
+	for _, a := range alphas {
+		if a <= 0 {
+			t.Fatalf("non-positive alpha %v", a)
+		}
+	}
+}
+
+func TestAdaBoostPerfectBaseStopsEarly(t *testing.T) {
+	// Hugely separated data: the first stump is perfect, so the ensemble
+	// keeps it and stops.
+	d := mltest.OneInformative(300, 2, 0, 100.0, 6)
+	model, err := (&AdaBoostTrainer{Base: stump(), Rounds: 10, Seed: 7}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, _, _ := Members(model)
+	if len(members) != 1 {
+		t.Fatalf("perfect base produced %d members, want 1", len(members))
+	}
+	ev, err := ml.EvaluateBinary(model, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.F1 < 0.99 {
+		t.Fatalf("F1=%v", ev.F1)
+	}
+}
+
+func TestAdaBoostScoresNormalised(t *testing.T) {
+	d := mltest.Gaussian2Class(300, 3, 1.5, 8)
+	model, err := (&AdaBoostTrainer{Base: stump(), Rounds: 10, Seed: 9}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range d.Instances[:20] {
+		s := model.Scores(ins.Features)
+		var sum float64
+		for _, v := range s {
+			if v < 0 || v > 1 {
+				t.Fatalf("score %v outside [0,1]", v)
+			}
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("scores sum to %v", sum)
+		}
+	}
+}
+
+func TestAdaBoostValidation(t *testing.T) {
+	d := mltest.Gaussian2Class(100, 2, 1.0, 10)
+	if _, err := (&AdaBoostTrainer{Rounds: 5}).Train(d); err == nil {
+		t.Fatal("missing base trainer accepted")
+	}
+	empty := dataset.New([]string{"a"}, []string{"x", "y"})
+	if _, err := (&AdaBoostTrainer{Base: stump()}).Train(empty); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestAdaBoostName(t *testing.T) {
+	tr := &AdaBoostTrainer{Base: stump()}
+	if tr.Name() != "AdaBoost(J48)" {
+		t.Fatalf("Name=%q", tr.Name())
+	}
+	if (&AdaBoostTrainer{}).Name() != "AdaBoost" {
+		t.Fatal("baseless name wrong")
+	}
+}
+
+func TestAdaBoostDeterministicInSeed(t *testing.T) {
+	d := mltest.Gaussian2Class(300, 3, 1.0, 11)
+	a, err := (&AdaBoostTrainer{Base: stump(), Rounds: 6, Seed: 12}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&AdaBoostTrainer{Base: stump(), Rounds: 6, Seed: 12}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range d.Instances[:50] {
+		if a.Predict(ins.Features) != b.Predict(ins.Features) {
+			t.Fatal("same-seed ensembles disagree")
+		}
+	}
+}
+
+func TestAdaBoostMulticlass(t *testing.T) {
+	d := mltest.MultiClass(600, 3, 3, 2.5, 13)
+	model, err := (&AdaBoostTrainer{Base: &tree.J48Trainer{MaxDepth: 2, Confidence: 1}, Rounds: 10, Seed: 14}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := ml.EvaluateMulti(model, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Accuracy() < 0.8 {
+		t.Fatalf("multiclass accuracy=%v", mc.Accuracy())
+	}
+}

@@ -1,0 +1,105 @@
+package linear
+
+import (
+	"math"
+	"testing"
+
+	"twosmart/internal/ml"
+	"twosmart/internal/ml/mltest"
+)
+
+func TestMLRSeparable(t *testing.T) {
+	d := mltest.Gaussian2Class(600, 4, 3.0, 1)
+	ev, err := ml.TrainAndEvaluate(&MLRTrainer{Epochs: 80, Seed: 1}, d, 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.F1 < 0.9 {
+		t.Fatalf("MLR F1=%v", ev.F1)
+	}
+}
+
+func TestMLRMulticlass(t *testing.T) {
+	d := mltest.MultiClass(750, 5, 3, 3.0, 3)
+	model, err := (&MLRTrainer{Epochs: 100, Seed: 2}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := ml.EvaluateMulti(model, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Accuracy() < 0.85 {
+		t.Fatalf("multiclass accuracy=%v", mc.Accuracy())
+	}
+}
+
+func TestMLRIsLinear(t *testing.T) {
+	// XOR is not linearly separable: a correct MLR implementation cannot
+	// do much better than chance.
+	d := mltest.XOR(800, 0.2, 4)
+	model, err := (&MLRTrainer{Epochs: 100, Seed: 3}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, ins := range d.Instances {
+		if model.Predict(ins.Features) == ins.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(d.Len()); acc > 0.65 {
+		t.Fatalf("MLR accuracy %v on XOR; a linear model should fail", acc)
+	}
+}
+
+func TestMLRScoresAreProbabilities(t *testing.T) {
+	d := mltest.MultiClass(300, 3, 2, 2.0, 5)
+	model, err := (&MLRTrainer{Epochs: 40, Seed: 4}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range d.Instances[:20] {
+		s := model.Scores(ins.Features)
+		var sum float64
+		for _, v := range s {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %v outside [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("softmax sums to %v", sum)
+		}
+	}
+}
+
+func TestMLRComplexity(t *testing.T) {
+	d := mltest.MultiClass(120, 3, 4, 2.0, 6)
+	model, err := (&MLRTrainer{Epochs: 10, Seed: 1}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out, ok := Complexity(model)
+	if !ok || in != 4 || out != 3 {
+		t.Fatalf("complexity=(%d,%d,%v), want (4,3,true)", in, out, ok)
+	}
+}
+
+func TestMLRDeterministicInSeed(t *testing.T) {
+	d := mltest.Gaussian2Class(200, 3, 1.5, 7)
+	a, _ := (&MLRTrainer{Epochs: 20, Seed: 5}).Train(d)
+	b, _ := (&MLRTrainer{Epochs: 20, Seed: 5}).Train(d)
+	for _, ins := range d.Instances[:50] {
+		if math.Abs(a.Scores(ins.Features)[1]-b.Scores(ins.Features)[1]) > 1e-12 {
+			t.Fatal("same-seed MLR models disagree")
+		}
+	}
+}
+
+func TestMLREmptyDataset(t *testing.T) {
+	d := mltest.Gaussian2Class(0, 2, 1, 1)
+	if _, err := (&MLRTrainer{}).Train(d); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

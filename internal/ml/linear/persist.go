@@ -1,0 +1,55 @@
+package linear
+
+import (
+	"encoding/json"
+	"errors"
+
+	"twosmart/internal/dataset"
+	"twosmart/internal/ml"
+)
+
+type mlrDTO struct {
+	Means      []float64   `json:"means"`
+	Stds       []float64   `json:"stds"`
+	W          [][]float64 `json:"w"`
+	NumClasses int         `json:"num_classes"`
+}
+
+// Marshal serialises an MLR model to JSON; it reports false if c is not an
+// MLR model.
+func Marshal(c ml.Classifier) ([]byte, bool, error) {
+	m, ok := c.(*mlr)
+	if !ok {
+		return nil, false, nil
+	}
+	data, err := json.Marshal(mlrDTO{
+		Means: m.scaler.Means, Stds: m.scaler.Stds,
+		W: m.w, NumClasses: m.numClasses,
+	})
+	return data, true, err
+}
+
+// Unmarshal reconstructs an MLR model serialised by Marshal.
+func Unmarshal(data []byte) (ml.Classifier, error) {
+	var dto mlrDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, err
+	}
+	if len(dto.W) == 0 || dto.NumClasses != len(dto.W) {
+		return nil, errors.New("linear: weight matrix does not match class count")
+	}
+	in := len(dto.W[0]) - 1
+	if in < 0 || len(dto.Means) != in || len(dto.Stds) != in {
+		return nil, errors.New("linear: scaler width does not match weights")
+	}
+	for _, row := range dto.W {
+		if len(row) != in+1 {
+			return nil, errors.New("linear: ragged weight matrix")
+		}
+	}
+	return &mlr{
+		scaler:     &dataset.Scaler{Means: dto.Means, Stds: dto.Stds},
+		w:          dto.W,
+		numClasses: dto.NumClasses,
+	}, nil
+}

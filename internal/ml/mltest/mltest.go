@@ -1,0 +1,108 @@
+// Package mltest provides shared synthetic dataset generators for testing
+// the learning algorithms: Gaussian blobs with controllable separation and
+// the XOR problem for checking nonlinear capacity.
+package mltest
+
+import (
+	"math/rand"
+
+	"twosmart/internal/dataset"
+)
+
+// Gaussian2Class builds a binary dataset of n instances with dims features;
+// class 1 instances are shifted by sep on every dimension. Class 0 and 1
+// each get n/2 instances.
+func Gaussian2Class(n, dims int, sep float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, dims)
+	for i := range names {
+		names[i] = featureName(i)
+	}
+	d := dataset.New(names, []string{"benign", "malware"})
+	for i := 0; i < n; i++ {
+		label := i % 2
+		fv := make([]float64, dims)
+		for j := range fv {
+			fv[j] = rng.NormFloat64() + float64(label)*sep
+		}
+		d.Add(dataset.Instance{Features: fv, Label: label})
+	}
+	return d
+}
+
+// OneInformative builds a binary dataset where only feature `informative`
+// carries signal (shift sep); all others are standard normal noise.
+func OneInformative(n, dims, informative int, sep float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, dims)
+	for i := range names {
+		names[i] = featureName(i)
+	}
+	d := dataset.New(names, []string{"benign", "malware"})
+	for i := 0; i < n; i++ {
+		label := i % 2
+		fv := make([]float64, dims)
+		for j := range fv {
+			fv[j] = rng.NormFloat64()
+			if j == informative {
+				fv[j] += float64(label) * sep
+			}
+		}
+		d.Add(dataset.Instance{Features: fv, Label: label})
+	}
+	return d
+}
+
+// XOR builds the XOR problem in two dimensions with Gaussian noise: class 1
+// iff the two coordinates have the same sign. No linear model can beat 50%.
+func XOR(n int, noise float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New([]string{"x", "y"}, []string{"benign", "malware"})
+	for i := 0; i < n; i++ {
+		sx := 1.0
+		if rng.Intn(2) == 0 {
+			sx = -1
+		}
+		sy := 1.0
+		if rng.Intn(2) == 0 {
+			sy = -1
+		}
+		label := 0
+		if sx*sy > 0 {
+			label = 1
+		}
+		d.Add(dataset.Instance{
+			Features: []float64{sx + rng.NormFloat64()*noise, sy + rng.NormFloat64()*noise},
+			Label:    label,
+		})
+	}
+	return d
+}
+
+// MultiClass builds a k-class dataset of Gaussian blobs placed sep apart
+// along a diagonal in dims dimensions.
+func MultiClass(n, k, dims int, sep float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, dims)
+	for i := range names {
+		names[i] = featureName(i)
+	}
+	classes := make([]string, k)
+	for i := range classes {
+		classes[i] = string(rune('a' + i))
+	}
+	d := dataset.New(names, classes)
+	for i := 0; i < n; i++ {
+		label := i % k
+		fv := make([]float64, dims)
+		for j := range fv {
+			fv[j] = rng.NormFloat64() + float64(label)*sep
+		}
+		d.Add(dataset.Instance{Features: fv, Label: label})
+	}
+	return d
+}
+
+func featureName(i int) string {
+	return "f" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"twosmart/internal/ml"
+	"twosmart/internal/ml/mltest"
+)
+
+func TestMLPSeparable(t *testing.T) {
+	d := mltest.Gaussian2Class(600, 4, 3.0, 1)
+	ev, err := ml.TrainAndEvaluate(&MLPTrainer{Epochs: 60, Seed: 1}, d, 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.F1 < 0.9 {
+		t.Fatalf("MLP F1=%v", ev.F1)
+	}
+}
+
+func TestMLPSolvesXOR(t *testing.T) {
+	d := mltest.XOR(800, 0.2, 3)
+	ev, err := ml.TrainAndEvaluate(&MLPTrainer{Hidden: 8, Epochs: 150, Seed: 2}, d, 0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.F1 < 0.9 {
+		t.Fatalf("MLP F1=%v on XOR; a hidden layer should solve it", ev.F1)
+	}
+}
+
+func TestMLPMulticlass(t *testing.T) {
+	d := mltest.MultiClass(600, 4, 3, 3.0, 5)
+	model, err := (&MLPTrainer{Epochs: 80, Seed: 3}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := ml.EvaluateMulti(model, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Accuracy() < 0.85 {
+		t.Fatalf("multiclass accuracy=%v", mc.Accuracy())
+	}
+}
+
+func TestMLPScoresAreProbabilities(t *testing.T) {
+	d := mltest.Gaussian2Class(200, 3, 2.0, 6)
+	model, err := (&MLPTrainer{Epochs: 30, Seed: 4}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range d.Instances[:20] {
+		s := model.Scores(ins.Features)
+		var sum float64
+		for _, v := range s {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %v outside [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("softmax sums to %v", sum)
+		}
+	}
+}
+
+func TestMLPDeterministicInSeed(t *testing.T) {
+	d := mltest.Gaussian2Class(200, 3, 1.5, 7)
+	a, _ := (&MLPTrainer{Epochs: 20, Seed: 9}).Train(d)
+	b, _ := (&MLPTrainer{Epochs: 20, Seed: 9}).Train(d)
+	c, _ := (&MLPTrainer{Epochs: 20, Seed: 10}).Train(d)
+	sameAB, sameAC := true, true
+	for _, ins := range d.Instances[:50] {
+		sa, sb, sc := a.Scores(ins.Features), b.Scores(ins.Features), c.Scores(ins.Features)
+		if math.Abs(sa[1]-sb[1]) > 1e-12 {
+			sameAB = false
+		}
+		if math.Abs(sa[1]-sc[1]) > 1e-12 {
+			sameAC = false
+		}
+	}
+	if !sameAB {
+		t.Fatal("same-seed MLPs disagree")
+	}
+	if sameAC {
+		t.Fatal("different-seed MLPs identical")
+	}
+}
+
+func TestMLPComplexity(t *testing.T) {
+	d := mltest.Gaussian2Class(100, 5, 2.0, 8)
+	model, err := (&MLPTrainer{Hidden: 7, Epochs: 5, Seed: 1}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, hid, out, ok := Complexity(model)
+	if !ok {
+		t.Fatal("Complexity failed")
+	}
+	if in != 5 || hid != 7 || out != 2 {
+		t.Fatalf("complexity=(%d,%d,%d), want (5,7,2)", in, hid, out)
+	}
+}
+
+func TestMLPDefaultHiddenHeuristic(t *testing.T) {
+	d := mltest.Gaussian2Class(100, 6, 2.0, 9)
+	model, err := (&MLPTrainer{Epochs: 5, Seed: 1}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hid, _, _ := Complexity(model)
+	if hid != 4 { // (6+2)/2
+		t.Fatalf("default hidden=%d, want 4", hid)
+	}
+}
+
+func TestMLPEmptyDataset(t *testing.T) {
+	d := mltest.Gaussian2Class(0, 2, 1, 1)
+	if _, err := (&MLPTrainer{}).Train(d); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestMLPDropoutValidation(t *testing.T) {
+	d := mltest.Gaussian2Class(100, 2, 2.0, 10)
+	if _, err := (&MLPTrainer{Dropout: -0.1, Epochs: 2}).Train(d); err == nil {
+		t.Fatal("negative dropout accepted")
+	}
+	if _, err := (&MLPTrainer{Dropout: 0.95, Epochs: 2}).Train(d); err == nil {
+		t.Fatal("dropout near 1 accepted")
+	}
+	if _, err := (&MLPTrainer{Dropout: 0.3, Epochs: 2, Seed: 1}).Train(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLPDropoutStillLearns(t *testing.T) {
+	d := mltest.Gaussian2Class(500, 4, 3.0, 11)
+	ev, err := ml.TrainAndEvaluate(&MLPTrainer{Dropout: 0.3, Epochs: 80, Seed: 2}, d, 0.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.F1 < 0.85 {
+		t.Fatalf("dropout MLP F1=%v", ev.F1)
+	}
+}
+
+// Dropout regularises: on wide noisy inputs with a small training set (the
+// paper's MLP-overfits-with-16-HPCs setting) it must not hurt, and on the
+// training data the dropout network must fit *less* tightly than the plain
+// one (the signature of regularisation).
+func TestMLPDropoutRegularises(t *testing.T) {
+	d := mltest.OneInformative(140, 16, 0, 1.2, 12)
+	train, _, err := d.Split(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := (&MLPTrainer{Hidden: 24, Epochs: 220, Seed: 3}).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := (&MLPTrainer{Hidden: 24, Epochs: 220, Seed: 3, Dropout: 0.5}).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainAcc := func(m ml.Classifier) float64 {
+		ok := 0
+		for _, ins := range train.Instances {
+			if m.Predict(ins.Features) == ins.Label {
+				ok++
+			}
+		}
+		return float64(ok) / float64(train.Len())
+	}
+	if trainAcc(dropped) > trainAcc(plain)+1e-9 {
+		t.Fatalf("dropout fit the training data tighter (%.3f) than plain (%.3f)",
+			trainAcc(dropped), trainAcc(plain))
+	}
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"encoding/json"
+	"errors"
+
+	"twosmart/internal/dataset"
+	"twosmart/internal/ml"
+)
+
+type mlpDTO struct {
+	Means      []float64   `json:"means"`
+	Stds       []float64   `json:"stds"`
+	W1         [][]float64 `json:"w1"`
+	W2         [][]float64 `json:"w2"`
+	NumClasses int         `json:"num_classes"`
+}
+
+// Marshal serialises an MLP model to JSON; it reports false if c is not an
+// MLP model.
+func Marshal(c ml.Classifier) ([]byte, bool, error) {
+	m, ok := c.(*mlp)
+	if !ok {
+		return nil, false, nil
+	}
+	data, err := json.Marshal(mlpDTO{
+		Means: m.scaler.Means, Stds: m.scaler.Stds,
+		W1: m.w1, W2: m.w2, NumClasses: m.numClasses,
+	})
+	return data, true, err
+}
+
+// Unmarshal reconstructs an MLP model serialised by Marshal.
+func Unmarshal(data []byte) (ml.Classifier, error) {
+	var dto mlpDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, err
+	}
+	if len(dto.W1) == 0 || len(dto.W2) == 0 {
+		return nil, errors.New("nn: empty weight matrices")
+	}
+	in := len(dto.W1[0]) - 1
+	if len(dto.Means) != in || len(dto.Stds) != in {
+		return nil, errors.New("nn: scaler width does not match input layer")
+	}
+	hidden := len(dto.W1)
+	for _, row := range dto.W2 {
+		if len(row) != hidden+1 {
+			return nil, errors.New("nn: output layer width does not match hidden layer")
+		}
+	}
+	if dto.NumClasses != len(dto.W2) {
+		return nil, errors.New("nn: class count does not match output layer")
+	}
+	return &mlp{
+		scaler:     &dataset.Scaler{Means: dto.Means, Stds: dto.Stds},
+		w1:         dto.W1,
+		w2:         dto.W2,
+		numClasses: dto.NumClasses,
+	}, nil
+}

@@ -1,0 +1,64 @@
+package rules
+
+import "twosmart/internal/ml"
+
+// ExportedCondition is one rule condition: features[Feat] <= Threshold when
+// LE, otherwise features[Feat] > Threshold.
+type ExportedCondition struct {
+	Feat      int
+	Threshold float64
+	LE        bool
+}
+
+// ExportedRule is one ordered rule: when all conditions match, predict
+// Class.
+type ExportedRule struct {
+	Conds []ExportedCondition
+	Class int
+}
+
+// ExportJRip returns the ordered rule list and default class of a JRip
+// model, or false if c is not one.
+func ExportJRip(c ml.Classifier) (exported []ExportedRule, defaultClass int, ok bool) {
+	m, isJRip := c.(*jrip)
+	if !isJRip {
+		return nil, 0, false
+	}
+	for _, r := range m.rules {
+		er := ExportedRule{Class: r.class}
+		for _, cond := range r.conds {
+			er.Conds = append(er.Conds, ExportedCondition{
+				Feat: cond.feat, Threshold: cond.threshold, LE: cond.le,
+			})
+		}
+		exported = append(exported, er)
+	}
+	best := 0
+	for i, v := range m.defaultDist {
+		if v > m.defaultDist[best] {
+			best = i
+		}
+	}
+	return exported, best, true
+}
+
+// ExportOneR returns a OneR model's single feature, its ascending bin
+// thresholds and the class predicted by each bin (len(classes) ==
+// len(thresholds)+1), or false if c is not a OneR model.
+func ExportOneR(c ml.Classifier) (feat int, thresholds []float64, classes []int, ok bool) {
+	m, isOneR := c.(*oneR)
+	if !isOneR {
+		return 0, nil, nil, false
+	}
+	classes = make([]int, len(m.dists))
+	for i, dist := range m.dists {
+		best := 0
+		for j, v := range dist {
+			if v > dist[best] {
+				best = j
+			}
+		}
+		classes[i] = best
+	}
+	return m.feature, append([]float64(nil), m.thresholds...), classes, true
+}

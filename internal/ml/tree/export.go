@@ -1,0 +1,40 @@
+package tree
+
+import "twosmart/internal/ml"
+
+// Node is a read-only structural view of a trained tree, exported for
+// tooling (hardware code generation, visualisation). Leaves carry the
+// majority class.
+type Node struct {
+	Leaf      bool
+	Feat      int
+	Threshold float64
+	Class     int
+	Left      *Node // features[Feat] <= Threshold
+	Right     *Node
+}
+
+// Export returns the structure of a J48 model, or false if c is not one.
+func Export(c ml.Classifier) (*Node, bool) {
+	m, ok := c.(*j48)
+	if !ok {
+		return nil, false
+	}
+	var conv func(n *node) *Node
+	conv = func(n *node) *Node {
+		out := &Node{Leaf: n.leaf, Feat: n.feat, Threshold: n.threshold}
+		best := 0
+		for i, cnt := range n.counts {
+			if cnt > n.counts[best] {
+				best = i
+			}
+		}
+		out.Class = best
+		if !n.leaf {
+			out.Left = conv(n.left)
+			out.Right = conv(n.right)
+		}
+		return out
+	}
+	return conv(m.root), true
+}

@@ -1,0 +1,84 @@
+package tree
+
+import (
+	"encoding/json"
+	"errors"
+
+	"twosmart/internal/ml"
+)
+
+// nodeDTO is the serialised form of a tree node; children are indices into
+// the flat node list (-1 for none), keeping the encoding recursion-free.
+type nodeDTO struct {
+	Feat      int       `json:"feat"`
+	Threshold float64   `json:"threshold"`
+	Left      int       `json:"left"`
+	Right     int       `json:"right"`
+	Counts    []float64 `json:"counts"`
+	Leaf      bool      `json:"leaf"`
+}
+
+// modelDTO is the serialised form of a J48 model.
+type modelDTO struct {
+	Nodes      []nodeDTO `json:"nodes"` // index 0 is the root
+	NumClasses int       `json:"num_classes"`
+	FeatNames  []string  `json:"feature_names"`
+}
+
+// Marshal serialises a J48 model to JSON. It reports false if c is not a
+// J48 model.
+func Marshal(c ml.Classifier) ([]byte, bool, error) {
+	m, ok := c.(*j48)
+	if !ok {
+		return nil, false, nil
+	}
+	dto := modelDTO{NumClasses: m.numClasses, FeatNames: m.featNames}
+	var flatten func(n *node) int
+	flatten = func(n *node) int {
+		idx := len(dto.Nodes)
+		dto.Nodes = append(dto.Nodes, nodeDTO{
+			Feat: n.feat, Threshold: n.threshold,
+			Left: -1, Right: -1,
+			Counts: n.counts, Leaf: n.leaf,
+		})
+		if !n.leaf {
+			dto.Nodes[idx].Left = flatten(n.left)
+			dto.Nodes[idx].Right = flatten(n.right)
+		}
+		return idx
+	}
+	flatten(m.root)
+	data, err := json.Marshal(dto)
+	return data, true, err
+}
+
+// Unmarshal reconstructs a J48 model serialised by Marshal.
+func Unmarshal(data []byte) (ml.Classifier, error) {
+	var dto modelDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, err
+	}
+	if len(dto.Nodes) == 0 {
+		return nil, errors.New("tree: empty serialised model")
+	}
+	if dto.NumClasses <= 0 {
+		return nil, errors.New("tree: invalid class count")
+	}
+	nodes := make([]node, len(dto.Nodes))
+	for i, nd := range dto.Nodes {
+		nodes[i] = node{
+			feat: nd.Feat, threshold: nd.Threshold,
+			counts: nd.Counts, leaf: nd.Leaf,
+		}
+		if nd.Leaf {
+			continue
+		}
+		if nd.Left < 0 || nd.Left >= len(dto.Nodes) || nd.Right < 0 || nd.Right >= len(dto.Nodes) ||
+			nd.Left == i || nd.Right == i {
+			return nil, errors.New("tree: corrupt child indices")
+		}
+		nodes[i].left = &nodes[nd.Left]
+		nodes[i].right = &nodes[nd.Right]
+	}
+	return &j48{root: &nodes[0], numClasses: dto.NumClasses, featNames: dto.FeatNames}, nil
+}

@@ -1,0 +1,242 @@
+// Package monitor is the run-time deployment layer around a trained
+// detector: it turns the noisy per-10 ms-sample malware scores of a
+// 2SMaRT detector into stable alarms using exponential smoothing and
+// hysteresis, and tracks many concurrently running applications. This is
+// the piece a system integrator would connect to the counter-sampling
+// interrupt on real hardware.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Scorer produces a malware-ness score in [0,1] for one sample.
+// *core.Detector satisfies this interface via MalwareScore.
+type Scorer interface {
+	MalwareScore(features []float64) (float64, error)
+}
+
+// Config tunes the smoothing and alarm behaviour.
+type Config struct {
+	// Alpha is the EWMA coefficient in (0,1]; higher reacts faster
+	// (default 0.3).
+	Alpha float64
+	// RaiseThreshold and ClearThreshold implement hysteresis: the alarm
+	// raises when the smoothed score exceeds RaiseThreshold and clears
+	// only when it falls below ClearThreshold (defaults 0.6 and 0.4).
+	RaiseThreshold float64
+	ClearThreshold float64
+	// MinSamples is the warm-up period before any alarm can raise
+	// (default 3 samples = 30 ms).
+	MinSamples int
+}
+
+func (c Config) fill() (Config, error) {
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return c, fmt.Errorf("monitor: alpha %v outside (0,1]", c.Alpha)
+	}
+	if c.RaiseThreshold == 0 {
+		c.RaiseThreshold = 0.6
+	}
+	if c.ClearThreshold == 0 {
+		c.ClearThreshold = 0.4
+	}
+	if c.ClearThreshold > c.RaiseThreshold {
+		return c, fmt.Errorf("monitor: clear threshold %v above raise threshold %v", c.ClearThreshold, c.RaiseThreshold)
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 3
+	}
+	if c.MinSamples < 0 {
+		return c, fmt.Errorf("monitor: negative warm-up %d", c.MinSamples)
+	}
+	return c, nil
+}
+
+// Event is the monitor's output for one observed sample.
+type Event struct {
+	// Sample is the 0-based sample index within this monitor.
+	Sample int
+	// Score is the detector's raw malware score for this sample.
+	Score float64
+	// Smoothed is the EWMA of scores so far.
+	Smoothed float64
+	// Alarm reports whether the malware alarm is currently raised.
+	Alarm bool
+	// Changed reports whether this sample raised or cleared the alarm.
+	Changed bool
+}
+
+// Monitor smooths one application's score stream.
+type Monitor struct {
+	scorer  Scorer
+	cfg     Config
+	samples int
+	ewma    float64
+	alarm   bool
+}
+
+// New builds a monitor over a scorer.
+func New(s Scorer, cfg Config) (*Monitor, error) {
+	if s == nil {
+		return nil, errors.New("monitor: nil scorer")
+	}
+	filled, err := cfg.fill()
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{scorer: s, cfg: filled}, nil
+}
+
+// Observe feeds one sample and returns the resulting event.
+func (m *Monitor) Observe(features []float64) (Event, error) {
+	score, err := m.scorer.MalwareScore(features)
+	if err != nil {
+		return Event{}, err
+	}
+	if m.samples == 0 {
+		m.ewma = score
+	} else {
+		m.ewma = m.cfg.Alpha*score + (1-m.cfg.Alpha)*m.ewma
+	}
+	ev := Event{Sample: m.samples, Score: score, Smoothed: m.ewma}
+	m.samples++
+
+	prev := m.alarm
+	if m.samples >= m.cfg.MinSamples && !m.alarm && m.ewma > m.cfg.RaiseThreshold {
+		m.alarm = true
+	} else if m.alarm && m.ewma < m.cfg.ClearThreshold {
+		m.alarm = false
+	}
+	ev.Alarm = m.alarm
+	ev.Changed = m.alarm != prev
+	return ev, nil
+}
+
+// Samples returns how many samples this monitor has observed.
+func (m *Monitor) Samples() int { return m.samples }
+
+// Alarmed reports the current alarm state.
+func (m *Monitor) Alarmed() bool { return m.alarm }
+
+// Reset returns the monitor to its initial state.
+func (m *Monitor) Reset() {
+	m.samples = 0
+	m.ewma = 0
+	m.alarm = false
+}
+
+// Summary aggregates one application's monitoring session.
+type Summary struct {
+	App         string
+	Samples     int
+	Alarms      int // number of raise transitions
+	AlarmActive bool
+	MaxSmoothed float64
+}
+
+// Tracker monitors many applications concurrently, one Monitor per
+// application key. It is safe for concurrent use.
+type Tracker struct {
+	scorer Scorer
+	cfg    Config
+
+	mu       sync.Mutex
+	monitors map[string]*Monitor
+	stats    map[string]*Summary
+}
+
+// NewTracker builds a multi-application tracker.
+func NewTracker(s Scorer, cfg Config) (*Tracker, error) {
+	if s == nil {
+		return nil, errors.New("monitor: nil scorer")
+	}
+	filled, err := cfg.fill()
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		scorer:   s,
+		cfg:      filled,
+		monitors: make(map[string]*Monitor),
+		stats:    make(map[string]*Summary),
+	}, nil
+}
+
+// Observe feeds one sample for the given application.
+func (t *Tracker) Observe(app string, features []float64) (Event, error) {
+	t.mu.Lock()
+	m, ok := t.monitors[app]
+	if !ok {
+		m = &Monitor{scorer: t.scorer, cfg: t.cfg}
+		t.monitors[app] = m
+		t.stats[app] = &Summary{App: app}
+	}
+	st := t.stats[app]
+	t.mu.Unlock()
+
+	// Per-monitor observation is not concurrent for the same app key;
+	// callers stream one app's samples in order. Cross-app calls only
+	// share the maps guarded above and the stats updated below.
+	ev, err := m.Observe(features)
+	if err != nil {
+		return Event{}, err
+	}
+	t.mu.Lock()
+	st.Samples++
+	if ev.Changed && ev.Alarm {
+		st.Alarms++
+	}
+	st.AlarmActive = ev.Alarm
+	if ev.Smoothed > st.MaxSmoothed {
+		st.MaxSmoothed = ev.Smoothed
+	}
+	t.mu.Unlock()
+	return ev, nil
+}
+
+// Close removes an application and returns its session summary.
+func (t *Tracker) Close(app string) (Summary, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.stats[app]
+	if !ok {
+		return Summary{}, false
+	}
+	delete(t.monitors, app)
+	delete(t.stats, app)
+	return *st, true
+}
+
+// Active returns the currently tracked application keys, sorted.
+func (t *Tracker) Active() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.monitors))
+	for app := range t.monitors {
+		out = append(out, app)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Alarmed returns the tracked applications whose alarm is currently raised,
+// sorted.
+func (t *Tracker) Alarmed() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for app, st := range t.stats {
+		if st.AlarmActive {
+			out = append(out, app)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

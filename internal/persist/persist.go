@@ -1,0 +1,125 @@
+// Package persist serialises trained models to JSON and back: individual
+// classifiers (J48, JRip, OneR, MLP, MLR and AdaBoost ensembles of them)
+// and complete 2SMaRT detectors. This lets a detector trained once (e.g.
+// by cmd/smartrain) be shipped to and loaded by a run-time monitor
+// (cmd/smartdetect) without retraining — the deployment flow the paper's
+// hardware implementation implies.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"twosmart/internal/ml"
+	"twosmart/internal/ml/bayes"
+	"twosmart/internal/ml/ensemble"
+	"twosmart/internal/ml/linear"
+	"twosmart/internal/ml/nn"
+	"twosmart/internal/ml/rules"
+	"twosmart/internal/ml/tree"
+)
+
+// envelope wraps a serialised classifier with its family tag.
+type envelope struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Family tags.
+const (
+	typeJ48      = "j48"
+	typeJRip     = "jrip"
+	typeOneR     = "oner"
+	typeMLP      = "mlp"
+	typeMLR      = "mlr"
+	typeNB       = "naivebayes"
+	typeAdaBoost = "adaboost"
+)
+
+type ensembleDTO struct {
+	Members    []json.RawMessage `json:"members"`
+	Alphas     []float64         `json:"alphas"`
+	NumClasses int               `json:"num_classes"`
+}
+
+// MarshalClassifier serialises any supported trained classifier to a typed
+// JSON envelope.
+func MarshalClassifier(c ml.Classifier) ([]byte, error) {
+	if data, ok, err := tree.Marshal(c); ok || err != nil {
+		return wrap(typeJ48, data, err)
+	}
+	if data, ok, err := rules.MarshalJRip(c); ok || err != nil {
+		return wrap(typeJRip, data, err)
+	}
+	if data, ok, err := rules.MarshalOneR(c); ok || err != nil {
+		return wrap(typeOneR, data, err)
+	}
+	if data, ok, err := nn.Marshal(c); ok || err != nil {
+		return wrap(typeMLP, data, err)
+	}
+	if data, ok, err := linear.Marshal(c); ok || err != nil {
+		return wrap(typeMLR, data, err)
+	}
+	if data, ok, err := bayes.Marshal(c); ok || err != nil {
+		return wrap(typeNB, data, err)
+	}
+	if members, alphas, ok := ensemble.Members(c); ok {
+		dto := ensembleDTO{Alphas: alphas, NumClasses: c.NumClasses()}
+		for _, m := range members {
+			raw, err := MarshalClassifier(m)
+			if err != nil {
+				return nil, fmt.Errorf("persist: ensemble member: %w", err)
+			}
+			dto.Members = append(dto.Members, raw)
+		}
+		data, err := json.Marshal(dto)
+		return wrap(typeAdaBoost, data, err)
+	}
+	return nil, fmt.Errorf("persist: unsupported classifier type %T", c)
+}
+
+func wrap(typ string, data []byte, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{Type: typ, Data: data})
+}
+
+// UnmarshalClassifier reconstructs a classifier serialised by
+// MarshalClassifier.
+func UnmarshalClassifier(data []byte) (ml.Classifier, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("persist: reading envelope: %w", err)
+	}
+	switch env.Type {
+	case typeJ48:
+		return tree.Unmarshal(env.Data)
+	case typeJRip:
+		return rules.UnmarshalJRip(env.Data)
+	case typeOneR:
+		return rules.UnmarshalOneR(env.Data)
+	case typeMLP:
+		return nn.Unmarshal(env.Data)
+	case typeMLR:
+		return linear.Unmarshal(env.Data)
+	case typeNB:
+		return bayes.Unmarshal(env.Data)
+	case typeAdaBoost:
+		var dto ensembleDTO
+		if err := json.Unmarshal(env.Data, &dto); err != nil {
+			return nil, err
+		}
+		members := make([]ml.Classifier, len(dto.Members))
+		for i, raw := range dto.Members {
+			m, err := UnmarshalClassifier(raw)
+			if err != nil {
+				return nil, fmt.Errorf("persist: ensemble member %d: %w", i, err)
+			}
+			members[i] = m
+		}
+		return ensemble.FromMembers(members, dto.Alphas, dto.NumClasses)
+	default:
+		return nil, fmt.Errorf("persist: unknown classifier type %q", env.Type)
+	}
+}

@@ -1,0 +1,176 @@
+package persist
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"twosmart/internal/ml"
+	"twosmart/internal/ml/bayes"
+	"twosmart/internal/ml/ensemble"
+	"twosmart/internal/ml/linear"
+	"twosmart/internal/ml/mltest"
+	"twosmart/internal/ml/nn"
+	"twosmart/internal/ml/rules"
+	"twosmart/internal/ml/tree"
+)
+
+func trainers() map[string]ml.Trainer {
+	return map[string]ml.Trainer{
+		"J48":      &tree.J48Trainer{},
+		"JRip":     &rules.JRipTrainer{Seed: 1},
+		"OneR":     &rules.OneRTrainer{},
+		"MLP":      &nn.MLPTrainer{Epochs: 15, Seed: 1},
+		"MLR":      &linear.MLRTrainer{Epochs: 15, Seed: 1},
+		"AdaBoost": &ensemble.AdaBoostTrainer{Base: &tree.J48Trainer{MaxDepth: 3}, Rounds: 5, Seed: 1},
+	}
+}
+
+// assertSameModel checks that two classifiers produce identical scores on a
+// probe set.
+func assertSameModel(t *testing.T, name string, a, b ml.Classifier, probes [][]float64) {
+	t.Helper()
+	if a.NumClasses() != b.NumClasses() {
+		t.Fatalf("%s: class count changed across round trip", name)
+	}
+	for i, fv := range probes {
+		sa, sb := a.Scores(fv), b.Scores(fv)
+		for c := range sa {
+			if math.Abs(sa[c]-sb[c]) > 1e-12 {
+				t.Fatalf("%s: probe %d class %d: %v vs %v", name, i, c, sa[c], sb[c])
+			}
+		}
+	}
+}
+
+func TestRoundTripAllFamilies(t *testing.T) {
+	d := mltest.Gaussian2Class(400, 4, 2.0, 3)
+	probes := make([][]float64, 0, 50)
+	for _, ins := range d.Instances[:50] {
+		probes = append(probes, ins.Features)
+	}
+	for name, tr := range trainers() {
+		model, err := tr.Train(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data, err := MarshalClassifier(model)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		restored, err := UnmarshalClassifier(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		assertSameModel(t, name, model, restored, probes)
+	}
+}
+
+func TestRoundTripMulticlass(t *testing.T) {
+	d := mltest.MultiClass(300, 3, 3, 2.5, 4)
+	for name, tr := range trainers() {
+		model, err := tr.Train(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data, err := MarshalClassifier(model)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		restored, err := UnmarshalClassifier(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, ins := range d.Instances[:30] {
+			if model.Predict(ins.Features) != restored.Predict(ins.Features) {
+				t.Fatalf("%s: prediction changed across round trip", name)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalClassifier([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := UnmarshalClassifier([]byte(`{"type":"svm","data":{}}`)); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	// Valid envelope, corrupt payloads.
+	for _, typ := range []string{"j48", "jrip", "oner", "mlp", "mlr", "adaboost"} {
+		env, _ := json.Marshal(map[string]any{"type": typ, "data": map[string]any{}})
+		if _, err := UnmarshalClassifier(env); err == nil {
+			t.Fatalf("empty %s payload accepted", typ)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruptTree(t *testing.T) {
+	// A tree whose internal node points at itself must be rejected.
+	payload := `{"type":"j48","data":{"nodes":[{"feat":0,"threshold":1,"left":0,"right":0,"counts":[1,2],"leaf":false}],"num_classes":2}}`
+	if _, err := UnmarshalClassifier([]byte(payload)); err == nil {
+		t.Fatal("self-referential tree accepted")
+	}
+}
+
+func TestUnmarshalRejectsInconsistentEnsemble(t *testing.T) {
+	d := mltest.Gaussian2Class(100, 2, 2.0, 5)
+	model, err := (&tree.J48Trainer{}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member, err := MarshalClassifier(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alphas length mismatch.
+	env, _ := json.Marshal(map[string]any{
+		"type": "adaboost",
+		"data": map[string]any{
+			"members":     []json.RawMessage{member},
+			"alphas":      []float64{0.5, 0.5},
+			"num_classes": 2,
+		},
+	})
+	if _, err := UnmarshalClassifier(env); err == nil {
+		t.Fatal("mismatched ensemble accepted")
+	}
+}
+
+func TestMarshalUnsupported(t *testing.T) {
+	if _, err := MarshalClassifier(fake{}); err == nil {
+		t.Fatal("unsupported classifier accepted")
+	}
+}
+
+type fake struct{}
+
+func (fake) NumClasses() int            { return 2 }
+func (fake) Scores([]float64) []float64 { return []float64{1, 0} }
+func (fake) Predict([]float64) int      { return 0 }
+
+func TestRoundTripNaiveBayes(t *testing.T) {
+	d := mltest.Gaussian2Class(300, 4, 2.0, 9)
+	model, err := (&bayes.NBTrainer{}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalClassifier(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalClassifier(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := make([][]float64, 0, 30)
+	for _, ins := range d.Instances[:30] {
+		probes = append(probes, ins.Features)
+	}
+	assertSameModel(t, "NaiveBayes", model, restored, probes)
+	// Corrupt payload rejected.
+	env, _ := json.Marshal(map[string]any{"type": "naivebayes", "data": map[string]any{"num_classes": 2}})
+	if _, err := UnmarshalClassifier(env); err == nil {
+		t.Fatal("corrupt NB payload accepted")
+	}
+}

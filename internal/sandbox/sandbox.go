@@ -1,0 +1,152 @@
+// Package sandbox models the isolated execution environment the paper uses
+// for profiling: Linux Containers (LXC) that are created fresh for every
+// run and destroyed afterwards, because running malware inside a container
+// leaves residual state that would contaminate the counters of subsequent
+// runs. Here the "residual state" is concrete: warm caches, TLBs, branch
+// predictor tables and the touched-page set of the underlying core model.
+package sandbox
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"twosmart/internal/hpc"
+	"twosmart/internal/isa"
+	"twosmart/internal/microarch"
+)
+
+// ErrDestroyed is returned when using a container after Destroy.
+var ErrDestroyed = errors.New("sandbox: container has been destroyed")
+
+// ProfileOptions configures one profiling run inside a container.
+type ProfileOptions struct {
+	// FreqHz is the modelled core frequency; 0 means hpc.DefaultFreqHz.
+	FreqHz float64
+	// Period is the sampling period; 0 means hpc.DefaultPeriod (10 ms).
+	Period time.Duration
+	// MaxSamples bounds the number of samples; 0 means run to completion.
+	MaxSamples int
+}
+
+// Manager creates and destroys containers on a host with a fixed processor
+// configuration. It tracks lifecycle statistics so experiments can assert
+// the "destroy after every run" discipline.
+type Manager struct {
+	cfg       microarch.Config
+	created   int
+	destroyed int
+	seq       int
+}
+
+// NewManager returns a manager that provisions containers whose cores use
+// the given configuration.
+func NewManager(cfg microarch.Config) *Manager {
+	return &Manager{cfg: cfg}
+}
+
+// Create provisions a fresh container: a cold core with no residual state.
+func (m *Manager) Create() (*Container, error) {
+	core, err := microarch.NewCore(m.cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.created++
+	m.seq++
+	return &Container{
+		name:    fmt.Sprintf("lxc-%d", m.seq),
+		manager: m,
+		core:    core,
+	}, nil
+}
+
+// Created returns the number of containers provisioned so far.
+func (m *Manager) Created() int { return m.created }
+
+// Destroyed returns the number of containers destroyed so far.
+func (m *Manager) Destroyed() int { return m.destroyed }
+
+// Live returns the number of containers currently alive.
+func (m *Manager) Live() int { return m.created - m.destroyed }
+
+// Container is one isolated execution environment. Running multiple
+// profiles in the same container is permitted but leaves the second run
+// observing the first run's warm microarchitectural state — exactly the
+// contamination the paper's destroy-per-run methodology avoids.
+type Container struct {
+	name      string
+	manager   *Manager
+	core      *microarch.Core
+	destroyed bool
+	runs      int
+}
+
+// Name returns the container's identifier.
+func (c *Container) Name() string { return c.name }
+
+// Runs returns how many profiling runs have executed in this container.
+func (c *Container) Runs() int { return c.runs }
+
+// Contaminated reports whether the container holds residual
+// microarchitectural state from a previous run.
+func (c *Container) Contaminated() bool {
+	return !c.destroyed && c.runs > 0 && c.core.Occupancy() > 0
+}
+
+// Profile executes the workload to completion inside the container,
+// counting the given events (at most hpc.MaxProgrammable of them — the
+// 4-register constraint is enforced by the counter file) and sampling them
+// every opts.Period of virtual time. The returned samples are per-period
+// deltas in the order events were given.
+func (c *Container) Profile(workload isa.Stream, events []hpc.Event, opts ProfileOptions) ([]hpc.Sample, error) {
+	if c.destroyed {
+		return nil, ErrDestroyed
+	}
+	if workload == nil {
+		return nil, errors.New("sandbox: nil workload")
+	}
+	cf := hpc.NewCounterFile()
+	if err := cf.Program(events...); err != nil {
+		return nil, err
+	}
+	c.core.SetSink(cf)
+	c.core.Bind(workload)
+	sampler := &hpc.Sampler{
+		Proc:   c.core,
+		CF:     cf,
+		FreqHz: opts.FreqHz,
+		Period: opts.Period,
+	}
+	samples, err := sampler.Collect(opts.MaxSamples)
+	if err != nil {
+		return nil, err
+	}
+	c.runs++
+	return samples, nil
+}
+
+// Destroy tears the container down, discarding all residual state. Further
+// use returns ErrDestroyed. Destroying twice is an error.
+func (c *Container) Destroy() error {
+	if c.destroyed {
+		return ErrDestroyed
+	}
+	c.destroyed = true
+	c.core.Reset() // release all residual microarchitectural state
+	c.manager.destroyed++
+	return nil
+}
+
+// RunIsolated is the paper's per-run discipline as a helper: create a fresh
+// container, profile the workload once, and destroy the container.
+func (m *Manager) RunIsolated(workload isa.Stream, events []hpc.Event, opts ProfileOptions) ([]hpc.Sample, error) {
+	c, err := m.Create()
+	if err != nil {
+		return nil, err
+	}
+	samples, err := c.Profile(workload, events, opts)
+	if derr := c.Destroy(); derr != nil && err == nil {
+		err = derr
+	}
+	return samples, err
+}

@@ -1,0 +1,189 @@
+package sandbox
+
+import (
+	"testing"
+	"time"
+
+	"twosmart/internal/hpc"
+	"twosmart/internal/isa"
+	"twosmart/internal/microarch"
+)
+
+func testProgram(seed int64) *isa.Program {
+	var mix isa.OpMix
+	mix[isa.KindALU] = 0.5
+	mix[isa.KindLoad] = 0.3
+	mix[isa.KindStore] = 0.1
+	mix[isa.KindBranch] = 0.1
+	return &isa.Program{
+		Name: "sbx",
+		Blocks: []isa.Block{{
+			Name:     "b",
+			Mix:      mix,
+			CodeBase: 0x1000,
+			CodeSize: 4096,
+			Loads:    isa.AccessPattern{Kind: isa.AccessRandom, Base: 0x100000, WorkingSet: 64 << 10},
+			Stores:   isa.AccessPattern{Kind: isa.AccessSequential, Base: 0x200000, WorkingSet: 8 << 10},
+			Len:      100,
+		}},
+		Budget: 100000,
+		Seed:   seed,
+	}
+}
+
+var fastOpts = ProfileOptions{FreqHz: 1e6, Period: 10 * time.Millisecond} // 10k cycles/sample
+
+func TestProfileProducesSamples(t *testing.T) {
+	m := NewManager(microarch.DefaultConfig())
+	c, err := m.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.Profile(testProgram(1).MustStream(),
+		[]hpc.Event{hpc.EvInstrs, hpc.EvBranchInstr}, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	var instrs uint64
+	for _, s := range samples {
+		if len(s.Counts) != 2 {
+			t.Fatalf("sample width %d, want 2", len(s.Counts))
+		}
+		instrs += s.Counts[0]
+	}
+	if instrs == 0 || instrs > 100000 {
+		t.Fatalf("sampled %d instructions, want (0,100000]", instrs)
+	}
+}
+
+func TestProfileEnforcesCounterLimit(t *testing.T) {
+	m := NewManager(microarch.DefaultConfig())
+	c, _ := m.Create()
+	events := []hpc.Event{hpc.EvInstrs, hpc.EvCycles, hpc.EvCacheRef, hpc.EvCacheMiss, hpc.EvBranchInstr}
+	if _, err := c.Profile(testProgram(1).MustStream(), events, fastOpts); err == nil {
+		t.Fatal("five events accepted on a four-register machine")
+	}
+}
+
+func TestDestroyedContainerRefusesWork(t *testing.T) {
+	m := NewManager(microarch.DefaultConfig())
+	c, _ := m.Create()
+	if err := c.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Profile(testProgram(1).MustStream(), []hpc.Event{hpc.EvInstrs}, fastOpts); err != ErrDestroyed {
+		t.Fatalf("got %v, want ErrDestroyed", err)
+	}
+	if err := c.Destroy(); err != ErrDestroyed {
+		t.Fatalf("double destroy got %v, want ErrDestroyed", err)
+	}
+}
+
+func TestNilWorkloadRejected(t *testing.T) {
+	m := NewManager(microarch.DefaultConfig())
+	c, _ := m.Create()
+	if _, err := c.Profile(nil, []hpc.Event{hpc.EvInstrs}, fastOpts); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+}
+
+func TestManagerLifecycleCounts(t *testing.T) {
+	m := NewManager(microarch.DefaultConfig())
+	c1, _ := m.Create()
+	c2, _ := m.Create()
+	if m.Created() != 2 || m.Live() != 2 {
+		t.Fatalf("created=%d live=%d", m.Created(), m.Live())
+	}
+	c1.Destroy()
+	if m.Destroyed() != 1 || m.Live() != 1 {
+		t.Fatalf("destroyed=%d live=%d", m.Destroyed(), m.Live())
+	}
+	c2.Destroy()
+	if m.Live() != 0 {
+		t.Fatalf("live=%d, want 0", m.Live())
+	}
+}
+
+func TestContaminationAcrossRuns(t *testing.T) {
+	m := NewManager(microarch.DefaultConfig())
+	c, _ := m.Create()
+	if c.Contaminated() {
+		t.Fatal("fresh container reports contamination")
+	}
+	events := []hpc.Event{hpc.EvL1DLoadMiss, hpc.EvInstrs}
+
+	first, err := c.Profile(testProgram(7).MustStream(), events, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contaminated() {
+		t.Fatal("container not contaminated after a run")
+	}
+	// Second run in the SAME container: warm caches => fewer misses.
+	second, err := c.Profile(testProgram(7).MustStream(), events, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(ss []hpc.Sample) (m uint64) {
+		for _, s := range ss {
+			m += s.Counts[0]
+		}
+		return
+	}
+	if sum(second) >= sum(first) {
+		t.Fatalf("contaminated rerun misses=%d, want < clean run's %d", sum(second), sum(first))
+	}
+
+	// Fresh containers give identical counts for identical programs.
+	cleanA, err := m.RunIsolated(testProgram(7).MustStream(), events, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanB, err := m.RunIsolated(testProgram(7).MustStream(), events, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(cleanA) != sum(cleanB) {
+		t.Fatalf("isolated runs differ: %d vs %d", sum(cleanA), sum(cleanB))
+	}
+	if sum(cleanA) != sum(first) {
+		t.Fatalf("isolated run (%d misses) differs from first clean run (%d)", sum(cleanA), sum(first))
+	}
+}
+
+func TestRunIsolatedDestroysContainer(t *testing.T) {
+	m := NewManager(microarch.DefaultConfig())
+	if _, err := m.RunIsolated(testProgram(2).MustStream(), []hpc.Event{hpc.EvInstrs}, fastOpts); err != nil {
+		t.Fatal(err)
+	}
+	if m.Live() != 0 {
+		t.Fatalf("RunIsolated leaked a container (live=%d)", m.Live())
+	}
+	if m.Created() != 1 || m.Destroyed() != 1 {
+		t.Fatalf("created=%d destroyed=%d", m.Created(), m.Destroyed())
+	}
+}
+
+func TestContainerNamesUnique(t *testing.T) {
+	m := NewManager(microarch.DefaultConfig())
+	c1, _ := m.Create()
+	c2, _ := m.Create()
+	if c1.Name() == c2.Name() {
+		t.Fatalf("duplicate container names %q", c1.Name())
+	}
+}
+
+func TestRunsCounter(t *testing.T) {
+	m := NewManager(microarch.DefaultConfig())
+	c, _ := m.Create()
+	if c.Runs() != 0 {
+		t.Fatal("fresh container has runs")
+	}
+	c.Profile(testProgram(3).MustStream(), []hpc.Event{hpc.EvInstrs}, fastOpts)
+	if c.Runs() != 1 {
+		t.Fatalf("runs=%d, want 1", c.Runs())
+	}
+}

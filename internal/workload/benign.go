@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math/rand"
+
+	"twosmart/internal/isa"
+)
+
+// archetype is a parametric description of one benign application family.
+// The suite mirrors the paper's benign set: MiBench kernels plus everyday
+// Linux programs (editor, browser, word processor).
+type archetype struct {
+	name string
+	// instruction mix fractions (normalised by the isa package)
+	alu, mul, div, load, store, branch, call, ret, syscall float64
+	// footprints
+	codeSize  uint64
+	loadKind  isa.AccessKind
+	loadWS    uint64
+	loadStr   uint64 // stride for AccessStrided loads (0 means 8 bytes)
+	storeKind isa.AccessKind
+	storeWS   uint64
+	storeStr  uint64
+	// branch behaviour
+	bias, entropy float64
+}
+
+// benignSuite is the MiBench-like benign application set.
+var benignSuite = []archetype{
+	{name: "qsort", alu: 0.45, load: 0.22, store: 0.08, branch: 0.18, call: 0.03, ret: 0.03, syscall: 0.001,
+		codeSize: 4 << 10, loadKind: isa.AccessRandom, loadWS: 12 << 10, storeKind: isa.AccessRandom, storeWS: 12 << 10,
+		bias: 0.55, entropy: 0.30},
+	{name: "dijkstra", alu: 0.45, load: 0.28, store: 0.06, branch: 0.16, call: 0.02, ret: 0.02, syscall: 0.001,
+		codeSize: 6 << 10, loadKind: isa.AccessPointerChase, loadWS: 24 << 10, storeKind: isa.AccessSequential, storeWS: 4 << 10,
+		bias: 0.65, entropy: 0.20},
+	{name: "fft", alu: 0.30, mul: 0.22, load: 0.25, store: 0.12, branch: 0.09, call: 0.01, ret: 0.01,
+		codeSize: 4 << 10, loadKind: isa.AccessStrided, loadWS: 32 << 10, loadStr: 8, storeKind: isa.AccessStrided, storeWS: 32 << 10, storeStr: 8,
+		bias: 0.80, entropy: 0.05},
+	{name: "sha", alu: 0.62, load: 0.20, store: 0.06, branch: 0.10, call: 0.01, ret: 0.01,
+		codeSize: 3 << 10, loadKind: isa.AccessSequential, loadWS: 48 << 10, storeKind: isa.AccessSequential, storeWS: 2 << 10,
+		bias: 0.85, entropy: 0.05},
+	{name: "crc32", alu: 0.60, load: 0.26, branch: 0.12, call: 0.01, ret: 0.01,
+		codeSize: 1 << 10, loadKind: isa.AccessSequential, loadWS: 64 << 10,
+		bias: 0.90, entropy: 0.02},
+	{name: "stringsearch", alu: 0.50, load: 0.26, branch: 0.20, call: 0.02, ret: 0.02,
+		codeSize: 2 << 10, loadKind: isa.AccessSequential, loadWS: 40 << 10,
+		bias: 0.60, entropy: 0.25},
+	{name: "basicmath", alu: 0.40, mul: 0.20, div: 0.12, load: 0.12, store: 0.04, branch: 0.10, call: 0.01, ret: 0.01,
+		codeSize: 3 << 10, loadKind: isa.AccessSequential, loadWS: 4 << 10, storeKind: isa.AccessSequential, storeWS: 2 << 10,
+		bias: 0.75, entropy: 0.08},
+	{name: "patricia", alu: 0.42, load: 0.30, store: 0.05, branch: 0.17, call: 0.03, ret: 0.03, syscall: 0.001,
+		codeSize: 5 << 10, loadKind: isa.AccessPointerChase, loadWS: 48 << 10, storeKind: isa.AccessRandom, storeWS: 8 << 10,
+		bias: 0.55, entropy: 0.25},
+	{name: "susan", alu: 0.35, mul: 0.18, load: 0.26, store: 0.10, branch: 0.10, call: 0.005, ret: 0.005,
+		codeSize: 6 << 10, loadKind: isa.AccessStrided, loadWS: 48 << 10, loadStr: 16, storeKind: isa.AccessStrided, storeWS: 24 << 10, storeStr: 16,
+		bias: 0.82, entropy: 0.06},
+	{name: "editor", alu: 0.45, load: 0.22, store: 0.10, branch: 0.15, call: 0.03, ret: 0.03, syscall: 0.012,
+		codeSize: 24 << 10, loadKind: isa.AccessRandom, loadWS: 32 << 10, storeKind: isa.AccessSequential, storeWS: 16 << 10,
+		bias: 0.65, entropy: 0.20},
+	{name: "browser", alu: 0.40, load: 0.24, store: 0.10, branch: 0.16, call: 0.04, ret: 0.04, syscall: 0.015,
+		codeSize: 72 << 10, loadKind: isa.AccessRandom, loadWS: 40 << 10, storeKind: isa.AccessRandom, storeWS: 16 << 10,
+		bias: 0.62, entropy: 0.28},
+	{name: "wordproc", alu: 0.46, load: 0.22, store: 0.11, branch: 0.13, call: 0.03, ret: 0.03, syscall: 0.008,
+		codeSize: 36 << 10, loadKind: isa.AccessSequential, loadWS: 48 << 10, storeKind: isa.AccessSequential, storeWS: 24 << 10,
+		bias: 0.70, entropy: 0.15},
+	// Heavier benign applications that overlap the malware signature
+	// space (large footprints, cache pressure, store traffic), keeping
+	// the detection task realistically hard.
+	{name: "database", alu: 0.40, load: 0.27, store: 0.10, branch: 0.16, call: 0.03, ret: 0.03, syscall: 0.010,
+		codeSize: 48 << 10, loadKind: isa.AccessRandom, loadWS: 176 << 10, storeKind: isa.AccessRandom, storeWS: 96 << 10,
+		bias: 0.58, entropy: 0.35},
+	{name: "compress", alu: 0.42, mul: 0.04, load: 0.27, store: 0.14, branch: 0.12, call: 0.005, ret: 0.005,
+		codeSize: 8 << 10, loadKind: isa.AccessSequential, loadWS: 256 << 10, storeKind: isa.AccessSequential, storeWS: 160 << 10,
+		bias: 0.68, entropy: 0.22},
+	{name: "compiler", alu: 0.42, load: 0.26, store: 0.07, branch: 0.16, call: 0.04, ret: 0.04, syscall: 0.006,
+		codeSize: 96 << 10, loadKind: isa.AccessPointerChase, loadWS: 144 << 10, storeKind: isa.AccessSequential, storeWS: 16 << 10,
+		bias: 0.60, entropy: 0.30},
+}
+
+// BenignArchetypes returns the names of the benign suite's members.
+func BenignArchetypes() []string {
+	out := make([]string, len(benignSuite))
+	for i, a := range benignSuite {
+		out[i] = a.name
+	}
+	return out
+}
+
+// block instantiates an archetype as an isa.Block with per-instance
+// parameter jitter.
+func (a *archetype) block(rng *rand.Rand, base uint64, dataBase uint64) isa.Block {
+	var mix isa.OpMix
+	mix[isa.KindALU] = jitter(rng, a.alu+1e-9, 0.10)
+	mix[isa.KindMul] = jitter(rng, a.mul, 0.10)
+	mix[isa.KindDiv] = jitter(rng, a.div, 0.10)
+	mix[isa.KindLoad] = jitter(rng, a.load, 0.10)
+	mix[isa.KindStore] = jitter(rng, a.store, 0.10)
+	mix[isa.KindBranch] = jitter(rng, a.branch, 0.10)
+	mix[isa.KindCall] = jitter(rng, a.call, 0.10)
+	mix[isa.KindReturn] = jitter(rng, a.ret, 0.10)
+	mix[isa.KindSyscall] = jitter(rng, a.syscall, 0.15)
+
+	b := isa.Block{
+		Name:          a.name,
+		Mix:           mix,
+		CodeBase:      base,
+		CodeSize:      jitterU(rng, a.codeSize, 0.35),
+		BranchBias:    clamp01(jitter(rng, a.bias, 0.08)),
+		BranchEntropy: clamp01(jitter(rng, a.entropy, 0.20)),
+		Len:           150 + rng.Intn(150),
+	}
+	loadStr, storeStr := a.loadStr, a.storeStr
+	if loadStr == 0 {
+		loadStr = 8
+	}
+	if storeStr == 0 {
+		storeStr = 8
+	}
+	if mix[isa.KindLoad] > 0 {
+		b.Loads = isa.AccessPattern{Kind: a.loadKind, Base: dataBase, WorkingSet: jitterU(rng, a.loadWS, 0.40), Stride: loadStr}
+	}
+	if mix[isa.KindStore] > 0 {
+		b.Stores = isa.AccessPattern{Kind: a.storeKind, Base: dataBase + 0x0100_0000, WorkingSet: jitterU(rng, a.storeWS, 0.40), Stride: storeStr}
+	}
+	return b
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// benignProgram builds benign application number id: ids rotate through the
+// suite so the corpus covers every archetype, with a second low-weight
+// "idle/startup" block for phase variety.
+func benignProgram(id int, rng *rand.Rand) *isa.Program {
+	a := benignSuite[id%len(benignSuite)]
+	main := a.block(rng, codeBase, heapBase)
+
+	// Startup/idle phase: small, syscall-light glue code.
+	var idleMix isa.OpMix
+	idleMix[isa.KindALU] = 0.7
+	idleMix[isa.KindLoad] = 0.15
+	idleMix[isa.KindBranch] = 0.12
+	idleMix[isa.KindSyscall] = 0.01
+	idle := isa.Block{
+		Name:          "startup",
+		Mix:           idleMix,
+		CodeBase:      codeBase + 0x8000,
+		CodeSize:      2 << 10,
+		Loads:         isa.AccessPattern{Kind: isa.AccessSequential, Base: heapBase + 0x0200_0000, WorkingSet: 4 << 10},
+		BranchBias:    0.7,
+		BranchEntropy: 0.1,
+		Len:           120,
+	}
+
+	return &isa.Program{
+		Blocks: []isa.Block{main, idle},
+		// Mostly the main phase with occasional idle visits.
+		Trans: [][]float64{
+			{0.92, 0.08},
+			{0.60, 0.40},
+		},
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+// Profile documents the behavioural model of one application class: what
+// the generator does and which microarchitectural events it is designed to
+// pressure. Exposed so tools can explain why a class is detectable (e.g.
+// cmd/hpctrace, documentation generators).
+type Profile struct {
+	Class     Class
+	Behaviour string
+	// Signature lists the perf events the class's payload is designed to
+	// elevate relative to benign applications (the paper's Table II
+	// custom features plus the shared Common events).
+	Signature []string
+}
+
+var profiles = map[Class]Profile{
+	Benign: {
+		Class: Benign,
+		Behaviour: "MiBench-like compute kernels and everyday programs " +
+			"(editors, browsers, databases, compilers): small-to-moderate " +
+			"footprints, predictable branches, little store traffic past the LLC",
+		Signature: nil,
+	},
+	Backdoor: {
+		Class: Backdoor,
+		Behaviour: "command-and-control beaconing: heavy call/return " +
+			"indirection through a large sparse injected code region, " +
+			"frequent syscalls, network-buffer stores overflowing the LLC",
+		Signature: []string{
+			"branch-instructions", "cache-references", "branch-misses", "node-stores",
+			"branch-loads", "L1-icache-load-misses", "LLC-load-misses", "iTLB-load-misses",
+			"context-switches",
+		},
+	},
+	Rootkit: {
+		Class: Rootkit,
+		Behaviour: "kernel-object hooking: trampoline indirection on " +
+			"intercepted calls, pointer chases through structures far larger " +
+			"than the LLC, stores patching hooked objects",
+		Signature: []string{
+			"branch-instructions", "cache-references", "branch-misses", "node-stores",
+			"cache-misses", "branch-loads", "LLC-load-misses", "L1-dcache-stores",
+		},
+	},
+	Virus: {
+		Class: Virus,
+		Behaviour: "file infection: strided signature scans over large " +
+			"file-backed mappings (major page faults), heavy infection writes",
+		Signature: []string{
+			"branch-instructions", "cache-references", "branch-misses", "node-stores",
+			"LLC-loads", "L1-dcache-loads", "L1-dcache-stores", "iTLB-load-misses",
+			"major-faults",
+		},
+	},
+	Trojan: {
+		Class: Trojan,
+		Behaviour: "host-program mimicry punctuated by dropper bursts: large " +
+			"injected code footprint and random data churn far over the LLC",
+		Signature: []string{
+			"branch-instructions", "cache-references", "branch-misses", "node-stores",
+			"cache-misses", "L1-icache-load-misses", "LLC-load-misses", "iTLB-load-misses",
+		},
+	},
+}
+
+// Describe returns the behavioural profile of a class.
+func Describe(c Class) (Profile, bool) {
+	p, ok := profiles[c]
+	return p, ok
+}

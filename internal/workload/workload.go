@@ -1,0 +1,165 @@
+// Package workload generates the synthetic application corpus: a
+// MiBench-like benign suite plus behavioural malware generators for the
+// paper's four malware classes (Backdoor, Rootkit, Virus, Trojan).
+//
+// HPC-based malware detection observes microarchitectural side effects, so
+// each malware class is modelled by the structural pressure it exerts,
+// matching the per-class custom features the paper's Table II identifies:
+//
+//   - Backdoor: beaconing/command loops — heavy call/return indirection
+//     (branch-loads), a large sparse code footprint (L1-icache and iTLB
+//     load misses), frequent syscalls, and network-buffer stores.
+//   - Trojan: a dropper bolted onto host-program mimicry — mostly
+//     benign-looking phases with bursts of large-footprint code and
+//     over-LLC data churn (cache-misses, icache misses, iTLB misses).
+//   - Virus: file-infection scanning — streaming loads over large
+//     file-backed regions (LLC-loads, L1-dcache-loads, major faults) and
+//     heavy infection writes (L1-dcache-stores).
+//   - Rootkit: hook trampolines and kernel-structure walks — pointer
+//     chasing (cache-misses, LLC-load-misses), call/return indirection
+//     (branch-loads) and stores into hooked structures (L1-dcache-stores).
+//
+// All malware classes share elevated branch density, branch-outcome
+// entropy, LLC reference traffic and store traffic that misses the LLC —
+// the paper's four Common features (branch instructions, cache references,
+// branch misses, node stores).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"twosmart/internal/isa"
+	"twosmart/internal/microarch"
+)
+
+// Class labels an application.
+type Class int
+
+// The five application classes: benign plus the paper's four malware
+// classes.
+const (
+	Benign Class = iota
+	Backdoor
+	Rootkit
+	Virus
+	Trojan
+
+	// NumClasses counts all classes including Benign.
+	NumClasses = int(Trojan) + 1
+)
+
+var classNames = [...]string{
+	Benign:   "benign",
+	Backdoor: "backdoor",
+	Rootkit:  "rootkit",
+	Virus:    "virus",
+	Trojan:   "trojan",
+}
+
+// String returns the lower-case class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// IsMalware reports whether c is one of the four malware classes.
+func (c Class) IsMalware() bool { return c != Benign }
+
+// MalwareClasses returns the four malware classes in canonical order.
+func MalwareClasses() []Class { return []Class{Backdoor, Rootkit, Virus, Trojan} }
+
+// AllClasses returns all five classes, Benign first.
+func AllClasses() []Class {
+	return []Class{Benign, Backdoor, Rootkit, Virus, Trojan}
+}
+
+// ClassByName resolves a class from its name.
+func ClassByName(name string) (Class, bool) {
+	for i, n := range classNames {
+		if n == name {
+			return Class(i), true
+		}
+	}
+	return 0, false
+}
+
+// Options configures generation.
+type Options struct {
+	// Budget is the dynamic instruction count per program; 0 means
+	// DefaultBudget.
+	Budget int64
+	// Seed perturbs the whole corpus; programs are deterministic in
+	// (class, id, Seed).
+	Seed int64
+}
+
+// DefaultBudget is the default per-program dynamic instruction budget.
+const DefaultBudget = 60000
+
+// Generate builds program number id of the given class. Programs of the
+// same (class, id, opts) are identical; different ids give behavioural
+// variants (parameter jitter plus, for Benign, rotation through the suite's
+// archetypes).
+func Generate(class Class, id int, opts Options) *isa.Program {
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	seed := mix64(uint64(opts.Seed)*0x9E3779B97F4A7C15 + uint64(class)*0xBF58476D1CE4E5B9 + uint64(id)*0x94D049BB133111EB)
+	rng := rand.New(rand.NewSource(int64(seed)))
+
+	var p *isa.Program
+	switch class {
+	case Benign:
+		p = benignProgram(id, rng)
+	case Backdoor:
+		p = backdoorProgram(rng)
+	case Rootkit:
+		p = rootkitProgram(rng)
+	case Virus:
+		p = virusProgram(rng)
+	case Trojan:
+		p = trojanProgram(rng)
+	default:
+		panic(fmt.Sprintf("workload: unknown class %d", class))
+	}
+	p.Budget = budget
+	p.Seed = int64(mix64(seed ^ 0xD6E8FEB86659FD93))
+	p.Name = fmt.Sprintf("%s-%04d", class, id)
+	return p
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+// jitter returns v scaled by a uniform factor in [1-f, 1+f].
+func jitter(rng *rand.Rand, v float64, f float64) float64 {
+	return v * (1 + f*(2*rng.Float64()-1))
+}
+
+// jitterU returns a working-set-style quantity jittered by f.
+func jitterU(rng *rand.Rand, v uint64, f float64) uint64 {
+	j := jitter(rng, float64(v), f)
+	if j < 64 {
+		j = 64
+	}
+	return uint64(j)
+}
+
+// Address-space conventions shared by all generators.
+const (
+	codeBase  = 0x0040_0000 // main program text
+	libBase   = 0x0060_0000 // injected/library text (trampolines, payload code)
+	heapBase  = 0x1000_0000 // anonymous data
+	heap2Base = 0x2000_0000 // secondary anonymous data
+	fileBase  = microarch.DefaultFileBackedBase
+)

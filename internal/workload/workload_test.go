@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"twosmart/internal/hpc"
+	"twosmart/internal/isa"
+	"twosmart/internal/microarch"
+	"twosmart/internal/sandbox"
+)
+
+func TestClassNames(t *testing.T) {
+	if Benign.String() != "benign" || Trojan.String() != "trojan" {
+		t.Fatal("class names wrong")
+	}
+	if Class(99).String() != "class(99)" {
+		t.Fatal("unknown class name wrong")
+	}
+	if Benign.IsMalware() {
+		t.Fatal("benign flagged as malware")
+	}
+	for _, c := range MalwareClasses() {
+		if !c.IsMalware() {
+			t.Fatalf("%v not flagged as malware", c)
+		}
+	}
+	if len(AllClasses()) != NumClasses {
+		t.Fatal("AllClasses incomplete")
+	}
+	if c, ok := ClassByName("rootkit"); !ok || c != Rootkit {
+		t.Fatal("ClassByName failed")
+	}
+	if _, ok := ClassByName("nope"); ok {
+		t.Fatal("ClassByName resolved junk")
+	}
+}
+
+func TestGenerateValidPrograms(t *testing.T) {
+	for _, c := range AllClasses() {
+		for id := 0; id < 20; id++ {
+			p := Generate(c, id, Options{})
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%v id=%d: %v", c, id, err)
+			}
+			if p.Budget != DefaultBudget {
+				t.Fatalf("budget=%d", p.Budget)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Virus, 3, Options{Seed: 5})
+	b := Generate(Virus, 3, Options{Seed: 5})
+	if a.Seed != b.Seed {
+		t.Fatal("seeds differ for identical parameters")
+	}
+	sa, sb := a.MustStream(), b.MustStream()
+	var tmpA, tmpB isa.Instr
+	for i := 0; i < 100; i++ {
+		sa.Next(&tmpA)
+		sb.Next(&tmpB)
+		if tmpA != tmpB {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestGenerateVariants(t *testing.T) {
+	a := Generate(Backdoor, 0, Options{})
+	b := Generate(Backdoor, 1, Options{})
+	if a.Seed == b.Seed {
+		t.Fatal("different ids share a seed")
+	}
+	if a.Blocks[1].CodeSize == b.Blocks[1].CodeSize &&
+		a.Blocks[1].Loads.WorkingSet == b.Blocks[1].Loads.WorkingSet {
+		t.Fatal("variants did not jitter parameters")
+	}
+}
+
+func TestBenignRotation(t *testing.T) {
+	names := BenignArchetypes()
+	if len(names) < 10 {
+		t.Fatalf("benign suite has %d archetypes, want >= 10", len(names))
+	}
+	seen := map[string]bool{}
+	for id := 0; id < len(names); id++ {
+		p := Generate(Benign, id, Options{})
+		seen[p.Blocks[0].Name] = true
+	}
+	if len(seen) != len(names) {
+		t.Fatalf("rotation covered %d archetypes, want %d", len(seen), len(names))
+	}
+}
+
+// profile runs a program on a fresh container and returns all-44-event
+// totals using an omniscient sink (test-only shortcut around the 4-counter
+// limit: we sum the 11 batches implicitly by counting everything).
+func profileAll(t *testing.T, c Class, id int) [hpc.NumEvents]float64 {
+	t.Helper()
+	p := Generate(c, id, Options{Budget: 40000})
+	var totals [hpc.NumEvents]float64
+	core := microarch.MustNewCore(microarch.DefaultConfig(),
+		hpc.SinkFunc(func(e hpc.Event, n uint64) { totals[e] += float64(n) }))
+	core.Bind(p.MustStream())
+	for core.Run(4096) > 0 {
+	}
+	// Normalise to per-kilo-instruction rates.
+	inv := 1000 / totals[hpc.EvInstrs]
+	for i := range totals {
+		totals[i] *= inv
+	}
+	return totals
+}
+
+func classMean(t *testing.T, c Class, n int, e hpc.Event) float64 {
+	t.Helper()
+	var sum float64
+	for id := 0; id < n; id++ {
+		sum += profileAll(t, c, id)[e]
+	}
+	return sum / float64(n)
+}
+
+// The four Common features must separate every malware class from benign.
+func TestCommonFeatureSeparation(t *testing.T) {
+	const n = 12
+	common := []hpc.Event{hpc.EvBranchInstr, hpc.EvCacheRef, hpc.EvBranchMiss, hpc.EvNodeStores}
+	for _, e := range common {
+		benign := classMean(t, Benign, n, e)
+		for _, c := range MalwareClasses() {
+			mal := classMean(t, c, n, e)
+			if mal <= benign {
+				t.Errorf("%v: %v rate %.2f not above benign %.2f", c, e, mal, benign)
+			}
+		}
+	}
+}
+
+// Per-class custom signatures from the paper's Table II.
+func TestPerClassSignatures(t *testing.T) {
+	const n = 12
+	// Backdoor: branch-loads and iTLB-load-misses prominent.
+	if b, v := classMean(t, Backdoor, n, hpc.EvBranchLoads), classMean(t, Virus, n, hpc.EvBranchLoads); b <= v {
+		t.Errorf("backdoor branch-loads %.2f <= virus %.2f", b, v)
+	}
+	// Virus: L1-dcache-loads and major faults dominate.
+	if v, b := classMean(t, Virus, n, hpc.EvL1DLoads), classMean(t, Backdoor, n, hpc.EvL1DLoads); v <= b {
+		t.Errorf("virus L1d loads %.2f <= backdoor %.2f", v, b)
+	}
+	if v := classMean(t, Virus, n, hpc.EvMajorFault); v == 0 {
+		t.Error("virus produced no major faults (file scanning)")
+	}
+	if be := classMean(t, Benign, n, hpc.EvMajorFault); be > 0 {
+		t.Errorf("benign produced major faults: %.3f", be)
+	}
+	// Rootkit: LLC load misses from pointer chasing above benign.
+	if r, be := classMean(t, Rootkit, n, hpc.EvLLCLoadMiss), classMean(t, Benign, n, hpc.EvLLCLoadMiss); r <= 2*be {
+		t.Errorf("rootkit LLC-load-misses %.2f not well above benign %.2f", r, be)
+	}
+	// Trojan: cache misses well above benign.
+	if tr, be := classMean(t, Trojan, n, hpc.EvCacheMiss), classMean(t, Benign, n, hpc.EvCacheMiss); tr <= 2*be {
+		t.Errorf("trojan cache-misses %.2f not well above benign %.2f", tr, be)
+	}
+	// Backdoor beacons: context switches above benign.
+	if bd, be := classMean(t, Backdoor, n, hpc.EvCtxSwitch), classMean(t, Benign, n, hpc.EvCtxSwitch); bd <= be {
+		t.Errorf("backdoor ctx switches %.3f <= benign %.3f", bd, be)
+	}
+}
+
+func TestGenerateRunsInSandbox(t *testing.T) {
+	m := sandbox.NewManager(microarch.DefaultConfig())
+	p := Generate(Trojan, 0, Options{Budget: 30000})
+	samples, err := m.RunIsolated(p.MustStream(),
+		[]hpc.Event{hpc.EvBranchInstr, hpc.EvCacheRef, hpc.EvBranchMiss, hpc.EvNodeStores},
+		sandbox.ProfileOptions{FreqHz: 1e6, Period: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples from sandboxed malware run")
+	}
+}
+
+func TestGeneratePanicsOnUnknownClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown class")
+		}
+	}()
+	Generate(Class(42), 0, Options{})
+}
+
+func TestDescribe(t *testing.T) {
+	for _, c := range AllClasses() {
+		p, ok := Describe(c)
+		if !ok {
+			t.Fatalf("no profile for %v", c)
+		}
+		if p.Class != c || p.Behaviour == "" {
+			t.Fatalf("profile for %v incomplete", c)
+		}
+		if c.IsMalware() {
+			if len(p.Signature) < 8 {
+				t.Fatalf("%v signature has %d events, want >= 8", c, len(p.Signature))
+			}
+			// Every signature entry must be a real perf event, and the
+			// Common four must lead the list.
+			for _, name := range p.Signature {
+				if _, ok := hpc.EventByName(name); !ok {
+					t.Fatalf("%v signature has unknown event %q", c, name)
+				}
+			}
+			common := []string{"branch-instructions", "cache-references", "branch-misses", "node-stores"}
+			for i, want := range common {
+				if p.Signature[i] != want {
+					t.Fatalf("%v signature[%d]=%q, want common %q", c, i, p.Signature[i], want)
+				}
+			}
+		}
+	}
+	if _, ok := Describe(Class(42)); ok {
+		t.Fatal("profile for unknown class")
+	}
+}

@@ -1,0 +1,242 @@
+package twosmart_test
+
+import (
+	"bytes"
+
+	"sync"
+	"testing"
+
+	"twosmart"
+	"twosmart/internal/corpus"
+	"twosmart/internal/dataset"
+)
+
+var (
+	once sync.Once
+	data *twosmart.Dataset
+	derr error
+)
+
+func testData(t *testing.T) *twosmart.Dataset {
+	t.Helper()
+	once.Do(func() {
+		data, derr = twosmart.Collect(twosmart.CollectConfig{
+			Scale:       0.001,
+			MinPerClass: 24,
+			Budget:      30000,
+			Seed:        9,
+			Omniscient:  true,
+		})
+	})
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	return data
+}
+
+func TestPublicAPITrainDetect(t *testing.T) {
+	d := testData(t)
+	train, test, err := d.Split(0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := twosmart.Train(train, twosmart.TrainConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correctSide := 0
+	for _, ins := range test.Instances {
+		v, err := det.Detect(ins.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Malware == twosmart.Class(ins.Label).IsMalware() {
+			correctSide++
+		}
+	}
+	if acc := float64(correctSide) / float64(test.Len()); acc < 0.7 {
+		t.Fatalf("public API end-to-end accuracy %.2f", acc)
+	}
+}
+
+func TestPublicAPIFeatureSets(t *testing.T) {
+	common := twosmart.CommonFeatures()
+	if len(common) != 4 {
+		t.Fatalf("common features=%d, want 4", len(common))
+	}
+	// Mutating the returned slice must not corrupt the package state.
+	common[0] = "junk"
+	if twosmart.CommonFeatures()[0] == "junk" {
+		t.Fatal("CommonFeatures leaks internal state")
+	}
+	for _, c := range twosmart.MalwareClasses() {
+		feats, err := twosmart.CustomFeatures(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(feats) != 8 {
+			t.Fatalf("%v custom features=%d, want 8", c, len(feats))
+		}
+	}
+	if _, err := twosmart.CustomFeatures(twosmart.Benign); err == nil {
+		t.Fatal("benign custom features accepted")
+	}
+}
+
+func TestPublicAPIBaselineAndHardware(t *testing.T) {
+	d := testData(t)
+	det, err := twosmart.TrainBaseline(d, twosmart.BaselineConfig{Kind: twosmart.J48, NumHPCs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := twosmart.EstimateHardware(det.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.LatencyCycles <= 0 || cost.AreaPercent() <= 0 {
+		t.Fatalf("degenerate hardware cost %+v", cost)
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	d := testData(t)
+	exp, err := twosmart.NewExperimentsFromDataset(d, twosmart.ExperimentOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab1, err := exp.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab1.DistinctWinners() < 1 {
+		t.Fatal("no winners")
+	}
+	tab2, err := exp.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab2.CorrelationTop16) != 16 {
+		t.Fatal("reduction wrong")
+	}
+}
+
+// The CSV interchange round-trips a collected corpus and feeds the
+// experiment drivers, mirroring the smartrain -out / -in flow.
+func TestPublicAPICSVRoundTrip(t *testing.T) {
+	d := testData(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataset.ReadCSV(&buf, corpus.ClassNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != d.Len() || loaded.NumFeatures() != d.NumFeatures() {
+		t.Fatal("round trip changed shape")
+	}
+	exp, err := twosmart.NewExperimentsFromDataset(loaded, twosmart.ExperimentOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := exp.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Common) != 4 {
+		t.Fatal("reduction on reloaded corpus failed")
+	}
+}
+
+// ARFF export produces WEKA-loadable data from a real corpus.
+func TestPublicAPIARFF(t *testing.T) {
+	d := testData(t)
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, "twosmart-corpus"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataset.ReadARFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != d.Len() {
+		t.Fatal("ARFF round trip changed size")
+	}
+}
+
+// Exercise the remaining facade surface: persistence, monitoring and the
+// hardware tooling over one trained detector.
+func TestPublicAPIDeploymentSurface(t *testing.T) {
+	d := testData(t)
+	common, err := d.SelectByName(twosmart.CommonFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := twosmart.Train(common, twosmart.TrainConfig{
+		Stage2Kinds: map[twosmart.Class]twosmart.Kind{
+			twosmart.Backdoor: twosmart.J48, twosmart.Rootkit: twosmart.JRip,
+			twosmart.Virus: twosmart.OneR, twosmart.Trojan: twosmart.J48,
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persistence.
+	blob, err := det.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := twosmart.LoadDetector(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := twosmart.LoadDetector([]byte("junk")); err == nil {
+		t.Fatal("garbage detector accepted")
+	}
+
+	// Hardware.
+	cost, err := twosmart.EstimateDetectorHardware(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.LatencyCycles <= 0 || cost.AreaPercent() <= 0 {
+		t.Fatalf("degenerate two-stage cost %+v", cost)
+	}
+	model, err := restored.Stage2Model(twosmart.Virus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verilog, err := twosmart.GenerateVerilog(model, "virus_oner", twosmart.CommonFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verilog) == 0 {
+		t.Fatal("empty Verilog")
+	}
+
+	// Monitoring.
+	mon, err := twosmart.NewMonitor(restored, twosmart.MonitorConfig{MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := twosmart.NewTracker(restored, twosmart.MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range common.Instances[:20] {
+		if _, err := mon.Observe(ins.Features); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tracker.Observe(ins.App, ins.Features); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mon.Samples() != 20 {
+		t.Fatalf("monitor observed %d samples", mon.Samples())
+	}
+	if len(tracker.Active()) == 0 {
+		t.Fatal("tracker lost its applications")
+	}
+}
