@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"twosmart"
+	"twosmart/internal/cli"
 	"twosmart/internal/corpus"
 )
 
@@ -26,9 +27,13 @@ func main() {
 	scale := flag.Float64("scale", 0.15, "corpus scale (1.0 = the paper's 3621 applications)")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	budget := flag.Int64("budget", 0, "per-run instruction budget (0 = default)")
+	workers := flag.Int("workers", 0, "bound on profiling and sweep parallelism (0 = NumCPU)")
 	faithful := flag.Bool("faithful", false, "use the 11-batch multiplexed collection path instead of the omniscient fast path")
 	jsonOut := flag.String("json", "", "also run every experiment and write the aggregate machine-readable report to this file (use - for stdout)")
 	flag.Parse()
+
+	sigctx, stop := cli.Context()
+	defer stop()
 
 	opts := twosmart.ExperimentOptions{
 		Corpus: corpus.Config{
@@ -36,12 +41,14 @@ func main() {
 			Seed:       *seed,
 			Budget:     *budget,
 			Omniscient: !*faithful,
+			Workers:    *workers,
 		},
-		Seed: *seed,
+		Seed:    *seed,
+		Workers: *workers,
 	}
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "collecting corpus (scale %.3g)...\n", *scale)
-	ctx, err := twosmart.NewExperiments(opts)
+	ctx, err := twosmart.NewExperimentsContext(sigctx, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,13 +76,25 @@ func main() {
 		{"extint", func() (fmt.Stringer, error) { return ctx.ExtInterference() }},
 	}
 
+	// The sweep dominates several drivers; populate its cache through the
+	// cancellable path so an interrupt lands there instead of mid-table.
+	sweepBased := map[string]bool{"tab1": true, "tab3": true, "fig4": true, "tab4": true, "tab5": true}
+
 	ran := false
 	for _, d := range drivers {
 		if *exp != "all" && *exp != d.id {
 			continue
 		}
+		if err := sigctx.Err(); err != nil {
+			fatal(fmt.Errorf("interrupted before %s: %w", d.id, err))
+		}
 		ran = true
 		t0 := time.Now()
+		if sweepBased[d.id] {
+			if _, err := ctx.SweepContext(sigctx); err != nil {
+				fatal(fmt.Errorf("%s: %w", d.id, err))
+			}
+		}
 		res, err := d.run()
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", d.id, err))
@@ -110,6 +129,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchtab:", err)
-	os.Exit(1)
+	cli.Fatal("benchtab", err)
 }

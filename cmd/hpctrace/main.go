@@ -11,10 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
+	"twosmart/internal/cli"
 	"twosmart/internal/hpc"
 	"twosmart/internal/microarch"
 	"twosmart/internal/sandbox"
@@ -22,6 +22,8 @@ import (
 )
 
 func main() {
+	ctx, stop := cli.Context()
+	defer stop()
 	class := flag.String("class", "benign", "application class: benign|backdoor|rootkit|virus|trojan")
 	id := flag.Int("id", 0, "application variant id")
 	events := flag.String("events", "branch-instructions,branch-misses,cache-references,node-stores",
@@ -97,6 +99,9 @@ func main() {
 		}
 		core.Bind(workload.Generate(cls, *id, workload.Options{Budget: *budget, Seed: *seed}).MustStream())
 		for core.Run(4096) > 0 {
+			if err := ctx.Err(); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("\n# whole-run statistics (omniscient replay)\n%s", acc.Summary())
 		if p, ok := workload.Describe(cls); ok {
@@ -106,6 +111,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hpctrace:", err)
-	os.Exit(1)
+	cli.Fatal("hpctrace", err)
 }

@@ -15,12 +15,15 @@ import (
 	"os"
 
 	"twosmart"
+	"twosmart/internal/cli"
 	"twosmart/internal/core"
 	"twosmart/internal/hls"
 	"twosmart/internal/workload"
 )
 
 func main() {
+	ctx, stop := cli.Context()
+	defer stop()
 	className := flag.String("class", "virus", "malware class: backdoor|rootkit|virus|trojan")
 	kindName := flag.String("kind", "J48", "classifier kind: J48|JRip|OneR (combinational families)")
 	hpcs := flag.Int("hpcs", 4, "feature count: 4 (Common) or 8 (per-class Custom)")
@@ -55,8 +58,11 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "collecting corpus (scale %.3g) and training %v %s detector...\n", *scale, kind, class)
-	data, err := twosmart.Collect(twosmart.CollectConfig{Scale: *scale, Seed: *seed, Omniscient: true})
+	data, err := twosmart.CollectContext(ctx, twosmart.CollectConfig{Scale: *scale, Seed: *seed, Omniscient: true})
 	if err != nil {
+		fatal(err)
+	}
+	if err := ctx.Err(); err != nil {
 		fatal(err)
 	}
 	binary, err := core.BinaryTask(data, class)
@@ -124,6 +130,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hwgen:", err)
-	os.Exit(1)
+	cli.Fatal("hwgen", err)
 }

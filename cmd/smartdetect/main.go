@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"twosmart"
+	"twosmart/internal/cli"
 	"twosmart/internal/hpc"
 	"twosmart/internal/microarch"
 	"twosmart/internal/sandbox"
@@ -23,6 +24,8 @@ import (
 )
 
 func main() {
+	ctx, stop := cli.Context()
+	defer stop()
 	scale := flag.Float64("scale", 0.05, "training corpus scale")
 	apps := flag.Int("apps", 12, "number of unseen applications to stream")
 	seed := flag.Int64("seed", 42, "training seed")
@@ -48,7 +51,7 @@ func main() {
 	} else {
 		// --- Train on the Common-4 feature space.
 		fmt.Fprintf(os.Stderr, "collecting training corpus (scale %.3g)...\n", *scale)
-		full, err := twosmart.Collect(twosmart.CollectConfig{Scale: *scale, Seed: *seed, Omniscient: true})
+		full, err := twosmart.CollectContext(ctx, twosmart.CollectConfig{Scale: *scale, Seed: *seed, Omniscient: true})
 		if err != nil {
 			fatal(err)
 		}
@@ -56,7 +59,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		det, err = twosmart.Train(data, twosmart.TrainConfig{Boost: *boost, Seed: *seed})
+		det, err = twosmart.TrainContext(ctx, data, twosmart.TrainConfig{Boost: *boost, Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}
@@ -78,6 +81,10 @@ func main() {
 
 	correct, total := 0, 0
 	for i := 0; i < *apps; i++ {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "smartdetect: interrupted after %d/%d applications\n", total, *apps)
+			break
+		}
 		class := workload.AllClasses()[i%workload.NumClasses]
 		prog := workload.Generate(class, 1000+i, wopts)
 		samples, err := mgr.RunIsolated(prog.MustStream(), events, sandbox.ProfileOptions{
@@ -119,6 +126,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "smartdetect:", err)
-	os.Exit(1)
+	cli.Fatal("smartdetect", err)
 }

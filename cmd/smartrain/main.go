@@ -10,19 +10,29 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"twosmart"
+	"twosmart/internal/cli"
 	"twosmart/internal/corpus"
 	"twosmart/internal/dataset"
 	"twosmart/internal/metrics"
 	"twosmart/internal/workload"
 )
 
+// profiled tracks collection progress so an interrupted run can report how
+// far it got (packed as done<<32 | total).
+var profiled atomic.Uint64
+
 func main() {
+	ctx, stop := cli.Context()
+	defer stop()
 	scale := flag.Float64("scale", 0.15, "corpus scale (1.0 = the paper's 3621 applications)")
 	seed := flag.Int64("seed", 42, "seed for corpus, split and training")
 	boost := flag.Bool("boost", false, "wrap stage-2 detectors in AdaBoost.M1")
@@ -35,7 +45,7 @@ func main() {
 	faithful := flag.Bool("faithful", false, "use the 11-batch multiplexed collection path")
 	flag.Parse()
 
-	data, err := loadOrCollect(*inCSV, *scale, *seed, *faithful)
+	data, err := loadOrCollect(ctx, *inCSV, *scale, *seed, *faithful)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,7 +91,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "training 2SMaRT on %d samples (boost=%v)...\n", train.Len(), *boost)
 	t0 := time.Now()
-	det, err := twosmart.Train(train, twosmart.TrainConfig{
+	det, err := twosmart.TrainContext(ctx, train, twosmart.TrainConfig{
 		Boost:       *boost,
 		BoostRounds: *rounds,
 		Seed:        *seed,
@@ -137,7 +147,7 @@ func main() {
 	}
 }
 
-func loadOrCollect(inCSV string, scale float64, seed int64, faithful bool) (*twosmart.Dataset, error) {
+func loadOrCollect(ctx context.Context, inCSV string, scale float64, seed int64, faithful bool) (*twosmart.Dataset, error) {
 	if inCSV != "" {
 		f, err := os.Open(inCSV)
 		if err != nil {
@@ -147,10 +157,13 @@ func loadOrCollect(inCSV string, scale float64, seed int64, faithful bool) (*two
 		return readCSV(f)
 	}
 	fmt.Fprintf(os.Stderr, "collecting corpus (scale %.3g)...\n", scale)
-	return twosmart.Collect(twosmart.CollectConfig{
+	return twosmart.CollectContext(ctx, twosmart.CollectConfig{
 		Scale:      scale,
 		Seed:       seed,
 		Omniscient: !faithful,
+		Progress: func(done, total int) {
+			profiled.Store(uint64(done)<<32 | uint64(total))
+		},
 	})
 }
 
@@ -161,6 +174,11 @@ func readCSV(f *os.File) (*twosmart.Dataset, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "smartrain:", err)
-	os.Exit(1)
+	if errors.Is(err, context.Canceled) {
+		if p := profiled.Load(); p != 0 {
+			fmt.Fprintf(os.Stderr, "smartrain: interrupted after profiling %d/%d applications; partial work discarded\n",
+				p>>32, p&0xffffffff)
+		}
+	}
+	cli.Fatal("smartrain", err)
 }

@@ -1,0 +1,37 @@
+// Package cli provides the shared plumbing of the cmd tools: a root context
+// cancelled by SIGINT/SIGTERM, so every long-running path (corpus
+// profiling, training, experiment sweeps) shuts down cleanly instead of
+// being killed mid-write, and an interrupt-aware exit helper.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ExitInterrupted is the exit code for a signal-cancelled run, following
+// the shell convention of 128+SIGINT.
+const ExitInterrupted = 130
+
+// Context returns a context cancelled on SIGINT or SIGTERM. The returned
+// stop function releases the signal handlers; a second signal after
+// cancellation kills the process with the default disposition, so a stuck
+// shutdown can still be forced.
+func Context() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Fatal reports err on stderr prefixed with the tool name and exits: with
+// ExitInterrupted for a context cancellation (a clean signal-driven
+// shutdown), 1 otherwise.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(ExitInterrupted)
+	}
+	os.Exit(1)
+}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -23,6 +24,7 @@ import (
 	"twosmart/internal/ml/nn"
 	"twosmart/internal/ml/rules"
 	"twosmart/internal/ml/tree"
+	"twosmart/internal/parallel"
 	"twosmart/internal/workload"
 )
 
@@ -146,8 +148,18 @@ type Detector struct {
 }
 
 // Train fits a 2SMaRT detector on a 5-class dataset whose classes are
-// indexed by workload.Class (benign = 0).
+// indexed by workload.Class (benign = 0). It is TrainContext without
+// cancellation.
 func Train(d *dataset.Dataset, cfg TrainConfig) (*Detector, error) {
+	return TrainContext(context.Background(), d, cfg)
+}
+
+// TrainContext is Train with cancellation. The four specialized stage-2
+// detectors are independent, so they train concurrently on a bounded pool;
+// each class's model depends only on the data and cfg.Seed, so the trained
+// detector is identical to a serial run. Cancelling ctx aborts between
+// per-class training steps and returns ctx's error.
+func TrainContext(ctx context.Context, d *dataset.Dataset, cfg TrainConfig) (*Detector, error) {
 	if d.Len() == 0 {
 		return nil, errors.New("core: empty training set")
 	}
@@ -181,45 +193,59 @@ func Train(d *dataset.Dataset, cfg TrainConfig) (*Detector, error) {
 	det.stage1 = stage1
 	det.stage1Feats = s1Idx
 
-	// --- Stage 2: one specialized binary detector per malware class.
-	for _, class := range workload.MalwareClasses() {
-		names := CommonFeatures
-		if cfg.Stage2Features != nil && cfg.Stage2Features[class] != nil {
-			names = cfg.Stage2Features[class]
-		}
-		idx, err := featureIndices(d, names)
-		if err != nil {
-			return nil, fmt.Errorf("core: stage-2 %v: %w", class, err)
-		}
-		binary, err := BinaryTask(d, class)
-		if err != nil {
-			return nil, err
-		}
-		binary, err = binary.Select(idx)
-		if err != nil {
-			return nil, err
-		}
-
-		var kind Kind
-		var model ml.Classifier
-		if cfg.Stage2Kinds != nil {
-			if k, ok := cfg.Stage2Kinds[class]; ok {
-				kind = k
-				model, err = trainStage2(k, binary, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("core: stage-2 %v (%v): %w", class, k, err)
-				}
-			}
-		}
-		if model == nil {
-			kind, model, err = selectBest(binary, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("core: stage-2 %v selection: %w", class, err)
-			}
-		}
-		det.stage2[class] = stage2Model{kind: kind, model: model, features: idx}
+	// --- Stage 2: one specialized binary detector per malware class; the
+	// four train independently and concurrently.
+	classes := workload.MalwareClasses()
+	models, err := parallel.Map(ctx, len(classes), parallel.Options{},
+		func(ctx context.Context, i int) (stage2Model, error) {
+			return trainClassDetector(ctx, d, cfg, classes[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, class := range classes {
+		det.stage2[class] = models[i]
 	}
 	return det, nil
+}
+
+// trainClassDetector fits one class's specialized stage-2 detector.
+func trainClassDetector(ctx context.Context, d *dataset.Dataset, cfg TrainConfig, class workload.Class) (stage2Model, error) {
+	names := CommonFeatures
+	if cfg.Stage2Features != nil && cfg.Stage2Features[class] != nil {
+		names = cfg.Stage2Features[class]
+	}
+	idx, err := featureIndices(d, names)
+	if err != nil {
+		return stage2Model{}, fmt.Errorf("core: stage-2 %v: %w", class, err)
+	}
+	binary, err := BinaryTask(d, class)
+	if err != nil {
+		return stage2Model{}, err
+	}
+	binary, err = binary.Select(idx)
+	if err != nil {
+		return stage2Model{}, err
+	}
+
+	var kind Kind
+	var model ml.Classifier
+	if cfg.Stage2Kinds != nil {
+		if k, ok := cfg.Stage2Kinds[class]; ok {
+			kind = k
+			model, err = trainStage2(k, binary, cfg)
+			if err != nil {
+				return stage2Model{}, fmt.Errorf("core: stage-2 %v (%v): %w", class, k, err)
+			}
+		}
+	}
+	if model == nil {
+		kind, model, err = selectBest(ctx, binary, cfg)
+		if err != nil {
+			return stage2Model{}, fmt.Errorf("core: stage-2 %v selection: %w", class, err)
+		}
+	}
+	return stage2Model{kind: kind, model: model, features: idx}, nil
 }
 
 // BinaryTask extracts the benign-versus-one-class binary dataset the
@@ -253,8 +279,9 @@ func trainStage2(k Kind, binary *dataset.Dataset, cfg TrainConfig) (ml.Classifie
 }
 
 // selectBest trains every candidate kind on 2/3 of the binary data and
-// keeps the best validation F-measure.
-func selectBest(binary *dataset.Dataset, cfg TrainConfig) (Kind, ml.Classifier, error) {
+// keeps the best validation F-measure. Cancellation is observed between
+// candidates.
+func selectBest(ctx context.Context, binary *dataset.Dataset, cfg TrainConfig) (Kind, ml.Classifier, error) {
 	fit, val, err := binary.Split(2.0/3, cfg.Seed+101)
 	if err != nil {
 		return 0, nil, err
@@ -262,6 +289,9 @@ func selectBest(binary *dataset.Dataset, cfg TrainConfig) (Kind, ml.Classifier, 
 	bestKind := J48
 	bestF := -1.0
 	for _, k := range Kinds() {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		model, err := trainStage2(k, fit, cfg)
 		if err != nil {
 			continue // a failing candidate just loses the selection

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -331,4 +334,38 @@ func TestDetectConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// Concurrent stage-2 training must be deterministic: two Train runs with
+// the same seed serialize to identical bytes.
+func TestTrainDeterministicUnderConcurrency(t *testing.T) {
+	d := testData(t)
+	a, err := Train(d, TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(d, TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("same-seed detectors serialize differently; stage-2 parallelism broke determinism")
+	}
+}
+
+func TestTrainContextCancellation(t *testing.T) {
+	d := testData(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainContext(ctx, d, TrainConfig{Seed: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
 }

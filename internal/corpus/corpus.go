@@ -9,15 +9,16 @@
 package corpus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"twosmart/internal/dataset"
 	"twosmart/internal/hpc"
 	"twosmart/internal/microarch"
+	"twosmart/internal/parallel"
 	"twosmart/internal/sandbox"
 	"twosmart/internal/workload"
 )
@@ -68,6 +69,10 @@ type Config struct {
 	Omniscient bool
 	// Workers bounds profiling parallelism (default NumCPU).
 	Workers int
+	// Progress, when non-nil, is called after each application finishes
+	// profiling with the number of applications done and the total.
+	// Calls are serialized (see parallel.Options.OnProgress).
+	Progress func(done, total int)
 }
 
 // DefaultFreqHz is the scaled modelled core frequency used for sampling.
@@ -161,37 +166,36 @@ func FeatureNames() []string {
 
 // Collect profiles the whole corpus and returns the labelled dataset: one
 // instance per (application, sample) with 44 features in canonical event
-// order.
+// order. It is CollectContext without cancellation.
 func Collect(cfg Config) (*dataset.Dataset, error) {
+	return CollectContext(context.Background(), cfg)
+}
+
+// CollectContext is Collect with cancellation: profiling fans out over a
+// bounded worker pool (Config.Workers) and stops promptly — between
+// applications, between multiplex batches, and between samples within a
+// run — when ctx is cancelled, returning ctx's error. The dataset is
+// byte-identical for a given Seed at any worker count, because every
+// application's rows land at its enumeration index.
+func CollectContext(ctx context.Context, cfg Config) (*dataset.Dataset, error) {
 	c := cfg.fill()
 	apps := c.Apps()
 	d := dataset.New(FeatureNames(), ClassNames())
 
-	type result struct {
-		rows [][]float64
-		err  error
-	}
-	results := make([]result, len(apps))
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.Workers)
-	for i := range apps {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows, err := profileApp(&c, apps[i])
-			results[i] = result{rows: rows, err: err}
-		}(i)
-	}
-	wg.Wait()
-
-	for i, res := range results {
-		if res.err != nil {
-			return nil, fmt.Errorf("corpus: profiling %s: %w", apps[i].Name, res.err)
+	popts := parallel.Options{Workers: c.Workers, OnProgress: c.Progress}
+	results, err := parallel.Map(ctx, len(apps), popts, func(ctx context.Context, i int) ([][]float64, error) {
+		rows, err := profileApp(ctx, &c, apps[i])
+		if err != nil {
+			return nil, fmt.Errorf("corpus: profiling %s: %w", apps[i].Name, err)
 		}
-		for _, row := range res.rows {
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, rows := range results {
+		for _, row := range rows {
 			if err := d.Add(dataset.Instance{
 				Features: row,
 				Label:    int(apps[i].Class),
@@ -208,12 +212,12 @@ func Collect(cfg Config) (*dataset.Dataset, error) {
 }
 
 // profileApp collects the per-sample 44-event rows for one application.
-func profileApp(c *Config, app App) ([][]float64, error) {
+func profileApp(ctx context.Context, c *Config, app App) ([][]float64, error) {
 	opts := workload.Options{Budget: c.Budget, Seed: c.Seed}
 	if c.Omniscient {
-		return profileOmniscient(c, app, opts)
+		return profileOmniscient(ctx, c, app, opts)
 	}
-	return profileMultiplexed(c, app, opts)
+	return profileMultiplexed(ctx, c, app, opts)
 }
 
 // profileMultiplexed is the faithful path: 11 batches of at most 4 events,
@@ -221,7 +225,7 @@ func profileApp(c *Config, app App) ([][]float64, error) {
 // container after every run to avoid contamination). Deterministic program
 // streams make the 11 executions identical, so per-batch samples align
 // exactly by index.
-func profileMultiplexed(c *Config, app App, opts workload.Options) ([][]float64, error) {
+func profileMultiplexed(ctx context.Context, c *Config, app App, opts workload.Options) ([][]float64, error) {
 	mgr := sandbox.NewManager(*c.Arch)
 	groups := hpc.MultiplexSchedule(hpc.AllEvents())
 	profOpts := sandbox.ProfileOptions{
@@ -233,6 +237,9 @@ func profileMultiplexed(c *Config, app App, opts workload.Options) ([][]float64,
 	var rows [][]float64
 	numSamples := -1
 	for _, group := range groups {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		prog := workload.Generate(app.Class, app.ID, opts)
 		stream, err := prog.Stream()
 		if err != nil {
@@ -292,7 +299,7 @@ func normalizeRow(row []float64) {
 }
 
 // profileOmniscient collects all 44 events in one run.
-func profileOmniscient(c *Config, app App, opts workload.Options) ([][]float64, error) {
+func profileOmniscient(ctx context.Context, c *Config, app App, opts workload.Options) ([][]float64, error) {
 	prog := workload.Generate(app.Class, app.ID, opts)
 	stream, err := prog.Stream()
 	if err != nil {
@@ -313,6 +320,9 @@ func profileOmniscient(c *Config, app App, opts workload.Options) ([][]float64, 
 	var prev [hpc.NumEvents]uint64
 	boundary := cyclesPerPeriod
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if core.Run(1024) == 0 {
 			return rows, nil // drop partial tail, as the sampler does
 		}

@@ -2,10 +2,14 @@ package corpus
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"runtime"
 	"testing"
 	"time"
 
+	"twosmart/internal/dataset"
 	"twosmart/internal/hpc"
 	"twosmart/internal/workload"
 )
@@ -176,6 +180,132 @@ func TestCollectDeterministic(t *testing.T) {
 				t.Fatal("collections differ despite identical config")
 			}
 		}
+	}
+}
+
+// Same seed must yield an identical dataset — instance order and values —
+// at any worker count: results land at their enumeration index regardless
+// of which worker profiled them.
+func TestCollectDeterministicAcrossWorkers(t *testing.T) {
+	collect := func(workers int, omniscient bool) *dataset.Dataset {
+		t.Helper()
+		cfg := smallConfig()
+		cfg.Omniscient = omniscient
+		cfg.Workers = workers
+		d, err := Collect(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	for _, omniscient := range []bool{true, false} {
+		ref := collect(1, omniscient)
+		for _, workers := range []int{4, runtime.NumCPU()} {
+			got := collect(workers, omniscient)
+			if got.Len() != ref.Len() {
+				t.Fatalf("workers=%d omniscient=%v: %d instances, want %d",
+					workers, omniscient, got.Len(), ref.Len())
+			}
+			for i := range ref.Instances {
+				a, b := ref.Instances[i], got.Instances[i]
+				if a.App != b.App || a.Label != b.Label {
+					t.Fatalf("workers=%d: instance %d metadata differs", workers, i)
+				}
+				for j := range a.Features {
+					if a.Features[j] != b.Features[j] {
+						t.Fatalf("workers=%d: instance %d feature %d: %v vs %v",
+							workers, i, j, a.Features[j], b.Features[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Cancelling mid-collection must return context.Canceled promptly and leave
+// no worker goroutines behind.
+func TestCollectContextCancellation(t *testing.T) {
+	for _, omniscient := range []bool{true, false} {
+		before := runtime.NumGoroutine()
+		cfg := smallConfig()
+		cfg.Omniscient = omniscient
+		cfg.MinPerClass = 6
+		cfg.Workers = 4
+		ctx, cancel := context.WithCancel(context.Background())
+		// Cancel as soon as the first application completes, so the pool
+		// is mid-flight with work still queued.
+		cfg.Progress = func(done, total int) {
+			if done == 1 {
+				cancel()
+			}
+		}
+		start := time.Now()
+		d, err := CollectContext(ctx, cfg)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("omniscient=%v: err=%v, want context.Canceled", omniscient, err)
+		}
+		if d != nil {
+			t.Fatal("cancelled collection must not return a dataset")
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("cancellation took %v, want prompt return", elapsed)
+		}
+		cancel()
+		waitForGoroutines(t, before)
+	}
+}
+
+// TestCollectPreCancelled verifies no profiling work starts under an
+// already-cancelled context.
+func TestCollectPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := smallConfig()
+	cfg.Omniscient = true
+	started := false
+	cfg.Progress = func(done, total int) { started = true }
+	if _, err := CollectContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if started {
+		t.Fatal("profiling ran under a cancelled context")
+	}
+}
+
+func TestCollectProgress(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Omniscient = true
+	var last, calls int
+	cfg.Progress = func(done, total int) {
+		if total != 15 { // 5 classes x MinPerClass 3
+			t.Errorf("total=%d, want 15", total)
+		}
+		if done != last+1 {
+			t.Errorf("progress done=%d after %d, want strictly increasing", done, last)
+		}
+		last = done
+		calls++
+	}
+	if _, err := Collect(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 15 {
+		t.Fatalf("progress called %d times, want 15", calls)
+	}
+}
+
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

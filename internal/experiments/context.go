@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -28,6 +29,10 @@ type Options struct {
 	// TrainFrac is the train share of the split (default 0.6, the
 	// paper's 60%/40% protocol).
 	TrainFrac float64
+	// Workers bounds the classifier-sweep fan-out (default NumCPU).
+	// Corpus collection parallelism is tuned separately via
+	// Corpus.Workers.
+	Workers int
 }
 
 func (o Options) fill() Options {
@@ -62,10 +67,17 @@ type Context struct {
 }
 
 // NewContext collects the corpus and performs the standard 60/40 stratified
-// split.
+// split. It is NewContextCtx without cancellation.
 func NewContext(opts Options) (*Context, error) {
+	return NewContextCtx(context.Background(), opts)
+}
+
+// NewContextCtx is NewContext with cancellation: corpus collection fans out
+// on the shared bounded pool and aborts with ctx's error when ctx is
+// cancelled mid-profiling.
+func NewContextCtx(ctx context.Context, opts Options) (*Context, error) {
 	o := opts.fill()
-	data, err := corpus.Collect(o.Corpus)
+	data, err := corpus.CollectContext(ctx, o.Corpus)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: collecting corpus: %w", err)
 	}

@@ -2,9 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"twosmart/internal/core"
 	"twosmart/internal/corpus"
@@ -399,4 +403,70 @@ func TestExtInterference(t *testing.T) {
 		t.Fatalf("dilution did not reduce recall: %v", res.Recall)
 	}
 	t.Logf("\n%s", res)
+}
+
+// Cancelling mid-sweep must abort promptly with context.Canceled, leak no
+// goroutines, and leave the sweep cache unpopulated so a later call can
+// retry.
+func TestSweepCancellation(t *testing.T) {
+	shared := testContext(t)
+	// A fresh context over the same data: the shared one may already have
+	// a cached sweep.
+	c, err := NewContextFromDataset(shared.Data, shared.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := c.SweepContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	c.mu.Lock()
+	cached := c.sweep
+	c.mu.Unlock()
+	if cached != nil {
+		t.Fatal("cancelled sweep must not populate the cache")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d > %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The Workers knob must bound sweep concurrency (the old implementation
+// hard-coded 8) without changing results.
+func TestSweepWorkersKnob(t *testing.T) {
+	shared := testContext(t)
+	ref, err := shared.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := shared.Opts
+	opts.Workers = 1
+	c, err := NewContextFromDataset(shared.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range workload.MalwareClasses() {
+		for _, kind := range core.Kinds() {
+			for _, config := range SweepConfigs {
+				if ref.Evals[class][kind][config] != got.Evals[class][kind][config] {
+					t.Fatalf("%v/%v/%s differs between Workers=default and Workers=1",
+						class, kind, config)
+				}
+			}
+		}
+	}
 }

@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"twosmart/internal/core"
 	"twosmart/internal/dataset"
 	"twosmart/internal/ml"
 	"twosmart/internal/ml/ensemble"
+	"twosmart/internal/parallel"
 	"twosmart/internal/workload"
 )
 
@@ -28,31 +29,27 @@ type SweepResult struct {
 }
 
 // Sweep trains and evaluates every specialized detector combination. The
-// result is cached on the context.
+// result is cached on the context. It is SweepContext without cancellation.
 func (ctx *Context) Sweep() (*SweepResult, error) {
-	ctx.mu.Lock()
-	cached := ctx.sweep
-	ctx.mu.Unlock()
+	return ctx.SweepContext(context.Background())
+}
+
+// SweepContext is Sweep with cancellation: the (class, algorithm,
+// configuration) training jobs fan out over a bounded pool sized by
+// Options.Workers (default NumCPU), and cancelling ctx aborts the sweep
+// with ctx's error. Results are keyed, not ordered, so worker count cannot
+// affect the outcome; each job's training is seeded independently.
+func (c *Context) SweepContext(ctx context.Context) (*SweepResult, error) {
+	c.mu.Lock()
+	cached := c.sweep
+	c.mu.Unlock()
 	if cached != nil {
 		return cached, nil
 	}
 
-	red, err := ctx.Table2()
+	red, err := c.Table2()
 	if err != nil {
 		return nil, err
-	}
-
-	res := &SweepResult{
-		Evals:  make(map[workload.Class]map[core.Kind]map[string]ml.BinaryEval),
-		Models: make(map[workload.Class]map[core.Kind]map[string]ml.Classifier),
-	}
-	for _, class := range workload.MalwareClasses() {
-		res.Evals[class] = make(map[core.Kind]map[string]ml.BinaryEval)
-		res.Models[class] = make(map[core.Kind]map[string]ml.Classifier)
-		for _, kind := range core.Kinds() {
-			res.Evals[class][kind] = make(map[string]ml.BinaryEval)
-			res.Models[class][kind] = make(map[string]ml.Classifier)
-		}
 	}
 
 	type job struct {
@@ -69,37 +66,43 @@ func (ctx *Context) Sweep() (*SweepResult, error) {
 		}
 	}
 
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, 8)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			model, ev, err := ctx.trainSpecialized(red, j.class, j.kind, j.config)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiments: %v/%v/%s: %w", j.class, j.kind, j.config, err)
-				}
-				return
-			}
-			res.Evals[j.class][j.kind][j.config] = ev
-			res.Models[j.class][j.kind][j.config] = model
-		}(j)
+	type trained struct {
+		model ml.Classifier
+		ev    ml.BinaryEval
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	out, err := parallel.Map(ctx, len(jobs), parallel.Options{Workers: c.Opts.Workers},
+		func(_ context.Context, i int) (trained, error) {
+			j := jobs[i]
+			model, ev, err := c.trainSpecialized(red, j.class, j.kind, j.config)
+			if err != nil {
+				return trained{}, fmt.Errorf("experiments: %v/%v/%s: %w", j.class, j.kind, j.config, err)
+			}
+			return trained{model: model, ev: ev}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
-	ctx.mu.Lock()
-	ctx.sweep = res
-	ctx.mu.Unlock()
+	res := &SweepResult{
+		Evals:  make(map[workload.Class]map[core.Kind]map[string]ml.BinaryEval),
+		Models: make(map[workload.Class]map[core.Kind]map[string]ml.Classifier),
+	}
+	for _, class := range workload.MalwareClasses() {
+		res.Evals[class] = make(map[core.Kind]map[string]ml.BinaryEval)
+		res.Models[class] = make(map[core.Kind]map[string]ml.Classifier)
+		for _, kind := range core.Kinds() {
+			res.Evals[class][kind] = make(map[string]ml.BinaryEval)
+			res.Models[class][kind] = make(map[string]ml.Classifier)
+		}
+	}
+	for i, j := range jobs {
+		res.Evals[j.class][j.kind][j.config] = out[i].ev
+		res.Models[j.class][j.kind][j.config] = out[i].model
+	}
+
+	c.mu.Lock()
+	c.sweep = res
+	c.mu.Unlock()
 	return res, nil
 }
 

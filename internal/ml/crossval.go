@@ -1,11 +1,13 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"twosmart/internal/dataset"
+	"twosmart/internal/parallel"
 )
 
 // CVResult summarises a k-fold cross-validation: per-fold binary
@@ -23,15 +25,34 @@ type CVResult struct {
 // a binary dataset: each class's instances are shuffled (deterministically
 // in seed) and dealt round-robin into k folds, so every fold preserves the
 // class imbalance. The paper uses a single 60/40 split; cross-validation is
-// provided for variance estimates on small corpora.
+// provided for variance estimates on small corpora. It is
+// CrossValidateContext without cancellation.
 func CrossValidate(tr Trainer, d *dataset.Dataset, k int, seed int64) (*CVResult, error) {
+	return CrossValidateContext(context.Background(), tr, d, k, seed)
+}
+
+// CrossValidateContext is CrossValidate with cancellation. Folds train
+// concurrently on a bounded pool (up to NumCPU workers); fold assignment is
+// fixed before the fan-out and every evaluation lands at its fold index, so
+// the result is identical to a serial run for the same seed. The Trainer
+// must be safe for concurrent Train calls — every trainer in this
+// repository is, since Train only reads the receiver's hyperparameters and
+// builds local state.
+func CrossValidateContext(ctx context.Context, tr Trainer, d *dataset.Dataset, k int, seed int64) (*CVResult, error) {
+	return crossValidate(ctx, tr, d, k, seed, 0)
+}
+
+// crossValidate is the shared implementation; workers <= 0 means NumCPU
+// (tests pin workers to compare against the serial path).
+func crossValidate(ctx context.Context, tr Trainer, d *dataset.Dataset, k int, seed int64, workers int) (*CVResult, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("ml: cross-validation needs k >= 2, got %d", k)
 	}
 	if d.Len() < k {
 		return nil, fmt.Errorf("ml: %d instances cannot fill %d folds", d.Len(), k)
 	}
-	// Stratified round-robin assignment.
+	// Stratified round-robin assignment, fixed before the fan-out so the
+	// folds do not depend on scheduling.
 	rng := rand.New(rand.NewSource(seed))
 	foldOf := make([]int, d.Len())
 	byClass := make(map[int][]int)
@@ -48,28 +69,32 @@ func CrossValidate(tr Trainer, d *dataset.Dataset, k int, seed int64) (*CVResult
 		}
 	}
 
-	res := &CVResult{}
-	for fold := 0; fold < k; fold++ {
-		train := dataset.New(d.FeatureNames, d.ClassNames)
-		test := dataset.New(d.FeatureNames, d.ClassNames)
-		for i, ins := range d.Instances {
-			if foldOf[i] == fold {
-				test.Instances = append(test.Instances, ins)
-			} else {
-				train.Instances = append(train.Instances, ins)
+	folds, err := parallel.Map(ctx, k, parallel.Options{Workers: workers},
+		func(ctx context.Context, fold int) (BinaryEval, error) {
+			train := dataset.New(d.FeatureNames, d.ClassNames)
+			test := dataset.New(d.FeatureNames, d.ClassNames)
+			for i, ins := range d.Instances {
+				if foldOf[i] == fold {
+					test.Instances = append(test.Instances, ins)
+				} else {
+					train.Instances = append(train.Instances, ins)
+				}
 			}
-		}
-		model, err := tr.Train(train)
-		if err != nil {
-			return nil, fmt.Errorf("ml: fold %d: %w", fold, err)
-		}
-		ev, err := EvaluateBinary(model, test)
-		if err != nil {
-			return nil, fmt.Errorf("ml: fold %d: %w", fold, err)
-		}
-		res.Folds = append(res.Folds, ev)
+			model, err := tr.Train(train)
+			if err != nil {
+				return BinaryEval{}, fmt.Errorf("ml: fold %d: %w", fold, err)
+			}
+			ev, err := EvaluateBinary(model, test)
+			if err != nil {
+				return BinaryEval{}, fmt.Errorf("ml: fold %d: %w", fold, err)
+			}
+			return ev, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
+	res := &CVResult{Folds: folds}
 	res.MeanF, res.StdF = meanStd(res.Folds, func(e BinaryEval) float64 { return e.F1 })
 	res.MeanPerf, res.StdPerf = meanStd(res.Folds, func(e BinaryEval) float64 { return e.Performance })
 	return res, nil

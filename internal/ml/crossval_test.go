@@ -1,6 +1,9 @@
 package ml
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"testing"
 
 	"twosmart/internal/dataset"
@@ -67,6 +70,41 @@ func TestCrossValidateValidation(t *testing.T) {
 	tiny := mltest.Gaussian2Class(2, 2, 2.0, 5)
 	if _, err := CrossValidate(thresholdTrainer{}, tiny, 10, 1); err == nil {
 		t.Fatal("more folds than instances accepted")
+	}
+}
+
+// Parallel fold training must be indistinguishable from the serial path:
+// same folds, same per-fold metrics, same aggregates.
+func TestCrossValidateParallelMatchesSerial(t *testing.T) {
+	d := mltest.Gaussian2Class(300, 3, 2.0, 11)
+	serial, err := crossValidate(context.Background(), thresholdTrainer{}, d, 6, 21, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := crossValidate(context.Background(), thresholdTrainer{}, d, 6, 21, runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Folds) != len(par.Folds) {
+		t.Fatalf("fold counts differ: %d vs %d", len(serial.Folds), len(par.Folds))
+	}
+	for i := range serial.Folds {
+		if serial.Folds[i] != par.Folds[i] {
+			t.Fatalf("fold %d differs: serial=%+v parallel=%+v", i, serial.Folds[i], par.Folds[i])
+		}
+	}
+	if serial.MeanF != par.MeanF || serial.StdF != par.StdF ||
+		serial.MeanPerf != par.MeanPerf || serial.StdPerf != par.StdPerf {
+		t.Fatalf("aggregates differ: serial=%+v parallel=%+v", serial, par)
+	}
+}
+
+func TestCrossValidateCancellation(t *testing.T) {
+	d := mltest.Gaussian2Class(200, 2, 2.0, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CrossValidateContext(ctx, thresholdTrainer{}, d, 5, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
 	}
 }
 

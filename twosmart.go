@@ -28,6 +28,8 @@
 package twosmart
 
 import (
+	"context"
+
 	"twosmart/internal/baseline"
 	"twosmart/internal/core"
 	"twosmart/internal/corpus"
@@ -84,6 +86,14 @@ type CollectConfig = corpus.Config
 // 10 ms sample, events normalised per thousand retired instructions).
 func Collect(cfg CollectConfig) (*Dataset, error) { return corpus.Collect(cfg) }
 
+// CollectContext is Collect with cancellation: profiling fans out over a
+// bounded worker pool (CollectConfig.Workers) and aborts promptly with
+// ctx's error when ctx is cancelled. For a given Seed the dataset is
+// byte-identical at any worker count.
+func CollectContext(ctx context.Context, cfg CollectConfig) (*Dataset, error) {
+	return corpus.CollectContext(ctx, cfg)
+}
+
 // TrainConfig configures 2SMaRT training; the zero value trains the
 // run-time configuration: stage-1 MLR and per-class specialized detectors
 // (winner selected by validation) on the four Common HPC features.
@@ -97,6 +107,14 @@ type Verdict = core.Verdict
 
 // Train fits a 2SMaRT detector on a 5-class dataset produced by Collect.
 func Train(d *Dataset, cfg TrainConfig) (*Detector, error) { return core.Train(d, cfg) }
+
+// TrainContext is Train with cancellation: the four specialized stage-2
+// detectors train concurrently, and cancelling ctx aborts training with
+// ctx's error. The trained detector is identical to a serial run for the
+// same seed.
+func TrainContext(ctx context.Context, d *Dataset, cfg TrainConfig) (*Detector, error) {
+	return core.TrainContext(ctx, d, cfg)
+}
 
 // LoadDetector reconstructs a detector serialised with Detector.Marshal,
 // enabling a train-once / deploy-many flow (cmd/smartrain -model writes the
@@ -193,6 +211,13 @@ type Experiments = experiments.Context
 // by every experiment driver.
 func NewExperiments(opts ExperimentOptions) (*Experiments, error) {
 	return experiments.NewContext(opts)
+}
+
+// NewExperimentsContext is NewExperiments with cancellation of the corpus
+// collection; the returned handle's SweepContext method extends the same
+// cancellation to the classifier sweep.
+func NewExperimentsContext(ctx context.Context, opts ExperimentOptions) (*Experiments, error) {
+	return experiments.NewContextCtx(ctx, opts)
 }
 
 // NewExperimentsFromDataset prepares experiment drivers over an existing
