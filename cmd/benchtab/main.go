@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchtab -exp tab3 -scale 0.15 -seed 42
-//	benchtab -exp all
+//	benchtab -exp all -report run.json
 //
 // Experiments: fig1 tab1 tab2 fig2 fig3 tab3 fig4 tab4 fig5a fig5b tab5,
 // plus the extensions extgran (decision granularity), extlat (detection
@@ -22,6 +22,8 @@ import (
 	"twosmart/internal/corpus"
 )
 
+var app = cli.New("benchtab")
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id: fig1|tab1|tab2|fig2|fig3|tab3|fig4|tab4|fig5a|fig5b|tab5|extgran|extlat|extint|all")
 	scale := flag.Float64("scale", 0.15, "corpus scale (1.0 = the paper's 3621 applications)")
@@ -30,10 +32,11 @@ func main() {
 	workers := flag.Int("workers", 0, "bound on profiling and sweep parallelism (0 = NumCPU)")
 	faithful := flag.Bool("faithful", false, "use the 11-batch multiplexed collection path instead of the omniscient fast path")
 	jsonOut := flag.String("json", "", "also run every experiment and write the aggregate machine-readable report to this file (use - for stdout)")
+	reportOut := flag.String("report", "", "write the machine-readable run report (JSON: stage timings, pool metrics, dataset stats) to this file (- for stdout)")
 	flag.Parse()
 
-	sigctx, stop := cli.Context()
-	defer stop()
+	sigctx := app.Start()
+	defer app.Close()
 
 	opts := twosmart.ExperimentOptions{
 		Corpus: corpus.Config{
@@ -42,17 +45,20 @@ func main() {
 			Budget:     *budget,
 			Omniscient: !*faithful,
 			Workers:    *workers,
+			Progress:   app.Progress("profiling"),
 		},
-		Seed:    *seed,
-		Workers: *workers,
+		Seed:      *seed,
+		Workers:   *workers,
+		Progress:  app.Progress("sweep"),
+		Telemetry: app.Telemetry,
 	}
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "collecting corpus (scale %.3g)...\n", *scale)
+	app.Log.Info("collecting corpus", "scale", *scale)
 	ctx, err := twosmart.NewExperimentsContext(sigctx, opts)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "corpus ready: %d samples in %v\n\n", ctx.Data.Len(), time.Since(start).Round(time.Millisecond))
+	app.Log.Info("corpus ready", "samples", ctx.Data.Len(), "duration", time.Since(start).Round(time.Millisecond))
 
 	type driver struct {
 		id  string
@@ -90,6 +96,7 @@ func main() {
 		}
 		ran = true
 		t0 := time.Now()
+		span := app.Telemetry.StartSpan("exp/" + d.id)
 		if sweepBased[d.id] {
 			if _, err := ctx.SweepContext(sigctx); err != nil {
 				fatal(fmt.Errorf("%s: %w", d.id, err))
@@ -99,6 +106,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", d.id, err))
 		}
+		span.End()
 		fmt.Printf("==== %s (%v) ====\n%s\n", d.id, time.Since(t0).Round(time.Millisecond), res)
 	}
 	if !ran {
@@ -123,11 +131,29 @@ func main() {
 			fatal(err)
 		}
 		if *jsonOut != "-" {
-			fmt.Fprintf(os.Stderr, "wrote JSON report to %s\n", *jsonOut)
+			app.Log.Info("wrote JSON report", "path", *jsonOut)
+		}
+	}
+
+	if *reportOut != "" {
+		rep := app.Telemetry.Report(app.Tool)
+		rep.Dataset = &twosmart.DatasetStats{
+			Samples:  ctx.Data.Len(),
+			Features: len(ctx.Data.FeatureNames),
+			Classes:  map[string]int{},
+		}
+		for _, ins := range ctx.Data.Instances {
+			rep.Dataset.Classes[ctx.Data.ClassNames[ins.Label]]++
+		}
+		if err := rep.WriteFile(*reportOut); err != nil {
+			fatal(err)
+		}
+		if *reportOut != "-" {
+			app.Log.Info("wrote run report", "path", *reportOut)
 		}
 	}
 }
 
 func fatal(err error) {
-	cli.Fatal("benchtab", err)
+	app.Fatal(err)
 }

@@ -21,9 +21,9 @@ import (
 	"twosmart/internal/workload"
 )
 
+var app = cli.New("hpctrace")
+
 func main() {
-	ctx, stop := cli.Context()
-	defer stop()
 	class := flag.String("class", "benign", "application class: benign|backdoor|rootkit|virus|trojan")
 	id := flag.Int("id", 0, "application variant id")
 	events := flag.String("events", "branch-instructions,branch-misses,cache-references,node-stores",
@@ -33,6 +33,8 @@ func main() {
 	list := flag.Bool("list", false, "list the 44 available events and exit")
 	stats := flag.Bool("stats", false, "also print whole-run microarchitectural statistics (simulator-omniscient)")
 	flag.Parse()
+	ctx := app.Start()
+	defer app.Close()
 
 	if *list {
 		for _, e := range hpc.AllEvents() {
@@ -111,5 +113,5 @@ func main() {
 }
 
 func fatal(err error) {
-	cli.Fatal("hpctrace", err)
+	app.Fatal(err)
 }

@@ -21,9 +21,9 @@ import (
 	"twosmart/internal/workload"
 )
 
+var app = cli.New("hwgen")
+
 func main() {
-	ctx, stop := cli.Context()
-	defer stop()
 	className := flag.String("class", "virus", "malware class: backdoor|rootkit|virus|trojan")
 	kindName := flag.String("kind", "J48", "classifier kind: J48|JRip|OneR (combinational families)")
 	hpcs := flag.Int("hpcs", 4, "feature count: 4 (Common) or 8 (per-class Custom)")
@@ -34,6 +34,8 @@ func main() {
 	tbOut := flag.String("tb", "", "also write a self-checking testbench (with dataset-derived vectors) to this file")
 	tbVectors := flag.Int("vectors", 32, "number of testbench vectors")
 	flag.Parse()
+	ctx := app.Start()
+	defer app.Close()
 
 	class, ok := workload.ClassByName(*className)
 	if !ok || !class.IsMalware() {
@@ -57,8 +59,11 @@ func main() {
 		fatal(fmt.Errorf("-hpcs must be 4 or 8, got %d", *hpcs))
 	}
 
-	fmt.Fprintf(os.Stderr, "collecting corpus (scale %.3g) and training %v %s detector...\n", *scale, kind, class)
-	data, err := twosmart.CollectContext(ctx, twosmart.CollectConfig{Scale: *scale, Seed: *seed, Omniscient: true})
+	app.Log.Info("collecting corpus and training detector", "scale", *scale, "kind", kind.String(), "class", class.String())
+	data, err := twosmart.CollectContext(ctx, twosmart.CollectConfig{
+		Scale: *scale, Seed: *seed, Omniscient: true,
+		Telemetry: app.Telemetry, Progress: app.Progress("profiling"),
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -90,8 +95,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "estimated cost: %d cycles @10ns, %d LUTs, %d FFs (%.2f%% of an OpenSPARC core)\n",
-		cost.LatencyCycles, cost.LUTs, cost.FFs, cost.AreaPercent())
+	app.Log.Info("estimated cost",
+		"cycles@10ns", cost.LatencyCycles, "luts", cost.LUTs, "ffs", cost.FFs,
+		"area_pct_opensparc", fmt.Sprintf("%.2f", cost.AreaPercent()))
 
 	w := os.Stdout
 	if *out != "" {
@@ -106,7 +112,7 @@ func main() {
 		fatal(err)
 	}
 	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		app.Log.Info("wrote Verilog", "path", *out)
 	}
 
 	if *tbOut != "" {
@@ -125,10 +131,10 @@ func main() {
 		if err := os.WriteFile(*tbOut, []byte(tb), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote testbench (%d vectors) to %s\n", len(vectors), *tbOut)
+		app.Log.Info("wrote testbench", "vectors", len(vectors), "path", *tbOut)
 	}
 }
 
 func fatal(err error) {
-	cli.Fatal("hwgen", err)
+	app.Fatal(err)
 }

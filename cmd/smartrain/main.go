@@ -7,6 +7,7 @@
 //
 //	smartrain -scale 0.15 -out corpus.csv
 //	smartrain -in corpus.csv -boost
+//	smartrain -telemetry-addr :8080 -report run.json
 package main
 
 import (
@@ -30,9 +31,9 @@ import (
 // far it got (packed as done<<32 | total).
 var profiled atomic.Uint64
 
+var app = cli.New("smartrain")
+
 func main() {
-	ctx, stop := cli.Context()
-	defer stop()
 	scale := flag.Float64("scale", 0.15, "corpus scale (1.0 = the paper's 3621 applications)")
 	seed := flag.Int64("seed", 42, "seed for corpus, split and training")
 	boost := flag.Bool("boost", false, "wrap stage-2 detectors in AdaBoost.M1")
@@ -43,7 +44,10 @@ func main() {
 	manifestOut := flag.String("manifest", "", "write the corpus provenance manifest (JSON) to this file")
 	runtimeModel := flag.Bool("runtime", false, "train on the 4 Common HPC features only, producing a model deployable with cmd/smartdetect -model")
 	faithful := flag.Bool("faithful", false, "use the 11-batch multiplexed collection path")
+	reportOut := flag.String("report", "", "write the machine-readable run report (JSON: stage timings, dataset stats, final metrics) to this file (- for stdout)")
 	flag.Parse()
+	ctx := app.Start()
+	defer app.Close()
 
 	data, err := loadOrCollect(ctx, *inCSV, *scale, *seed, *faithful)
 	if err != nil {
@@ -60,7 +64,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", data.Len(), *outCSV)
+		app.Log.Info("wrote dataset", "samples", data.Len(), "path", *outCSV)
 	}
 
 	if *manifestOut != "" {
@@ -75,7 +79,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote manifest to %s\n", *manifestOut)
+		app.Log.Info("wrote manifest", "path", *manifestOut)
 	}
 
 	if *runtimeModel {
@@ -89,17 +93,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "training 2SMaRT on %d samples (boost=%v)...\n", train.Len(), *boost)
-	t0 := time.Now()
+	app.Log.Info("training 2SMaRT", "samples", train.Len(), "boost", *boost)
+	trainSpan := app.Telemetry.StartSpan("train")
 	det, err := twosmart.TrainContext(ctx, train, twosmart.TrainConfig{
 		Boost:       *boost,
 		BoostRounds: *rounds,
 		Seed:        *seed,
+		Telemetry:   app.Telemetry,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "trained in %v\n\n", time.Since(t0).Round(time.Millisecond))
+	trainDur := trainSpan.End()
+	app.Log.Info("trained", "duration", trainDur.Round(time.Millisecond))
 
 	if *modelOut != "" {
 		blob, err := det.Marshal()
@@ -109,7 +115,7 @@ func main() {
 		if err := os.WriteFile(*modelOut, blob, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote detector (%d bytes) to %s\n", len(blob), *modelOut)
+		app.Log.Info("wrote detector", "bytes", len(blob), "path", *modelOut)
 	}
 
 	fmt.Println("stage-2 specialized detectors:")
@@ -121,6 +127,7 @@ func main() {
 		fmt.Printf("  %-10s %-5v features=%v\n", c, kind, feats)
 	}
 
+	evalSpan := app.Telemetry.StartSpan("evaluate")
 	var pooled metrics.Confusion
 	perClass := map[workload.Class]*metrics.Confusion{}
 	for _, c := range twosmart.MalwareClasses() {
@@ -139,11 +146,29 @@ func main() {
 			}
 		}
 	}
+	evalSpan.End()
 	fmt.Printf("\nheld-out detection (%d samples):\n", test.Len())
 	fmt.Printf("  pooled: F=%.1f%% precision=%.1f%% recall=%.1f%%\n",
 		100*pooled.F1(), 100*pooled.Precision(), 100*pooled.Recall())
 	for _, c := range twosmart.MalwareClasses() {
 		fmt.Printf("  %-10s F=%.1f%%\n", c, 100*perClass[c].F1())
+	}
+
+	if *reportOut != "" {
+		rep := app.Telemetry.Report(app.Tool)
+		rep.Dataset = datasetStats(data)
+		rep.Results["pooled_f1"] = pooled.F1()
+		rep.Results["pooled_precision"] = pooled.Precision()
+		rep.Results["pooled_recall"] = pooled.Recall()
+		for _, c := range twosmart.MalwareClasses() {
+			rep.Results["f1_"+c.String()] = perClass[c].F1()
+		}
+		if err := rep.WriteFile(*reportOut); err != nil {
+			fatal(err)
+		}
+		if *reportOut != "-" {
+			app.Log.Info("wrote run report", "path", *reportOut)
+		}
 	}
 }
 
@@ -156,13 +181,18 @@ func loadOrCollect(ctx context.Context, inCSV string, scale float64, seed int64,
 		defer f.Close()
 		return readCSV(f)
 	}
-	fmt.Fprintf(os.Stderr, "collecting corpus (scale %.3g)...\n", scale)
+	app.Log.Info("collecting corpus", "scale", scale, "faithful", faithful)
+	progress := app.Progress("profiling")
 	return twosmart.CollectContext(ctx, twosmart.CollectConfig{
 		Scale:      scale,
 		Seed:       seed,
 		Omniscient: !faithful,
+		Telemetry:  app.Telemetry,
 		Progress: func(done, total int) {
 			profiled.Store(uint64(done)<<32 | uint64(total))
+			if progress != nil {
+				progress(done, total)
+			}
 		},
 	})
 }
@@ -173,12 +203,24 @@ func readCSV(f *os.File) (*twosmart.Dataset, error) {
 	return dataset.ReadCSV(f, corpus.ClassNames())
 }
 
+func datasetStats(d *twosmart.Dataset) *twosmart.DatasetStats {
+	stats := &twosmart.DatasetStats{
+		Samples:  d.Len(),
+		Features: len(d.FeatureNames),
+		Classes:  map[string]int{},
+	}
+	for _, ins := range d.Instances {
+		stats.Classes[d.ClassNames[ins.Label]]++
+	}
+	return stats
+}
+
 func fatal(err error) {
 	if errors.Is(err, context.Canceled) {
 		if p := profiled.Load(); p != 0 {
-			fmt.Fprintf(os.Stderr, "smartrain: interrupted after profiling %d/%d applications; partial work discarded\n",
-				p>>32, p&0xffffffff)
+			app.Log.Warn("interrupted mid-collection; partial work discarded",
+				"profiled", p>>32, "total", p&0xffffffff)
 		}
 	}
-	cli.Fatal("smartrain", err)
+	app.Fatal(err)
 }

@@ -1,35 +1,143 @@
-// Package cli provides the shared plumbing of the cmd tools: a root context
-// cancelled by SIGINT/SIGTERM, so every long-running path (corpus
+// Package cli provides the shared runtime of the cmd tools: structured
+// logging on log/slog (text by default, JSON behind -log-json), a root
+// context cancelled by SIGINT/SIGTERM so every long-running path (corpus
 // profiling, training, experiment sweeps) shuts down cleanly instead of
-// being killed mid-write, and an interrupt-aware exit helper.
+// being killed mid-write, a per-run telemetry registry, and the opt-in
+// debug HTTP server behind -telemetry-addr.
 package cli
 
 import (
 	"context"
 	"errors"
-	"fmt"
+	"flag"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
+
+	"twosmart/internal/telemetry"
 )
 
 // ExitInterrupted is the exit code for a signal-cancelled run, following
 // the shell convention of 128+SIGINT.
 const ExitInterrupted = 130
 
-// Context returns a context cancelled on SIGINT or SIGTERM. The returned
-// stop function releases the signal handlers; a second signal after
-// cancellation kills the process with the default disposition, so a stuck
-// shutdown can still be forced.
-func Context() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+// App bundles one tool's shared runtime. Build it with New before flag
+// registration, call Start after flag.Parse, and defer Close.
+type App struct {
+	// Tool is the command name used in logs and the run report.
+	Tool string
+	// Log is the tool's logger, ready after Start (also installed as
+	// slog.Default).
+	Log *slog.Logger
+	// Telemetry is the run's metrics registry. It always exists — spans
+	// and counters recorded here feed the -report artifact — but the
+	// debug server only exposes it when -telemetry-addr is set.
+	Telemetry *telemetry.Registry
+
+	logJSON       bool
+	quiet         bool
+	telemetryAddr string
+
+	stop   context.CancelFunc
+	server *telemetry.Server
 }
 
-// Fatal reports err on stderr prefixed with the tool name and exits: with
-// ExitInterrupted for a context cancellation (a clean signal-driven
-// shutdown), 1 otherwise.
-func Fatal(tool string, err error) {
-	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+// New builds the app and registers the shared flags (-log-json, -quiet,
+// -telemetry-addr) on the default flag set. Call before flag.Parse.
+func New(tool string) *App {
+	a := &App{Tool: tool, Telemetry: telemetry.New()}
+	flag.BoolVar(&a.logJSON, "log-json", false, "emit JSON logs instead of text")
+	flag.BoolVar(&a.quiet, "quiet", false, "suppress progress and informational logs (warnings still print)")
+	flag.StringVar(&a.telemetryAddr, "telemetry-addr", "",
+		"serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address (e.g. :8080, :0 for a random port; empty = disabled)")
+	return a
+}
+
+// Start finalizes the logger from the parsed flags, installs the
+// SIGINT/SIGTERM handler and, when -telemetry-addr is set, starts the
+// debug server. The returned context is cancelled on the first signal; a
+// second signal kills the process with the default disposition, so a stuck
+// shutdown can still be forced.
+func (a *App) Start() context.Context {
+	level := slog.LevelInfo
+	if a.quiet {
+		level = slog.LevelWarn
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if a.logJSON {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	a.Log = slog.New(h).With("tool", a.Tool)
+	slog.SetDefault(a.Log)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	a.stop = stop
+
+	if a.telemetryAddr != "" {
+		srv, err := telemetry.StartServer(a.telemetryAddr, a.Telemetry)
+		if err != nil {
+			a.Fatal(err)
+		}
+		a.server = srv
+		a.Log.Info("telemetry server listening",
+			"addr", srv.Addr(),
+			"endpoints", "/metrics /debug/vars /debug/pprof/")
+	}
+	return ctx
+}
+
+// Quiet reports whether -quiet was set.
+func (a *App) Quiet() bool { return a.quiet }
+
+// Progress returns a progress callback (compatible with
+// parallel.Options.OnProgress and corpus.Config.Progress) that logs label
+// at roughly 10% increments, or nil when -quiet suppresses progress.
+// Callers must honor the parallel contract that progress calls are
+// serialized.
+func (a *App) Progress(label string) func(done, total int) {
+	if a.quiet {
+		return nil
+	}
+	lastDecile := -1
+	return func(done, total int) {
+		decile := done * 10 / total
+		if decile == lastDecile && done != total {
+			return
+		}
+		lastDecile = decile
+		a.Log.Info(label, "done", done, "total", total)
+	}
+}
+
+// Close shuts the debug server down gracefully and releases the signal
+// handlers. Safe to call more than once and before Start.
+func (a *App) Close() {
+	if a.server != nil {
+		if err := a.server.Close(); err != nil {
+			a.Log.Warn("telemetry server shutdown", "err", err)
+		}
+		a.server = nil
+	}
+	if a.stop != nil {
+		a.stop()
+		a.stop = nil
+	}
+}
+
+// Fatal logs err and exits: with ExitInterrupted for a context
+// cancellation (a clean signal-driven shutdown), 1 otherwise. The debug
+// server is shut down first so an in-flight /metrics scrape drains.
+func (a *App) Fatal(err error) {
+	log := a.Log
+	if log == nil {
+		log = slog.Default().With("tool", a.Tool)
+	}
+	log.Error("fatal", "err", err)
+	a.Close()
 	if errors.Is(err, context.Canceled) {
 		os.Exit(ExitInterrupted)
 	}

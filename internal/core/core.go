@@ -25,6 +25,7 @@ import (
 	"twosmart/internal/ml/rules"
 	"twosmart/internal/ml/tree"
 	"twosmart/internal/parallel"
+	"twosmart/internal/telemetry"
 	"twosmart/internal/workload"
 )
 
@@ -129,6 +130,11 @@ type TrainConfig struct {
 	BoostRounds int
 	// Seed drives all stochastic components.
 	Seed int64
+	// Telemetry, when non-nil, records training spans (train/stage1 and a
+	// train/stage2/<class> span per specialized detector, each feeding a
+	// latency histogram) and the per-class kind-selection counters
+	// train_stage2_kind_total{class=...,kind=...}.
+	Telemetry *telemetry.Registry
 }
 
 type stage2Model struct {
@@ -177,6 +183,7 @@ func TrainContext(ctx context.Context, d *dataset.Dataset, cfg TrainConfig) (*De
 	}
 
 	// --- Stage 1: multiclass MLR on the stage-1 features.
+	s1Span := cfg.Telemetry.StartSpan("train/stage1")
 	s1Idx, err := featureIndices(d, stage1Names)
 	if err != nil {
 		return nil, err
@@ -192,11 +199,16 @@ func TrainContext(ctx context.Context, d *dataset.Dataset, cfg TrainConfig) (*De
 	}
 	det.stage1 = stage1
 	det.stage1Feats = s1Idx
+	s1Span.End()
 
 	// --- Stage 2: one specialized binary detector per malware class; the
 	// four train independently and concurrently.
 	classes := workload.MalwareClasses()
-	models, err := parallel.Map(ctx, len(classes), parallel.Options{},
+	popts := parallel.Options{}
+	if cfg.Telemetry.Enabled() {
+		popts.Hook = telemetry.NewPoolHook(cfg.Telemetry, "train_stage2")
+	}
+	models, err := parallel.Map(ctx, len(classes), popts,
 		func(ctx context.Context, i int) (stage2Model, error) {
 			return trainClassDetector(ctx, d, cfg, classes[i])
 		})
@@ -211,6 +223,8 @@ func TrainContext(ctx context.Context, d *dataset.Dataset, cfg TrainConfig) (*De
 
 // trainClassDetector fits one class's specialized stage-2 detector.
 func trainClassDetector(ctx context.Context, d *dataset.Dataset, cfg TrainConfig, class workload.Class) (stage2Model, error) {
+	span := cfg.Telemetry.StartSpan("train/stage2/" + class.String())
+	defer span.End()
 	names := CommonFeatures
 	if cfg.Stage2Features != nil && cfg.Stage2Features[class] != nil {
 		names = cfg.Stage2Features[class]
@@ -245,6 +259,8 @@ func trainClassDetector(ctx context.Context, d *dataset.Dataset, cfg TrainConfig
 			return stage2Model{}, fmt.Errorf("core: stage-2 %v selection: %w", class, err)
 		}
 	}
+	name := telemetry.Label(telemetry.Label("train_stage2_kind_total", "class", class.String()), "kind", kind.String())
+	cfg.Telemetry.Counter(name).Inc()
 	return stage2Model{kind: kind, model: model, features: idx}, nil
 }
 

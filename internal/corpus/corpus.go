@@ -20,6 +20,7 @@ import (
 	"twosmart/internal/microarch"
 	"twosmart/internal/parallel"
 	"twosmart/internal/sandbox"
+	"twosmart/internal/telemetry"
 	"twosmart/internal/workload"
 )
 
@@ -73,6 +74,10 @@ type Config struct {
 	// profiling with the number of applications done and the total.
 	// Calls are serialized (see parallel.Options.OnProgress).
 	Progress func(done, total int)
+	// Telemetry, when non-nil, records collection metrics (apps profiled,
+	// multiplex batches, per-app wall time, pool utilization under the
+	// "corpus" prefix) and a corpus/collect span.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultFreqHz is the scaled modelled core frequency used for sampling.
@@ -182,11 +187,30 @@ func CollectContext(ctx context.Context, cfg Config) (*dataset.Dataset, error) {
 	apps := c.Apps()
 	d := dataset.New(FeatureNames(), ClassNames())
 
+	reg := c.Telemetry
+	span := reg.StartSpan("corpus/collect")
+	defer span.End()
+	appsProfiled := reg.Counter("corpus_apps_profiled_total")
+	samplesKept := reg.Counter("corpus_samples_total")
+	appWall := reg.Histogram("corpus_app_profile_seconds", telemetry.LatencyBuckets)
+
 	popts := parallel.Options{Workers: c.Workers, OnProgress: c.Progress}
+	if reg.Enabled() {
+		popts.Hook = telemetry.NewPoolHook(reg, "corpus")
+	}
 	results, err := parallel.Map(ctx, len(apps), popts, func(ctx context.Context, i int) ([][]float64, error) {
+		var t0 time.Time
+		if reg.Enabled() {
+			t0 = time.Now()
+		}
 		rows, err := profileApp(ctx, &c, apps[i])
 		if err != nil {
 			return nil, fmt.Errorf("corpus: profiling %s: %w", apps[i].Name, err)
+		}
+		if reg.Enabled() {
+			appWall.ObserveDuration(time.Since(t0))
+			appsProfiled.Inc()
+			samplesKept.Add(uint64(len(rows)))
 		}
 		return rows, nil
 	})
@@ -234,12 +258,14 @@ func profileMultiplexed(ctx context.Context, c *Config, app App, opts workload.O
 		MaxSamples: c.SamplesPerApp,
 	}
 
+	batches := c.Telemetry.Counter("corpus_batches_total")
 	var rows [][]float64
 	numSamples := -1
 	for _, group := range groups {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		batches.Inc()
 		prog := workload.Generate(app.Class, app.ID, opts)
 		stream, err := prog.Stream()
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"twosmart/internal/corpus"
 	"twosmart/internal/dataset"
+	"twosmart/internal/telemetry"
 )
 
 // Options configures an experiment run.
@@ -33,6 +34,13 @@ type Options struct {
 	// Corpus collection parallelism is tuned separately via
 	// Corpus.Workers.
 	Workers int
+	// Progress, when non-nil, reports sweep progress (jobs done, total).
+	// Corpus-collection progress is reported via Corpus.Progress.
+	Progress func(done, total int)
+	// Telemetry, when non-nil, records experiment spans and sweep pool
+	// metrics, and is propagated to corpus collection when Corpus has no
+	// registry of its own.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) fill() Options {
@@ -42,6 +50,9 @@ func (o Options) fill() Options {
 	}
 	if o.Corpus.Seed == 0 {
 		o.Corpus.Seed = o.Seed
+	}
+	if o.Corpus.Telemetry == nil {
+		o.Corpus.Telemetry = o.Telemetry
 	}
 	if o.BoostRounds <= 0 {
 		o.BoostRounds = 10

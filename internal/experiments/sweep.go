@@ -10,6 +10,7 @@ import (
 	"twosmart/internal/ml"
 	"twosmart/internal/ml/ensemble"
 	"twosmart/internal/parallel"
+	"twosmart/internal/telemetry"
 	"twosmart/internal/workload"
 )
 
@@ -70,7 +71,13 @@ func (c *Context) SweepContext(ctx context.Context) (*SweepResult, error) {
 		model ml.Classifier
 		ev    ml.BinaryEval
 	}
-	out, err := parallel.Map(ctx, len(jobs), parallel.Options{Workers: c.Opts.Workers},
+	reg := c.Opts.Telemetry
+	span := reg.StartSpan("experiments/sweep")
+	popts := parallel.Options{Workers: c.Opts.Workers, OnProgress: c.Opts.Progress}
+	if reg.Enabled() {
+		popts.Hook = telemetry.NewPoolHook(reg, "sweep")
+	}
+	out, err := parallel.Map(ctx, len(jobs), popts,
 		func(_ context.Context, i int) (trained, error) {
 			j := jobs[i]
 			model, ev, err := c.trainSpecialized(red, j.class, j.kind, j.config)
@@ -79,6 +86,7 @@ func (c *Context) SweepContext(ctx context.Context) (*SweepResult, error) {
 			}
 			return trained{model: model, ev: ev}, nil
 		})
+	span.End()
 	if err != nil {
 		return nil, err
 	}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"twosmart/internal/dataset"
 	"twosmart/internal/parallel"
+	"twosmart/internal/telemetry"
 )
 
 // CVResult summarises a k-fold cross-validation: per-fold binary
@@ -37,7 +39,10 @@ func CrossValidate(tr Trainer, d *dataset.Dataset, k int, seed int64) (*CVResult
 // the result is identical to a serial run for the same seed. The Trainer
 // must be safe for concurrent Train calls — every trainer in this
 // repository is, since Train only reads the receiver's hyperparameters and
-// builds local state.
+// builds local state. When ctx carries a telemetry registry
+// (telemetry.NewContext), each fold's train+evaluate time lands in the
+// ml_cv_fold_seconds histogram and the fold pool reports under the "cv"
+// prefix.
 func CrossValidateContext(ctx context.Context, tr Trainer, d *dataset.Dataset, k int, seed int64) (*CVResult, error) {
 	return crossValidate(ctx, tr, d, k, seed, 0)
 }
@@ -69,8 +74,19 @@ func crossValidate(ctx context.Context, tr Trainer, d *dataset.Dataset, k int, s
 		}
 	}
 
-	folds, err := parallel.Map(ctx, k, parallel.Options{Workers: workers},
+	reg := telemetry.FromContext(ctx)
+	foldTime := reg.Histogram("ml_cv_fold_seconds", telemetry.LatencyBuckets)
+	popts := parallel.Options{Workers: workers}
+	if reg.Enabled() {
+		popts.Hook = telemetry.NewPoolHook(reg, "cv")
+	}
+	folds, err := parallel.Map(ctx, k, popts,
 		func(ctx context.Context, fold int) (BinaryEval, error) {
+			var t0 time.Time
+			if reg.Enabled() {
+				t0 = time.Now()
+				defer func() { foldTime.ObserveDuration(time.Since(t0)) }()
+			}
 			train := dataset.New(d.FeatureNames, d.ClassNames)
 			test := dataset.New(d.FeatureNames, d.ClassNames)
 			for i, ins := range d.Instances {

@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"twosmart/internal/telemetry"
 )
 
 // Scorer produces a malware-ness score in [0,1] for one sample.
@@ -32,6 +35,12 @@ type Config struct {
 	// MinSamples is the warm-up period before any alarm can raise
 	// (default 3 samples = 30 ms).
 	MinSamples int
+	// Telemetry, when non-nil, records run-time detection metrics: the
+	// monitor_observe_seconds latency histogram, the sample/alarm
+	// counters, and (for Tracker) the monitor_active_apps gauge. When nil
+	// — the default — the Observe hot path pays only a branch (see
+	// BenchmarkObserve in internal/telemetry).
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) fill() (Config, error) {
@@ -80,6 +89,14 @@ type Monitor struct {
 	samples int
 	ewma    float64
 	alarm   bool
+
+	// Telemetry instruments, populated only when cfg.Telemetry is set;
+	// timed guards every use so the disabled hot path costs one branch.
+	timed    bool
+	latency  telemetry.Histogram
+	observed telemetry.Counter
+	raised   telemetry.Counter
+	cleared  telemetry.Counter
 }
 
 // New builds a monitor over a scorer.
@@ -91,11 +108,31 @@ func New(s Scorer, cfg Config) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Monitor{scorer: s, cfg: filled}, nil
+	return newMonitor(s, filled), nil
 }
 
-// Observe feeds one sample and returns the resulting event.
+// newMonitor builds a monitor from an already-validated config.
+func newMonitor(s Scorer, filled Config) *Monitor {
+	m := &Monitor{scorer: s, cfg: filled}
+	if reg := filled.Telemetry; reg.Enabled() {
+		m.timed = true
+		m.latency = reg.Histogram("monitor_observe_seconds", telemetry.LatencyBuckets)
+		m.observed = reg.Counter("monitor_samples_total")
+		m.raised = reg.Counter("monitor_alarms_raised_total")
+		m.cleared = reg.Counter("monitor_alarms_cleared_total")
+	}
+	return m
+}
+
+// Observe feeds one sample and returns the resulting event. When telemetry
+// is disabled (the default) the instrumentation costs two predicted
+// branches and no clock reads; BenchmarkObserve in internal/telemetry
+// tracks that overhead against an uninstrumented baseline.
 func (m *Monitor) Observe(features []float64) (Event, error) {
+	var t0 time.Time
+	if m.timed {
+		t0 = time.Now()
+	}
 	score, err := m.scorer.MalwareScore(features)
 	if err != nil {
 		return Event{}, err
@@ -116,6 +153,17 @@ func (m *Monitor) Observe(features []float64) (Event, error) {
 	}
 	ev.Alarm = m.alarm
 	ev.Changed = m.alarm != prev
+	if m.timed {
+		m.latency.ObserveDuration(time.Since(t0))
+		m.observed.Inc()
+		if ev.Changed {
+			if ev.Alarm {
+				m.raised.Inc()
+			} else {
+				m.cleared.Inc()
+			}
+		}
+	}
 	return ev, nil
 }
 
@@ -146,6 +194,7 @@ type Summary struct {
 type Tracker struct {
 	scorer Scorer
 	cfg    Config
+	active telemetry.Gauge // monitor_active_apps; nil-safe no-op when untracked
 
 	mu       sync.Mutex
 	monitors map[string]*Monitor
@@ -164,6 +213,7 @@ func NewTracker(s Scorer, cfg Config) (*Tracker, error) {
 	return &Tracker{
 		scorer:   s,
 		cfg:      filled,
+		active:   filled.Telemetry.Gauge("monitor_active_apps"),
 		monitors: make(map[string]*Monitor),
 		stats:    make(map[string]*Summary),
 	}, nil
@@ -174,9 +224,10 @@ func (t *Tracker) Observe(app string, features []float64) (Event, error) {
 	t.mu.Lock()
 	m, ok := t.monitors[app]
 	if !ok {
-		m = &Monitor{scorer: t.scorer, cfg: t.cfg}
+		m = newMonitor(t.scorer, t.cfg)
 		t.monitors[app] = m
 		t.stats[app] = &Summary{App: app}
+		t.active.Add(1)
 	}
 	st := t.stats[app]
 	t.mu.Unlock()
@@ -211,6 +262,7 @@ func (t *Tracker) Close(app string) (Summary, bool) {
 	}
 	delete(t.monitors, app)
 	delete(t.stats, app)
+	t.active.Add(-1)
 	return *st, true
 }
 

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingHook counts lifecycle events; it must tolerate concurrent calls
+// exactly as the Hook contract demands.
+type recordingHook struct {
+	mu       sync.Mutex
+	starts   int
+	dones    int
+	failed   int
+	negWait  bool
+	negDur   bool
+	doneIdxs map[int]bool
+}
+
+func (h *recordingHook) TaskStart(index int, queueWait time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.starts++
+	if queueWait < 0 {
+		h.negWait = true
+	}
+}
+
+func (h *recordingHook) TaskDone(index int, d time.Duration, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dones++
+	if err != nil {
+		h.failed++
+	}
+	if d < 0 {
+		h.negDur = true
+	}
+	if h.doneIdxs == nil {
+		h.doneIdxs = make(map[int]bool)
+	}
+	h.doneIdxs[index] = true
+}
+
+func TestHookLifecycle(t *testing.T) {
+	const n = 50
+	h := &recordingHook{}
+	err := ForEach(context.Background(), n, Options{Workers: 4, Hook: h}, func(context.Context, int) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.starts != n || h.dones != n {
+		t.Fatalf("starts=%d dones=%d, want %d each", h.starts, h.dones, n)
+	}
+	if h.failed != 0 {
+		t.Fatalf("failed=%d, want 0", h.failed)
+	}
+	if h.negWait || h.negDur {
+		t.Fatalf("negative timing: wait=%v dur=%v", h.negWait, h.negDur)
+	}
+	if len(h.doneIdxs) != n {
+		t.Fatalf("distinct done indices = %d, want %d", len(h.doneIdxs), n)
+	}
+}
+
+func TestHookSeesFailures(t *testing.T) {
+	boom := errors.New("boom")
+	h := &recordingHook{}
+	err := ForEach(context.Background(), 20, Options{Workers: 2, Hook: h}, func(_ context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// First-error cancellation means not every task necessarily ran, but
+	// every started task must have completed through the hook, and the
+	// failure must have been observed.
+	if h.starts != h.dones {
+		t.Fatalf("starts=%d dones=%d, want equal", h.starts, h.dones)
+	}
+	if h.failed < 1 {
+		t.Fatalf("failed=%d, want >= 1", h.failed)
+	}
+}
+
+func TestHookNilTakesFastPath(t *testing.T) {
+	// Purely behavioural: a run without a hook must still work (the pool
+	// skips all clock readings in that configuration).
+	if err := ForEach(context.Background(), 10, Options{}, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,7 +20,22 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 )
+
+// Hook observes the task lifecycle of one fan-out run. Implementations
+// must be safe for concurrent use: workers call them in parallel. The
+// package deliberately defines only this interface — telemetry adapters
+// (telemetry.PoolHook) satisfy it structurally, keeping the execution
+// substrate free of any observability dependency.
+type Hook interface {
+	// TaskStart fires when a worker picks up task index, queueWait after
+	// the feeder offered it.
+	TaskStart(index int, queueWait time.Duration)
+	// TaskDone fires when the task returns, having run for d (err nil on
+	// success). It fires for failed tasks too, unlike OnProgress.
+	TaskDone(index int, d time.Duration, err error)
+}
 
 // Options tunes a fan-out run. The zero value is ready to use.
 type Options struct {
@@ -32,6 +47,9 @@ type Options struct {
 	// serialized and done is strictly increasing, so the callback needs no
 	// locking of its own. Failed and skipped tasks do not report progress.
 	OnProgress func(done, total int)
+	// Hook, when non-nil, observes every task's start and completion with
+	// timing. When nil the pool takes no clock readings at all.
+	Hook Hook
 }
 
 func (o Options) workers(n int) int {
@@ -79,13 +97,18 @@ func run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	type task struct {
+		i   int
+		enq time.Time // zero unless a Hook is installed
+	}
 	results := make([]T, n)
 	errs := make([]error, n)
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
 		done int
-		next = make(chan int)
+		next = make(chan task)
+		hook = opts.Hook
 	)
 
 	workers := opts.workers(n)
@@ -97,17 +120,25 @@ func run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 				select {
 				case <-pctx.Done():
 					return
-				case i, ok := <-next:
+				case t, ok := <-next:
 					if !ok {
 						return
 					}
-					v, err := fn(pctx, i)
+					var start time.Time
+					if hook != nil {
+						start = time.Now()
+						hook.TaskStart(t.i, start.Sub(t.enq))
+					}
+					v, err := fn(pctx, t.i)
+					if hook != nil {
+						hook.TaskDone(t.i, time.Since(start), err)
+					}
 					if err != nil {
-						errs[i] = err
+						errs[t.i] = err
 						cancel() // first error stops the pool
 						continue
 					}
-					results[i] = v
+					results[t.i] = v
 					if opts.OnProgress != nil {
 						mu.Lock()
 						done++
@@ -121,8 +152,12 @@ func run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 
 feed:
 	for i := 0; i < n; i++ {
+		t := task{i: i}
+		if hook != nil {
+			t.enq = time.Now()
+		}
 		select {
-		case next <- i:
+		case next <- t:
 		case <-pctx.Done():
 			break feed
 		}

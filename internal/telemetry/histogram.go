@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets is the default bucket layout for latency histograms in
+// seconds: 1 µs to 10 s in a 1-2.5-5 progression. It spans everything the
+// pipeline measures, from a sub-microsecond Monitor.Observe to a
+// multi-second training stage.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// HistogramSummary is a point-in-time digest of a histogram. Quantiles are
+// estimated by linear interpolation inside the owning bucket, so their
+// error is bounded by that bucket's width; Min and Max are exact.
+type HistogramSummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (s HistogramSummary) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+type histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64 // valid only when count > 0
+	maxBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	h := &histogram{
+		bounds:  sorted,
+		buckets: make([]atomic.Uint64, len(sorted)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+func (h *histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+}
+
+func (h *histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+func (h *histogram) Summary() HistogramSummary {
+	s := HistogramSummary{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = math.Float64frombits(h.minBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	counts := h.snapshot()
+	s.P50 = quantile(h.bounds, counts, s.Min, s.Max, 0.50)
+	s.P95 = quantile(h.bounds, counts, s.Min, s.Max, 0.95)
+	s.P99 = quantile(h.bounds, counts, s.Min, s.Max, 0.99)
+	return s
+}
+
+func (h *histogram) snapshot() []uint64 {
+	counts := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts
+}
+
+// quantile estimates the q-quantile from bucket counts by locating the
+// bucket holding the q*total-th observation and interpolating linearly
+// between its bounds, clamped to the exact observed [min, max].
+func quantile(bounds []float64, counts []uint64, min, max float64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		lo := min
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := max
+		if i < len(bounds) && bounds[i] < max {
+			hi = bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// Position of the rank inside this bucket.
+		frac := 1.0
+		if c > 0 {
+			frac = (rank - float64(cum-c)) / float64(c)
+		}
+		v := lo + frac*(hi-lo)
+		return math.Max(min, math.Min(max, v))
+	}
+	return max
+}
+
+func atomicAddFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQuantile is the nearest-rank quantile of the exact value set, the
+// reference the bucketed estimate is checked against.
+func refQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// bucketWidth returns the width of the bucket that owns v — the bound on
+// the quantile estimate's error.
+func bucketWidth(bounds []float64, min, max, v float64) float64 {
+	i := sort.SearchFloat64s(bounds, v)
+	lo := min
+	if i > 0 && bounds[i-1] > lo {
+		lo = bounds[i-1]
+	}
+	hi := max
+	if i < len(bounds) && bounds[i] < hi {
+		hi = bounds[i]
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func TestHistogramQuantilesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dist := range []struct {
+		name string
+		gen  func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() * 9 }},
+		{"exponentialish", func() float64 { return math.Pow(10, -5+5*rng.Float64()) }},
+		{"clustered", func() float64 { return 0.001 + 0.0001*rng.NormFloat64() }},
+	} {
+		t.Run(dist.name, func(t *testing.T) {
+			h := newHistogram(LatencyBuckets)
+			values := make([]float64, 5000)
+			for i := range values {
+				v := math.Abs(dist.gen())
+				values[i] = v
+				h.Observe(v)
+			}
+			sort.Float64s(values)
+
+			s := h.Summary()
+			if s.Count != uint64(len(values)) {
+				t.Fatalf("count = %d, want %d", s.Count, len(values))
+			}
+			if s.Min != values[0] || s.Max != values[len(values)-1] {
+				t.Fatalf("min/max = %v/%v, want exact %v/%v", s.Min, s.Max, values[0], values[len(values)-1])
+			}
+			var sum float64
+			for _, v := range values {
+				sum += v
+			}
+			if math.Abs(s.Sum-sum) > 1e-6*sum {
+				t.Fatalf("sum = %v, want %v", s.Sum, sum)
+			}
+
+			for _, tc := range []struct {
+				q   float64
+				got float64
+			}{{0.50, s.P50}, {0.95, s.P95}, {0.99, s.P99}} {
+				ref := refQuantile(values, tc.q)
+				tol := bucketWidth(LatencyBuckets, s.Min, s.Max, ref) + 1e-12
+				if math.Abs(tc.got-ref) > tol {
+					t.Errorf("p%d = %v, reference %v, |err| %v exceeds bucket width %v",
+						int(tc.q*100), tc.got, ref, math.Abs(tc.got-ref), tol)
+				}
+				if tc.got < s.Min || tc.got > s.Max {
+					t.Errorf("p%d = %v outside observed [%v, %v]", int(tc.q*100), tc.got, s.Min, s.Max)
+				}
+			}
+			if s.P50 > s.P95 || s.P95 > s.P99 {
+				t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+			}
+		})
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	h.Observe(0.003)
+	s := h.Summary()
+	if s.Count != 1 || s.Min != 0.003 || s.Max != 0.003 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// With one observation every quantile collapses to the exact value.
+	if s.P50 != 0.003 || s.P95 != 0.003 || s.P99 != 0.003 {
+		t.Fatalf("quantiles = %v/%v/%v, want 0.003 each", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	s := h.Summary()
+	if s != (HistogramSummary{}) {
+		t.Fatalf("empty summary = %+v, want zero value", s)
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty mean = %v", s.Mean())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	// Values beyond the last bound land in the +Inf bucket; Min/Max stay
+	// exact so quantiles remain clamped to reality.
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100)
+	h.Observe(200)
+	s := h.Summary()
+	if s.Min != 100 || s.Max != 200 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P99 < 100 || s.P99 > 200 {
+		t.Fatalf("p99 = %v outside [100, 200]", s.P99)
+	}
+}

@@ -1,0 +1,86 @@
+// The Observe benchmark lives in an external test package because it
+// exercises monitor (which imports telemetry); an internal test would form
+// an import cycle.
+package telemetry_test
+
+import (
+	"testing"
+
+	"twosmart/internal/monitor"
+	"twosmart/internal/telemetry"
+)
+
+type constScorer struct{ score float64 }
+
+func (c constScorer) MalwareScore([]float64) (float64, error) { return c.score, nil }
+
+// bareObserve replicates Monitor.Observe's smoothing and hysteresis with
+// no telemetry branch at all — the pre-instrumentation baseline the
+// "disabled" case is compared against.
+type bareObserve struct {
+	scorer  monitor.Scorer
+	alpha   float64
+	raise   float64
+	clear   float64
+	minSamp int
+	samples int
+	ewma    float64
+	alarm   bool
+}
+
+func (m *bareObserve) observe(features []float64) (monitor.Event, error) {
+	score, err := m.scorer.MalwareScore(features)
+	if err != nil {
+		return monitor.Event{}, err
+	}
+	if m.samples == 0 {
+		m.ewma = score
+	} else {
+		m.ewma = m.alpha*score + (1-m.alpha)*m.ewma
+	}
+	ev := monitor.Event{Sample: m.samples, Score: score, Smoothed: m.ewma}
+	m.samples++
+	prev := m.alarm
+	if m.samples >= m.minSamp && !m.alarm && m.ewma > m.raise {
+		m.alarm = true
+	} else if m.alarm && m.ewma < m.clear {
+		m.alarm = false
+	}
+	ev.Alarm = m.alarm
+	ev.Changed = m.alarm != prev
+	return ev, nil
+}
+
+// BenchmarkObserve measures the telemetry cost on the run-time detection
+// hot path. The acceptance bar is the "disabled" case (nil Config.Telemetry
+// — the default): it must sit within 5 ns/op of "baseline" (the same logic
+// with no telemetry branch at all), because every Observe pays it whether
+// or not anyone is watching.
+func BenchmarkObserve(b *testing.B) {
+	fv := []float64{1.2, 3.4, 0.5, 9.1}
+	b.Run("baseline", func(b *testing.B) {
+		m := &bareObserve{scorer: constScorer{0.2}, alpha: 0.3, raise: 0.6, clear: 0.4, minSamp: 3}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.observe(fv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run := func(b *testing.B, cfg monitor.Config) {
+		m, err := monitor.New(constScorer{0.2}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Observe(fv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, monitor.Config{}) })
+	b.Run("enabled", func(b *testing.B) { run(b, monitor.Config{Telemetry: telemetry.New()}) })
+}

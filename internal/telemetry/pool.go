@@ -1,0 +1,62 @@
+package telemetry
+
+import "time"
+
+// PoolHook adapts a Registry to parallel.Options.Hook without the parallel
+// package importing telemetry (the interface is satisfied structurally, so
+// the execution substrate stays dependency-free). One hook instruments one
+// logical pool and exports, under its name prefix:
+//
+//	<name>_tasks_started_total / _completed_total / _failed_total
+//	<name>_queue_wait_seconds   histogram of hand-off latency
+//	<name>_task_seconds         histogram of task run time
+//	<name>_busy_seconds         gauge accumulating worker busy time
+//	<name>_inflight             gauge of currently running tasks
+//
+// Worker utilization over a window is rate(<name>_busy_seconds) divided by
+// the pool's worker count. All methods are safe for concurrent use.
+type PoolHook struct {
+	started   Counter
+	completed Counter
+	failed    Counter
+	queueWait Histogram
+	taskDur   Histogram
+	busy      Gauge
+	inflight  Gauge
+}
+
+// NewPoolHook builds a pool hook named name over reg. With a nil registry
+// the hook still works but records nothing; callers who want a truly
+// absent hook should leave parallel.Options.Hook nil instead (a nil-valued
+// non-nil interface would defeat the substrate's hook==nil fast path).
+func NewPoolHook(reg *Registry, name string) *PoolHook {
+	return &PoolHook{
+		started:   reg.Counter(name + "_tasks_started_total"),
+		completed: reg.Counter(name + "_tasks_completed_total"),
+		failed:    reg.Counter(name + "_tasks_failed_total"),
+		queueWait: reg.Histogram(name+"_queue_wait_seconds", LatencyBuckets),
+		taskDur:   reg.Histogram(name+"_task_seconds", LatencyBuckets),
+		busy:      reg.Gauge(name + "_busy_seconds"),
+		inflight:  reg.Gauge(name + "_inflight"),
+	}
+}
+
+// TaskStart records a worker picking up a task after queueWait in the
+// hand-off queue.
+func (h *PoolHook) TaskStart(index int, queueWait time.Duration) {
+	h.started.Inc()
+	h.queueWait.Observe(queueWait.Seconds())
+	h.inflight.Add(1)
+}
+
+// TaskDone records a task finishing after running for d.
+func (h *PoolHook) TaskDone(index int, d time.Duration, err error) {
+	h.inflight.Add(-1)
+	h.taskDur.Observe(d.Seconds())
+	h.busy.Add(d.Seconds())
+	if err != nil {
+		h.failed.Inc()
+	} else {
+		h.completed.Inc()
+	}
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name so the output
+// is deterministic. Histograms emit cumulative _bucket series with an le
+// label merged into any labels the metric name already carries, plus _sum
+// and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]*histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	typed := map[string]bool{}
+	writeType := func(name, kind string) {
+		base := baseName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+
+	for _, name := range sortedKeys(counters) {
+		writeType(name, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		writeType(name, "gauge")
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(gauges[name]))
+	}
+	for _, name := range sortedKeys(hists) {
+		writeType(name, "histogram")
+		h := hists[name]
+		counts := h.snapshot()
+		base, labels := baseName(name), labelSet(name)
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i])
+			}
+			if labels != "" {
+				fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", base, labels, le, cum)
+			} else {
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", base, le, cum)
+			}
+		}
+		sum := math.Float64frombits(h.sumBits.Load())
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatFloat(sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, cum)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := New()
+	reg.Counter("jobs_total").Add(2)
+	reg.Counter(Label("kind_total", "class", "virus")).Inc()
+	reg.Gauge("temp").Set(1.5)
+	h := reg.Histogram("lat_seconds", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	lh := reg.Histogram(Label("app_seconds", "app", "x"), []float64{1})
+	lh.Observe(0.5)
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# TYPE jobs_total counter
+jobs_total 2
+# TYPE kind_total counter
+kind_total{class="virus"} 1
+# TYPE temp gauge
+temp 1.5
+# TYPE app_seconds histogram
+app_seconds_bucket{app="x",le="1"} 1
+app_seconds_bucket{app="x",le="+Inf"} 1
+app_seconds_sum{app="x"} 0.5
+app_seconds_count{app="x"} 1
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="1"} 1
+lat_seconds_bucket{le="2"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 5
+lat_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := New()
+	for _, name := range []string{"b_total", "a_total", "c_total"} {
+		reg.Counter(name).Inc()
+	}
+	var first strings.Builder
+	reg.WritePrometheus(&first)
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		reg.WritePrometheus(&again)
+		if again.String() != first.String() {
+			t.Fatalf("non-deterministic output:\n%s\nvs\n%s", again.String(), first.String())
+		}
+	}
+	a := strings.Index(first.String(), "a_total 1")
+	b := strings.Index(first.String(), "b_total 1")
+	c := strings.Index(first.String(), "c_total 1")
+	if !(a >= 0 && a < b && b < c) {
+		t.Fatalf("counters not sorted:\n%s", first.String())
+	}
+}

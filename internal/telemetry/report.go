@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+)
+
+// RunReport is the machine-readable artifact behind the -report flag: one
+// JSON document per run with stage timings (spans), every metric's final
+// value, and tool-supplied dataset statistics and result figures. Schema
+// documented in README.md ("Observability").
+type RunReport struct {
+	Tool      string    `json:"tool"`
+	StartedAt time.Time `json:"started_at"`
+	WallS     float64   `json:"wall_s"`
+
+	Spans        []SpanRecord `json:"spans"`
+	SpansDropped int          `json:"spans_dropped,omitempty"`
+
+	Counters   map[string]uint64           `json:"counters"`
+	Gauges     map[string]float64          `json:"gauges"`
+	Histograms map[string]HistogramSummary `json:"histograms"`
+
+	// Dataset describes the corpus the run worked on (nil when the tool
+	// did not touch a dataset).
+	Dataset *DatasetStats `json:"dataset,omitempty"`
+	// Results holds the tool's headline figures (final model metrics,
+	// accuracy, F-measure) keyed by a stable snake_case name.
+	Results map[string]float64 `json:"results,omitempty"`
+}
+
+// DatasetStats summarises a dataset for the run report.
+type DatasetStats struct {
+	Samples  int            `json:"samples"`
+	Features int            `json:"features"`
+	Classes  map[string]int `json:"classes,omitempty"`
+}
+
+// Report snapshots the registry into a run report. The caller fills
+// Dataset and Results before writing.
+func (r *Registry) Report(tool string) *RunReport {
+	rep := &RunReport{
+		Tool:       tool,
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSummary{},
+		Results:    map[string]float64{},
+	}
+	if r == nil {
+		return rep
+	}
+	rep.StartedAt = r.start
+	rep.WallS = time.Since(r.start).Seconds()
+
+	r.mu.Lock()
+	rep.Spans = append([]SpanRecord(nil), r.spans...)
+	rep.SpansDropped = r.dropped
+	counters := make(map[string]*counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		rep.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		rep.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		rep.Histograms[name] = h.Summary()
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteFile writes the report to path ("-" means stdout).
+func (rep *RunReport) WriteFile(path string) error {
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

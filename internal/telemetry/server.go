@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the opt-in debug HTTP endpoint behind -telemetry-addr. It
+// serves:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    expvar (Go runtime memstats + a "telemetry" snapshot)
+//	/debug/pprof/  the standard pprof profiles (heap, profile, trace, ...)
+//
+// Close shuts it down gracefully and leaks no goroutines.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// expvarReg is the registry the process-global expvar "telemetry" variable
+// snapshots. expvar.Publish is global and panics on re-publish, so the
+// variable is installed once and reads whichever registry the most recent
+// StartServer supplied.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// StartServer listens on addr (":0" picks a free port; see Addr) and
+// serves the debug endpoints for reg in a background goroutine.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return expvarReg.Load().Report("expvar")
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "twosmart telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns http.ErrServerClosed on Shutdown
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close drains in-flight requests (bounded at 5 s, then hard-closes) and
+// waits for the serve goroutine to exit.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close()
+	}
+	<-s.done
+	return err
+}

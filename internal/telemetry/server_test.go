@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	reg := New()
+	reg.Counter("requests_total").Add(7)
+	reg.Histogram("work_seconds", []float64{1}).Observe(0.5)
+
+	before := runtime.NumGoroutine()
+	s, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	base := "http://" + s.Addr()
+
+	// A dedicated transport so idle keep-alive connections (and their
+	// goroutines) are torn down before the leak check.
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "requests_total 7") ||
+		!strings.Contains(body, `work_seconds_bucket{le="1"} 1`) {
+		t.Errorf("/metrics: code=%d body:\n%s", code, body)
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	resp.Body.Close()
+
+	if code, body := get("/debug/vars"); code != http.StatusOK ||
+		!strings.Contains(body, `"telemetry"`) || !strings.Contains(body, `"memstats"`) {
+		t.Errorf("/debug/vars: code=%d body starts: %.200s", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code=%d body starts: %.200s", code, body)
+	}
+	if code, _ := get("/"); code != http.StatusOK {
+		t.Errorf("/: code=%d", code)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope: code=%d, want 404", code)
+	}
+
+	tr.CloseIdleConnections()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	// The server must be down and its goroutines gone.
+	if _, err := client.Get(base + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+	tr.CloseIdleConnections()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d before StartServer, %d after Close", before, runtime.NumGoroutine())
+}
+
+func TestServerCloseIdempotentRegistrySwap(t *testing.T) {
+	// A second StartServer must not panic on expvar re-publish, and the
+	// expvar snapshot must follow the most recent registry.
+	reg1 := New()
+	s1, err := StartServer("127.0.0.1:0", reg1)
+	if err != nil {
+		t.Fatalf("StartServer 1: %v", err)
+	}
+	defer s1.Close()
+	reg2 := New()
+	reg2.Counter("second_total").Inc()
+	s2, err := StartServer("127.0.0.1:0", reg2)
+	if err != nil {
+		t.Fatalf("StartServer 2: %v", err)
+	}
+	defer s2.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", s2.Addr()))
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "second_total") {
+		t.Errorf("expvar snapshot not following latest registry: %.300s", body)
+	}
+}

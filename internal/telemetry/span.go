@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"time"
+)
+
+// SpanRecord is one completed pipeline stage: its name, its start offset
+// from registry creation, and its wall duration, both in seconds. The run
+// report serializes these verbatim.
+type SpanRecord struct {
+	Name     string  `json:"name"`
+	StartS   float64 `json:"start_s"`
+	Duration float64 `json:"duration_s"`
+}
+
+// Span is an in-flight stage timer returned by StartSpan. The zero Span
+// (and any span from a nil registry) is inert.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a named stage timer. Span names use '/' to express
+// nesting ("train/stage2/virus"); End records the span and feeds a
+// per-name latency histogram (span_<name>_seconds with '/' mapped to '_'),
+// so repeated stages (cross-validation folds, sweep jobs) get quantiles
+// for free.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// End completes the span and returns its duration. Safe on an inert span.
+func (s Span) End() time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	rec := SpanRecord{
+		Name:     s.name,
+		StartS:   s.start.Sub(s.r.start).Seconds(),
+		Duration: d.Seconds(),
+	}
+	s.r.mu.Lock()
+	if len(s.r.spans) < maxSpans {
+		s.r.spans = append(s.r.spans, rec)
+	} else {
+		s.r.dropped++
+	}
+	s.r.mu.Unlock()
+	s.r.Histogram("span_"+spanMetricName(s.name)+"_seconds", LatencyBuckets).Observe(d.Seconds())
+	return d
+}
+
+// Spans returns a copy of the completed spans in completion order.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}
+
+func spanMetricName(name string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			return c
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// --- context plumbing ------------------------------------------------------
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the registry, for call chains (like
+// ml.CrossValidate) whose signatures predate telemetry.
+func NewContext(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext extracts the registry carried by NewContext, or nil — which
+// is itself a valid, disabled registry.
+func FromContext(ctx context.Context) *Registry {
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}

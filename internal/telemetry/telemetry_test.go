@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := New()
+	c := reg.Counter("hits_total")
+	const goroutines, per = 16, 10000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+	// The same name resolves to the same counter.
+	if got := reg.Counter("hits_total").Value(); got != goroutines*per {
+		t.Fatalf("re-resolved counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	reg := New()
+	g := reg.Gauge("inflight")
+	var wg sync.WaitGroup
+	wg.Add(8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 1, 10})
+	var wg sync.WaitGroup
+	wg.Add(8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Summary()
+	if s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+	if s.Sum < 3999 || s.Sum > 4001 {
+		t.Fatalf("sum = %v, want ~4000", s.Sum)
+	}
+	if s.Min != 0.5 || s.Max != 0.5 {
+		t.Fatalf("min/max = %v/%v, want 0.5/0.5", s.Min, s.Max)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var reg *Registry
+	if reg.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	// None of these may panic, and all must be no-ops.
+	reg.Counter("c").Inc()
+	reg.Gauge("g").Set(1)
+	reg.Histogram("h", LatencyBuckets).Observe(1)
+	span := reg.StartSpan("stage")
+	if d := span.End(); d != 0 {
+		t.Fatalf("nil span duration = %v, want 0", d)
+	}
+	if spans := reg.Spans(); spans != nil {
+		t.Fatalf("nil registry spans = %v, want nil", spans)
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	rep := reg.Report("tool")
+	if rep == nil || rep.Tool != "tool" {
+		t.Fatalf("nil registry report = %+v", rep)
+	}
+}
+
+func TestSpansRecorded(t *testing.T) {
+	reg := New()
+	s := reg.StartSpan("train/stage2/virus")
+	time.Sleep(time.Millisecond)
+	d := s.End()
+	if d < time.Millisecond {
+		t.Fatalf("span duration = %v, want >= 1ms", d)
+	}
+	spans := reg.Spans()
+	if len(spans) != 1 || spans[0].Name != "train/stage2/virus" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Duration < 0.001 {
+		t.Fatalf("recorded duration = %v, want >= 0.001", spans[0].Duration)
+	}
+	// The span feeds a sanitized latency histogram.
+	if sum := reg.Histogram("span_train_stage2_virus_seconds", LatencyBuckets).Summary(); sum.Count != 1 {
+		t.Fatalf("span histogram count = %d, want 1", sum.Count)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	for _, tc := range []struct{ name, key, value, want string }{
+		{"x_total", "class", "virus", `x_total{class="virus"}`},
+		{`x_total{a="b"}`, "kind", "J48", `x_total{a="b",kind="J48"}`},
+		{"x_total", "q", `a"b\c`, `x_total{q="a\"b\\c"}`},
+	} {
+		if got := Label(tc.name, tc.key, tc.value); got != tc.want {
+			t.Errorf("Label(%q, %q, %q) = %q, want %q", tc.name, tc.key, tc.value, got, tc.want)
+		}
+	}
+}
+
+func TestReportSnapshot(t *testing.T) {
+	reg := New()
+	reg.Counter("a_total").Add(3)
+	reg.Gauge("g").Set(1.5)
+	reg.Histogram("h_seconds", []float64{1, 2}).Observe(1.5)
+	reg.StartSpan("stage").End()
+
+	rep := reg.Report("test")
+	if rep.Tool != "test" {
+		t.Fatalf("tool = %q", rep.Tool)
+	}
+	if rep.Counters["a_total"] != 3 {
+		t.Fatalf("counters = %v", rep.Counters)
+	}
+	if rep.Gauges["g"] != 1.5 {
+		t.Fatalf("gauges = %v", rep.Gauges)
+	}
+	if h := rep.Histograms["h_seconds"]; h.Count != 1 || h.Sum != 1.5 {
+		t.Fatalf("histograms = %+v", rep.Histograms)
+	}
+	if len(rep.Spans) != 1 || rep.Spans[0].Name != "stage" {
+		t.Fatalf("spans = %+v", rep.Spans)
+	}
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"a_total": 3`) {
+		t.Fatalf("JSON missing counter: %s", buf.String())
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"twosmart/internal/hls"
 	"twosmart/internal/ml"
 	"twosmart/internal/monitor"
+	"twosmart/internal/telemetry"
 	"twosmart/internal/workload"
 )
 
@@ -225,3 +226,22 @@ func NewExperimentsContext(ctx context.Context, opts ExperimentOptions) (*Experi
 func NewExperimentsFromDataset(d *Dataset, opts ExperimentOptions) (*Experiments, error) {
 	return experiments.NewContextFromDataset(d, opts)
 }
+
+// Telemetry is the runtime observability registry: atomic counters, gauges
+// and latency histograms plus pipeline-stage spans. Pass one through
+// CollectConfig, TrainConfig, MonitorConfig or ExperimentOptions to
+// instrument that layer; a nil registry disables instrumentation at
+// negligible cost. See internal/telemetry and the README's
+// "Observability" section for the metric inventory.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry builds an empty telemetry registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// RunReport is the machine-readable per-run artifact (stage timings,
+// metric values, dataset stats, result figures) written by the cmd tools'
+// -report flag.
+type RunReport = telemetry.RunReport
+
+// DatasetStats summarises a dataset inside a RunReport.
+type DatasetStats = telemetry.DatasetStats
