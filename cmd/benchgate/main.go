@@ -1,0 +1,257 @@
+// Command benchgate compares two `go test -bench` logs (base and head of a
+// pull request, each run with -count=N) and exits non-zero when head shows
+// a statistically significant regression: median ns/op more than -threshold
+// worse than base with a Mann-Whitney U p-value below -alpha, or any
+// significant increase in allocs/op. Benchmarks present in only one log are
+// reported and skipped, so a PR that introduces new benchmarks can
+// bootstrap the gate.
+//
+// benchstat produces the human-readable comparison artifact in CI; this
+// tool exists so the pass/fail decision is deterministic, dependency-free
+// and testable in-repo.
+//
+// Usage:
+//
+//	benchgate -base base.txt -head head.txt [-threshold 0.10] [-alpha 0.05]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	base := flag.String("base", "", "benchmark log of the base commit")
+	head := flag.String("head", "", "benchmark log of the head commit")
+	threshold := flag.Float64("threshold", 0.10, "tolerated fractional ns/op regression")
+	alpha := flag.Float64("alpha", 0.05, "Mann-Whitney significance level")
+	flag.Parse()
+	if *base == "" || *head == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		os.Exit(2)
+	}
+	baseRuns, err := parseFile(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	headRuns, err := parseFile(*head)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	results := compare(baseRuns, headRuns, *threshold, *alpha)
+	failed := report(os.Stdout, results)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// samples holds one benchmark's repeated measurements from one log.
+type samples struct {
+	NsOp     []float64
+	AllocsOp []float64
+}
+
+func parseFile(path string) (map[string]*samples, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+// parseBench extracts per-benchmark ns/op and allocs/op series from go test
+// -bench output. The trailing -N GOMAXPROCS suffix is stripped so logs from
+// machines with different core counts still line up.
+func parseBench(r io.Reader) (map[string]*samples, error) {
+	out := make(map[string]*samples)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := stripProcs(fields[0])
+		s := out[name]
+		if s == nil {
+			s = &samples{}
+			out[name] = s
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsOp = append(s.NsOp, v)
+			case "allocs/op":
+				s.AllocsOp = append(s.AllocsOp, v)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// stripProcs removes the "-8" style GOMAXPROCS suffix from a benchmark name.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// result is one benchmark metric's comparison.
+type result struct {
+	Name, Metric        string
+	BaseMed, HeadMed, P float64
+	Regressed, Skipped  bool
+	SkipReason          string
+}
+
+// compare gates every benchmark present in both logs. A metric regresses
+// when the head median is worse than the tolerated fraction over base AND
+// the shift is statistically significant; allocs/op tolerates no increase
+// at all (the compiled hot path's contract is exactly zero).
+func compare(base, head map[string]*samples, threshold, alpha float64) []result {
+	names := make([]string, 0, len(head))
+	for name := range head {
+		names = append(names, name)
+	}
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []result
+	for _, name := range names {
+		b, inBase := base[name]
+		h, inHead := head[name]
+		if !inBase || !inHead {
+			reason := "only in head (new benchmark)"
+			if !inHead {
+				reason = "only in base (removed benchmark)"
+			}
+			out = append(out, result{Name: name, Skipped: true, SkipReason: reason})
+			continue
+		}
+		out = append(out, gate(name, "ns/op", b.NsOp, h.NsOp, threshold, alpha))
+		if len(b.AllocsOp) > 0 && len(h.AllocsOp) > 0 {
+			out = append(out, gate(name, "allocs/op", b.AllocsOp, h.AllocsOp, 0, alpha))
+		}
+	}
+	return out
+}
+
+func gate(name, metric string, base, head []float64, threshold, alpha float64) result {
+	r := result{Name: name, Metric: metric, BaseMed: median(base), HeadMed: median(head)}
+	if len(base) == 0 || len(head) == 0 {
+		r.Skipped = true
+		r.SkipReason = "no " + metric + " samples"
+		return r
+	}
+	worse := r.HeadMed > r.BaseMed*(1+threshold)
+	if r.BaseMed == 0 {
+		worse = r.HeadMed > 0
+	}
+	r.P = mannWhitneyP(base, head)
+	r.Regressed = worse && r.P < alpha
+	return r
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitneyP is the two-sided Mann-Whitney U test p-value under the
+// normal approximation with tie correction — the same test benchstat uses
+// for its delta column. Identical distributions (zero variance) return 1.
+func mannWhitneyP(a, b []float64) float64 {
+	n1, n2 := float64(len(a)), float64(len(b))
+	all := make([]float64, 0, len(a)+len(b))
+	all = append(all, a...)
+	all = append(all, b...)
+	sorted := append([]float64(nil), all...)
+	sort.Float64s(sorted)
+
+	// Average ranks with ties; count tie group sizes for the variance
+	// correction.
+	rank := make(map[float64]float64)
+	var tieTerm float64
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		t := float64(j - i)
+		rank[sorted[i]] = float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		tieTerm += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for _, v := range a {
+		r1 += rank[v]
+	}
+	u := r1 - n1*(n1+1)/2
+	n := n1 + n2
+	mean := n1 * n2 / 2
+	variance := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if variance <= 0 {
+		return 1
+	}
+	z := math.Abs(u-mean) / math.Sqrt(variance)
+	return math.Erfc(z / math.Sqrt2)
+}
+
+// report renders the comparison table and returns whether any metric
+// regressed.
+func report(w io.Writer, results []result) bool {
+	failed := false
+	fmt.Fprintf(w, "%-55s %-10s %14s %14s %8s  %s\n", "benchmark", "metric", "base(med)", "head(med)", "p", "verdict")
+	for _, r := range results {
+		if r.Skipped {
+			fmt.Fprintf(w, "%-55s %-10s %14s %14s %8s  skip: %s\n", r.Name, r.Metric, "-", "-", "-", r.SkipReason)
+			continue
+		}
+		verdict := "ok"
+		if r.Regressed {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		delta := "~"
+		if r.BaseMed > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.HeadMed-r.BaseMed)/r.BaseMed)
+		}
+		fmt.Fprintf(w, "%-55s %-10s %14.4g %14.4g %8.3f  %s (%s)\n",
+			r.Name, r.Metric, r.BaseMed, r.HeadMed, r.P, verdict, delta)
+	}
+	if failed {
+		fmt.Fprintln(w, "\nbenchgate: statistically significant benchmark regression detected")
+	}
+	return failed
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// benchLog renders a synthetic go-test bench log with count repeats per
+// benchmark; ns draws jitter around the given center.
+func benchLog(rng *rand.Rand, count int, rows map[string]struct {
+	ns     float64
+	allocs int
+}) string {
+	var b strings.Builder
+	b.WriteString("goos: linux\ngoarch: amd64\npkg: twosmart\n")
+	for name, row := range rows {
+		for i := 0; i < count; i++ {
+			ns := row.ns * (1 + 0.02*(rng.Float64()-0.5))
+			fmt.Fprintf(&b, "%s-8   \t 1000\t %.2f ns/op\t 16 B/op\t %d allocs/op\n", name, ns, row.allocs)
+		}
+	}
+	b.WriteString("PASS\nok  \ttwosmart\t1.2s\n")
+	return b.String()
+}
+
+type row = struct {
+	ns     float64
+	allocs int
+}
+
+func TestParseBench(t *testing.T) {
+	log := "BenchmarkScoreDetector/compiled-16 \t 500 \t 150.5 ns/op \t 0 B/op \t 0 allocs/op\n" +
+		"BenchmarkScoreDetector/compiled-16 \t 500 \t 151.5 ns/op \t 0 B/op \t 0 allocs/op\n" +
+		"not a bench line\n" +
+		"BenchmarkObserve/disabled-16 \t 900 \t 22.1 ns/op\n"
+	got, err := parseBench(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got["BenchmarkScoreDetector/compiled"]
+	if s == nil || len(s.NsOp) != 2 || len(s.AllocsOp) != 2 {
+		t.Fatalf("parsed %+v", got)
+	}
+	if s.NsOp[0] != 150.5 || s.AllocsOp[1] != 0 {
+		t.Fatalf("values %+v", s)
+	}
+	if o := got["BenchmarkObserve/disabled"]; o == nil || len(o.NsOp) != 1 || len(o.AllocsOp) != 0 {
+		t.Fatalf("no-allocs benchmark parsed as %+v", o)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":          "BenchmarkX",
+		"BenchmarkX-128":        "BenchmarkX",
+		"BenchmarkX/sub-case-4": "BenchmarkX/sub-case",
+		"BenchmarkX/odd-name":   "BenchmarkX/odd-name",
+		"BenchmarkNoSuffix":     "BenchmarkNoSuffix",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median %v", m)
+	}
+}
+
+func TestMannWhitney(t *testing.T) {
+	a := []float64{10, 10.1, 9.9, 10.05, 9.95, 10.02}
+	shifted := []float64{13, 13.1, 12.9, 13.05, 12.95, 13.02}
+	if p := mannWhitneyP(a, shifted); p > 0.05 {
+		t.Fatalf("clear shift not significant: p=%v", p)
+	}
+	if p := mannWhitneyP(a, a); p != 1 {
+		t.Fatalf("identical samples p=%v, want 1", p)
+	}
+	b := []float64{10.01, 10.09, 9.91, 10.06, 9.94, 10.03}
+	if p := mannWhitneyP(a, b); p < 0.05 {
+		t.Fatalf("same-distribution samples significant: p=%v", p)
+	}
+}
+
+func TestGateRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base, err := parseBench(strings.NewReader(benchLog(rng, 6, map[string]row{
+		"BenchmarkScoreDetector/compiled": {ns: 150, allocs: 0},
+		"BenchmarkObserve/disabled":       {ns: 22, allocs: 0},
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := parseBench(strings.NewReader(benchLog(rng, 6, map[string]row{
+		"BenchmarkScoreDetector/compiled": {ns: 200, allocs: 0}, // +33% ns/op
+		"BenchmarkObserve/disabled":       {ns: 22, allocs: 0},
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := compare(base, head, 0.10, 0.05)
+	if !hasRegression(results, "BenchmarkScoreDetector/compiled", "ns/op") {
+		t.Fatalf("33%% slowdown not gated: %+v", results)
+	}
+	if hasRegression(results, "BenchmarkObserve/disabled", "ns/op") {
+		t.Fatalf("unchanged benchmark gated: %+v", results)
+	}
+}
+
+func TestGateAllocRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base, _ := parseBench(strings.NewReader(benchLog(rng, 6, map[string]row{
+		"BenchmarkScoreDetector/compiled": {ns: 150, allocs: 0},
+	})))
+	head, _ := parseBench(strings.NewReader(benchLog(rng, 6, map[string]row{
+		"BenchmarkScoreDetector/compiled": {ns: 150, allocs: 1}, // lost the 0-alloc contract
+	})))
+	results := compare(base, head, 0.10, 0.05)
+	if !hasRegression(results, "BenchmarkScoreDetector/compiled", "allocs/op") {
+		t.Fatalf("alloc increase from 0 not gated: %+v", results)
+	}
+}
+
+func TestGateWithinThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base, _ := parseBench(strings.NewReader(benchLog(rng, 6, map[string]row{
+		"BenchmarkScoreMonitor/compiled": {ns: 150, allocs: 0},
+	})))
+	head, _ := parseBench(strings.NewReader(benchLog(rng, 6, map[string]row{
+		"BenchmarkScoreMonitor/compiled": {ns: 158, allocs: 0}, // +5%: significant but tolerated
+	})))
+	for _, r := range compare(base, head, 0.10, 0.05) {
+		if r.Regressed {
+			t.Fatalf("within-threshold change gated: %+v", r)
+		}
+	}
+}
+
+func TestGateSkipsUnmatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base, _ := parseBench(strings.NewReader(benchLog(rng, 6, map[string]row{
+		"BenchmarkOld": {ns: 10, allocs: 0},
+	})))
+	head, _ := parseBench(strings.NewReader(benchLog(rng, 6, map[string]row{
+		"BenchmarkNew": {ns: 10, allocs: 0},
+	})))
+	results := compare(base, head, 0.10, 0.05)
+	if len(results) != 2 {
+		t.Fatalf("results %+v", results)
+	}
+	for _, r := range results {
+		if !r.Skipped || r.Regressed {
+			t.Fatalf("unmatched benchmark not skipped: %+v", r)
+		}
+	}
+	var out strings.Builder
+	if report(&out, results) {
+		t.Fatalf("skips reported as failure:\n%s", out.String())
+	}
+}
+
+func TestReportFailureText(t *testing.T) {
+	var out strings.Builder
+	failed := report(&out, []result{
+		{Name: "BenchmarkX", Metric: "ns/op", BaseMed: 100, HeadMed: 140, P: 0.002, Regressed: true},
+		{Name: "BenchmarkY", Metric: "ns/op", BaseMed: 100, HeadMed: 101, P: 0.4},
+	})
+	if !failed {
+		t.Fatal("regression did not fail the gate")
+	}
+	text := out.String()
+	if !strings.Contains(text, "REGRESSION") || !strings.Contains(text, "+40.0%") {
+		t.Fatalf("report text:\n%s", text)
+	}
+}
+
+func hasRegression(results []result, name, metric string) bool {
+	for _, r := range results {
+		if r.Name == name && r.Metric == metric && r.Regressed {
+			return true
+		}
+	}
+	return false
+}

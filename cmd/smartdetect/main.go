@@ -32,6 +32,7 @@ func main() {
 	apps := flag.Int("apps", 12, "number of unseen applications to stream")
 	seed := flag.Int64("seed", 42, "training seed")
 	boost := flag.Bool("boost", true, "boost the stage-2 detectors (the paper's run-time configuration)")
+	compiled := flag.Bool("compiled", true, "detect through the compiled allocation-free inference path (false = interpreted)")
 	modelIn := flag.String("model", "", "load a detector (JSON, from smartrain -model) instead of training; it must have been trained on the Common-4 feature space")
 	flag.Parse()
 	ctx := app.Start()
@@ -93,10 +94,26 @@ func main() {
 	// Unseen: a different corpus seed than training.
 	wopts := workload.Options{Seed: *seed + 1000}
 
-	// Per-sample detection latency, overall and per app.
-	overall := app.Telemetry.Histogram("detect_latency_seconds", telemetry.LatencyBuckets)
+	// Select the inference path. The compiled detector is the interpreted
+	// one lowered into flat allocation-free evaluators (see
+	// internal/core.Detector.Compile); both paths are prediction-equivalent.
+	mode := "interpreted"
+	detect := det.Detect
+	if *compiled {
+		mode = "compiled"
+		detect = det.Compile().Detect
+	}
+	app.Log.Info("inference path", "mode", mode)
+
+	// Per-sample detection latency, overall and per app, labelled by
+	// inference mode so compiled and interpreted runs land in separate
+	// histograms on the debug endpoint.
+	overall := app.Telemetry.Histogram(
+		telemetry.Label("detect_latency_seconds", "mode", mode),
+		telemetry.LatencyBuckets)
 
 	correct, total := 0, 0
+	fv := make([]float64, len(events)) // reused: Detect never retains it
 	for i := 0; i < *apps; i++ {
 		if ctx.Err() != nil {
 			app.Log.Warn("interrupted", "streamed", total, "requested", *apps)
@@ -111,18 +128,19 @@ func main() {
 			fatal(err)
 		}
 		appLat := app.Telemetry.Histogram(
-			telemetry.Label("detect_app_latency_seconds", "app", prog.Name),
+			telemetry.Label(
+				telemetry.Label("detect_app_latency_seconds", "app", prog.Name),
+				"mode", mode),
 			telemetry.LatencyBuckets)
 		// Majority vote across the application's samples.
 		malVotes := 0
 		for _, s := range samples {
-			fv := make([]float64, len(events))
 			instr := float64(s.Fixed[0])
 			for j, c := range s.Counts {
 				fv[j] = float64(c) * 1000 / instr
 			}
 			t0 := time.Now()
-			v, err := det.Detect(fv)
+			v, err := detect(fv)
 			lat := time.Since(t0)
 			if err != nil {
 				fatal(err)

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"twosmart/internal/ml"
+	"twosmart/internal/workload"
+)
+
+// compiledStage2 is one malware class's lowered specialized detector.
+type compiledStage2 struct {
+	kind     Kind
+	model    ml.Compiled
+	features []int
+}
+
+// CompiledDetector is the allocation-free lowering of a trained Detector
+// for the run-time hot path: stage 1 and every stage-2 specialized
+// classifier are compiled (see ml.Compile), the per-class dispatch table is
+// a dense array instead of a map, and all projection/score buffers are a
+// preallocated scratch arena. The steady-state Detect, MalwareScore and
+// batch paths perform zero heap allocations per sample.
+//
+// A CompiledDetector owns scratch space and is therefore NOT safe for
+// concurrent use: compile one per goroutine (Detector.Compile is a cheap
+// flattening pass; the monitor layer does this per tracked application).
+// Input feature slices are only read during a call and never retained, so
+// callers may reuse their buffers.
+type CompiledDetector struct {
+	numFeatures int
+	stage1      ml.Compiled
+	stage1Feats []int
+	stage2      [workload.NumClasses]compiledStage2
+	malware     []workload.Class // routing targets, precomputed
+
+	s1In     []float64 // stage-1 projected features
+	s1Scores []float64 // stage-1 class probabilities
+	s2In     []float64 // stage-2 projected features (max width)
+	s2Scores []float64 // stage-2 binary scores
+}
+
+// Compile lowers the detector into its allocation-free run-time form. The
+// compiled detector is prediction-equivalent to the interpreted one (the
+// randomized property test in this package verifies Detect, MalwareScore
+// and the batch paths against their interpreted counterparts).
+func (det *Detector) Compile() *CompiledDetector {
+	cd := &CompiledDetector{
+		numFeatures: len(det.featureNames),
+		stage1:      ml.Compile(det.stage1),
+		stage1Feats: append([]int(nil), det.stage1Feats...),
+		malware:     workload.MalwareClasses(),
+	}
+	maxS2 := 0
+	for class, s2 := range det.stage2 {
+		cd.stage2[class] = compiledStage2{
+			kind:     s2.kind,
+			model:    ml.Compile(s2.model),
+			features: append([]int(nil), s2.features...),
+		}
+		if len(s2.features) > maxS2 {
+			maxS2 = len(s2.features)
+		}
+	}
+	cd.s1In = make([]float64, len(cd.stage1Feats))
+	cd.s1Scores = make([]float64, cd.stage1.NumClasses())
+	cd.s2In = make([]float64, maxS2)
+	cd.s2Scores = make([]float64, 2)
+	return cd
+}
+
+// NumFeatures returns the input feature space width the detector expects.
+func (cd *CompiledDetector) NumFeatures() int { return cd.numFeatures }
+
+func projectInto(dst, features []float64, idx []int) {
+	for i, j := range idx {
+		dst[i] = features[j]
+	}
+}
+
+// route runs stage 1 and the routed class's compiled stage-2 detector on
+// the sample, returning the routed malware class and leaving the stage-2
+// scores in cd.s2Scores.
+func (cd *CompiledDetector) route(features []float64) workload.Class {
+	projectInto(cd.s1In, features, cd.stage1Feats)
+	cd.stage1.ScoresInto(cd.s1Scores, cd.s1In)
+	best := cd.malware[0]
+	for _, c := range cd.malware {
+		if cd.s1Scores[c] > cd.s1Scores[best] {
+			best = c
+		}
+	}
+	s2 := &cd.stage2[best]
+	projectInto(cd.s2In[:len(s2.features)], features, s2.features)
+	s2.model.ScoresInto(cd.s2Scores, cd.s2In[:len(s2.features)])
+	return best
+}
+
+// Detect classifies one sample exactly as Detector.Detect does, with zero
+// heap allocations on the happy path.
+func (cd *CompiledDetector) Detect(features []float64) (Verdict, error) {
+	if len(features) != cd.numFeatures {
+		return Verdict{}, fmt.Errorf("core: sample has %d features, want %d", len(features), cd.numFeatures)
+	}
+	routed := cd.route(features)
+	best := ml.Argmax(cd.s2Scores)
+	malware := best == ml.PositiveClass
+	predicted := workload.Benign
+	if malware {
+		predicted = routed
+	}
+	return Verdict{
+		PredictedClass: predicted,
+		Malware:        malware,
+		Stage2Kind:     cd.stage2[routed].kind,
+		Confidence:     cd.s2Scores[best],
+	}, nil
+}
+
+// MalwareScore returns the same ranking score as Detector.MalwareScore with
+// zero heap allocations on the happy path.
+func (cd *CompiledDetector) MalwareScore(features []float64) (float64, error) {
+	if len(features) != cd.numFeatures {
+		return 0, fmt.Errorf("core: sample has %d features, want %d", len(features), cd.numFeatures)
+	}
+	cd.route(features)
+	total := cd.s2Scores[0] + cd.s2Scores[1]
+	if total <= 0 {
+		return 0.5, nil
+	}
+	return cd.s2Scores[1] / total, nil
+}
+
+// DetectBatch classifies samples[i] into dst[i] for every sample. dst and
+// samples must have equal length. The call performs no heap allocations.
+func (cd *CompiledDetector) DetectBatch(dst []Verdict, samples [][]float64) error {
+	if len(dst) != len(samples) {
+		return fmt.Errorf("core: DetectBatch dst has %d slots, want %d", len(dst), len(samples))
+	}
+	for i, fv := range samples {
+		v, err := cd.Detect(fv)
+		if err != nil {
+			return fmt.Errorf("core: sample %d: %w", i, err)
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+// MalwareScoreBatch scores samples[i] into dst[i] for every sample. dst and
+// samples must have equal length. The call performs no heap allocations.
+func (cd *CompiledDetector) MalwareScoreBatch(dst []float64, samples [][]float64) error {
+	if len(dst) != len(samples) {
+		return fmt.Errorf("core: MalwareScoreBatch dst has %d slots, want %d", len(dst), len(samples))
+	}
+	for i, fv := range samples {
+		s, err := cd.MalwareScore(fv)
+		if err != nil {
+			return fmt.Errorf("core: sample %d: %w", i, err)
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// Stage2Kind reports the compiled specialized detector's algorithm for a
+// malware class (mirrors Detector.Stage2Info for the run-time form).
+func (cd *CompiledDetector) Stage2Kind(class workload.Class) (Kind, error) {
+	if !class.IsMalware() {
+		return 0, fmt.Errorf("core: no stage-2 detector for class %v", class)
+	}
+	return cd.stage2[class].kind, nil
+}

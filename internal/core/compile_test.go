@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twosmart/internal/workload"
+)
+
+// compiledFixtures trains the run-time (plain) and boosted detectors once
+// for the compiled-path tests.
+func compiledFixtures(t *testing.T, boost bool) (*Detector, *CompiledDetector) {
+	t.Helper()
+	data, err := testData(t).SelectByName(CommonFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(data, TrainConfig{Boost: boost, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det, det.Compile()
+}
+
+// sameVerdict compares verdicts allowing last-ulp confidence drift from
+// the compiled MLP/MLR standardisation folding (see internal/ml/nn).
+func sameVerdict(got, want Verdict) bool {
+	return got.PredictedClass == want.PredictedClass &&
+		got.Malware == want.Malware &&
+		got.Stage2Kind == want.Stage2Kind &&
+		math.Abs(got.Confidence-want.Confidence) <= 1e-9
+}
+
+// TestCompiledDetectorEquivalence verifies the compiled detector against
+// the interpreted one over the corpus samples plus randomized
+// perturbations: identical verdicts, identical malware scores.
+func TestCompiledDetectorEquivalence(t *testing.T) {
+	for _, boost := range []bool{false, true} {
+		name := "plain"
+		if boost {
+			name = "boosted"
+		}
+		t.Run(name, func(t *testing.T) {
+			det, cd := compiledFixtures(t, boost)
+			if cd.NumFeatures() != len(CommonFeatures) {
+				t.Fatalf("NumFeatures = %d, want %d", cd.NumFeatures(), len(CommonFeatures))
+			}
+			rng := rand.New(rand.NewSource(9))
+			data, err := testData(t).SelectByName(CommonFeatures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fv := make([]float64, len(CommonFeatures))
+			for trial := 0; trial < 3000; trial++ {
+				src := data.Instances[rng.Intn(data.Len())]
+				for j, v := range src.Features {
+					fv[j] = v * (1 + 0.2*rng.NormFloat64())
+				}
+				want, err := det.Detect(fv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := cd.Detect(fv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameVerdict(got, want) {
+					t.Fatalf("trial %d: compiled verdict %+v, interpreted %+v", trial, got, want)
+				}
+				wantScore, err := det.MalwareScore(fv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotScore, err := cd.MalwareScore(fv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(gotScore-wantScore) > 1e-9 {
+					t.Fatalf("trial %d: compiled score %v, interpreted %v", trial, gotScore, wantScore)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledDetectorBatch checks the batch APIs against the per-sample
+// paths and their input validation.
+func TestCompiledDetectorBatch(t *testing.T) {
+	det, cd := compiledFixtures(t, false)
+	data, err := testData(t).SelectByName(CommonFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 128
+	samples := make([][]float64, n)
+	for i := range samples {
+		samples[i] = data.Instances[i%data.Len()].Features
+	}
+	verdicts := make([]Verdict, n)
+	scores := make([]float64, n)
+	if err := cd.DetectBatch(verdicts, samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.MalwareScoreBatch(scores, samples); err != nil {
+		t.Fatal(err)
+	}
+	for i, fv := range samples {
+		want, err := det.Detect(fv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameVerdict(verdicts[i], want) {
+			t.Fatalf("sample %d: batch verdict %+v, want %+v", i, verdicts[i], want)
+		}
+		wantScore, err := det.MalwareScore(fv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(scores[i]-wantScore) > 1e-9 {
+			t.Fatalf("sample %d: batch score %v, want %v", i, scores[i], wantScore)
+		}
+	}
+
+	if err := cd.DetectBatch(verdicts[:1], samples); err == nil {
+		t.Fatal("short dst accepted by DetectBatch")
+	}
+	if err := cd.MalwareScoreBatch(scores[:1], samples); err == nil {
+		t.Fatal("short dst accepted by MalwareScoreBatch")
+	}
+	bad := [][]float64{{1, 2}}
+	if err := cd.DetectBatch(verdicts[:1], bad); err == nil {
+		t.Fatal("wrong-width sample accepted")
+	}
+}
+
+// TestCompiledDetectorZeroAlloc pins the hot-path allocation contract: the
+// compiled Detect/MalwareScore and batch paths must not touch the heap.
+func TestCompiledDetectorZeroAlloc(t *testing.T) {
+	for _, boost := range []bool{false, true} {
+		name := "plain"
+		if boost {
+			name = "boosted"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, cd := compiledFixtures(t, boost)
+			data, err := testData(t).SelectByName(CommonFeatures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fv := append([]float64(nil), data.Instances[0].Features...)
+			samples := make([][]float64, 32)
+			for i := range samples {
+				samples[i] = data.Instances[i%data.Len()].Features
+			}
+			verdicts := make([]Verdict, len(samples))
+			scores := make([]float64, len(samples))
+			if allocs := testing.AllocsPerRun(200, func() {
+				if _, err := cd.Detect(fv); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("Detect allocates %.1f objects/op, want 0", allocs)
+			}
+			if allocs := testing.AllocsPerRun(200, func() {
+				if _, err := cd.MalwareScore(fv); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("MalwareScore allocates %.1f objects/op, want 0", allocs)
+			}
+			if allocs := testing.AllocsPerRun(50, func() {
+				if err := cd.DetectBatch(verdicts, samples); err != nil {
+					t.Fatal(err)
+				}
+				if err := cd.MalwareScoreBatch(scores, samples); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("batch paths allocate %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCompiledStage2Kind checks the compiled dispatch table mirrors the
+// interpreted detector's per-class algorithm selection.
+func TestCompiledStage2Kind(t *testing.T) {
+	det, cd := compiledFixtures(t, false)
+	for _, class := range workload.MalwareClasses() {
+		want, _, err := det.Stage2Info(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cd.Stage2Kind(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: compiled kind %v, want %v", class, got, want)
+		}
+	}
+	if _, err := cd.Stage2Kind(workload.Benign); err == nil {
+		t.Fatal("benign stage-2 kind accepted")
+	}
+}

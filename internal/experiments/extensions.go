@@ -107,7 +107,10 @@ func (ctx *Context) ExtLatency() (*ExtLatencyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	mon, err := monitor.NewTracker(det, monitor.Config{MinSamples: 2})
+	// Each tracked application gets its own compiled detector, so the
+	// per-sample monitoring loop below is allocation-free end to end.
+	mon, err := monitor.NewTrackerFactory(func() monitor.Scorer { return det.Compile() },
+		monitor.Config{MinSamples: 2})
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +123,7 @@ func (ctx *Context) ExtLatency() (*ExtLatencyResult, error) {
 	res := &ExtLatencyResult{}
 	var totalLatency int
 	const appsPerClass = 6
+	fv := make([]float64, len(events)) // reused: Observe never retains it
 	for _, class := range workload.AllClasses() {
 		for id := 0; id < appsPerClass; id++ {
 			prog := workload.Generate(class, 5000+id, workload.Options{
@@ -134,7 +138,6 @@ func (ctx *Context) ExtLatency() (*ExtLatencyResult, error) {
 			}
 			firstAlarm := -1
 			for _, s := range samples {
-				fv := make([]float64, len(events))
 				for j, c := range s.Counts {
 					fv[j] = float64(c) * 1000 / float64(s.Fixed[0])
 				}

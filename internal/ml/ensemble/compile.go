@@ -1,0 +1,55 @@
+package ensemble
+
+import "twosmart/internal/ml"
+
+// compiledBoost evaluates an AdaBoost.M1 ensemble through its members'
+// compiled forms: each member casts its alpha-weighted vote via the
+// allocation-free Predict path, and the vote mass is normalised in place.
+type compiledBoost struct {
+	members []ml.Compiled
+	alphas  []float64
+	total   float64 // sum of alphas, precomputed
+	k       int
+	scratch []float64
+}
+
+// Compile implements ml.Compilable. Members that cannot compile themselves
+// fall back to ml.Compile's interpreted adapter, so a mixed ensemble still
+// works (its vote loop then allocates inside those members).
+func (m *adaboost) Compile() ml.Compiled {
+	c := &compiledBoost{
+		members: make([]ml.Compiled, len(m.members)),
+		alphas:  append([]float64(nil), m.alphas...),
+		k:       m.numClasses,
+		scratch: make([]float64, m.numClasses),
+	}
+	for i, member := range m.members {
+		c.members[i] = ml.Compile(member)
+		c.total += m.alphas[i]
+	}
+	return c
+}
+
+// NumClasses implements ml.Compiled.
+func (m *compiledBoost) NumClasses() int { return m.k }
+
+// ScoresInto implements ml.Compiled: normalised alpha-weighted vote mass.
+func (m *compiledBoost) ScoresInto(dst, features []float64) {
+	for c := range dst[:m.k] {
+		dst[c] = 0
+	}
+	for i, member := range m.members {
+		dst[member.Predict(features)] += m.alphas[i]
+	}
+	if m.total > 0 {
+		for c := 0; c < m.k; c++ {
+			dst[c] /= m.total
+		}
+	}
+}
+
+// Predict implements ml.Compiled.
+func (m *compiledBoost) Predict(features []float64) int {
+	m.ScoresInto(m.scratch, features)
+	return ml.Argmax(m.scratch)
+}

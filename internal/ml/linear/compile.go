@@ -1,0 +1,78 @@
+package linear
+
+import (
+	"math"
+
+	"twosmart/internal/ml"
+)
+
+// compiledMLR is the fused linear+softmax lowering of a trained MLR model:
+// the z-score standardisation is folded into the weight matrix
+// (w'[c][j] = w[c][j]/sigma_j, b'[c] = b[c] - sum_j w[c][j]*mu_j/sigma_j),
+// the matrix is one contiguous row-major slab, and the softmax writes
+// straight into the caller's destination — no standardised input copy and
+// no per-call allocation. Folding re-associates a few floating-point
+// operations, so scores can differ in the last ulps; predictions are
+// verified identical by the randomized equivalence test in internal/ml.
+type compiledMLR struct {
+	in, k   int
+	w       []float64 // k x in, standardisation folded in
+	b       []float64 // k
+	scratch []float64 // class scores for Predict
+}
+
+// Compile implements ml.Compilable.
+func (m *mlr) Compile() ml.Compiled {
+	k := len(m.w)
+	in := len(m.w[0]) - 1
+	c := &compiledMLR{
+		in: in, k: k,
+		w:       make([]float64, k*in),
+		b:       make([]float64, k),
+		scratch: make([]float64, k),
+	}
+	for o, row := range m.w {
+		bias := row[in]
+		for j := 0; j < in; j++ {
+			c.w[o*in+j] = row[j] / m.scaler.Stds[j]
+			bias -= row[j] * m.scaler.Means[j] / m.scaler.Stds[j]
+		}
+		c.b[o] = bias
+	}
+	return c
+}
+
+// NumClasses implements ml.Compiled.
+func (m *compiledMLR) NumClasses() int { return m.k }
+
+// ScoresInto implements ml.Compiled: calibrated class probabilities.
+func (m *compiledMLR) ScoresInto(dst, features []float64) {
+	maxLogit := math.Inf(-1)
+	off := 0
+	for c := 0; c < m.k; c++ {
+		s := m.b[c]
+		row := m.w[off : off+m.in : off+m.in]
+		for j, x := range features[:m.in] {
+			s += row[j] * x
+		}
+		dst[c] = s
+		if s > maxLogit {
+			maxLogit = s
+		}
+		off += m.in
+	}
+	var sum float64
+	for c := 0; c < m.k; c++ {
+		dst[c] = math.Exp(dst[c] - maxLogit)
+		sum += dst[c]
+	}
+	for c := 0; c < m.k; c++ {
+		dst[c] /= sum
+	}
+}
+
+// Predict implements ml.Compiled.
+func (m *compiledMLR) Predict(features []float64) int {
+	m.ScoresInto(m.scratch, features)
+	return ml.Argmax(m.scratch)
+}

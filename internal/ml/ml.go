@@ -34,6 +34,80 @@ type Trainer interface {
 	Train(d *dataset.Dataset) (Classifier, error)
 }
 
+// Compiled is an evaluator lowered from a trained Classifier into a flat,
+// cache-friendly form for the run-time hot path. Implementations own any
+// scratch space they need, so the steady-state Score methods perform zero
+// heap allocations — which also means a Compiled value is NOT safe for
+// concurrent use; compile one evaluator per goroutine (compilation is a
+// cheap flattening pass).
+type Compiled interface {
+	// NumClasses returns the size of the label space.
+	NumClasses() int
+	// ScoresInto writes one non-negative confidence per class into dst,
+	// which must have length NumClasses. The scores are identical to the
+	// source Classifier's Scores output (see TestCompiledEquivalence).
+	// dst and features are only accessed during the call; the caller may
+	// reuse both buffers.
+	ScoresInto(dst, features []float64)
+	// Predict returns the index of the most likely class without
+	// allocating.
+	Predict(features []float64) int
+}
+
+// Compilable is implemented by classifiers that can lower themselves into
+// a Compiled evaluator. All learners in this repository's subpackages
+// (tree, rules, nn, linear, ensemble) implement it.
+type Compilable interface {
+	Compile() Compiled
+}
+
+// Compile lowers a trained classifier into its allocation-free compiled
+// form. Classifiers that do not implement Compilable are wrapped in an
+// interpreted adapter that preserves semantics but still allocates per
+// call, so Compile never fails and callers need not special-case exotic
+// models.
+func Compile(c Classifier) Compiled {
+	if cc, ok := c.(Compilable); ok {
+		return cc.Compile()
+	}
+	return interpreted{c}
+}
+
+// interpreted adapts a plain Classifier to the Compiled interface without
+// changing its (allocating) evaluation path.
+type interpreted struct{ c Classifier }
+
+func (a interpreted) NumClasses() int { return a.c.NumClasses() }
+func (a interpreted) ScoresInto(dst, features []float64) {
+	copy(dst, a.c.Scores(features))
+}
+func (a interpreted) Predict(features []float64) int { return a.c.Predict(features) }
+
+// ScoreBatch evaluates samples through a compiled model, writing
+// samples[i]'s class scores into dst[i*k:(i+1)*k] where k = c.NumClasses().
+// dst must have length len(samples)*k. The call performs no heap
+// allocations.
+func ScoreBatch(c Compiled, dst []float64, samples [][]float64) {
+	k := c.NumClasses()
+	if len(dst) != len(samples)*k {
+		panic(fmt.Sprintf("ml: ScoreBatch dst has %d values, want %d samples x %d classes", len(dst), len(samples), k))
+	}
+	for i, s := range samples {
+		c.ScoresInto(dst[i*k:(i+1)*k:(i+1)*k], s)
+	}
+}
+
+// PredictBatch fills dst[i] with the predicted class of samples[i]. dst and
+// samples must have equal length. The call performs no heap allocations.
+func PredictBatch(c Compiled, dst []int, samples [][]float64) {
+	if len(dst) != len(samples) {
+		panic(fmt.Sprintf("ml: PredictBatch dst has %d slots, want %d", len(dst), len(samples)))
+	}
+	for i, s := range samples {
+		dst[i] = c.Predict(s)
+	}
+}
+
 // Argmax returns the index of the largest value, breaking ties toward the
 // lower index. It returns -1 for an empty slice.
 func Argmax(v []float64) int {

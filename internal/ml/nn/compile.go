@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+
+	"twosmart/internal/ml"
+)
+
+// compiledMLP is the flat lowering of a trained MLP. Two fusions make the
+// hot path allocation-free and shorter than the interpreted network:
+//
+//   - the z-score standardisation is folded into the first-layer weights
+//     (w'[h][j] = w[h][j]/sigma_j, b'[h] = b[h] - sum_j w[h][j]*mu_j/sigma_j),
+//     so raw feature vectors feed the matrix directly — no standardised
+//     copy of the input is ever materialised;
+//   - both weight matrices are flattened into contiguous row-major slabs
+//     walked with a running offset, and the hidden activations live in a
+//     scratch arena owned by the evaluator.
+//
+// Folding re-associates a handful of floating-point operations, so scores
+// can differ from the interpreted model in the last ulps; predictions are
+// verified identical by the randomized equivalence test in internal/ml.
+type compiledMLP struct {
+	in, hidden, k int
+	w1            []float64 // hidden x in, standardisation folded in
+	b1            []float64 // hidden
+	w2            []float64 // k x hidden
+	b2            []float64 // k
+	hid           []float64 // scratch: hidden activations
+	scratch       []float64 // scratch: class scores for Predict
+}
+
+// Compile implements ml.Compilable.
+func (m *mlp) Compile() ml.Compiled {
+	hidden := len(m.w1)
+	in := len(m.w1[0]) - 1
+	k := len(m.w2)
+	c := &compiledMLP{
+		in: in, hidden: hidden, k: k,
+		w1:      make([]float64, hidden*in),
+		b1:      make([]float64, hidden),
+		w2:      make([]float64, k*hidden),
+		b2:      make([]float64, k),
+		hid:     make([]float64, hidden),
+		scratch: make([]float64, k),
+	}
+	for h, row := range m.w1 {
+		bias := row[in]
+		for j := 0; j < in; j++ {
+			c.w1[h*in+j] = row[j] / m.scaler.Stds[j]
+			bias -= row[j] * m.scaler.Means[j] / m.scaler.Stds[j]
+		}
+		c.b1[h] = bias
+	}
+	for o, row := range m.w2 {
+		copy(c.w2[o*hidden:(o+1)*hidden], row[:hidden])
+		c.b2[o] = row[hidden]
+	}
+	return c
+}
+
+// NumClasses implements ml.Compiled.
+func (m *compiledMLP) NumClasses() int { return m.k }
+
+// ScoresInto implements ml.Compiled: fused standardise + hidden layer +
+// output softmax over raw features.
+func (m *compiledMLP) ScoresInto(dst, features []float64) {
+	off := 0
+	for h := 0; h < m.hidden; h++ {
+		s := m.b1[h]
+		row := m.w1[off : off+m.in : off+m.in]
+		for j, x := range features[:m.in] {
+			s += row[j] * x
+		}
+		m.hid[h] = 1 / (1 + math.Exp(-s))
+		off += m.in
+	}
+	maxLogit := math.Inf(-1)
+	off = 0
+	for c := 0; c < m.k; c++ {
+		s := m.b2[c]
+		row := m.w2[off : off+m.hidden : off+m.hidden]
+		for h, a := range m.hid {
+			s += row[h] * a
+		}
+		dst[c] = s
+		if s > maxLogit {
+			maxLogit = s
+		}
+		off += m.hidden
+	}
+	var sum float64
+	for c := 0; c < m.k; c++ {
+		dst[c] = math.Exp(dst[c] - maxLogit)
+		sum += dst[c]
+	}
+	for c := 0; c < m.k; c++ {
+		dst[c] /= sum
+	}
+}
+
+// Predict implements ml.Compiled.
+func (m *compiledMLP) Predict(features []float64) int {
+	m.ScoresInto(m.scratch, features)
+	return ml.Argmax(m.scratch)
+}

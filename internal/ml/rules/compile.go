@@ -1,0 +1,145 @@
+package rules
+
+import (
+	"sort"
+
+	"twosmart/internal/ml"
+)
+
+// compiledJRip is the fused rule-table lowering of a trained JRip model:
+// every rule's conditions live contiguously in three parallel arrays
+// indexed through per-rule offsets, and each rule's full output
+// distribution (winner confidence plus the shared remainder mass) is
+// precomputed, so evaluation is one linear scan over flat memory with no
+// per-call allocation.
+type compiledJRip struct {
+	// condStart[r]..condStart[r+1] index the condition arrays for rule r.
+	condStart []int32
+	condFeat  []int32
+	condTh    []float64
+	condLE    []bool
+	// Per rule: predicted class, its Laplace confidence, and the score
+	// every other class receives.
+	class []int32
+	conf  []float64
+	rest  []float64
+
+	defaultDist []float64
+	k           int
+	scratch     []float64
+}
+
+// Compile implements ml.Compilable.
+func (m *jrip) Compile() ml.Compiled {
+	c := &compiledJRip{
+		k:           m.numClasses,
+		defaultDist: append([]float64(nil), m.defaultDist...),
+		scratch:     make([]float64, m.numClasses),
+		condStart:   make([]int32, 1, len(m.rules)+1),
+	}
+	for _, r := range m.rules {
+		for _, cond := range r.conds {
+			c.condFeat = append(c.condFeat, int32(cond.feat))
+			c.condTh = append(c.condTh, cond.threshold)
+			c.condLE = append(c.condLE, cond.le)
+		}
+		c.condStart = append(c.condStart, int32(len(c.condFeat)))
+		c.class = append(c.class, int32(r.class))
+		c.conf = append(c.conf, r.laplace)
+		c.rest = append(c.rest, (1-r.laplace)/float64(m.numClasses-1))
+	}
+	return c
+}
+
+// match reports whether rule r's conditions all hold for x.
+func (m *compiledJRip) match(r int, x []float64) bool {
+	for i := m.condStart[r]; i < m.condStart[r+1]; i++ {
+		v := x[m.condFeat[i]]
+		if m.condLE[i] {
+			if v > m.condTh[i] {
+				return false
+			}
+		} else if v <= m.condTh[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumClasses implements ml.Compiled.
+func (m *compiledJRip) NumClasses() int { return m.k }
+
+// ScoresInto implements ml.Compiled: the first matching rule wins with its
+// Laplace confidence; otherwise the default distribution applies.
+func (m *compiledJRip) ScoresInto(dst, features []float64) {
+	for r := range m.class {
+		if m.match(r, features) {
+			for i := range dst[:m.k] {
+				dst[i] = m.rest[r]
+			}
+			dst[m.class[r]] = m.conf[r]
+			return
+		}
+	}
+	copy(dst, m.defaultDist)
+}
+
+// Predict implements ml.Compiled.
+func (m *compiledJRip) Predict(features []float64) int {
+	m.ScoresInto(m.scratch, features)
+	return ml.Argmax(m.scratch)
+}
+
+// compiledOneR is the flat lowering of a OneR model: the bin thresholds and
+// the per-bin smoothed distributions in one slab each, evaluated by a
+// binary search plus a copy.
+type compiledOneR struct {
+	feature    int
+	thresholds []float64
+	dist       []float64 // bins x k
+	k          int
+}
+
+// Compile implements ml.Compilable.
+func (m *oneR) Compile() ml.Compiled {
+	c := &compiledOneR{
+		feature:    m.feature,
+		thresholds: append([]float64(nil), m.thresholds...),
+		k:          m.numClasses,
+		dist:       make([]float64, 0, len(m.dists)*m.numClasses),
+	}
+	for _, d := range m.dists {
+		c.dist = append(c.dist, d...)
+	}
+	return c
+}
+
+// bin locates the bin covering value v, mirroring oneR.Scores exactly.
+func (m *compiledOneR) bin(v float64) int {
+	bin := sort.SearchFloat64s(m.thresholds, v)
+	if bin < len(m.thresholds) && v > m.thresholds[bin] {
+		bin++
+	}
+	return bin
+}
+
+// NumClasses implements ml.Compiled.
+func (m *compiledOneR) NumClasses() int { return m.k }
+
+// ScoresInto implements ml.Compiled.
+func (m *compiledOneR) ScoresInto(dst, features []float64) {
+	b := m.bin(features[m.feature]) * m.k
+	copy(dst, m.dist[b:b+m.k])
+}
+
+// Predict implements ml.Compiled: argmax directly over the bin slab.
+func (m *compiledOneR) Predict(features []float64) int {
+	b := m.bin(features[m.feature]) * m.k
+	best := 0
+	for c := 1; c < m.k; c++ {
+		if m.dist[b+c] > m.dist[b+best] {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,110 @@
+package tree
+
+import "twosmart/internal/ml"
+
+// compiledTree is the struct-of-arrays lowering of a trained J48 tree: the
+// internal nodes live in four parallel arrays laid out in breadth-first
+// order (so the hot shallow levels share cache lines), children are index
+// links rather than pointers, and every leaf's Laplace-smoothed class
+// distribution is precomputed into one flat slab. Evaluation is a short
+// index walk plus a copy — no pointer chasing, no per-call allocation.
+type compiledTree struct {
+	feat      []int32   // per internal node: feature tested
+	threshold []float64 // per internal node: split point
+	// left/right hold the next internal-node index, or ^leafIndex (always
+	// negative) when the branch ends in a leaf.
+	left, right []int32
+	dist        []float64 // leaves x k, Laplace-smoothed as in Scores
+	k           int
+}
+
+// Compile implements ml.Compilable.
+func (m *j48) Compile() ml.Compiled {
+	c := &compiledTree{k: m.numClasses}
+	// Breadth-first flattening. Each queued node remembers which parent
+	// slot links to it; the link is written once the node's own index (or
+	// leaf id) is known. parent < 0 marks the root.
+	type item struct {
+		n      *node
+		parent int32
+		right  bool
+	}
+	setLink := func(it item, link int32) {
+		if it.parent < 0 {
+			return
+		}
+		if it.right {
+			c.right[it.parent] = link
+		} else {
+			c.left[it.parent] = link
+		}
+	}
+	queue := []item{{m.root, -1, false}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.n.leaf {
+			leaf := int32(len(c.dist) / c.k)
+			setLink(it, ^leaf)
+			var total float64
+			for _, cnt := range it.n.counts {
+				total += cnt
+			}
+			for _, cnt := range it.n.counts {
+				c.dist = append(c.dist, (cnt+1)/(total+float64(c.k)))
+			}
+			continue
+		}
+		idx := int32(len(c.feat))
+		setLink(it, idx)
+		c.feat = append(c.feat, int32(it.n.feat))
+		c.threshold = append(c.threshold, it.n.threshold)
+		c.left = append(c.left, 0)
+		c.right = append(c.right, 0)
+		queue = append(queue, item{it.n.left, idx, false}, item{it.n.right, idx, true})
+	}
+	return c
+}
+
+// leafFor walks the index-linked tree to the leaf covering x and returns
+// the leaf index. A root-only tree (no internal nodes) has exactly leaf 0.
+func (m *compiledTree) leafFor(x []float64) int {
+	if len(m.feat) == 0 {
+		return 0
+	}
+	i := int32(0)
+	for {
+		var next int32
+		if x[m.feat[i]] <= m.threshold[i] {
+			next = m.left[i]
+		} else {
+			next = m.right[i]
+		}
+		if next < 0 {
+			return int(^next)
+		}
+		i = next
+	}
+}
+
+// NumClasses implements ml.Compiled.
+func (m *compiledTree) NumClasses() int { return m.k }
+
+// ScoresInto implements ml.Compiled.
+func (m *compiledTree) ScoresInto(dst, features []float64) {
+	leaf := m.leafFor(features) * m.k
+	copy(dst, m.dist[leaf:leaf+m.k])
+}
+
+// Predict implements ml.Compiled: argmax directly over the leaf slab,
+// skipping the copy.
+func (m *compiledTree) Predict(features []float64) int {
+	leaf := m.leafFor(features) * m.k
+	best := 0
+	for c := 1; c < m.k; c++ {
+		if m.dist[leaf+c] > m.dist[leaf+best] {
+			best = c
+		}
+	}
+	return best
+}

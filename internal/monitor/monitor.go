@@ -17,9 +17,20 @@ import (
 )
 
 // Scorer produces a malware-ness score in [0,1] for one sample.
-// *core.Detector satisfies this interface via MalwareScore.
+// *core.Detector satisfies this interface via MalwareScore, and
+// *core.CompiledDetector is its allocation-free lowering — wrap the
+// compiled form (see monitor.NewTrackerFactory and the twosmart facade)
+// when the monitor sits on the 10 ms sampling hot path.
 type Scorer interface {
 	MalwareScore(features []float64) (float64, error)
+}
+
+// BatchScorer is a Scorer with an allocation-free batch path: dst[i]
+// receives the score of samples[i]. *core.CompiledDetector implements it;
+// Monitor.ObserveBatch uses it when available.
+type BatchScorer interface {
+	Scorer
+	MalwareScoreBatch(dst []float64, samples [][]float64) error
 }
 
 // Config tunes the smoothing and alarm behaviour.
@@ -89,6 +100,7 @@ type Monitor struct {
 	samples int
 	ewma    float64
 	alarm   bool
+	scores  []float64 // ObserveBatch score buffer, grown to the batch size
 
 	// Telemetry instruments, populated only when cfg.Telemetry is set;
 	// timed guards every use so the disabled hot path costs one branch.
@@ -124,10 +136,15 @@ func newMonitor(s Scorer, filled Config) *Monitor {
 	return m
 }
 
-// Observe feeds one sample and returns the resulting event. When telemetry
-// is disabled (the default) the instrumentation costs two predicted
-// branches and no clock reads; BenchmarkObserve in internal/telemetry
-// tracks that overhead against an uninstrumented baseline.
+// Observe feeds one sample and returns the resulting event.
+//
+// Aliasing contract: features is caller-owned — it is only read during the
+// call, never retained and never modified, so the caller may reuse one
+// buffer across the whole sample stream (the sampling interrupt path does
+// exactly that). With telemetry disabled (the default) and a compiled
+// scorer (see core.Detector.Compile), Observe performs zero heap
+// allocations per sample; BenchmarkObserve in this package and in
+// internal/telemetry pin that contract.
 func (m *Monitor) Observe(features []float64) (Event, error) {
 	var t0 time.Time
 	if m.timed {
@@ -137,6 +154,10 @@ func (m *Monitor) Observe(features []float64) (Event, error) {
 	if err != nil {
 		return Event{}, err
 	}
+	// The smoothing/alarm logic is step() written out inline: step costs
+	// more than the compiler's inlining budget, and the call overhead is
+	// measurable on this path (BenchmarkObserve pins disabled-telemetry
+	// Observe within a few ns of an uninstrumented baseline).
 	if m.samples == 0 {
 		m.ewma = score
 	} else {
@@ -156,15 +177,90 @@ func (m *Monitor) Observe(features []float64) (Event, error) {
 	if m.timed {
 		m.latency.ObserveDuration(time.Since(t0))
 		m.observed.Inc()
-		if ev.Changed {
-			if ev.Alarm {
-				m.raised.Inc()
-			} else {
-				m.cleared.Inc()
-			}
-		}
+		m.countTransition(ev)
 	}
 	return ev, nil
+}
+
+// step advances the EWMA and alarm state machine by one scored sample; it
+// must mirror the inline copy in Observe exactly (TestObserveBatchMatchesObserve
+// compares the two paths event by event).
+func (m *Monitor) step(score float64) Event {
+	if m.samples == 0 {
+		m.ewma = score
+	} else {
+		m.ewma = m.cfg.Alpha*score + (1-m.cfg.Alpha)*m.ewma
+	}
+	ev := Event{Sample: m.samples, Score: score, Smoothed: m.ewma}
+	m.samples++
+
+	prev := m.alarm
+	if m.samples >= m.cfg.MinSamples && !m.alarm && m.ewma > m.cfg.RaiseThreshold {
+		m.alarm = true
+	} else if m.alarm && m.ewma < m.cfg.ClearThreshold {
+		m.alarm = false
+	}
+	ev.Alarm = m.alarm
+	ev.Changed = m.alarm != prev
+	return ev
+}
+
+func (m *Monitor) countTransition(ev Event) {
+	if !ev.Changed {
+		return
+	}
+	if ev.Alarm {
+		m.raised.Inc()
+	} else {
+		m.cleared.Inc()
+	}
+}
+
+// ObserveBatch feeds a burst of samples in order, writing the per-sample
+// events into dst; dst and samples must have equal length. When the scorer
+// implements BatchScorer (a compiled detector does) the scores are
+// produced through its allocation-free batch path, so the steady state
+// allocates nothing once the internal score buffer has grown to the batch
+// size. The same aliasing contract as Observe applies to every sample
+// buffer. With telemetry enabled the batch records one
+// monitor_observe_seconds observation for the whole burst.
+func (m *Monitor) ObserveBatch(dst []Event, samples [][]float64) error {
+	if len(dst) != len(samples) {
+		return fmt.Errorf("monitor: ObserveBatch dst has %d slots, want %d", len(dst), len(samples))
+	}
+	bs, ok := m.scorer.(BatchScorer)
+	if !ok {
+		for i, fv := range samples {
+			ev, err := m.Observe(fv)
+			if err != nil {
+				return err
+			}
+			dst[i] = ev
+		}
+		return nil
+	}
+	var t0 time.Time
+	if m.timed {
+		t0 = time.Now()
+	}
+	if cap(m.scores) < len(samples) {
+		m.scores = make([]float64, len(samples))
+	}
+	scores := m.scores[:len(samples)]
+	if err := bs.MalwareScoreBatch(scores, samples); err != nil {
+		return err
+	}
+	for i, score := range scores {
+		dst[i] = m.step(score)
+	}
+	if m.timed {
+		m.latency.ObserveDuration(time.Since(t0))
+		m.observed.Add(uint64(len(samples)))
+		for _, ev := range dst {
+			m.countTransition(ev)
+		}
+	}
+	return nil
 }
 
 // Samples returns how many samples this monitor has observed.
@@ -192,26 +288,42 @@ type Summary struct {
 // Tracker monitors many applications concurrently, one Monitor per
 // application key. It is safe for concurrent use.
 type Tracker struct {
-	scorer Scorer
-	cfg    Config
-	active telemetry.Gauge // monitor_active_apps; nil-safe no-op when untracked
+	factory func() Scorer
+	cfg     Config
+	active  telemetry.Gauge // monitor_active_apps; nil-safe no-op when untracked
 
 	mu       sync.Mutex
 	monitors map[string]*Monitor
 	stats    map[string]*Summary
 }
 
-// NewTracker builds a multi-application tracker.
+// NewTracker builds a multi-application tracker over a single shared
+// scorer. The scorer must be safe for concurrent use when different
+// applications are observed from different goroutines — a compiled
+// detector is not; use NewTrackerFactory for those.
 func NewTracker(s Scorer, cfg Config) (*Tracker, error) {
 	if s == nil {
 		return nil, errors.New("monitor: nil scorer")
+	}
+	return NewTrackerFactory(func() Scorer { return s }, cfg)
+}
+
+// NewTrackerFactory builds a tracker that calls factory once per tracked
+// application, so each application's monitor owns an independent scorer.
+// This is how compiled detectors — which own scratch space and are not
+// concurrent-safe — are deployed across many applications: pass
+// func() monitor.Scorer { return det.Compile() } and every application
+// gets its own allocation-free instance.
+func NewTrackerFactory(factory func() Scorer, cfg Config) (*Tracker, error) {
+	if factory == nil {
+		return nil, errors.New("monitor: nil scorer factory")
 	}
 	filled, err := cfg.fill()
 	if err != nil {
 		return nil, err
 	}
 	return &Tracker{
-		scorer:   s,
+		factory:  factory,
 		cfg:      filled,
 		active:   filled.Telemetry.Gauge("monitor_active_apps"),
 		monitors: make(map[string]*Monitor),
@@ -219,27 +331,22 @@ func NewTracker(s Scorer, cfg Config) (*Tracker, error) {
 	}, nil
 }
 
-// Observe feeds one sample for the given application.
-func (t *Tracker) Observe(app string, features []float64) (Event, error) {
+// monitorFor returns (creating if needed) the monitor and summary for app.
+func (t *Tracker) monitorFor(app string) (*Monitor, *Summary) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	m, ok := t.monitors[app]
 	if !ok {
-		m = newMonitor(t.scorer, t.cfg)
+		m = newMonitor(t.factory(), t.cfg)
 		t.monitors[app] = m
 		t.stats[app] = &Summary{App: app}
 		t.active.Add(1)
 	}
-	st := t.stats[app]
-	t.mu.Unlock()
+	return m, t.stats[app]
+}
 
-	// Per-monitor observation is not concurrent for the same app key;
-	// callers stream one app's samples in order. Cross-app calls only
-	// share the maps guarded above and the stats updated below.
-	ev, err := m.Observe(features)
-	if err != nil {
-		return Event{}, err
-	}
-	t.mu.Lock()
+// record folds one event into an application's session summary.
+func (t *Tracker) record(st *Summary, ev Event) {
 	st.Samples++
 	if ev.Changed && ev.Alarm {
 		st.Alarms++
@@ -248,8 +355,42 @@ func (t *Tracker) Observe(app string, features []float64) (Event, error) {
 	if ev.Smoothed > st.MaxSmoothed {
 		st.MaxSmoothed = ev.Smoothed
 	}
+}
+
+// Observe feeds one sample for the given application. The features slice
+// is only read during the call (see Monitor.Observe for the full aliasing
+// contract), so callers may reuse one buffer across all applications.
+func (t *Tracker) Observe(app string, features []float64) (Event, error) {
+	m, st := t.monitorFor(app)
+
+	// Per-monitor observation is not concurrent for the same app key;
+	// callers stream one app's samples in order. Cross-app calls only
+	// share the maps guarded in monitorFor and the stats updated below.
+	ev, err := m.Observe(features)
+	if err != nil {
+		return Event{}, err
+	}
+	t.mu.Lock()
+	t.record(st, ev)
 	t.mu.Unlock()
 	return ev, nil
+}
+
+// ObserveBatch feeds a burst of samples for one application, writing the
+// per-sample events into dst (dst and samples must have equal length).
+// Scoring goes through the monitor's batch path, so with a compiled
+// scorer the steady state allocates nothing.
+func (t *Tracker) ObserveBatch(app string, dst []Event, samples [][]float64) error {
+	m, st := t.monitorFor(app)
+	if err := m.ObserveBatch(dst, samples); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	for _, ev := range dst {
+		t.record(st, ev)
+	}
+	t.mu.Unlock()
+	return nil
 }
 
 // Close removes an application and returns its session summary.

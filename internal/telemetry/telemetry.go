@@ -59,8 +59,8 @@ func (nopCounter) Value() uint64 { return 0 }
 
 type nopGauge struct{}
 
-func (nopGauge) Set(float64)   {}
-func (nopGauge) Add(float64)   {}
+func (nopGauge) Set(float64)    {}
+func (nopGauge) Add(float64)    {}
 func (nopGauge) Value() float64 { return 0 }
 
 type nopHistogram struct{}

@@ -117,6 +117,13 @@ func TrainContext(ctx context.Context, d *Dataset, cfg TrainConfig) (*Detector, 
 	return core.TrainContext(ctx, d, cfg)
 }
 
+// CompiledDetector is a trained detector lowered into flat allocation-free
+// evaluators for the run-time hot path (see Detector.Compile). It is
+// prediction-equivalent to the Detector it was compiled from, adds
+// DetectBatch/MalwareScoreBatch, and performs zero heap allocations per
+// sample — but owns scratch space, so compile one per goroutine.
+type CompiledDetector = core.CompiledDetector
+
 // LoadDetector reconstructs a detector serialised with Detector.Marshal,
 // enabling a train-once / deploy-many flow (cmd/smartrain -model writes the
 // file; cmd/smartdetect -model loads it).
@@ -190,15 +197,20 @@ type Monitor = monitor.Monitor
 // Tracker monitors many applications concurrently.
 type Tracker = monitor.Tracker
 
-// NewMonitor wraps a trained detector in a run-time monitor.
+// NewMonitor wraps a trained detector in a run-time monitor. Scoring goes
+// through the detector's compiled form, so with telemetry disabled each
+// Observe performs zero heap allocations.
 func NewMonitor(det *Detector, cfg MonitorConfig) (*Monitor, error) {
-	return monitor.New(det, cfg)
+	return monitor.New(det.Compile(), cfg)
 }
 
 // NewTracker wraps a trained detector in a multi-application run-time
-// tracker.
+// tracker. Each tracked application gets its own compiled detector
+// instance (compiled detectors own scratch space and are not
+// concurrent-safe), so observing different applications from different
+// goroutines stays safe and allocation-free.
 func NewTracker(det *Detector, cfg MonitorConfig) (*Tracker, error) {
-	return monitor.NewTracker(det, cfg)
+	return monitor.NewTrackerFactory(func() monitor.Scorer { return det.Compile() }, cfg)
 }
 
 // ExperimentOptions configures the paper-reproduction experiment drivers.
