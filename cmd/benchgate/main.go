@@ -161,9 +161,13 @@ func compare(base, head map[string]*samples, threshold, alpha float64) []result 
 
 func gate(name, metric string, base, head []float64, threshold, alpha float64) result {
 	r := result{Name: name, Metric: metric, BaseMed: median(base), HeadMed: median(head)}
-	if len(base) == 0 || len(head) == 0 {
+	if len(base) < 2 || len(head) < 2 {
+		// A single measurement cannot carry a significance test; a log from
+		// a -count=1 run (or a truncated one) skips the gate instead of
+		// producing a spurious verdict either way.
 		r.Skipped = true
-		r.SkipReason = "no " + metric + " samples"
+		r.SkipReason = fmt.Sprintf("too few %s samples (base %d, head %d; need 2+ each)",
+			metric, len(base), len(head))
 		return r
 	}
 	worse := r.HeadMed > r.BaseMed*(1+threshold)

@@ -166,6 +166,41 @@ func TestGateSkipsUnmatched(t *testing.T) {
 	}
 }
 
+// TestGateSkipsSingleSample pins that a log with fewer than two runs per
+// benchmark (a -count=1 or truncated log) skips the gate with a note
+// instead of producing a spurious verdict from a one-sample "test".
+func TestGateSkipsSingleSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base, _ := parseBench(strings.NewReader(benchLog(rng, 1, map[string]row{
+		"BenchmarkScoreDetector/compiled": {ns: 150, allocs: 0},
+	})))
+	head, _ := parseBench(strings.NewReader(benchLog(rng, 6, map[string]row{
+		"BenchmarkScoreDetector/compiled": {ns: 400, allocs: 0}, // huge shift, but base has 1 run
+	})))
+	results := compare(base, head, 0.10, 0.05)
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range results {
+		if !r.Skipped {
+			t.Fatalf("single-sample base not skipped: %+v", r)
+		}
+		if r.Regressed {
+			t.Fatalf("single-sample base gated: %+v", r)
+		}
+		if !strings.Contains(r.SkipReason, "too few") {
+			t.Fatalf("skip reason %q does not explain the sample shortfall", r.SkipReason)
+		}
+	}
+	var out strings.Builder
+	if report(&out, results) {
+		t.Fatalf("single-sample skip reported as failure:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "too few") {
+		t.Fatalf("report does not carry the skip note:\n%s", out.String())
+	}
+}
+
 func TestReportFailureText(t *testing.T) {
 	var out strings.Builder
 	failed := report(&out, []result{

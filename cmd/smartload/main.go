@@ -1,0 +1,280 @@
+// Command smartload is the load harness for cmd/smartserve: it replays
+// corpus-derived HPC sample streams over many concurrent connections and
+// reports end-to-end throughput, verdict latency quantiles (p50/p95/p99)
+// and the shed rate the server's load-shedding reported.
+//
+// Usage:
+//
+//	smartload -addr 127.0.0.1:7643
+//	smartload -addr 127.0.0.1:7643 -conns 8 -streams 4 -samples 20000
+//	smartload -addr 127.0.0.1:7643 -interval 10ms   # the paper's sampling period
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twosmart"
+	"twosmart/internal/cli"
+	"twosmart/internal/corpus"
+	"twosmart/internal/dataset"
+	"twosmart/internal/serve"
+	"twosmart/internal/wire"
+)
+
+var app = cli.New("smartload")
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7643", "smartserve address to load")
+	conns := flag.Int("conns", 4, "concurrent agent connections")
+	streams := flag.Int("streams", 4, "app streams per connection")
+	samples := flag.Int("samples", 10000, "samples per stream")
+	interval := flag.Duration("interval", 0, "delay between a stream's samples (0 = full speed; 10ms = the paper's sampling period)")
+	seed := flag.Int64("seed", 7, "corpus seed for the replayed samples")
+	flag.Parse()
+	ctx := app.Start()
+	defer app.Close()
+
+	if *conns < 1 || *streams < 1 || *samples < 1 {
+		app.Fatal(fmt.Errorf("-conns, -streams and -samples must all be positive"))
+	}
+
+	app.Log.Info("collecting replay corpus", "seed", *seed)
+	data, err := twosmart.CollectContext(ctx, corpus.Config{
+		Scale:       0.001,
+		MinPerClass: 24,
+		Budget:      30000,
+		Seed:        *seed,
+		Omniscient:  true,
+	})
+	if err != nil {
+		app.Fatal(err)
+	}
+
+	// Probe the server once to learn the model's feature width, then
+	// project the corpus onto it.
+	probe, err := serve.Dial(ctx, *addr, "smartload-probe")
+	if err != nil {
+		app.Fatal(fmt.Errorf("dialing %s: %w", *addr, err))
+	}
+	welcome := probe.Welcome()
+	probe.Close()
+	app.Log.Info("probed server",
+		"model", welcome.Model, "model_format", welcome.ModelFormat, "features", welcome.NumFeatures)
+	data, err = project(data, int(welcome.NumFeatures))
+	if err != nil {
+		app.Fatal(err)
+	}
+	replay := make([][]float64, data.Len())
+	for i, ins := range data.Instances {
+		replay[i] = ins.Features
+	}
+
+	total := *conns * *streams * *samples
+	app.Log.Info("starting load",
+		"conns", *conns, "streams", *streams, "samples_per_stream", *samples, "total", total)
+
+	results := make([]connResult, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < *conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			results[ci] = driveConn(ctx, *addr, ci, *streams, *samples, *interval, replay)
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var agg connResult
+	for _, r := range results {
+		if r.err != nil && agg.err == nil {
+			agg.err = r.err
+		}
+		agg.sent += r.sent
+		agg.verdicts += r.verdicts
+		agg.shed += r.shed
+		agg.alarms += r.alarms
+		agg.latencies = append(agg.latencies, r.latencies...)
+	}
+	if agg.err != nil {
+		if ctx.Err() != nil {
+			app.Fatal(context.Canceled)
+		}
+		app.Fatal(agg.err)
+	}
+
+	perSec := float64(agg.sent) / elapsed.Seconds()
+	shedRate := 0.0
+	if agg.sent > 0 {
+		shedRate = float64(agg.shed) / float64(agg.sent)
+	}
+	fmt.Printf("sent     %d samples in %.2fs (%.0f samples/s)\n", agg.sent, elapsed.Seconds(), perSec)
+	fmt.Printf("verdicts %d (%.0f/s)  alarms %d\n", agg.verdicts, float64(agg.verdicts)/elapsed.Seconds(), agg.alarms)
+	fmt.Printf("shed     %d (%.2f%%)\n", agg.shed, 100*shedRate)
+	if len(agg.latencies) > 0 {
+		sort.Float64s(agg.latencies)
+		fmt.Printf("latency  p50=%s p95=%s p99=%s max=%s\n",
+			quantile(agg.latencies, 0.50), quantile(agg.latencies, 0.95),
+			quantile(agg.latencies, 0.99), quantile(agg.latencies, 1))
+	}
+}
+
+// project reduces the replay corpus to the feature width the served model
+// expects.
+func project(d *dataset.Dataset, width int) (*dataset.Dataset, error) {
+	if width == d.NumFeatures() {
+		return d, nil
+	}
+	if width == len(twosmart.CommonFeatures()) {
+		return d.SelectByName(twosmart.CommonFeatures())
+	}
+	return nil, fmt.Errorf("server model wants %d features; corpus has %d and only the Common-%d projection is known",
+		width, d.NumFeatures(), len(twosmart.CommonFeatures()))
+}
+
+type connResult struct {
+	err       error
+	sent      uint64
+	verdicts  uint64
+	shed      uint64
+	alarms    uint64
+	latencies []float64 // seconds
+}
+
+// driveConn runs one agent connection: a sender pushing every stream's
+// samples round-robin and a receiver matching verdicts back to send
+// timestamps. Send times cross the goroutine boundary through atomics —
+// the verdict for (stream, seq) is causally after its send, but the Go
+// memory model still wants explicit synchronisation.
+func driveConn(ctx context.Context, addr string, ci, streams, samples int, interval time.Duration, replay [][]float64) connResult {
+	var res connResult
+	c, err := serve.Dial(ctx, addr, fmt.Sprintf("smartload-%d", ci))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer c.Close()
+
+	sendNanos := make([]atomic.Int64, streams*samples)
+	recvDone := make(chan connResult, 1)
+	go func() {
+		var r connResult
+		summaries := 0
+		for summaries < streams {
+			f, err := c.Next()
+			if err != nil {
+				r.err = err
+				break
+			}
+			switch fr := f.(type) {
+			case wire.Verdict:
+				r.verdicts++
+				if fr.Flags&wire.FlagAlarm != 0 {
+					r.alarms++
+				}
+				idx := int(fr.Stream)*samples + int(fr.Seq)
+				if idx < len(sendNanos) {
+					if t0 := sendNanos[idx].Load(); t0 != 0 {
+						r.latencies = append(r.latencies, time.Since(time.Unix(0, t0)).Seconds())
+					}
+				}
+			case wire.StreamSummary:
+				r.shed += fr.Shed
+				summaries++
+			case wire.Error:
+				r.err = fmt.Errorf("server error %d: %s", fr.Code, fr.Msg)
+			}
+			if r.err != nil {
+				break
+			}
+		}
+		recvDone <- r
+	}()
+
+	for s := 0; s < streams; s++ {
+		if err := c.OpenStream(uint32(s), fmt.Sprintf("conn%d-app%d", ci, s)); err != nil {
+			res.err = err
+			return res
+		}
+	}
+	var tick *time.Ticker
+	if interval > 0 {
+		tick = time.NewTicker(interval)
+		defer tick.Stop()
+	}
+send:
+	for i := 0; i < samples; i++ {
+		for s := 0; s < streams; s++ {
+			if ctx.Err() != nil {
+				res.err = ctx.Err()
+				break send
+			}
+			fv := replay[(i*streams+s)%len(replay)]
+			sendNanos[s*samples+i].Store(time.Now().UnixNano())
+			if err := c.Send(uint32(s), uint32(i), fv); err != nil {
+				res.err = err
+				break send
+			}
+			res.sent++
+		}
+		// Flush in bursts so frames actually hit the wire while keeping
+		// syscalls amortised.
+		if i%64 == 63 {
+			if err := c.Flush(); err != nil {
+				res.err = err
+				break send
+			}
+		}
+		if tick != nil {
+			select {
+			case <-tick.C:
+			case <-ctx.Done():
+				res.err = ctx.Err()
+				break send
+			}
+		}
+	}
+	if res.err == nil {
+		for s := 0; s < streams; s++ {
+			if err := c.CloseStream(uint32(s)); err != nil {
+				res.err = err
+				break
+			}
+		}
+	}
+	if err := c.Flush(); err != nil && res.err == nil {
+		res.err = err
+	}
+
+	select {
+	case r := <-recvDone:
+		r.sent = res.sent
+		if res.err != nil && r.err == nil {
+			r.err = res.err
+		}
+		return r
+	case <-time.After(60 * time.Second):
+		res.err = fmt.Errorf("conn %d: receiver did not finish within 60s", ci)
+		return res
+	}
+}
+
+// quantile returns the q-th quantile of sorted latencies, formatted as a
+// duration.
+func quantile(sorted []float64, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return time.Duration(sorted[idx] * float64(time.Second))
+}

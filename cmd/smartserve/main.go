@@ -1,0 +1,88 @@
+// Command smartserve is the fleet-scale streaming detection service: it
+// loads a trained detector (from smartrain -model), listens for agent
+// connections speaking the internal/wire protocol and streams verdicts
+// back for every HPC sample received. Each (connection, app) stream gets
+// its own compiled detector and smoothing monitor; an overloaded server
+// sheds the oldest queued samples instead of building unbounded backlog.
+//
+// On SIGINT/SIGTERM the server drains gracefully — stops accepting,
+// scores and flushes everything already queued — and exits 130.
+//
+// Usage:
+//
+//	smartrain -runtime -model det.json
+//	smartserve -model det.json -addr :7643
+//	smartserve -model det.json -addr 127.0.0.1:0 -telemetry-addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"twosmart"
+	"twosmart/internal/cli"
+	"twosmart/internal/monitor"
+	"twosmart/internal/serve"
+)
+
+var app = cli.New("smartserve")
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7643", "TCP listen address (use :0 for a random port; the bound address is printed on stdout)")
+	modelIn := flag.String("model", "", "detector to serve (JSON, from smartrain -model); required")
+	queueDepth := flag.Int("queue-depth", 4096, "per-connection ingress queue depth; beyond it the oldest samples are shed")
+	maxBatch := flag.Int("max-batch", 512, "largest per-stream scoring micro-batch")
+	workers := flag.Int("workers", 0, "per-connection scoring fan-out across streams (0 = NumCPU)")
+	alpha := flag.Float64("alpha", 0, "EWMA smoothing coefficient in (0,1] (0 = monitor default)")
+	raise := flag.Float64("raise", 0, "smoothed score above which the alarm raises (0 = monitor default)")
+	clear := flag.Float64("clear", 0, "smoothed score below which the alarm clears (0 = monitor default)")
+	flag.Parse()
+	ctx := app.Start()
+	defer app.Close()
+
+	if *modelIn == "" {
+		app.Fatal(fmt.Errorf("-model is required (train one with: smartrain -runtime -model det.json)"))
+	}
+	blob, err := os.ReadFile(*modelIn)
+	if err != nil {
+		app.Fatal(err)
+	}
+	det, err := twosmart.LoadDetector(blob)
+	if err != nil {
+		app.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Detector:   det,
+		Model:      filepath.Base(*modelIn),
+		Monitor:    monitor.Config{Alpha: *alpha, RaiseThreshold: *raise, ClearThreshold: *clear, Telemetry: app.Telemetry},
+		QueueDepth: *queueDepth,
+		MaxBatch:   *maxBatch,
+		Workers:    *workers,
+		Telemetry:  app.Telemetry,
+		Log:        app.Log,
+	})
+	if err != nil {
+		app.Fatal(err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		app.Fatal(err)
+	}
+	// The bound address goes to stdout so scripts using -addr :0 can
+	// capture it (logs go to stderr).
+	fmt.Printf("listening %s\n", bound)
+	app.Log.Info("serving detector",
+		"model", *modelIn, "features", srv.NumFeatures(), "addr", bound.String())
+
+	if err := srv.Serve(ctx); err != nil {
+		app.Fatal(err)
+	}
+	if ctx.Err() != nil {
+		app.Log.Info("drained cleanly after signal")
+		app.Close()
+		os.Exit(cli.ExitInterrupted)
+	}
+}

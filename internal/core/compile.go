@@ -162,6 +162,43 @@ func (cd *CompiledDetector) MalwareScoreBatch(dst []float64, samples [][]float64
 	return nil
 }
 
+// DetectScoredBatch classifies samples[i] into dst[i] and writes the
+// normalized malware ranking score (the MalwareScore value) of samples[i]
+// into scores[i], for every sample. dst, scores and samples must have
+// equal length. Both outputs derive from a single stage-1 + stage-2
+// evaluation per sample — the serving layer uses this to produce a full
+// verdict and feed the monitor's smoothing state machine without scoring
+// twice. The call performs no heap allocations.
+func (cd *CompiledDetector) DetectScoredBatch(dst []Verdict, scores []float64, samples [][]float64) error {
+	if len(dst) != len(samples) || len(scores) != len(samples) {
+		return fmt.Errorf("core: DetectScoredBatch dst/scores have %d/%d slots, want %d", len(dst), len(scores), len(samples))
+	}
+	for i, fv := range samples {
+		if len(fv) != cd.numFeatures {
+			return fmt.Errorf("core: sample %d has %d features, want %d", i, len(fv), cd.numFeatures)
+		}
+		routed := cd.route(fv)
+		best := ml.Argmax(cd.s2Scores)
+		malware := best == ml.PositiveClass
+		predicted := workload.Benign
+		if malware {
+			predicted = routed
+		}
+		dst[i] = Verdict{
+			PredictedClass: predicted,
+			Malware:        malware,
+			Stage2Kind:     cd.stage2[routed].kind,
+			Confidence:     cd.s2Scores[best],
+		}
+		if total := cd.s2Scores[0] + cd.s2Scores[1]; total > 0 {
+			scores[i] = cd.s2Scores[1] / total
+		} else {
+			scores[i] = 0.5
+		}
+	}
+	return nil
+}
+
 // Stage2Kind reports the compiled specialized detector's algorithm for a
 // malware class (mirrors Detector.Stage2Info for the run-time form).
 func (cd *CompiledDetector) Stage2Kind(class workload.Class) (Kind, error) {

@@ -134,6 +134,59 @@ func TestCompiledDetectorBatch(t *testing.T) {
 	}
 }
 
+// TestDetectScoredBatch pins the fused serving-path primitive against the
+// two calls it replaces: verdicts match DetectBatch and scores match
+// MalwareScoreBatch, from one evaluation per sample, with no allocations.
+func TestDetectScoredBatch(t *testing.T) {
+	_, cd := compiledFixtures(t, false)
+	data, err := testData(t).SelectByName(CommonFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 96
+	samples := make([][]float64, n)
+	for i := range samples {
+		samples[i] = data.Instances[i%data.Len()].Features
+	}
+	wantVerdicts := make([]Verdict, n)
+	wantScores := make([]float64, n)
+	if err := cd.DetectBatch(wantVerdicts, samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.MalwareScoreBatch(wantScores, samples); err != nil {
+		t.Fatal(err)
+	}
+	verdicts := make([]Verdict, n)
+	scores := make([]float64, n)
+	if err := cd.DetectScoredBatch(verdicts, scores, samples); err != nil {
+		t.Fatal(err)
+	}
+	for i := range samples {
+		if verdicts[i] != wantVerdicts[i] {
+			t.Fatalf("sample %d: verdict %+v, want %+v", i, verdicts[i], wantVerdicts[i])
+		}
+		if scores[i] != wantScores[i] {
+			t.Fatalf("sample %d: score %v, want %v", i, scores[i], wantScores[i])
+		}
+	}
+	if err := cd.DetectScoredBatch(verdicts[:1], scores, samples); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if err := cd.DetectScoredBatch(verdicts, scores[:1], samples); err == nil {
+		t.Fatal("short scores accepted")
+	}
+	if err := cd.DetectScoredBatch(verdicts[:1], scores[:1], [][]float64{{1}}); err == nil {
+		t.Fatal("wrong-width sample accepted")
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if err := cd.DetectScoredBatch(verdicts, scores, samples); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("DetectScoredBatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // TestCompiledDetectorZeroAlloc pins the hot-path allocation contract: the
 // compiled Detect/MalwareScore and batch paths must not touch the heap.
 func TestCompiledDetectorZeroAlloc(t *testing.T) {

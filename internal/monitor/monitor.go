@@ -263,6 +263,42 @@ func (m *Monitor) ObserveBatch(dst []Event, samples [][]float64) error {
 	return nil
 }
 
+// ObserveScored advances the smoothing and alarm state machine with a
+// score that was already computed elsewhere; the monitor's scorer is not
+// invoked. This is the serving-layer path: the server produces full
+// verdicts and malware scores in one fused batch evaluation
+// (core.CompiledDetector.DetectScoredBatch) and feeds the scores here so
+// each sample is scored exactly once. The same single-goroutine ownership
+// rules as Observe apply.
+func (m *Monitor) ObserveScored(score float64) Event {
+	ev := m.step(score)
+	if m.timed {
+		m.observed.Inc()
+		m.countTransition(ev)
+	}
+	return ev
+}
+
+// ObserveScoredBatch feeds a burst of pre-computed scores in order,
+// writing the per-sample events into dst; dst and scores must have equal
+// length. Like ObserveScored it never invokes the scorer and performs no
+// heap allocations.
+func (m *Monitor) ObserveScoredBatch(dst []Event, scores []float64) error {
+	if len(dst) != len(scores) {
+		return fmt.Errorf("monitor: ObserveScoredBatch dst has %d slots, want %d", len(dst), len(scores))
+	}
+	for i, score := range scores {
+		dst[i] = m.step(score)
+	}
+	if m.timed {
+		m.observed.Add(uint64(len(scores)))
+		for _, ev := range dst {
+			m.countTransition(ev)
+		}
+	}
+	return nil
+}
+
 // Samples returns how many samples this monitor has observed.
 func (m *Monitor) Samples() int { return m.samples }
 
@@ -286,7 +322,18 @@ type Summary struct {
 }
 
 // Tracker monitors many applications concurrently, one Monitor per
-// application key. It is safe for concurrent use.
+// application key.
+//
+// Concurrency contract (the per-stream isolation model): the Tracker's
+// own maps and summaries are mutex-guarded, so goroutines may call any
+// method for *different* application keys concurrently — this is how the
+// streaming server fans scoring out across streams. But each
+// application's Monitor (and the scorer the factory created for it) is
+// unsynchronized: concurrent Observe/ObserveBatch/ObserveScored* calls
+// for the *same* application key race on the EWMA state and the scorer's
+// scratch space. Every application stream must therefore be owned by one
+// goroutine at a time; TestTrackerPerStreamIsolation pins the safe side
+// of this contract under the race detector.
 type Tracker struct {
 	factory func() Scorer
 	cfg     Config
@@ -391,6 +438,37 @@ func (t *Tracker) ObserveBatch(app string, dst []Event, samples [][]float64) err
 	}
 	t.mu.Unlock()
 	return nil
+}
+
+// ObserveScoredBatch feeds a burst of pre-computed scores for one
+// application (see Monitor.ObserveScoredBatch), writing the per-sample
+// events into dst and folding them into the application's summary. The
+// application's scorer is not invoked; callers that scored the samples
+// through the instance returned by ScorerFor pay one evaluation per
+// sample in total.
+func (t *Tracker) ObserveScoredBatch(app string, dst []Event, scores []float64) error {
+	m, st := t.monitorFor(app)
+	if err := m.ObserveScoredBatch(dst, scores); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	for _, ev := range dst {
+		t.record(st, ev)
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// ScorerFor returns the scorer instance owned by app's monitor, creating
+// the monitor (through the tracker's factory) on first use. It exists so
+// a caller that needs richer per-sample output than a bare score — the
+// streaming server wants full verdicts via the compiled detector's fused
+// batch path — can reach the same per-application instance the tracker
+// owns instead of compiling a second one. The returned scorer is subject
+// to the per-stream ownership contract in the Tracker doc comment.
+func (t *Tracker) ScorerFor(app string) Scorer {
+	m, _ := t.monitorFor(app)
+	return m.scorer
 }
 
 // Close removes an application and returns its session summary.

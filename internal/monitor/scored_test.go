@@ -1,0 +1,224 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"twosmart/internal/telemetry"
+)
+
+// TestObserveScoredMatchesObserve pins that feeding pre-computed scores
+// through ObserveScored/ObserveScoredBatch drives the smoothing and alarm
+// state machine exactly as Observe would with a scorer producing the same
+// scores.
+func TestObserveScoredMatchesObserve(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.95, 0.8, 0.2, 0.1, 0.05, 0.99, 0.99, 0.3}
+	ref, err := New(&scriptScorer{scores: scores}, Config{MinSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New(constScorer(0), Config{MinSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := New(constScorer(0), Config{MinSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Event, len(scores))
+	for i := range scores {
+		ev, err := ref.Observe([]float64{float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ev
+		if got := single.ObserveScored(scores[i]); got != ev {
+			t.Fatalf("sample %d: ObserveScored %+v, Observe %+v", i, got, ev)
+		}
+	}
+	got := make([]Event, len(scores))
+	if err := batch.ObserveScoredBatch(got, scores); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: batch %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := batch.ObserveScoredBatch(got[:1], scores); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// TestObserveScoredTelemetry checks the scored path feeds the same
+// counters as the scoring path.
+func TestObserveScoredTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	m, err := New(constScorer(0), Config{Alpha: 1, MinSamples: 1, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Event, 3)
+	if err := m.ObserveScoredBatch(dst, []float64{0.9, 0.9, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveScored(0.95)
+	if got := reg.Counter("monitor_samples_total").Value(); got != 4 {
+		t.Errorf("monitor_samples_total = %d, want 4", got)
+	}
+	if got := reg.Counter("monitor_alarms_raised_total").Value(); got != 2 {
+		t.Errorf("monitor_alarms_raised_total = %d, want 2", got)
+	}
+	if got := reg.Counter("monitor_alarms_cleared_total").Value(); got != 1 {
+		t.Errorf("monitor_alarms_cleared_total = %d, want 1", got)
+	}
+}
+
+func TestObserveScoredZeroAlloc(t *testing.T) {
+	m, err := New(constScorer(0), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Event, 32)
+	scores := make([]float64, 32)
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.ObserveScored(0.5)
+		if err := m.ObserveScoredBatch(dst, scores); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("scored paths allocate %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestTrackerScorerFor(t *testing.T) {
+	tr, err := NewTrackerFactory(func() Scorer { return &firstFeatureScorer{} }, Config{MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.ScorerFor("a")
+	if a == nil {
+		t.Fatal("nil scorer for new app")
+	}
+	if tr.ScorerFor("a") != a {
+		t.Fatal("ScorerFor built a second scorer for the same app")
+	}
+	if tr.ScorerFor("b") == a {
+		t.Fatal("two apps share one scorer instance")
+	}
+	// The scored path must fold into the same per-app summary as Observe.
+	dst := make([]Event, 4)
+	if err := tr.ObserveScoredBatch("a", dst, []float64{0.9, 0.9, 0.9, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	sum, ok := tr.Close("a")
+	if !ok || sum.Samples != 4 || sum.Alarms != 1 {
+		t.Fatalf("summary %+v, want 4 samples and 1 alarm", sum)
+	}
+	if err := tr.ObserveScoredBatch("b", dst[:1], []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// statefulScorer mutates private unsynchronized state on every call, so
+// any cross-goroutine sharing of one instance is a guaranteed race-report
+// under -race.
+type statefulScorer struct {
+	calls  int
+	last   float64
+	stride float64
+}
+
+func (s *statefulScorer) MalwareScore(features []float64) (float64, error) {
+	s.calls++
+	s.last += s.stride
+	if s.last > 1 {
+		s.last = 0
+	}
+	return s.last, nil
+}
+
+func (s *statefulScorer) MalwareScoreBatch(dst []float64, samples [][]float64) error {
+	for i := range samples {
+		v, _ := s.MalwareScore(samples[i])
+		dst[i] = v
+	}
+	return nil
+}
+
+// TestTrackerPerStreamIsolation pins the per-stream isolation model the
+// streaming server relies on: many goroutines each own one application
+// stream and concurrently drive the full serving mix — ScorerFor,
+// ObserveBatch (scorer-invoking) and ObserveScoredBatch — against one
+// shared Tracker. Run under -race (CI does) this proves that per-app
+// monitors and factory-built scorers are never shared across streams;
+// sharing one app between goroutines is the documented unsafe case.
+func TestTrackerPerStreamIsolation(t *testing.T) {
+	reg := telemetry.New()
+	tr, err := NewTrackerFactory(func() Scorer {
+		return &statefulScorer{stride: 0.13}
+	}, Config{MinSamples: 1, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const streams = 12
+	const rounds = 40
+	const burst = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for g := 0; g < streams; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			app := fmt.Sprintf("stream-%02d", g)
+			sc := tr.ScorerFor(app).(*statefulScorer)
+			events := make([]Event, burst)
+			scores := make([]float64, burst)
+			fv := make([]float64, 1)
+			samples := make([][]float64, burst)
+			for i := range samples {
+				samples[i] = fv
+			}
+			for r := 0; r < rounds; r++ {
+				// Half the rounds score through the owned scorer and feed
+				// the results back (the server's path); half let the
+				// monitor invoke the scorer itself.
+				if r%2 == 0 {
+					if err := sc.MalwareScoreBatch(scores, samples); err != nil {
+						errs <- err
+						return
+					}
+					if err := tr.ObserveScoredBatch(app, events, scores); err != nil {
+						errs <- err
+						return
+					}
+				} else if err := tr.ObserveBatch(app, events, samples); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := len(tr.Active()); got != streams {
+		t.Fatalf("active apps = %d, want %d", got, streams)
+	}
+	for _, app := range tr.Active() {
+		sc := tr.ScorerFor(app).(*statefulScorer)
+		if sc.calls != rounds*burst {
+			t.Fatalf("%s: scorer saw %d calls, want %d — an instance leaked across streams", app, sc.calls, rounds*burst)
+		}
+		sum, _ := tr.Close(app)
+		if sum.Samples != rounds*burst {
+			t.Fatalf("%s: summary has %d samples, want %d", app, sum.Samples, rounds*burst)
+		}
+	}
+	if got := reg.Counter("monitor_samples_total").Value(); got != streams*rounds*burst {
+		t.Errorf("monitor_samples_total = %d, want %d", got, streams*rounds*burst)
+	}
+}

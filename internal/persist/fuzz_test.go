@@ -1,0 +1,54 @@
+package persist
+
+import (
+	"testing"
+
+	"twosmart/internal/ml/ensemble"
+	"twosmart/internal/ml/mltest"
+	"twosmart/internal/ml/tree"
+)
+
+// FuzzUnmarshalClassifier pins that model blobs — which the streaming
+// server loads from disk and whose format version travels in the wire
+// handshake — can never panic the decoder, however malformed. A blob that
+// does decode must survive re-marshalling (it is a real classifier, not a
+// half-initialised one).
+func FuzzUnmarshalClassifier(f *testing.F) {
+	d := mltest.Gaussian2Class(120, 3, 2.0, 11)
+	j48, err := (&tree.J48Trainer{MaxDepth: 3}).Train(d)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := MarshalClassifier(j48)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	boosted, err := (&ensemble.AdaBoostTrainer{Base: &tree.J48Trainer{MaxDepth: 2}, Rounds: 2, Seed: 1}).Train(d)
+	if err != nil {
+		f.Fatal(err)
+	}
+	bblob, err := MarshalClassifier(boosted)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bblob)
+	f.Add([]byte(`{"v":1,"type":"j48","data":{}}`))
+	f.Add([]byte(`{"v":0,"type":"j48","data":{}}`))
+	f.Add([]byte(`{"v":1,"type":"adaboost","data":{"members":[],"alphas":[],"num_classes":0}}`))
+	f.Add([]byte(`{"v":1,"type":"mlp","data":{"layers":[[[1e308]]]}}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalClassifier(data)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil classifier with nil error")
+		}
+		if _, err := MarshalClassifier(c); err != nil {
+			t.Fatalf("decoded classifier does not re-marshal: %v", err)
+		}
+	})
+}

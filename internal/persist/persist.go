@@ -8,6 +8,7 @@ package persist
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"twosmart/internal/ml"
@@ -19,10 +20,28 @@ import (
 	"twosmart/internal/ml/tree"
 )
 
-// envelope wraps a serialised classifier with its family tag.
+// FormatVersion is the serialised model format generation. Every envelope
+// written by MarshalClassifier carries it, and UnmarshalClassifier refuses
+// any other value with ErrFormatVersion — so a reader meeting a blob from
+// an older or newer build fails with a clear "unsupported model format vN"
+// error instead of a shape-dependent decode error deep inside a family
+// decoder. Bump it on any incompatible change to the envelope or to a
+// family's DTO. The streaming handshake (internal/wire.Welcome) advertises
+// this value so agents can detect skew before sending samples.
+const FormatVersion = 1
+
+// ErrFormatVersion is wrapped by the error UnmarshalClassifier returns for
+// a blob whose format version this build does not read; match it with
+// errors.Is.
+var ErrFormatVersion = errors.New("unsupported model format")
+
+// envelope wraps a serialised classifier with its format version and
+// family tag. Version 0 means the field is absent — the pre-versioning
+// format — which is reported as unsupported like any other mismatch.
 type envelope struct {
-	Type string          `json:"type"`
-	Data json.RawMessage `json:"data"`
+	Version int             `json:"v"`
+	Type    string          `json:"type"`
+	Data    json.RawMessage `json:"data"`
 }
 
 // Family tags.
@@ -82,7 +101,7 @@ func wrap(typ string, data []byte, err error) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(envelope{Type: typ, Data: data})
+	return json.Marshal(envelope{Version: FormatVersion, Type: typ, Data: data})
 }
 
 // UnmarshalClassifier reconstructs a classifier serialised by
@@ -91,6 +110,10 @@ func UnmarshalClassifier(data []byte) (ml.Classifier, error) {
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("persist: reading envelope: %w", err)
+	}
+	if env.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: %w v%d (this build reads v%d; retrain or re-export the model)",
+			ErrFormatVersion, env.Version, FormatVersion)
 	}
 	switch env.Type {
 	case typeJ48:

@@ -2,7 +2,9 @@ package persist
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"twosmart/internal/ml"
@@ -89,16 +91,99 @@ func TestRoundTripMulticlass(t *testing.T) {
 	}
 }
 
+// TestFormatVersionBothDirections pins that version skew in either
+// direction — an old pre-versioning blob (v0) and a blob from a newer
+// build (v2) — fails with the typed ErrFormatVersion naming both versions,
+// not with a shape-dependent decode error.
+func TestFormatVersionBothDirections(t *testing.T) {
+	d := mltest.Gaussian2Class(100, 2, 2.0, 7)
+	model, err := (&tree.J48Trainer{}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := MarshalClassifier(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &env); err != nil {
+		t.Fatal(err)
+	}
+	if string(env["v"]) != "1" {
+		t.Fatalf("marshalled envelope carries v=%s, want 1", env["v"])
+	}
+
+	reversion := func(v string) []byte {
+		mod := map[string]json.RawMessage{}
+		for k, raw := range env {
+			mod[k] = raw
+		}
+		if v == "" {
+			delete(mod, "v") // the pre-versioning format
+		} else {
+			mod["v"] = json.RawMessage(v)
+		}
+		out, err := json.Marshal(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	for _, tc := range []struct {
+		name, v, wantSub string
+	}{
+		{"too old (field absent)", "", "v0"},
+		{"too new", "2", "v2"},
+	} {
+		_, err := UnmarshalClassifier(reversion(tc.v))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !errors.Is(err, ErrFormatVersion) {
+			t.Fatalf("%s: err %v does not match ErrFormatVersion", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) || !strings.Contains(err.Error(), "v1") {
+			t.Fatalf("%s: error %q does not name both the blob version (%s) and the supported v1", tc.name, err, tc.wantSub)
+		}
+	}
+
+	// The supported version still round-trips.
+	if _, err := UnmarshalClassifier(reversion("1")); err != nil {
+		t.Fatalf("v1 blob rejected: %v", err)
+	}
+
+	// An ensemble member with a skewed version is caught too: versioning
+	// applies to every nested envelope.
+	boosted, err := (&ensemble.AdaBoostTrainer{Base: &tree.J48Trainer{MaxDepth: 3}, Rounds: 3, Seed: 1}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bblob, err := MarshalClassifier(boosted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The outer adaboost envelope keeps v1; only the first nested j48
+	// member's envelope is skewed.
+	skewed := []byte(strings.Replace(string(bblob), `{"v":1,"type":"j48"`, `{"v":9,"type":"j48"`, 1))
+	if string(skewed) == string(bblob) {
+		t.Fatal("test setup: nested member envelope not found in ensemble blob")
+	}
+	if _, err := UnmarshalClassifier(skewed); !errors.Is(err, ErrFormatVersion) {
+		t.Fatalf("version-skewed nested member: err=%v, want ErrFormatVersion", err)
+	}
+}
+
 func TestUnmarshalRejectsGarbage(t *testing.T) {
 	if _, err := UnmarshalClassifier([]byte("not json")); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if _, err := UnmarshalClassifier([]byte(`{"type":"svm","data":{}}`)); err == nil {
+	if _, err := UnmarshalClassifier([]byte(`{"v":1,"type":"svm","data":{}}`)); err == nil {
 		t.Fatal("unknown type accepted")
 	}
 	// Valid envelope, corrupt payloads.
 	for _, typ := range []string{"j48", "jrip", "oner", "mlp", "mlr", "adaboost"} {
-		env, _ := json.Marshal(map[string]any{"type": typ, "data": map[string]any{}})
+		env, _ := json.Marshal(map[string]any{"v": FormatVersion, "type": typ, "data": map[string]any{}})
 		if _, err := UnmarshalClassifier(env); err == nil {
 			t.Fatalf("empty %s payload accepted", typ)
 		}
@@ -107,7 +192,7 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 
 func TestUnmarshalRejectsCorruptTree(t *testing.T) {
 	// A tree whose internal node points at itself must be rejected.
-	payload := `{"type":"j48","data":{"nodes":[{"feat":0,"threshold":1,"left":0,"right":0,"counts":[1,2],"leaf":false}],"num_classes":2}}`
+	payload := `{"v":1,"type":"j48","data":{"nodes":[{"feat":0,"threshold":1,"left":0,"right":0,"counts":[1,2],"leaf":false}],"num_classes":2}}`
 	if _, err := UnmarshalClassifier([]byte(payload)); err == nil {
 		t.Fatal("self-referential tree accepted")
 	}
@@ -125,6 +210,7 @@ func TestUnmarshalRejectsInconsistentEnsemble(t *testing.T) {
 	}
 	// Alphas length mismatch.
 	env, _ := json.Marshal(map[string]any{
+		"v":    FormatVersion,
 		"type": "adaboost",
 		"data": map[string]any{
 			"members":     []json.RawMessage{member},
@@ -169,7 +255,7 @@ func TestRoundTripNaiveBayes(t *testing.T) {
 	}
 	assertSameModel(t, "NaiveBayes", model, restored, probes)
 	// Corrupt payload rejected.
-	env, _ := json.Marshal(map[string]any{"type": "naivebayes", "data": map[string]any{"num_classes": 2}})
+	env, _ := json.Marshal(map[string]any{"v": FormatVersion, "type": "naivebayes", "data": map[string]any{"num_classes": 2}})
 	if _, err := UnmarshalClassifier(env); err == nil {
 		t.Fatal("corrupt NB payload accepted")
 	}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"twosmart/internal/wire"
+)
+
+// Client is the agent side of the streaming protocol: it dials a server,
+// completes the Hello/Welcome handshake and exposes typed frame I/O. It is
+// shared by cmd/smartload and the serve tests. Send/Open/Close/Heartbeat
+// may be called from one goroutine while another consumes Next — the write
+// path is mutex-guarded and the read path is single-consumer.
+type Client struct {
+	nc      net.Conn
+	r       *wire.Reader
+	welcome wire.Welcome
+
+	wmu sync.Mutex
+	w   *wire.Writer
+}
+
+// Dial connects to a streaming detection server and completes the
+// handshake, identifying as agent. Connection-refused errors are retried
+// with a short backoff until ctx is cancelled, so an agent can start
+// before its server finishes loading the model.
+func Dial(ctx context.Context, addr, agent string) (*Client, error) {
+	var nc net.Conn
+	for {
+		var err error
+		nc, err = (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	c := &Client{nc: nc, r: wire.NewReader(nc), w: wire.NewWriter(nc)}
+	if err := c.handshake(agent); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) handshake(agent string) error {
+	c.wmu.Lock()
+	err := c.w.Write(wire.Hello{Proto: wire.ProtoVersion, Agent: agent})
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		return fmt.Errorf("serve: handshake write: %w", err)
+	}
+	c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	defer c.nc.SetReadDeadline(time.Time{})
+	f, err := c.r.Next()
+	if err != nil {
+		return fmt.Errorf("serve: handshake read: %w", err)
+	}
+	switch fr := f.(type) {
+	case wire.Welcome:
+		if fr.Proto != wire.ProtoVersion {
+			return fmt.Errorf("serve: server speaks protocol v%d, want v%d", fr.Proto, wire.ProtoVersion)
+		}
+		c.welcome = fr
+		return nil
+	case wire.Error:
+		return fmt.Errorf("serve: server rejected handshake: code %d: %s", fr.Code, fr.Msg)
+	default:
+		return fmt.Errorf("serve: handshake reply is %T, want Welcome", f)
+	}
+}
+
+// Welcome returns the server's handshake reply (model name, format
+// version, expected feature width).
+func (c *Client) Welcome() wire.Welcome { return c.welcome }
+
+func (c *Client) write(f wire.Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.Write(f)
+}
+
+// OpenStream announces a new per-app sample stream.
+func (c *Client) OpenStream(stream uint32, app string) error {
+	return c.write(wire.OpenStream{Stream: stream, App: app})
+}
+
+// Send queues one sample frame; call Flush to push buffered frames out.
+func (c *Client) Send(stream, seq uint32, features []float64) error {
+	return c.write(wire.Sample{Stream: stream, Seq: seq, Features: features})
+}
+
+// CloseStream ends a stream; the server answers with a StreamSummary.
+func (c *Client) CloseStream(stream uint32) error {
+	return c.write(wire.CloseStream{Stream: stream})
+}
+
+// Heartbeat sends a liveness probe the server echoes back.
+func (c *Client) Heartbeat(nanos uint64) error {
+	return c.write(wire.Heartbeat{Nanos: nanos})
+}
+
+// Flush pushes buffered frames to the server.
+func (c *Client) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.Flush()
+}
+
+// Next reads the next server frame. It returns io.EOF once the server has
+// closed the connection cleanly. Frames that borrow reader-owned buffers
+// (none of the server→client types do) follow wire.Reader's aliasing
+// rules.
+func (c *Client) Next() (wire.Frame, error) {
+	return c.r.Next()
+}
+
+// CloseWrite flushes and half-closes the connection so the server sees
+// end-of-stream while its remaining verdicts can still be read.
+func (c *Client) CloseWrite() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	type writeCloser interface{ CloseWrite() error }
+	if wc, ok := c.nc.(writeCloser); ok {
+		return wc.CloseWrite()
+	}
+	return errors.New("serve: connection does not support half-close")
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.nc.Close() }

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// item is one queued ingress sample: which stream it belongs to, the
+// client's sequence number, the ingress timestamp (for the end-to-end
+// verdict latency histogram) and the feature vector, copied into a
+// ring-owned buffer that is recycled once the sample is scored or shed.
+type item struct {
+	stream   uint32
+	seq      uint32
+	at       time.Time
+	features []float64
+}
+
+// ring is a connection's bounded ingress queue with explicit
+// load-shedding: pushing into a full ring drops the *oldest* queued
+// sample (the one whose 10 ms-period data is most stale and least worth
+// scoring late) rather than blocking the reader or buffering without
+// bound. Shed samples are counted in total and per stream so the server
+// can export serve_shed_total and report per-stream shed counts in
+// StreamSummary frames. Feature buffers cycle through an internal free
+// list, so the steady state allocates nothing.
+type ring struct {
+	mu      sync.Mutex
+	buf     []item // fixed capacity, used as a circular queue
+	head    int
+	n       int
+	free    [][]float64
+	shedAll uint64
+	shedBy  map[uint32]uint64
+}
+
+func newRing(depth int) *ring {
+	return &ring{
+		buf:    make([]item, depth),
+		free:   make([][]float64, 0, depth+1),
+		shedBy: make(map[uint32]uint64),
+	}
+}
+
+// grab returns a feature buffer of length n, reusing a recycled one when
+// possible. Caller must hold r.mu.
+func (r *ring) grab(n int) []float64 {
+	if k := len(r.free); k > 0 {
+		b := r.free[k-1]
+		r.free = r.free[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// push copies features into the queue. When the ring is full it sheds the
+// oldest queued sample first and reports shed=true.
+func (r *ring) push(stream, seq uint32, at time.Time, features []float64) (shed bool) {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		oldest := &r.buf[r.head]
+		r.shedAll++
+		r.shedBy[oldest.stream]++
+		r.free = append(r.free, oldest.features)
+		oldest.features = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+		shed = true
+	}
+	slot := &r.buf[(r.head+r.n)%len(r.buf)]
+	buf := r.grab(len(features))
+	copy(buf, features)
+	*slot = item{stream: stream, seq: seq, at: at, features: buf}
+	r.n++
+	r.mu.Unlock()
+	return shed
+}
+
+// drainInto appends every queued item to dst and empties the ring. The
+// items' feature buffers are owned by the caller until handed back via
+// recycle.
+func (r *ring) drainInto(dst []item) []item {
+	r.mu.Lock()
+	for i := 0; i < r.n; i++ {
+		slot := &r.buf[(r.head+i)%len(r.buf)]
+		dst = append(dst, *slot)
+		slot.features = nil
+	}
+	r.head, r.n = 0, 0
+	r.mu.Unlock()
+	return dst
+}
+
+// recycle hands a drained item's feature buffer back for reuse.
+func (r *ring) recycle(buf []float64) {
+	if buf == nil {
+		return
+	}
+	r.mu.Lock()
+	r.free = append(r.free, buf)
+	r.mu.Unlock()
+}
+
+// shedCounts returns the total and the given stream's shed-sample counts.
+func (r *ring) shedCounts(stream uint32) (total, forStream uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shedAll, r.shedBy[stream]
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRingDropOldest(t *testing.T) {
+	r := newRing(3)
+	now := time.Now()
+	for seq := uint32(0); seq < 5; seq++ {
+		shed := r.push(1, seq, now, []float64{float64(seq)})
+		if want := seq >= 3; shed != want {
+			t.Fatalf("push %d: shed=%v, want %v", seq, shed, want)
+		}
+	}
+	got := r.drainInto(nil)
+	if len(got) != 3 {
+		t.Fatalf("drained %d items, want 3", len(got))
+	}
+	// Seqs 0 and 1 were shed; the three newest survive in order.
+	for i, it := range got {
+		if want := uint32(i + 2); it.seq != want {
+			t.Fatalf("item %d: seq %d, want %d", i, it.seq, want)
+		}
+		if it.features[0] != float64(it.seq) {
+			t.Fatalf("item %d: features %v do not match seq %d", i, it.features, it.seq)
+		}
+	}
+	total, forStream := r.shedCounts(1)
+	if total != 2 || forStream != 2 {
+		t.Fatalf("shedCounts = (%d, %d), want (2, 2)", total, forStream)
+	}
+	if _, other := r.shedCounts(2); other != 0 {
+		t.Fatalf("stream 2 shed count = %d, want 0", other)
+	}
+}
+
+func TestRingShedCountsPerStream(t *testing.T) {
+	r := newRing(1)
+	now := time.Now()
+	r.push(1, 0, now, []float64{0})
+	r.push(2, 0, now, []float64{0}) // sheds stream 1's sample
+	r.push(2, 1, now, []float64{0}) // sheds stream 2's
+	total, s1 := r.shedCounts(1)
+	_, s2 := r.shedCounts(2)
+	if total != 2 || s1 != 1 || s2 != 1 {
+		t.Fatalf("total=%d s1=%d s2=%d, want 2/1/1", total, s1, s2)
+	}
+}
+
+// TestRingRecycles pins the steady-state allocation story: once warm, the
+// push→drain→recycle cycle reuses feature buffers instead of allocating.
+func TestRingRecycles(t *testing.T) {
+	r := newRing(4)
+	now := time.Now()
+	fv := []float64{1, 2, 3, 4}
+	var dst []item
+	warm := func() {
+		for seq := uint32(0); seq < 4; seq++ {
+			r.push(1, seq, now, fv)
+		}
+		dst = r.drainInto(dst[:0])
+		for _, it := range dst {
+			r.recycle(it.features)
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(50, warm); allocs > 0 {
+		t.Fatalf("warm push/drain/recycle cycle allocates %.1f times, want 0", allocs)
+	}
+	// Pushing a copy must not alias the caller's slice.
+	r.push(1, 0, now, fv)
+	fv[0] = 99
+	if got := r.drainInto(nil)[0].features[0]; got != 1 {
+		t.Fatalf("ring aliased the caller's buffer: got %v", got)
+	}
+}

@@ -1,0 +1,630 @@
+// Package serve is the fleet-scale streaming detection service: a TCP
+// server that speaks the internal/wire frame protocol, receives per-app
+// HPC sample streams from many agents, scores them through the compiled
+// allocation-free inference path and pushes verdict frames back.
+//
+// The dataflow per connection is
+//
+//	reader ──► bounded ingress ring (drop-oldest shed) ──► worker
+//	                                                        │ adaptive micro-batches,
+//	                                                        │ per-stream fan-out on
+//	                                                        │ internal/parallel
+//	writer ◄── verdict / summary frames ◄───────────────────┘
+//
+// Backpressure is explicit: the ingress ring never grows past QueueDepth;
+// an overloaded server sheds the oldest queued samples (counted in
+// serve_shed_total and per-stream in StreamSummary.Shed) instead of
+// buffering without bound, and a slow client blocks its own worker's
+// writes until the ring sheds — one connection cannot consume unbounded
+// server memory. Scoring isolation follows the monitor layer's per-stream
+// ownership model: each (connection, app) stream owns a compiled detector
+// and monitor via a per-connection monitor.Tracker, so streams score
+// concurrently without sharing scratch space.
+//
+// Graceful drain: when the Serve context is cancelled the server stops
+// accepting, closes the read side of every connection, scores and flushes
+// everything already queued, then closes. cmd/smartserve maps that to
+// exit 130 on SIGINT/SIGTERM.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"twosmart/internal/core"
+	"twosmart/internal/monitor"
+	"twosmart/internal/parallel"
+	"twosmart/internal/persist"
+	"twosmart/internal/telemetry"
+	"twosmart/internal/wire"
+)
+
+// handshakeTimeout bounds how long a fresh connection may sit without
+// completing the Hello/Welcome exchange.
+const handshakeTimeout = 10 * time.Second
+
+// batchSizeBuckets is the serve_batch_size histogram layout: powers of
+// two up to the default queue depth.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// Config configures a streaming detection server.
+type Config struct {
+	// Detector is the trained model to serve; every stream gets its own
+	// compiled instance. Required.
+	Detector *core.Detector
+	// Model is the display name advertised in the Welcome frame.
+	Model string
+	// Monitor tunes the per-stream smoothing and alarm hysteresis.
+	Monitor monitor.Config
+	// QueueDepth bounds each connection's ingress ring; beyond it the
+	// oldest queued samples are shed (default 4096).
+	QueueDepth int
+	// MaxBatch caps how many samples one stream scores per
+	// DetectScoredBatch call inside a drain round (default 512). The
+	// effective micro-batch is adaptive: whatever accumulated in the ring
+	// since the last round, up to QueueDepth.
+	MaxBatch int
+	// Workers bounds the per-round scoring fan-out across a connection's
+	// streams (default: one worker per touched stream, capped by
+	// runtime.NumCPU via internal/parallel).
+	Workers int
+	// Telemetry, when non-nil, receives the serve_* metric families and
+	// the monitor layer's per-app instruments. Nil disables them.
+	Telemetry *telemetry.Registry
+	// Log receives connection lifecycle events (default slog.Default).
+	Log *slog.Logger
+}
+
+func (c Config) fill() (Config, error) {
+	if c.Detector == nil {
+		return c, errors.New("serve: nil detector")
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4096
+	}
+	if c.QueueDepth < 1 {
+		return c, fmt.Errorf("serve: queue depth %d below 1", c.QueueDepth)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 512
+	}
+	if c.MaxBatch < 1 {
+		return c, fmt.Errorf("serve: max batch %d below 1", c.MaxBatch)
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	if c.Model == "" {
+		c.Model = "detector"
+	}
+	return c, nil
+}
+
+// Server serves one trained detector over the wire protocol.
+type Server struct {
+	cfg         Config
+	numFeatures int
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	// scoreHook, when set (tests only), runs before every per-stream
+	// scoring round; a slow hook makes load-shedding deterministic.
+	scoreHook func()
+
+	connsActive telemetry.Gauge
+	connsTotal  telemetry.Counter
+	samplesIn   telemetry.Counter
+	verdictsOut telemetry.Counter
+	shed        telemetry.Counter
+	protoErrs   telemetry.Counter
+	batchSize   telemetry.Histogram
+	latency     telemetry.Histogram
+}
+
+// New validates the configuration and builds a server. Call Listen then
+// Serve.
+func New(cfg Config) (*Server, error) {
+	filled, err := cfg.fill()
+	if err != nil {
+		return nil, err
+	}
+	// Surface monitor config errors now, not on the first connection.
+	if _, err := monitor.New(filled.Detector.Compile(), filled.Monitor); err != nil {
+		return nil, err
+	}
+	n := len(filled.Detector.FeatureNames())
+	if n > wire.MaxFeatures {
+		return nil, fmt.Errorf("serve: model expects %d features, above the wire limit %d", n, wire.MaxFeatures)
+	}
+	reg := filled.Telemetry
+	return &Server{
+		cfg:         filled,
+		numFeatures: n,
+		connsActive: reg.Gauge("serve_connections_active"),
+		connsTotal:  reg.Counter("serve_connections_total"),
+		samplesIn:   reg.Counter("serve_samples_total"),
+		verdictsOut: reg.Counter("serve_verdicts_total"),
+		shed:        reg.Counter("serve_shed_total"),
+		protoErrs:   reg.Counter("serve_protocol_errors_total"),
+		batchSize:   reg.Histogram("serve_batch_size", batchSizeBuckets),
+		latency:     reg.Histogram("serve_verdict_latency_seconds", telemetry.LatencyBuckets),
+	}, nil
+}
+
+// NumFeatures returns the feature width the served model expects.
+func (s *Server) NumFeatures() int { return s.numFeatures }
+
+// Listen binds the server's TCP listener and returns the bound address
+// (useful with ":0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve accepts and handles connections until ctx is cancelled, then
+// drains gracefully: the listener closes, every connection's read side is
+// shut, in-flight batches are scored and flushed, and Serve returns nil.
+// A listener failure other than the drain close is returned as an error.
+func (s *Server) Serve(ctx context.Context) error {
+	if s.ln == nil {
+		return errors.New("serve: Serve before Listen")
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.ln.Close()
+		case <-stop:
+		}
+	}()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			s.wg.Wait()
+			return fmt.Errorf("serve: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(ctx, nc)
+		}()
+	}
+	s.cfg.Log.Info("draining", "reason", context.Cause(ctx))
+	s.wg.Wait()
+	return nil
+}
+
+// stream is one (connection, app) sample stream: its compiled detector
+// (owned by the tracker's per-app monitor; see monitor.Tracker.ScorerFor)
+// plus the reusable micro-batch buffers. A stream is only ever touched by
+// its connection's worker goroutine.
+type stream struct {
+	id  uint32
+	app string
+	det *core.CompiledDetector
+
+	// pending micro-batch, refilled each drain round
+	samples  [][]float64
+	bufs     [][]float64 // ring buffers to recycle after scoring
+	seqs     []uint32
+	ats      []time.Time
+	verdicts []core.Verdict
+	scores   []float64
+	events   []monitor.Event
+}
+
+// ctrl is a reader→worker control message (stream open/close), routed
+// through a queue separate from the sample ring so load-shedding can
+// never drop one.
+type ctrl struct {
+	open   bool
+	stream uint32
+	app    string
+}
+
+type conn struct {
+	s  *Server
+	nc net.Conn
+	tr *monitor.Tracker
+	q  *ring
+	r  *wire.Reader
+
+	wmu sync.Mutex
+	w   *wire.Writer
+
+	ctrlMu sync.Mutex
+	ctrls  []ctrl
+
+	kick       chan struct{} // worker wake-up, capacity 1
+	readerDone chan struct{} // closed when the reader stops enqueueing
+
+	streams map[uint32]*stream // worker-owned after handshake
+	drain   []item             // reusable drain buffer
+	touched []*stream          // reusable per-round stream list
+}
+
+func (s *Server) handle(ctx context.Context, nc net.Conn) {
+	s.connsTotal.Inc()
+	s.connsActive.Add(1)
+	defer s.connsActive.Add(-1)
+	defer nc.Close()
+	log := s.cfg.Log.With("remote", nc.RemoteAddr().String())
+
+	tr, err := monitor.NewTrackerFactory(func() monitor.Scorer {
+		return s.cfg.Detector.Compile()
+	}, s.cfg.Monitor)
+	if err != nil {
+		log.Error("tracker", "err", err)
+		return
+	}
+	c := &conn{
+		s:          s,
+		nc:         nc,
+		tr:         tr,
+		q:          newRing(s.cfg.QueueDepth),
+		w:          wire.NewWriter(nc),
+		kick:       make(chan struct{}, 1),
+		readerDone: make(chan struct{}),
+		streams:    make(map[uint32]*stream),
+	}
+	if err := c.handshake(); err != nil {
+		log.Warn("handshake", "err", err)
+		return
+	}
+
+	// Drain watcher: a cancelled server closes the read side so the
+	// reader unblocks; everything already queued still gets scored.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeRead(nc)
+		case <-stopWatch:
+		}
+	}()
+
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		c.work()
+	}()
+
+	rerr := c.readLoop()
+	close(c.readerDone)
+	<-workerDone
+
+	if ctx.Err() != nil {
+		// Best-effort notice so agents can distinguish drain from a crash.
+		c.writeFrame(wire.Error{Code: wire.CodeDraining, Msg: "server draining"})
+	}
+	c.flush()
+	if rerr != nil && !errors.Is(rerr, io.EOF) && ctx.Err() == nil {
+		log.Warn("connection closed", "err", rerr)
+	} else {
+		log.Info("connection closed")
+	}
+}
+
+// closeRead half-closes the connection so a blocked reader sees EOF while
+// queued verdicts can still be written.
+func closeRead(nc net.Conn) {
+	type readCloser interface{ CloseRead() error }
+	if rc, ok := nc.(readCloser); ok {
+		rc.CloseRead()
+		return
+	}
+	nc.SetReadDeadline(time.Now())
+}
+
+func (c *conn) handshake() error {
+	c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	r := wire.NewReader(c.nc)
+	f, err := r.Next()
+	if err != nil {
+		return err
+	}
+	hello, ok := f.(wire.Hello)
+	if !ok {
+		c.writeFrame(wire.Error{Code: wire.CodeProtocol, Msg: "expected Hello"})
+		c.flush()
+		return fmt.Errorf("first frame is %T, want Hello", f)
+	}
+	if hello.Proto != wire.ProtoVersion {
+		c.writeFrame(wire.Error{Code: wire.CodeVersion,
+			Msg: fmt.Sprintf("protocol v%d unsupported, server speaks v%d", hello.Proto, wire.ProtoVersion)})
+		c.flush()
+		return fmt.Errorf("client protocol v%d, want v%d", hello.Proto, wire.ProtoVersion)
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	c.r = r
+	c.writeFrame(wire.Welcome{
+		Proto:       wire.ProtoVersion,
+		ModelFormat: persist.FormatVersion,
+		NumFeatures: uint16(c.s.numFeatures),
+		Model:       c.s.cfg.Model,
+	})
+	return c.flush()
+}
+
+// readLoop parses frames until EOF, a read error or a protocol violation,
+// feeding samples into the ring and stream opens/closes into the control
+// queue.
+func (c *conn) readLoop() error {
+	for {
+		f, err := c.r.Next()
+		if err != nil {
+			return err
+		}
+		switch fr := f.(type) {
+		case wire.Sample:
+			if len(fr.Features) != c.s.numFeatures {
+				c.s.protoErrs.Inc()
+				c.writeFrame(wire.Error{Code: wire.CodeBadFeatures,
+					Msg: fmt.Sprintf("sample has %d features, model wants %d", len(fr.Features), c.s.numFeatures)})
+				c.flush()
+				return fmt.Errorf("sample width %d, want %d", len(fr.Features), c.s.numFeatures)
+			}
+			c.s.samplesIn.Inc()
+			if c.q.push(fr.Stream, fr.Seq, time.Now(), fr.Features) {
+				c.s.shed.Inc()
+			}
+			c.wake()
+		case wire.OpenStream:
+			c.enqueueCtrl(ctrl{open: true, stream: fr.Stream, app: fr.App})
+		case wire.CloseStream:
+			c.enqueueCtrl(ctrl{stream: fr.Stream})
+		case wire.Heartbeat:
+			c.writeFrame(fr)
+			c.flush()
+		default:
+			c.s.protoErrs.Inc()
+			c.writeFrame(wire.Error{Code: wire.CodeProtocol, Msg: fmt.Sprintf("unexpected frame type 0x%02x", f.Type())})
+			c.flush()
+			return fmt.Errorf("unexpected frame %T", f)
+		}
+	}
+}
+
+func (c *conn) enqueueCtrl(m ctrl) {
+	c.ctrlMu.Lock()
+	c.ctrls = append(c.ctrls, m)
+	c.ctrlMu.Unlock()
+	c.wake()
+}
+
+func (c *conn) wake() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// work is the connection's scoring loop: every wake-up it processes one
+// adaptive micro-batch round; when the reader stops it runs a final round
+// over whatever is still queued (the graceful-drain flush) and exits.
+func (c *conn) work() {
+	for {
+		select {
+		case <-c.kick:
+			if err := c.process(); err != nil {
+				c.fail(err)
+				return
+			}
+		case <-c.readerDone:
+			if err := c.process(); err != nil {
+				c.fail(err)
+			}
+			return
+		}
+	}
+}
+
+// fail tears the connection down after a worker-side error (typically a
+// write failure to a dead client).
+func (c *conn) fail(err error) {
+	c.s.cfg.Log.Warn("connection worker", "remote", c.nc.RemoteAddr().String(), "err", err)
+	c.nc.Close() // unblocks the reader
+}
+
+// process runs one micro-batch round: apply stream opens, drain the ring,
+// fan scoring out across the touched streams, write verdicts, then apply
+// stream closes and flush.
+func (c *conn) process() error {
+	c.ctrlMu.Lock()
+	ctrls := c.ctrls
+	c.ctrls = nil
+	c.ctrlMu.Unlock()
+
+	for _, m := range ctrls {
+		if m.open {
+			if err := c.openStream(m.stream, m.app); err != nil {
+				return err
+			}
+		}
+	}
+
+	c.drain = c.q.drainInto(c.drain[:0])
+	if len(c.drain) > 0 {
+		c.batchObserve(len(c.drain))
+		c.touched = c.touched[:0]
+		for i := range c.drain {
+			it := &c.drain[i]
+			st := c.streams[it.stream]
+			if st == nil {
+				c.s.protoErrs.Inc()
+				c.q.recycle(it.features)
+				continue
+			}
+			if len(st.samples) == 0 {
+				c.touched = append(c.touched, st)
+			}
+			st.samples = append(st.samples, it.features)
+			st.bufs = append(st.bufs, it.features)
+			st.seqs = append(st.seqs, it.seq)
+			st.ats = append(st.ats, it.at)
+		}
+		// Per-stream fan-out: each stream's monitor and compiled detector
+		// are goroutine-isolated (see monitor.Tracker), so streams score
+		// concurrently; only the frame writer is shared and mutex-guarded.
+		// The fan-out deliberately ignores server cancellation: a drain
+		// must score and flush everything already queued.
+		err := parallel.ForEach(context.Background(), len(c.touched), parallel.Options{Workers: c.s.cfg.Workers},
+			func(_ context.Context, i int) error {
+				return c.scoreStream(c.touched[i])
+			})
+		for _, st := range c.touched {
+			for _, buf := range st.bufs {
+				c.q.recycle(buf)
+			}
+			st.samples = st.samples[:0]
+			st.bufs = st.bufs[:0]
+			st.seqs = st.seqs[:0]
+			st.ats = st.ats[:0]
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, m := range ctrls {
+		if !m.open {
+			if err := c.closeStream(m.stream); err != nil {
+				return err
+			}
+		}
+	}
+	return c.flush()
+}
+
+func (c *conn) batchObserve(n int) {
+	c.s.batchSize.Observe(float64(n))
+}
+
+func (c *conn) openStream(id uint32, app string) error {
+	if _, dup := c.streams[id]; dup {
+		c.s.protoErrs.Inc()
+		c.writeFrame(wire.Error{Code: wire.CodeBadStream, Msg: fmt.Sprintf("stream %d already open", id)})
+		return nil
+	}
+	for _, st := range c.streams {
+		if st.app == app {
+			c.s.protoErrs.Inc()
+			c.writeFrame(wire.Error{Code: wire.CodeBadStream,
+				Msg: fmt.Sprintf("app %q already streamed on this connection", app)})
+			return nil
+		}
+	}
+	det, ok := c.tr.ScorerFor(app).(*core.CompiledDetector)
+	if !ok {
+		return fmt.Errorf("serve: tracker factory produced %T, want *core.CompiledDetector", c.tr.ScorerFor(app))
+	}
+	c.streams[id] = &stream{id: id, app: app, det: det}
+	return nil
+}
+
+func (c *conn) closeStream(id uint32) error {
+	st, ok := c.streams[id]
+	if !ok {
+		c.s.protoErrs.Inc()
+		c.writeFrame(wire.Error{Code: wire.CodeBadStream, Msg: fmt.Sprintf("stream %d not open", id)})
+		return nil
+	}
+	delete(c.streams, id)
+	sum, _ := c.tr.Close(st.app)
+	_, shedHere := c.q.shedCounts(id)
+	c.writeFrame(wire.StreamSummary{
+		Stream:      id,
+		Samples:     uint64(sum.Samples),
+		Shed:        shedHere,
+		Alarms:      uint32(sum.Alarms),
+		MaxSmoothed: sum.MaxSmoothed,
+	})
+	return nil
+}
+
+// scoreStream scores one stream's pending micro-batch in MaxBatch chunks
+// through the fused compiled path and writes the verdict frames.
+func (c *conn) scoreStream(st *stream) error {
+	if c.s.scoreHook != nil {
+		c.s.scoreHook()
+	}
+	pending := len(st.samples)
+	if cap(st.verdicts) < pending {
+		st.verdicts = make([]core.Verdict, pending)
+		st.scores = make([]float64, pending)
+		st.events = make([]monitor.Event, pending)
+	}
+	for off := 0; off < pending; off += c.s.cfg.MaxBatch {
+		end := off + c.s.cfg.MaxBatch
+		if end > pending {
+			end = pending
+		}
+		n := end - off
+		verdicts := st.verdicts[:n]
+		scores := st.scores[:n]
+		events := st.events[:n]
+		if err := st.det.DetectScoredBatch(verdicts, scores, st.samples[off:end]); err != nil {
+			return err
+		}
+		if err := c.tr.ObserveScoredBatch(st.app, events, scores); err != nil {
+			return err
+		}
+		now := time.Now()
+		c.wmu.Lock()
+		for i := 0; i < n; i++ {
+			var flags uint8
+			if verdicts[i].Malware {
+				flags |= wire.FlagMalware
+			}
+			if events[i].Alarm {
+				flags |= wire.FlagAlarm
+			}
+			if events[i].Changed {
+				flags |= wire.FlagAlarmChanged
+			}
+			if err := c.w.Write(wire.Verdict{
+				Stream:   st.id,
+				Seq:      st.seqs[off+i],
+				Flags:    flags,
+				Class:    uint8(verdicts[i].PredictedClass),
+				Score:    scores[i],
+				Smoothed: events[i].Smoothed,
+			}); err != nil {
+				c.wmu.Unlock()
+				return err
+			}
+			c.s.latency.ObserveDuration(now.Sub(st.ats[off+i]))
+		}
+		c.wmu.Unlock()
+		c.s.verdictsOut.Add(uint64(n))
+	}
+	return nil
+}
+
+func (c *conn) writeFrame(f wire.Frame) {
+	c.wmu.Lock()
+	c.w.Write(f)
+	c.wmu.Unlock()
+}
+
+func (c *conn) flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.Flush()
+}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeFrame pins the codec's safety and canonicality contracts
+// against arbitrary network input:
+//
+//  1. Decode never panics, whatever the bytes (the server feeds it raw
+//     socket data).
+//  2. A frame that decodes successfully re-encodes to exactly the bytes
+//     it was decoded from — the encoding is canonical, so there is no
+//     mutant encoding a hostile client could use to smuggle divergent
+//     interpretations past middleware.
+//  3. Reader agrees with Decode on the same bytes.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, fr := range []Frame{
+		Hello{Proto: ProtoVersion, Agent: "fuzz"},
+		Welcome{Proto: ProtoVersion, ModelFormat: 1, NumFeatures: 4, Model: "m"},
+		OpenStream{Stream: 1, App: "app"},
+		Sample{Stream: 1, Seq: 2, Features: []float64{0.5, -1, math.Inf(1), math.NaN()}},
+		Verdict{Stream: 1, Seq: 2, Flags: FlagMalware, Class: 2, Score: 0.9, Smoothed: 0.8},
+		CloseStream{Stream: 1},
+		StreamSummary{Stream: 1, Samples: 100, Shed: 3, Alarms: 1, MaxSmoothed: 0.97},
+		Heartbeat{Nanos: 42},
+		Error{Code: CodeProtocol, Msg: "bad"},
+	} {
+		buf, err := Append(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		f.Add(buf[:len(buf)-1]) // truncated
+	}
+	f.Add([]byte{0, 0, 0, 1, 0x7f})          // unknown type
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0}) // absurd length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := Decode(data)
+		if err != nil {
+			if fr != nil || n != 0 {
+				t.Fatalf("failed Decode returned frame=%v n=%d", fr, n)
+			}
+			return
+		}
+		if n < 5 || n > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+		}
+		re, err := Append(nil, fr)
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame %#v: %v", fr, err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("non-canonical encoding:\n in  %x\n out %x", data[:n], re)
+		}
+		r := NewReader(bytes.NewReader(data))
+		rf, rerr := r.Next()
+		if rerr != nil {
+			t.Fatalf("Decode accepted the prefix but Reader failed: %v", rerr)
+		}
+		if rf.Type() != fr.Type() {
+			t.Fatalf("Reader decoded type 0x%02x, Decode 0x%02x", rf.Type(), fr.Type())
+		}
+	})
+}
+
+// FuzzDecodePayload drives the inner payload decoder directly so the fuzzer
+// does not have to learn the length header to reach field parsing.
+func FuzzDecodePayload(f *testing.F) {
+	f.Add([]byte{TypeSample, 0, 0, 0, 1, 0, 0, 0, 2, 0, 1, 63, 240, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{TypeHello, 0, 1, 0, 0})
+	f.Add([]byte{TypeError, 0, 1, 0, 3, 'b', 'a', 'd'})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fr, err := DecodePayload(body, nil)
+		if err == nil && fr == nil {
+			t.Fatal("nil frame with nil error")
+		}
+	})
+}

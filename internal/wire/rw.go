@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Reader decodes a frame stream from an io.Reader. It is not safe for
+// concurrent use; a connection owns one Reader on its read side.
+type Reader struct {
+	br    *bufio.Reader
+	body  []byte    // reused frame-body buffer
+	feats []float64 // reused Sample feature buffer
+}
+
+// NewReader builds a buffered frame reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next reads and decodes the next frame.
+//
+// Aliasing contract: to keep the per-frame steady state allocation-free,
+// the Features slice of a returned Sample aliases a buffer owned by the
+// Reader and is only valid until the next call to Next — callers that
+// retain samples (the server's ingress queue does) must copy. A clean
+// end of stream returns io.EOF; a stream truncated mid-frame returns
+// io.ErrUnexpectedEOF.
+func (r *Reader) Next() (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint32(hdr[:]))
+	if length < 1 {
+		return nil, fmt.Errorf("wire: zero-length frame")
+	}
+	if length > MaxPayload {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(r.body) < length {
+		r.body = make([]byte, length)
+	}
+	body := r.body[:length]
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	f, err := DecodePayload(body, r.feats)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := f.(Sample); ok {
+		r.feats = s.Features[:cap(s.Features)]
+	}
+	return f, nil
+}
+
+// Writer encodes frames onto an io.Writer through a buffer, so a burst of
+// small frames costs one syscall. It is not safe for concurrent use;
+// callers that share a connection's write side serialize around it.
+type Writer struct {
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+// NewWriter builds a buffered frame writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Write encodes one frame into the buffer. The frame reaches the wire on
+// Flush or when the buffer fills.
+func (w *Writer) Write(f Frame) error {
+	b, err := Append(w.scratch[:0], f)
+	if err != nil {
+		return err
+	}
+	w.scratch = b[:0]
+	_, err = w.bw.Write(b)
+	return err
+}
+
+// Flush pushes all buffered frames to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
