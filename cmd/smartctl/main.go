@@ -1,0 +1,257 @@
+// Command smartctl operates the model registry behind the streaming
+// detection service: it publishes trained detector blobs into a
+// versioned, content-addressed store, promotes and rolls back the active
+// version (a running smartserve -registry -watch picks the change up
+// with zero downtime), and diffs two published versions on a replayed
+// corpus before an operator commits to a promotion.
+//
+// Usage:
+//
+//	smartctl publish  -registry models/ -model det.json -note "weekly retrain" -promote
+//	smartctl list     -registry models/
+//	smartctl promote  -registry models/ -version 3
+//	smartctl rollback -registry models/
+//	smartctl diff     -registry models/ -baseline 2 -candidate 3
+//	smartctl prune    -registry models/ -keep 5
+//
+// publish -reference profiles the deterministic synthetic corpus and
+// stores the training-time feature distribution alongside the model, so
+// smartserve can monitor live traffic for drift against it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"twosmart/internal/cli"
+	"twosmart/internal/core"
+	"twosmart/internal/corpus"
+	"twosmart/internal/dataset"
+	"twosmart/internal/drift"
+	"twosmart/internal/parallel"
+	"twosmart/internal/registry"
+	"twosmart/internal/shadow"
+)
+
+var app = cli.New("smartctl")
+
+const usageHint = "usage: smartctl {publish|list|promote|rollback|diff|prune} -registry DIR [flags]"
+
+func main() {
+	regDir := flag.String("registry", "", "model registry directory; required")
+	modelIn := flag.String("model", "", "publish: detector blob to publish (JSON, from smartrain -model)")
+	note := flag.String("note", "", "publish: free-form provenance recorded in the manifest")
+	meta := flag.String("meta", "", "publish: training metadata as comma-separated k=v pairs")
+	promote := flag.Bool("promote", false, "publish: make the new version active immediately")
+	withRef := flag.Bool("reference", false, "publish: profile the synthetic corpus and store the feature distribution for drift monitoring")
+	version := flag.Int("version", 0, "promote: version to make active")
+	keep := flag.Int("keep", 5, "prune: newest versions to keep (the active one always survives)")
+	baseline := flag.Int("baseline", 0, "diff: baseline version (default: the active one)")
+	candidate := flag.Int("candidate", 0, "diff: candidate version (default: the latest)")
+	scale := flag.Float64("scale", 0.01, "diff/-reference: synthetic corpus scale")
+	seed := flag.Int64("seed", 1, "diff/-reference: synthetic corpus seed")
+	workers := flag.Int("workers", 0, "diff: scoring parallelism (0 = NumCPU)")
+
+	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
+		fmt.Fprintln(os.Stderr, usageHint)
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	os.Args = append(os.Args[:1], os.Args[2:]...)
+	flag.Parse()
+	ctx := app.Start()
+	defer app.Close()
+
+	if *regDir == "" {
+		app.Fatal(fmt.Errorf("-registry is required (%s)", usageHint))
+	}
+	reg, err := registry.Open(*regDir)
+	if err != nil {
+		app.Fatal(err)
+	}
+
+	switch cmd {
+	case "publish":
+		runPublish(reg, *modelIn, *note, *meta, *withRef, *promote, *scale, *seed)
+	case "list":
+		runList(reg)
+	case "promote":
+		if *version < 1 {
+			app.Fatal(fmt.Errorf("promote needs -version N"))
+		}
+		e, err := reg.Promote(*version)
+		if err != nil {
+			app.Fatal(err)
+		}
+		fmt.Printf("active v%d (sha256 %s)\n", e.Version, short(e.SHA256))
+	case "rollback":
+		e, err := reg.Rollback()
+		if err != nil {
+			app.Fatal(err)
+		}
+		fmt.Printf("rolled back, active v%d (sha256 %s)\n", e.Version, short(e.SHA256))
+	case "diff":
+		runDiff(ctx, reg, *baseline, *candidate, *scale, *seed, *workers)
+	case "prune":
+		removed, err := reg.Prune(*keep)
+		if err != nil {
+			app.Fatal(err)
+		}
+		for _, e := range removed {
+			fmt.Printf("removed v%d (sha256 %s)\n", e.Version, short(e.SHA256))
+		}
+		fmt.Printf("pruned %d version(s)\n", len(removed))
+	default:
+		app.Fatal(fmt.Errorf("unknown command %q (%s)", cmd, usageHint))
+	}
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+// trainingSet reproduces the deterministic synthetic corpus in the
+// model's feature space, the shared sample source for drift references
+// and version diffs.
+func trainingSet(features []string, scale float64, seed int64) (*dataset.Dataset, error) {
+	data, err := corpus.Collect(corpus.Config{
+		Scale:      scale,
+		Seed:       seed,
+		Omniscient: true,
+		Progress:   app.Progress("profiling corpus"),
+		Telemetry:  app.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data.SelectByName(features)
+}
+
+func runPublish(reg *registry.Registry, modelIn, note, meta string, withRef, promote bool, scale float64, seed int64) {
+	if modelIn == "" {
+		app.Fatal(fmt.Errorf("publish needs -model det.json"))
+	}
+	blob, err := os.ReadFile(modelIn)
+	if err != nil {
+		app.Fatal(err)
+	}
+	opts := registry.PublishOptions{Note: note, Promote: promote}
+	if meta != "" {
+		opts.TrainMeta = map[string]string{}
+		for _, pair := range strings.Split(meta, ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				app.Fatal(fmt.Errorf("publish -meta entry %q is not k=v", pair))
+			}
+			opts.TrainMeta[k] = v
+		}
+	}
+	if withRef {
+		det, err := core.UnmarshalDetector(blob)
+		if err != nil {
+			app.Fatal(err)
+		}
+		data, err := trainingSet(det.FeatureNames(), scale, seed)
+		if err != nil {
+			app.Fatal(err)
+		}
+		ref, err := drift.BuildReference(data, 0)
+		if err != nil {
+			app.Fatal(err)
+		}
+		opts.Reference = ref
+	}
+	e, err := reg.Publish(blob, opts)
+	if err != nil {
+		app.Fatal(err)
+	}
+	state := "published"
+	if promote {
+		state = "published and promoted"
+	}
+	fmt.Printf("%s v%d (sha256 %s, %d bytes)\n", state, e.Version, short(e.SHA256), e.Size)
+}
+
+func runList(reg *registry.Registry) {
+	m, err := reg.Manifest()
+	if err != nil {
+		app.Fatal(err)
+	}
+	if len(m.Models) == 0 {
+		fmt.Println("registry is empty")
+		return
+	}
+	fmt.Printf("%-8s %-14s %-8s %-20s %-6s %s\n", "VERSION", "SHA256", "SIZE", "CREATED", "DRIFT", "NOTE")
+	for _, e := range m.Models {
+		mark := " "
+		if e.Version == m.Active {
+			mark = "*"
+		}
+		ref := "-"
+		if e.Reference != nil {
+			ref = "yes"
+		}
+		fmt.Printf("%s%-7d %-14s %-8d %-20s %-6s %s\n",
+			mark, e.Version, short(e.SHA256), e.Size,
+			e.CreatedAt.Format("2006-01-02 15:04:05"), ref, e.Note)
+	}
+}
+
+func runDiff(ctx context.Context, reg *registry.Registry, baseVer, candVer int, scale float64, seed int64, workers int) {
+	m, err := reg.Manifest()
+	if err != nil {
+		app.Fatal(err)
+	}
+	if baseVer == 0 {
+		baseVer = m.Active
+	}
+	if candVer == 0 {
+		if e, ok := m.Latest(); ok {
+			candVer = e.Version
+		}
+	}
+	if baseVer == 0 || candVer == 0 {
+		app.Fatal(fmt.Errorf("diff needs -baseline and -candidate (no active/latest version to default to)"))
+	}
+	base, baseEntry, err := reg.Load(baseVer)
+	if err != nil {
+		app.Fatal(err)
+	}
+	cand, _, err := reg.Load(candVer)
+	if err != nil {
+		app.Fatal(err)
+	}
+	data, err := trainingSet(baseEntry.Features, scale, seed)
+	if err != nil {
+		app.Fatal(err)
+	}
+	samples := make([][]float64, data.Len())
+	for i, ins := range data.Instances {
+		samples[i] = ins.Features
+	}
+	rep, err := shadow.Evaluate(ctx, base, cand, samples, parallel.Options{Workers: workers})
+	if err != nil {
+		app.Fatal(err)
+	}
+	rep.CandidateVersion = candVer
+	fmt.Printf("diff v%d -> v%d over %d samples\n", baseVer, candVer, rep.Scored)
+	fmt.Printf("  verdict divergence: %.4f (%d disagreements)\n", rep.VerdictDivergence, rep.Disagreements)
+	fmt.Printf("  score delta: mean abs %.4f, max %.4f\n", rep.MeanAbsScoreDelta, rep.MaxScoreDelta)
+	classes := make([]string, 0, len(rep.PerClass))
+	for name := range rep.PerClass {
+		classes = append(classes, name)
+	}
+	sort.Strings(classes)
+	for _, name := range classes {
+		cs := rep.PerClass[name]
+		fmt.Printf("  class %-10s observed %-6d disagreed %-6d mean abs delta %.4f\n",
+			name, cs.Observed, cs.Disagreed, cs.MeanAbsDelta)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,12 +38,28 @@ func main() {
 	interval := flag.Duration("interval", 0, "delay between a stream's samples (0 = full speed; 10ms = the paper's sampling period)")
 	seed := flag.Int64("seed", 7, "corpus seed for the replayed samples")
 	flag.Parse()
+
+	// Fail fast on nonsense sizing before spinning up telemetry or
+	// collecting a corpus; exit 2 like any other flag error, with the
+	// full usage text so the fix is one screen away.
+	badFlag := func(msg string) {
+		fmt.Fprintf(os.Stderr, "smartload: %s\n", msg)
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch {
+	case *conns < 1:
+		badFlag(fmt.Sprintf("-conns must be positive (got %d)", *conns))
+	case *streams < 1:
+		badFlag(fmt.Sprintf("-streams must be positive (got %d)", *streams))
+	case *samples < 1:
+		badFlag(fmt.Sprintf("-samples must be positive (got %d)", *samples))
+	case *interval < 0:
+		badFlag(fmt.Sprintf("-interval must not be negative (got %s)", *interval))
+	}
+
 	ctx := app.Start()
 	defer app.Close()
-
-	if *conns < 1 || *streams < 1 || *samples < 1 {
-		app.Fatal(fmt.Errorf("-conns, -streams and -samples must all be positive"))
-	}
 
 	app.Log.Info("collecting replay corpus", "seed", *seed)
 	data, err := twosmart.CollectContext(ctx, corpus.Config{
@@ -65,7 +82,8 @@ func main() {
 	welcome := probe.Welcome()
 	probe.Close()
 	app.Log.Info("probed server",
-		"model", welcome.Model, "model_format", welcome.ModelFormat, "features", welcome.NumFeatures)
+		"model", welcome.Model, "model_format", welcome.ModelFormat,
+		"model_version", welcome.ModelVersion, "features", welcome.NumFeatures)
 	data, err = project(data, int(welcome.NumFeatures))
 	if err != nil {
 		app.Fatal(err)
@@ -102,6 +120,12 @@ func main() {
 		agg.shed += r.shed
 		agg.alarms += r.alarms
 		agg.latencies = append(agg.latencies, r.latencies...)
+		for v, n := range r.versions {
+			if agg.versions == nil {
+				agg.versions = map[uint32]uint64{}
+			}
+			agg.versions[v] += n
+		}
 	}
 	if agg.err != nil {
 		if ctx.Err() != nil {
@@ -118,6 +142,18 @@ func main() {
 	fmt.Printf("sent     %d samples in %.2fs (%.0f samples/s)\n", agg.sent, elapsed.Seconds(), perSec)
 	fmt.Printf("verdicts %d (%.0f/s)  alarms %d\n", agg.verdicts, float64(agg.verdicts)/elapsed.Seconds(), agg.alarms)
 	fmt.Printf("shed     %d (%.2f%%)\n", agg.shed, 100*shedRate)
+	if len(agg.versions) > 0 {
+		vs := make([]int, 0, len(agg.versions))
+		for v := range agg.versions {
+			vs = append(vs, int(v))
+		}
+		sort.Ints(vs)
+		fmt.Printf("models  ")
+		for _, v := range vs {
+			fmt.Printf(" v%d=%d", v, agg.versions[uint32(v)])
+		}
+		fmt.Printf("  (stream summaries per model version)\n")
+	}
 	if len(agg.latencies) > 0 {
 		sort.Float64s(agg.latencies)
 		fmt.Printf("latency  p50=%s p95=%s p99=%s max=%s\n",
@@ -145,7 +181,8 @@ type connResult struct {
 	verdicts  uint64
 	shed      uint64
 	alarms    uint64
-	latencies []float64 // seconds
+	latencies []float64         // seconds
+	versions  map[uint32]uint64 // summaries per model version (hot-swap visibility)
 }
 
 // driveConn runs one agent connection: a sender pushing every stream's
@@ -187,6 +224,10 @@ func driveConn(ctx context.Context, addr string, ci, streams, samples int, inter
 				}
 			case wire.StreamSummary:
 				r.shed += fr.Shed
+				if r.versions == nil {
+					r.versions = map[uint32]uint64{}
+				}
+				r.versions[fr.ModelVersion]++
 				summaries++
 			case wire.Error:
 				r.err = fmt.Errorf("server error %d: %s", fr.Code, fr.Msg)

@@ -1,9 +1,19 @@
 // Command smartserve is the fleet-scale streaming detection service: it
-// loads a trained detector (from smartrain -model), listens for agent
-// connections speaking the internal/wire protocol and streams verdicts
-// back for every HPC sample received. Each (connection, app) stream gets
-// its own compiled detector and smoothing monitor; an overloaded server
-// sheds the oldest queued samples instead of building unbounded backlog.
+// loads a trained detector (from smartrain -model, or the active version
+// of a smartctl-managed registry), listens for agent connections
+// speaking the internal/wire protocol and streams verdicts back for
+// every HPC sample received. Each (connection, app) stream gets its own
+// compiled detector and smoothing monitor; an overloaded server sheds
+// the oldest queued samples instead of building unbounded backlog.
+//
+// With -registry the server supports zero-downtime model swaps: SIGHUP
+// re-reads the registry's active version, and -watch polls it so a
+// `smartctl promote` lands without any signal at all. In-flight streams
+// finish on the model generation they opened with; new streams pick up
+// the promoted version. -shadow N scores registry version N side-by-side
+// off the hot path and reports verdict divergence at exit; a published
+// drift reference turns on live feature-distribution monitoring, whose
+// verdict ("ok" / "retrain-or-rollback") lands in the -report document.
 //
 // On SIGINT/SIGTERM the server drains gracefully — stops accepting,
 // scores and flushes everything already queued — and exits 130.
@@ -12,26 +22,41 @@
 //
 //	smartrain -runtime -model det.json
 //	smartserve -model det.json -addr :7643
-//	smartserve -model det.json -addr 127.0.0.1:0 -telemetry-addr :8080
+//	smartserve -registry models/ -watch -shadow 3 -report run.json
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"twosmart"
 	"twosmart/internal/cli"
+	"twosmart/internal/core"
+	"twosmart/internal/drift"
 	"twosmart/internal/monitor"
+	"twosmart/internal/registry"
 	"twosmart/internal/serve"
+	"twosmart/internal/shadow"
 )
 
 var app = cli.New("smartserve")
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7643", "TCP listen address (use :0 for a random port; the bound address is printed on stdout)")
-	modelIn := flag.String("model", "", "detector to serve (JSON, from smartrain -model); required")
+	modelIn := flag.String("model", "", "detector to serve (JSON, from smartrain -model); this or -registry is required")
+	regDir := flag.String("registry", "", "serve the active version of this model registry (see smartctl) instead of -model")
+	watch := flag.Bool("watch", false, "with -registry: poll the manifest and hot-swap when the active version changes")
+	watchInterval := flag.Duration("watch-interval", 2*time.Second, "with -watch: manifest poll interval")
+	shadowVer := flag.Int("shadow", 0, "with -registry: score this version side-by-side off the hot path and report divergence at exit")
+	driftAlert := flag.Float64("drift-alert", 0, "PSI above which drift monitoring recommends retrain-or-rollback (0 = default 0.25; needs a registry entry published with -reference)")
+	reportOut := flag.String("report", "", "write the machine-readable run report (JSON: stage timings, drift assessment, shadow divergence) to this file (- for stdout)")
 	queueDepth := flag.Int("queue-depth", 4096, "per-connection ingress queue depth; beyond it the oldest samples are shed")
 	maxBatch := flag.Int("max-batch", 512, "largest per-stream scoring micro-batch")
 	workers := flag.Int("workers", 0, "per-connection scoring fan-out across streams (0 = NumCPU)")
@@ -42,31 +67,85 @@ func main() {
 	ctx := app.Start()
 	defer app.Close()
 
-	if *modelIn == "" {
-		app.Fatal(fmt.Errorf("-model is required (train one with: smartrain -runtime -model det.json)"))
+	if (*modelIn == "") == (*regDir == "") {
+		app.Fatal(fmt.Errorf("exactly one of -model or -registry is required (train one with: smartrain -runtime -model det.json)"))
 	}
-	blob, err := os.ReadFile(*modelIn)
-	if err != nil {
-		app.Fatal(err)
+
+	var (
+		reg     *registry.Registry
+		initial serve.Model
+		err     error
+	)
+	if *regDir != "" {
+		reg, err = registry.Open(*regDir)
+		if err != nil {
+			app.Fatal(err)
+		}
+		initial, err = loadFromRegistry(reg, *driftAlert)
+	} else {
+		initial, err = loadFromFile(*modelIn)
 	}
-	det, err := twosmart.LoadDetector(blob)
 	if err != nil {
 		app.Fatal(err)
 	}
 
 	srv, err := serve.New(serve.Config{
-		Detector:   det,
-		Model:      filepath.Base(*modelIn),
-		Monitor:    monitor.Config{Alpha: *alpha, RaiseThreshold: *raise, ClearThreshold: *clear, Telemetry: app.Telemetry},
-		QueueDepth: *queueDepth,
-		MaxBatch:   *maxBatch,
-		Workers:    *workers,
-		Telemetry:  app.Telemetry,
-		Log:        app.Log,
+		Detector:     initial.Detector,
+		Model:        initial.Name,
+		ModelVersion: initial.Version,
+		Drift:        initial.Drift,
+		Monitor:      monitor.Config{Alpha: *alpha, RaiseThreshold: *raise, ClearThreshold: *clear, Telemetry: app.Telemetry},
+		QueueDepth:   *queueDepth,
+		MaxBatch:     *maxBatch,
+		Workers:      *workers,
+		Telemetry:    app.Telemetry,
+		Log:          app.Log,
 	})
 	if err != nil {
 		app.Fatal(err)
 	}
+
+	var sh *shadow.Shadow
+	if *shadowVer != 0 {
+		if reg == nil {
+			app.Fatal(fmt.Errorf("-shadow needs -registry"))
+		}
+		cand, entry, err := reg.Load(*shadowVer)
+		if err != nil {
+			app.Fatal(err)
+		}
+		sh, err = shadow.New(cand, shadow.Config{Version: entry.Version, Telemetry: app.Telemetry})
+		if err != nil {
+			app.Fatal(err)
+		}
+		if err := srv.SetShadow(sh); err != nil {
+			app.Fatal(err)
+		}
+		app.Log.Info("shadow scoring attached", "version", entry.Version, "sha256", entry.SHA256)
+	}
+
+	// Hot-swap triggers: SIGHUP always re-reads the registry; -watch
+	// polls it so a promote lands without any operator signal.
+	if reg != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					swapFromRegistry(srv, reg, *driftAlert, "SIGHUP")
+				}
+			}
+		}()
+		if *watch {
+			go reg.Watch(ctx, *watchInterval, initial.Version,
+				func(registry.Entry) { swapFromRegistry(srv, reg, *driftAlert, "watch") },
+				func(err error) { app.Log.Warn("registry watch", "err", err) })
+		}
+	}
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		app.Fatal(err)
@@ -75,14 +154,159 @@ func main() {
 	// capture it (logs go to stderr).
 	fmt.Printf("listening %s\n", bound)
 	app.Log.Info("serving detector",
-		"model", *modelIn, "features", srv.NumFeatures(), "addr", bound.String())
+		"model", initial.Name, "version", initial.Version,
+		"features", srv.NumFeatures(), "addr", bound.String())
 
-	if err := srv.Serve(ctx); err != nil {
-		app.Fatal(err)
+	serveErr := srv.Serve(ctx)
+	finish(srv, sh, *reportOut)
+	if serveErr != nil {
+		app.Fatal(serveErr)
 	}
 	if ctx.Err() != nil {
 		app.Log.Info("drained cleanly after signal")
 		app.Close()
 		os.Exit(cli.ExitInterrupted)
 	}
+}
+
+// loadFromFile loads a detector blob from disk, logging its SHA-256 so
+// operators can tie the running process to an artifact.
+func loadFromFile(path string) (serve.Model, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return serve.Model{}, err
+	}
+	det, err := twosmart.LoadDetector(blob)
+	if err != nil {
+		return serve.Model{}, err
+	}
+	sum := sha256.Sum256(blob)
+	sha := hex.EncodeToString(sum[:])
+	app.Log.Info("model loaded", "path", path, "sha256", sha, "features", det.NumFeatures())
+	return serve.Model{Detector: det, Name: filepath.Base(path)}, nil
+}
+
+// loadFromRegistry loads the registry's active version (integrity
+// checked against the manifest) and builds its drift monitor when the
+// entry carries a training-time feature reference.
+func loadFromRegistry(reg *registry.Registry, alertPSI float64) (serve.Model, error) {
+	det, entry, err := reg.LoadActive()
+	if err != nil {
+		return serve.Model{}, err
+	}
+	m := serve.Model{
+		Detector: det,
+		Version:  entry.Version,
+		Name:     fmt.Sprintf("%s@v%d", filepath.Base(reg.Root()), entry.Version),
+	}
+	m.Drift, err = driftMonitorFor(det, entry, alertPSI)
+	if err != nil {
+		return serve.Model{}, err
+	}
+	app.Log.Info("model loaded", "registry", reg.Root(), "version", entry.Version,
+		"sha256", entry.SHA256, "features", det.NumFeatures(), "drift", m.Drift != nil)
+	return m, nil
+}
+
+func driftMonitorFor(det *core.Detector, entry registry.Entry, alertPSI float64) (*drift.Monitor, error) {
+	if entry.Reference == nil {
+		return nil, nil
+	}
+	mon, err := drift.NewMonitor(entry.Reference, drift.Config{AlertPSI: alertPSI, Telemetry: app.Telemetry})
+	if err != nil {
+		return nil, fmt.Errorf("registry v%d drift reference: %w", entry.Version, err)
+	}
+	if want := det.NumFeatures(); mon.NumFeatures() != want {
+		return nil, fmt.Errorf("registry v%d drift reference is %d-wide, detector expects %d features",
+			entry.Version, mon.NumFeatures(), want)
+	}
+	return mon, nil
+}
+
+// swapFromRegistry re-reads the registry's active version and promotes
+// it into the running server. In-flight streams keep the generation
+// they opened with; a same-version trigger is a logged no-op.
+func swapFromRegistry(srv *serve.Server, reg *registry.Registry, alertPSI float64, trigger string) {
+	cur := srv.ActiveModel()
+	det, entry, err := reg.LoadActive()
+	if err != nil {
+		app.Log.Error("hot swap failed", "trigger", trigger, "err", err)
+		return
+	}
+	if entry.Version == cur.Version {
+		app.Log.Info("hot swap skipped: version unchanged", "trigger", trigger, "version", entry.Version)
+		return
+	}
+	mon, err := driftMonitorFor(det, entry, alertPSI)
+	if err != nil {
+		app.Log.Error("hot swap failed", "trigger", trigger, "err", err)
+		return
+	}
+	next := serve.Model{
+		Detector: det,
+		Version:  entry.Version,
+		Name:     fmt.Sprintf("%s@v%d", filepath.Base(reg.Root()), entry.Version),
+		Drift:    mon,
+	}
+	if err := srv.Swap(next); err != nil {
+		app.Log.Error("hot swap failed", "trigger", trigger, "version", entry.Version, "err", err)
+		return
+	}
+	app.Log.Info("hot swap complete", "trigger", trigger,
+		"from", cur.Version, "to", entry.Version, "sha256", entry.SHA256)
+}
+
+// finish detaches the shadow, folds the drift assessment and shadow
+// divergence into the run report, and writes it when -report is set.
+func finish(srv *serve.Server, sh *shadow.Shadow, reportOut string) {
+	var shadowRep shadow.Report
+	if sh != nil {
+		if err := srv.SetShadow(nil); err != nil {
+			app.Log.Warn("shadow detach", "err", err)
+		}
+		shadowRep = sh.Close()
+		app.Log.Info("shadow verdict",
+			"candidate_version", shadowRep.CandidateVersion,
+			"scored", shadowRep.Scored, "dropped", shadowRep.Dropped,
+			"divergence", shadowRep.VerdictDivergence)
+	}
+	var driftRep drift.Report
+	active := srv.ActiveModel()
+	if active.Drift != nil {
+		driftRep = active.Drift.Snapshot()
+		app.Log.Info("drift verdict",
+			"samples", driftRep.Samples, "max_psi", driftRep.MaxPSI,
+			"recommendation", driftRep.Recommendation)
+	}
+	if reportOut == "" {
+		return
+	}
+	rep := app.Telemetry.Report(app.Tool)
+	rep.Results["model_version"] = float64(active.Version)
+	if active.Drift != nil {
+		rep.Results["drift_samples"] = float64(driftRep.Samples)
+		rep.Results["drift_max_psi"] = driftRep.MaxPSI
+		rep.Results["drift_alert"] = btof(driftRep.Alert)
+		rep.Notes = map[string]string{"drift_recommendation": driftRep.Recommendation}
+	}
+	if sh != nil {
+		rep.Results["shadow_candidate_version"] = float64(shadowRep.CandidateVersion)
+		rep.Results["shadow_scored"] = float64(shadowRep.Scored)
+		rep.Results["shadow_dropped"] = float64(shadowRep.Dropped)
+		rep.Results["shadow_verdict_divergence"] = shadowRep.VerdictDivergence
+	}
+	if err := rep.WriteFile(reportOut); err != nil {
+		app.Log.Error("write run report", "path", reportOut, "err", err)
+		return
+	}
+	if reportOut != "-" {
+		app.Log.Info("wrote run report", "path", reportOut)
+	}
+}
+
+func btof(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

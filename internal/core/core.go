@@ -460,6 +460,11 @@ func (det *Detector) FeatureNames() []string {
 	return append([]string(nil), det.featureNames...)
 }
 
+// NumFeatures returns the input feature space width the detector
+// expects, matching CompiledDetector.NumFeatures without the copy
+// FeatureNames makes.
+func (det *Detector) NumFeatures() int { return len(det.featureNames) }
+
 func project(features []float64, idx []int) []float64 {
 	out := make([]float64, len(idx))
 	for i, j := range idx {

@@ -1,0 +1,224 @@
+package drift
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"twosmart/internal/dataset"
+	"twosmart/internal/telemetry"
+)
+
+// gaussianSet builds a dataset whose features are N(mean, std) draws.
+func gaussianSet(t *testing.T, n int, means, stds []float64, seed int64) *dataset.Dataset {
+	t.Helper()
+	names := make([]string, len(means))
+	for i := range names {
+		names[i] = "f" + string(rune('a'+i))
+	}
+	d := dataset.New(names, []string{"benign", "malware"})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		fv := make([]float64, len(means))
+		for f := range fv {
+			fv[f] = means[f] + stds[f]*rng.NormFloat64()
+		}
+		if err := d.Add(dataset.Instance{Features: fv, Label: i % 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func feed(t *testing.T, m *Monitor, d *dataset.Dataset) {
+	t.Helper()
+	batch := make([][]float64, 0, 64)
+	for _, ins := range d.Instances {
+		batch = append(batch, ins.Features)
+		if len(batch) == cap(batch) {
+			if err := m.ObserveBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := m.ObserveBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoDriftOnSameDistribution pins the quiet case: live traffic drawn
+// from the training distribution stays well below the alert threshold.
+func TestNoDriftOnSameDistribution(t *testing.T) {
+	means, stds := []float64{10, 50, 3}, []float64{2, 10, 1}
+	train := gaussianSet(t, 4000, means, stds, 1)
+	ref, err := BuildReference(train, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, m, gaussianSet(t, 4000, means, stds, 2))
+	rep := m.Snapshot()
+	if rep.Warmup {
+		t.Fatalf("still in warmup after %d samples", rep.Samples)
+	}
+	if rep.Alert || rep.Recommendation != "ok" {
+		t.Fatalf("false alarm: %+v", rep)
+	}
+	if rep.MaxPSI > 0.1 {
+		t.Fatalf("same-distribution PSI %.3f above the stable band", rep.MaxPSI)
+	}
+	for _, fd := range rep.Features {
+		if math.Abs(fd.ZScore) > 0.5 {
+			t.Fatalf("feature %s z-score %.2f for unshifted traffic", fd.Feature, fd.ZScore)
+		}
+	}
+}
+
+// TestDriftDetected pins the alert case: a 3-sigma mean shift on one
+// feature must push its PSI over the threshold and flag
+// retrain-or-rollback, while unshifted features stay quiet.
+func TestDriftDetected(t *testing.T) {
+	means, stds := []float64{10, 50, 3}, []float64{2, 10, 1}
+	train := gaussianSet(t, 4000, means, stds, 3)
+	ref, err := BuildReference(train, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	m, err := NewMonitor(ref, Config{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := append([]float64(nil), means...)
+	shifted[1] += 3 * stds[1]
+	feed(t, m, gaussianSet(t, 4000, shifted, stds, 4))
+	rep := m.Snapshot()
+	if !rep.Alert || rep.Recommendation != "retrain-or-rollback" {
+		t.Fatalf("3-sigma shift not flagged: %+v", rep)
+	}
+	if rep.Features[1].PSI <= 0.25 {
+		t.Fatalf("shifted feature PSI %.3f not above threshold", rep.Features[1].PSI)
+	}
+	if rep.Features[1].ZScore < 2 {
+		t.Fatalf("shifted feature z-score %.2f, want near 3", rep.Features[1].ZScore)
+	}
+	if rep.Features[0].PSI > 0.1 {
+		t.Fatalf("unshifted feature PSI %.3f polluted by the shifted one", rep.Features[0].PSI)
+	}
+
+	// The gauges mirror the snapshot.
+	if g := reg.Gauge("drift_alert").Value(); g != 1 {
+		t.Fatalf("drift_alert gauge = %v, want 1", g)
+	}
+	name := telemetry.Label("drift_psi", "feature", ref.Features[1])
+	if g := reg.Gauge(name).Value(); g != rep.Features[1].PSI {
+		t.Fatalf("%s gauge = %v, want %v", name, g, rep.Features[1].PSI)
+	}
+	if c := reg.Counter("drift_samples_total").Value(); c != rep.Samples {
+		t.Fatalf("drift_samples_total = %d, want %d", c, rep.Samples)
+	}
+}
+
+// TestWarmupNeverAlerts pins that a handful of wild samples cannot alert
+// before MinSamples.
+func TestWarmupNeverAlerts(t *testing.T) {
+	train := gaussianSet(t, 1000, []float64{5}, []float64{1}, 5)
+	ref, err := BuildReference(train, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(ref, Config{MinSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := m.Observe([]float64{1e9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := m.Snapshot()
+	if !rep.Warmup || rep.Alert || rep.Recommendation != "warmup" {
+		t.Fatalf("warmup report %+v", rep)
+	}
+}
+
+// TestReferenceRoundTrip checks JSON round-trip plus Validate on the
+// happy path and a corrupted copy.
+func TestReferenceRoundTrip(t *testing.T) {
+	train := gaussianSet(t, 500, []float64{1, 2}, []float64{1, 1}, 6)
+	ref, err := BuildReference(train, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Reference
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped reference invalid: %v", err)
+	}
+	back.Counts[0] = back.Counts[0][:1]
+	if err := back.Validate(); err == nil {
+		t.Fatal("truncated counts passed Validate")
+	}
+}
+
+// TestObserveWidthMismatch pins the error for a sample of the wrong
+// width.
+func TestObserveWidthMismatch(t *testing.T) {
+	train := gaussianSet(t, 300, []float64{1, 2}, []float64{1, 1}, 7)
+	ref, err := BuildReference(train, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe([]float64{1}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+// TestConcurrentObserve drives the monitor from many goroutines under
+// the race detector; the sample count must come out exact.
+func TestConcurrentObserve(t *testing.T) {
+	train := gaussianSet(t, 500, []float64{3, 4}, []float64{1, 2}, 8)
+	ref, err := BuildReference(train, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := gaussianSet(t, per, []float64{3, 4}, []float64{1, 2}, int64(100+w))
+			for _, ins := range src.Instances {
+				if err := m.Observe(ins.Features); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rep := m.Snapshot(); rep.Samples != workers*per {
+		t.Fatalf("samples = %d, want %d", rep.Samples, workers*per)
+	}
+}

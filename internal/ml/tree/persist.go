@@ -65,6 +65,13 @@ func Unmarshal(data []byte) (ml.Classifier, error) {
 		return nil, errors.New("tree: invalid class count")
 	}
 	nodes := make([]node, len(dto.Nodes))
+	// Marshal emits nodes in pre-order, so every child index is strictly
+	// greater than its parent's and each node is referenced exactly once.
+	// Enforcing both here is what makes the reconstructed pointer graph a
+	// tree: child > parent rules out cycles (which would hang Detect and
+	// overflow the stack on re-Marshal), and single-reference rules out
+	// shared subtrees (which re-Marshal would duplicate exponentially).
+	claimed := make([]bool, len(dto.Nodes))
 	for i, nd := range dto.Nodes {
 		nodes[i] = node{
 			feat: nd.Feat, threshold: nd.Threshold,
@@ -73,10 +80,14 @@ func Unmarshal(data []byte) (ml.Classifier, error) {
 		if nd.Leaf {
 			continue
 		}
-		if nd.Left < 0 || nd.Left >= len(dto.Nodes) || nd.Right < 0 || nd.Right >= len(dto.Nodes) ||
-			nd.Left == i || nd.Right == i {
+		if nd.Left <= i || nd.Left >= len(dto.Nodes) || nd.Right <= i || nd.Right >= len(dto.Nodes) ||
+			nd.Left == nd.Right {
 			return nil, errors.New("tree: corrupt child indices")
 		}
+		if claimed[nd.Left] || claimed[nd.Right] {
+			return nil, errors.New("tree: node referenced by two parents")
+		}
+		claimed[nd.Left], claimed[nd.Right] = true, true
 		nodes[i].left = &nodes[nd.Left]
 		nodes[i].right = &nodes[nd.Right]
 	}

@@ -459,6 +459,30 @@ func (t *Tracker) ObserveScoredBatch(app string, dst []Event, scores []float64) 
 	return nil
 }
 
+// OpenWith creates app's monitor around an explicit scorer instead of
+// the tracker's factory. The streaming server uses this to bind each
+// stream to the model generation that was active when the stream opened:
+// it compiles the current detector itself and registers it here, so a
+// later hot swap changes what the factory would produce without touching
+// streams already in flight. It returns false — leaving the existing
+// monitor and scorer in place — when app is already tracked. The scorer
+// is subject to the same per-stream ownership contract as the rest of
+// the Tracker API.
+func (t *Tracker) OpenWith(app string, s Scorer) bool {
+	if s == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.monitors[app]; ok {
+		return false
+	}
+	t.monitors[app] = newMonitor(s, t.cfg)
+	t.stats[app] = &Summary{App: app}
+	t.active.Add(1)
+	return true
+}
+
 // ScorerFor returns the scorer instance owned by app's monitor, creating
 // the monitor (through the tracker's factory) on first use. It exists so
 // a caller that needs richer per-sample output than a bare score — the

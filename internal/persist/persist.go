@@ -111,6 +111,13 @@ func UnmarshalClassifier(data []byte) (ml.Classifier, error) {
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("persist: reading envelope: %w", err)
 	}
+	if env.Version == 0 {
+		// The pre-versioning format: the "v" field is absent (or an
+		// explicit zero, which no build ever wrote). Name the missing
+		// field — "unsupported v0" alone reads like a decoder bug.
+		return nil, fmt.Errorf(`persist: %w v0: the envelope's "v" field is missing or zero, so the blob predates format versioning (this build reads v%d; re-train the model with a current build)`,
+			ErrFormatVersion, FormatVersion)
+	}
 	if env.Version != FormatVersion {
 		return nil, fmt.Errorf("persist: %w v%d (this build reads v%d; retrain or re-export the model)",
 			ErrFormatVersion, env.Version, FormatVersion)

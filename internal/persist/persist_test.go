@@ -174,6 +174,72 @@ func TestFormatVersionBothDirections(t *testing.T) {
 	}
 }
 
+// TestMissingFormatVersionMessage pins the wording of the v0 special
+// case: a blob with no (or an explicit zero) "v" field is the
+// pre-versioning format, and the error must name the missing field, the
+// version this build expects, and suggest re-training — not read like a
+// generic skew between two real versions.
+func TestMissingFormatVersionMessage(t *testing.T) {
+	d := mltest.Gaussian2Class(100, 2, 2.0, 7)
+	model, err := (&tree.J48Trainer{}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := MarshalClassifier(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &env); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(v string) []byte {
+		mod := map[string]json.RawMessage{}
+		for k, raw := range env {
+			mod[k] = raw
+		}
+		if v == "" {
+			delete(mod, "v")
+		} else {
+			mod["v"] = json.RawMessage(v)
+		}
+		out, err := json.Marshal(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	for _, tc := range []struct {
+		name     string
+		v        string
+		wantSubs []string
+	}{
+		{"field absent", "", []string{`"v" field is missing or zero`, "v1", "re-train"}},
+		{"explicit zero", "0", []string{`"v" field is missing or zero`, "v1", "re-train"}},
+		// A real (non-zero) skew must NOT claim the field is missing.
+		{"newer build", "3", []string{"v3", "v1", "retrain or re-export"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := UnmarshalClassifier(mutate(tc.v))
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !errors.Is(err, ErrFormatVersion) {
+				t.Fatalf("err %v does not match ErrFormatVersion", err)
+			}
+			for _, sub := range tc.wantSubs {
+				if !strings.Contains(err.Error(), sub) {
+					t.Fatalf("error %q missing %q", err, sub)
+				}
+			}
+			if tc.v == "3" && strings.Contains(err.Error(), "missing") {
+				t.Fatalf("real version skew misreported as a missing field: %q", err)
+			}
+		})
+	}
+}
+
 func TestUnmarshalRejectsGarbage(t *testing.T) {
 	if _, err := UnmarshalClassifier([]byte("not json")); err == nil {
 		t.Fatal("garbage accepted")

@@ -1,0 +1,46 @@
+package registry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeManifest pins two properties of the manifest decoder: it
+// never panics on arbitrary bytes, and anything it accepts survives an
+// encode/decode round trip unchanged (the decoder and validator agree).
+func FuzzDecodeManifest(f *testing.F) {
+	const sha = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	seeds := []string{
+		`{"manifest_version":1,"active":0,"models":[]}`,
+		`{"manifest_version":1,"active":1,"models":[{"version":1,"sha256":"` + sha +
+			`","size":10,"model_format":1,"features":["cycles"],"created_at":"2026-01-01T00:00:00Z"}]}`,
+		`{"manifest_version":2}`,
+		`{"manifest_version":1,"active":9}`,
+		`{`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("accepted manifest fails to re-encode: %v", err)
+		}
+		m2, err := DecodeManifest(out)
+		if err != nil {
+			t.Fatalf("re-encoded manifest fails to decode: %v", err)
+		}
+		out2, err := EncodeManifest(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("encode not stable:\n%s\nvs\n%s", out, out2)
+		}
+	})
+}

@@ -25,6 +25,14 @@
 // accepting, closes the read side of every connection, scores and flushes
 // everything already queued, then closes. cmd/smartserve maps that to
 // exit 130 on SIGINT/SIGTERM.
+//
+// Zero-downtime model swap: the server holds the active model behind an
+// atomic pointer. Each stream binds the generation that was active when
+// it opened — it compiles that generation's detector and reports that
+// generation's version in its StreamSummary — so Swap never touches a
+// stream in flight; only streams opened after the swap score with the
+// new model. cmd/smartserve triggers Swap from SIGHUP or a registry
+// watch loop.
 package serve
 
 import (
@@ -34,13 +42,17 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"twosmart/internal/core"
+	"twosmart/internal/drift"
 	"twosmart/internal/monitor"
 	"twosmart/internal/parallel"
 	"twosmart/internal/persist"
+	"twosmart/internal/shadow"
 	"twosmart/internal/telemetry"
 	"twosmart/internal/wire"
 )
@@ -60,6 +72,13 @@ type Config struct {
 	Detector *core.Detector
 	// Model is the display name advertised in the Welcome frame.
 	Model string
+	// ModelVersion is the initial model's registry version, echoed in
+	// Welcome and StreamSummary frames (0 outside a registry).
+	ModelVersion int
+	// Drift, when non-nil, receives every scored sample of the initial
+	// model generation for feature-distribution monitoring. A hot swap
+	// installs the replacement generation's monitor (see Model.Drift).
+	Drift *drift.Monitor
 	// Monitor tunes the per-stream smoothing and alarm hysteresis.
 	Monitor monitor.Config
 	// QueueDepth bounds each connection's ingress ring; beyond it the
@@ -106,10 +125,29 @@ func (c Config) fill() (Config, error) {
 	return c, nil
 }
 
+// Model is one servable model generation: the detector plus its registry
+// identity and optional drift monitor. The server swaps generations
+// atomically; streams bind the generation active at open time.
+type Model struct {
+	// Detector is the trained model; every stream compiles its own
+	// instance. Required.
+	Detector *core.Detector
+	// Version is the registry version (0 outside a registry).
+	Version int
+	// Name is the display name advertised in the Welcome frame.
+	Name string
+	// Drift, when non-nil, receives every sample scored under this
+	// generation. It must be safe for concurrent use (drift.Monitor is).
+	Drift *drift.Monitor
+}
+
 // Server serves one trained detector over the wire protocol.
 type Server struct {
 	cfg         Config
 	numFeatures int
+
+	active  atomic.Pointer[Model]
+	shadowP atomic.Pointer[shadow.Shadow]
 
 	ln net.Listener
 	wg sync.WaitGroup
@@ -124,6 +162,7 @@ type Server struct {
 	verdictsOut telemetry.Counter
 	shed        telemetry.Counter
 	protoErrs   telemetry.Counter
+	swaps       telemetry.Counter
 	batchSize   telemetry.Histogram
 	latency     telemetry.Histogram
 }
@@ -139,12 +178,15 @@ func New(cfg Config) (*Server, error) {
 	if _, err := monitor.New(filled.Detector.Compile(), filled.Monitor); err != nil {
 		return nil, err
 	}
-	n := len(filled.Detector.FeatureNames())
+	n := filled.Detector.NumFeatures()
 	if n > wire.MaxFeatures {
 		return nil, fmt.Errorf("serve: model expects %d features, above the wire limit %d", n, wire.MaxFeatures)
 	}
+	if filled.Drift != nil && filled.Drift.NumFeatures() != n {
+		return nil, fmt.Errorf("serve: drift monitor covers %d features, model has %d", filled.Drift.NumFeatures(), n)
+	}
 	reg := filled.Telemetry
-	return &Server{
+	s := &Server{
 		cfg:         filled,
 		numFeatures: n,
 		connsActive: reg.Gauge("serve_connections_active"),
@@ -153,13 +195,86 @@ func New(cfg Config) (*Server, error) {
 		verdictsOut: reg.Counter("serve_verdicts_total"),
 		shed:        reg.Counter("serve_shed_total"),
 		protoErrs:   reg.Counter("serve_protocol_errors_total"),
+		swaps:       reg.Counter("serve_model_swaps_total"),
 		batchSize:   reg.Histogram("serve_batch_size", batchSizeBuckets),
 		latency:     reg.Histogram("serve_verdict_latency_seconds", telemetry.LatencyBuckets),
-	}, nil
+	}
+	initial := &Model{
+		Detector: filled.Detector,
+		Version:  filled.ModelVersion,
+		Name:     filled.Model,
+		Drift:    filled.Drift,
+	}
+	s.active.Store(initial)
+	s.setModelInfo(nil, initial)
+	return s, nil
 }
 
 // NumFeatures returns the feature width the served model expects.
 func (s *Server) NumFeatures() int { return s.numFeatures }
+
+// ActiveModel returns the generation new streams currently bind.
+func (s *Server) ActiveModel() Model { return *s.active.Load() }
+
+// Swap atomically promotes a new model generation: streams opened from
+// now on compile m.Detector and report m.Version, while streams already
+// in flight — including samples still queued for them — finish on the
+// generation they opened with. The replacement must keep the feature
+// width: connected agents were told the width in their Welcome and the
+// read loop enforces it per sample, so changing it would invalidate
+// every live connection.
+func (s *Server) Swap(m Model) error {
+	if m.Detector == nil {
+		return errors.New("serve: swap with nil detector")
+	}
+	if n := m.Detector.NumFeatures(); n != s.numFeatures {
+		return fmt.Errorf("serve: swap model expects %d features, serving %d", n, s.numFeatures)
+	}
+	if m.Drift != nil && m.Drift.NumFeatures() != s.numFeatures {
+		return fmt.Errorf("serve: swap drift monitor covers %d features, serving %d", m.Drift.NumFeatures(), s.numFeatures)
+	}
+	if m.Name == "" {
+		m.Name = s.cfg.Model
+	}
+	old := s.active.Swap(&m)
+	s.swaps.Inc()
+	s.setModelInfo(old, &m)
+	s.cfg.Log.Info("model swapped",
+		"from", old.Name, "from_version", old.Version,
+		"to", m.Name, "to_version", m.Version)
+	return nil
+}
+
+// setModelInfo keeps the serve_model_info labeled gauge family pointing
+// at exactly one generation: the active one is 1, the demoted one 0.
+func (s *Server) setModelInfo(old, cur *Model) {
+	reg := s.cfg.Telemetry
+	if !reg.Enabled() {
+		return
+	}
+	if old != nil {
+		reg.Gauge(modelInfoName(old)).Set(0)
+	}
+	reg.Gauge(modelInfoName(cur)).Set(1)
+}
+
+func modelInfoName(m *Model) string {
+	name := telemetry.Label("serve_model_info", "model", m.Name)
+	return telemetry.Label(name, "version", strconv.Itoa(m.Version))
+}
+
+// SetShadow attaches (or, with nil, detaches) a shadow scorer: every
+// sample scored by the live path is offered to it off the hot path, so
+// an operator can measure a candidate's divergence on real traffic
+// before promoting it. The caller keeps ownership — Close the shadow
+// after detaching to collect the final report.
+func (s *Server) SetShadow(sh *shadow.Shadow) error {
+	if sh != nil && sh.NumFeatures() != s.numFeatures {
+		return fmt.Errorf("serve: shadow model expects %d features, serving %d", sh.NumFeatures(), s.numFeatures)
+	}
+	s.shadowP.Store(sh)
+	return nil
+}
 
 // Listen binds the server's TCP listener and returns the bound address
 // (useful with ":0").
@@ -210,13 +325,21 @@ func (s *Server) Serve(ctx context.Context) error {
 }
 
 // stream is one (connection, app) sample stream: its compiled detector
-// (owned by the tracker's per-app monitor; see monitor.Tracker.ScorerFor)
+// (owned by the tracker's per-app monitor; see monitor.Tracker.OpenWith)
 // plus the reusable micro-batch buffers. A stream is only ever touched by
 // its connection's worker goroutine.
+//
+// det, version and drft are the stream's model epoch, captured from the
+// active generation in openStream. A hot swap that lands mid-stream does
+// not change them: samples already queued and samples still arriving on
+// this stream score on the epoch's detector, and the StreamSummary
+// reports the epoch's version.
 type stream struct {
-	id  uint32
-	app string
-	det *core.CompiledDetector
+	id      uint32
+	app     string
+	det     *core.CompiledDetector
+	version int
+	drft    *drift.Monitor
 
 	// pending micro-batch, refilled each drain round
 	samples  [][]float64
@@ -266,7 +389,7 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) {
 	log := s.cfg.Log.With("remote", nc.RemoteAddr().String())
 
 	tr, err := monitor.NewTrackerFactory(func() monitor.Scorer {
-		return s.cfg.Detector.Compile()
+		return s.active.Load().Detector.Compile()
 	}, s.cfg.Monitor)
 	if err != nil {
 		log.Error("tracker", "err", err)
@@ -353,11 +476,13 @@ func (c *conn) handshake() error {
 	}
 	c.nc.SetReadDeadline(time.Time{})
 	c.r = r
+	am := c.s.active.Load()
 	c.writeFrame(wire.Welcome{
-		Proto:       wire.ProtoVersion,
-		ModelFormat: persist.FormatVersion,
-		NumFeatures: uint16(c.s.numFeatures),
-		Model:       c.s.cfg.Model,
+		Proto:        wire.ProtoVersion,
+		ModelFormat:  persist.FormatVersion,
+		ModelVersion: uint32(am.Version),
+		NumFeatures:  uint16(c.s.numFeatures),
+		Model:        am.Name,
 	})
 	return c.flush()
 }
@@ -530,11 +655,21 @@ func (c *conn) openStream(id uint32, app string) error {
 			return nil
 		}
 	}
-	det, ok := c.tr.ScorerFor(app).(*core.CompiledDetector)
-	if !ok {
-		return fmt.Errorf("serve: tracker factory produced %T, want *core.CompiledDetector", c.tr.ScorerFor(app))
+	// Capture the stream's model epoch: compile the generation that is
+	// active right now and bind the app's monitor to that same instance.
+	// A swap after this point only affects streams opened later.
+	am := c.s.active.Load()
+	det := am.Detector.Compile()
+	if !c.tr.OpenWith(app, det) {
+		// The app key is already tracked (unreachable after the dup checks
+		// above); reuse the tracker-owned scorer so stream and monitor agree.
+		var ok bool
+		det, ok = c.tr.ScorerFor(app).(*core.CompiledDetector)
+		if !ok {
+			return fmt.Errorf("serve: tracker scorer for %q is %T, want *core.CompiledDetector", app, c.tr.ScorerFor(app))
+		}
 	}
-	c.streams[id] = &stream{id: id, app: app, det: det}
+	c.streams[id] = &stream{id: id, app: app, det: det, version: am.Version, drft: am.Drift}
 	return nil
 }
 
@@ -549,11 +684,12 @@ func (c *conn) closeStream(id uint32) error {
 	sum, _ := c.tr.Close(st.app)
 	_, shedHere := c.q.shedCounts(id)
 	c.writeFrame(wire.StreamSummary{
-		Stream:      id,
-		Samples:     uint64(sum.Samples),
-		Shed:        shedHere,
-		Alarms:      uint32(sum.Alarms),
-		MaxSmoothed: sum.MaxSmoothed,
+		Stream:       id,
+		ModelVersion: uint32(st.version),
+		Samples:      uint64(sum.Samples),
+		Shed:         shedHere,
+		Alarms:       uint32(sum.Alarms),
+		MaxSmoothed:  sum.MaxSmoothed,
 	})
 	return nil
 }
@@ -584,6 +720,20 @@ func (c *conn) scoreStream(st *stream) error {
 		}
 		if err := c.tr.ObserveScoredBatch(st.app, events, scores); err != nil {
 			return err
+		}
+		if st.drft != nil {
+			if err := st.drft.ObserveBatch(st.samples[off:end]); err != nil {
+				return err
+			}
+		}
+		if sh := c.s.shadowP.Load(); sh != nil {
+			for i := 0; i < n; i++ {
+				sh.Offer(st.samples[off+i], shadow.Primary{
+					Malware: verdicts[i].Malware,
+					Class:   verdicts[i].PredictedClass.String(),
+					Score:   scores[i],
+				})
+			}
 		}
 		now := time.Now()
 		c.wmu.Lock()

@@ -1,0 +1,209 @@
+package shadow
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"twosmart/internal/core"
+	"twosmart/internal/corpus"
+	"twosmart/internal/dataset"
+	"twosmart/internal/parallel"
+	"twosmart/internal/telemetry"
+)
+
+var (
+	fixOnce sync.Once
+	fixErr  error
+	fixData *dataset.Dataset
+	fixDets [2]*core.Detector
+)
+
+func fixtures(t *testing.T) (*core.Detector, *core.Detector, *dataset.Dataset) {
+	t.Helper()
+	fixOnce.Do(func() {
+		data, err := corpus.Collect(corpus.Config{
+			Scale:       0.001,
+			MinPerClass: 24,
+			Budget:      30000,
+			Seed:        7,
+			Omniscient:  true,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixData, err = data.SelectByName(core.CommonFeatures)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		for i, seed := range []int64{5, 17} {
+			fixDets[i], fixErr = core.Train(fixData, core.TrainConfig{Seed: seed})
+			if fixErr != nil {
+				return
+			}
+		}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixDets[0], fixDets[1], fixData
+}
+
+// offerAll feeds every dataset sample through the live detector and into
+// the shadow, the way the serving tier does.
+func offerAll(t *testing.T, s *Shadow, live *core.CompiledDetector, d *dataset.Dataset) {
+	t.Helper()
+	for _, ins := range d.Instances {
+		v, err := live.Detect(ins.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, err := live.MalwareScore(ins.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Offer(ins.Features, Primary{Malware: v.Malware, Class: v.PredictedClass.String(), Score: score})
+	}
+}
+
+// TestShadowAgainstItself pins the zero-divergence baseline: a candidate
+// identical to the live model must disagree on nothing.
+func TestShadowAgainstItself(t *testing.T) {
+	live, _, data := fixtures(t)
+	s, err := New(live, Config{Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offerAll(t, s, live.Compile(), data)
+	rep := s.Close()
+	if rep.Scored == 0 || rep.Errors != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Disagreements != 0 || rep.VerdictDivergence != 0 {
+		t.Fatalf("self-shadow diverged: %+v", rep)
+	}
+	if rep.MaxScoreDelta != 0 || rep.MeanAbsScoreDelta != 0 {
+		t.Fatalf("self-shadow score deltas nonzero: %+v", rep)
+	}
+	if rep.CandidateVersion != 1 {
+		t.Fatalf("candidate version %d", rep.CandidateVersion)
+	}
+}
+
+// TestShadowDetectsDivergence pins that two differently-seeded models
+// produce a measured, per-class-attributed divergence, mirrored into
+// telemetry.
+func TestShadowDetectsDivergence(t *testing.T) {
+	live, cand, data := fixtures(t)
+	reg := telemetry.New()
+	s, err := New(cand, Config{Version: 2, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offerAll(t, s, live.Compile(), data)
+	rep := s.Close()
+	if rep.Scored != uint64(len(data.Instances))-rep.Dropped {
+		t.Fatalf("scored %d + dropped %d != offered %d", rep.Scored, rep.Dropped, len(data.Instances))
+	}
+	if rep.MaxScoreDelta <= 0 {
+		t.Fatalf("distinct models produced identical scores everywhere: %+v", rep)
+	}
+	var perClass uint64
+	for _, cs := range rep.PerClass {
+		perClass += cs.Observed
+	}
+	if perClass != rep.Scored {
+		t.Fatalf("per-class observed %d != scored %d", perClass, rep.Scored)
+	}
+	if got := reg.Counter("shadow_observed_total").Value(); got != rep.Scored {
+		t.Fatalf("shadow_observed_total = %d, want %d", got, rep.Scored)
+	}
+	if got := reg.Gauge("shadow_divergence").Value(); got != rep.VerdictDivergence {
+		t.Fatalf("shadow_divergence = %v, want %v", got, rep.VerdictDivergence)
+	}
+}
+
+// TestOfferNeverBlocks pins the shed-before-backpressure contract: with a
+// tiny queue and no drain headroom, Offer keeps returning immediately and
+// the report accounts for every sample as scored or dropped.
+func TestOfferNeverBlocks(t *testing.T) {
+	live, cand, data := fixtures(t)
+	s, err := New(cand, Config{Queue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		offerAll(t, s, live.Compile(), data)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Offer blocked")
+	}
+	rep := s.Close()
+	if rep.Scored+rep.Dropped != uint64(len(data.Instances)) {
+		t.Fatalf("scored %d + dropped %d != offered %d", rep.Scored, rep.Dropped, len(data.Instances))
+	}
+}
+
+// TestOfferAfterClose pins that a closed shadow refuses samples instead
+// of panicking or hanging.
+func TestOfferAfterClose(t *testing.T) {
+	live, _, data := fixtures(t)
+	s, err := New(live, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if s.Offer(data.Instances[0].Features, Primary{}) {
+		t.Fatal("closed shadow accepted a sample")
+	}
+	s.Close() // idempotent
+}
+
+// TestEvaluate pins the offline comparator: self-diff is zero, cross-diff
+// matches a sequential streaming shadow on the same data.
+func TestEvaluate(t *testing.T) {
+	live, cand, data := fixtures(t)
+	samples := make([][]float64, len(data.Instances))
+	for i, ins := range data.Instances {
+		samples[i] = ins.Features
+	}
+
+	self, err := Evaluate(context.Background(), live, live, samples, parallel.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self.Disagreements != 0 || self.MaxScoreDelta != 0 {
+		t.Fatalf("self-evaluate diverged: %+v", self)
+	}
+	if self.Scored != uint64(len(samples)) {
+		t.Fatalf("self-evaluate scored %d of %d", self.Scored, len(samples))
+	}
+
+	cross, err := Evaluate(context.Background(), live, cand, samples, parallel.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(cand, Config{Queue: len(samples)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offerAll(t, ref, live.Compile(), data)
+	want := ref.Close()
+	if cross.Disagreements != want.Disagreements || cross.Scored != want.Scored {
+		t.Fatalf("parallel evaluate %+v != streaming shadow %+v", cross, want)
+	}
+	if cross.MaxScoreDelta != want.MaxScoreDelta {
+		t.Fatalf("max delta %v != %v", cross.MaxScoreDelta, want.MaxScoreDelta)
+	}
+
+	if _, err := Evaluate(context.Background(), live, cand, nil, parallel.Options{}); err == nil {
+		t.Fatal("empty sample set accepted")
+	}
+}

@@ -29,6 +29,10 @@ type RunReport struct {
 	// Results holds the tool's headline figures (final model metrics,
 	// accuracy, F-measure) keyed by a stable snake_case name.
 	Results map[string]float64 `json:"results,omitempty"`
+	// Notes holds tool-supplied string annotations that don't fit a
+	// numeric result — e.g. smartserve's drift recommendation
+	// ("ok" / "retrain-or-rollback") — keyed like Results.
+	Notes map[string]string `json:"notes,omitempty"`
 }
 
 // DatasetStats summarises a dataset for the run report.

@@ -19,12 +19,12 @@ import (
 func FuzzDecodeFrame(f *testing.F) {
 	for _, fr := range []Frame{
 		Hello{Proto: ProtoVersion, Agent: "fuzz"},
-		Welcome{Proto: ProtoVersion, ModelFormat: 1, NumFeatures: 4, Model: "m"},
+		Welcome{Proto: ProtoVersion, ModelFormat: 1, ModelVersion: 2, NumFeatures: 4, Model: "m"},
 		OpenStream{Stream: 1, App: "app"},
 		Sample{Stream: 1, Seq: 2, Features: []float64{0.5, -1, math.Inf(1), math.NaN()}},
 		Verdict{Stream: 1, Seq: 2, Flags: FlagMalware, Class: 2, Score: 0.9, Smoothed: 0.8},
 		CloseStream{Stream: 1},
-		StreamSummary{Stream: 1, Samples: 100, Shed: 3, Alarms: 1, MaxSmoothed: 0.97},
+		StreamSummary{Stream: 1, ModelVersion: 1, Samples: 100, Shed: 3, Alarms: 1, MaxSmoothed: 0.97},
 		Heartbeat{Nanos: 42},
 		Error{Code: CodeProtocol, Msg: "bad"},
 	} {

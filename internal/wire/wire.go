@@ -32,7 +32,11 @@ import (
 
 // ProtoVersion is the wire protocol generation. A server refuses a Hello
 // with a different version; bump it on any incompatible frame change.
-const ProtoVersion = 1
+//
+// History: v2 added ModelVersion to Welcome and StreamSummary so agents
+// can tell which registry version scored their stream across a
+// zero-downtime model swap.
+const ProtoVersion = 2
 
 // Codec resource bounds, enforced during decode before any allocation.
 const (
@@ -98,10 +102,11 @@ type Hello struct {
 // Welcome is the server's handshake reply, advertising what the loaded
 // model expects so the agent can fail fast on skew.
 type Welcome struct {
-	Proto       uint16 // server's ProtoVersion
-	ModelFormat uint16 // persist.FormatVersion of the serving model
-	NumFeatures uint16 // feature width every Sample frame must carry
-	Model       string // display name of the loaded model
+	Proto        uint16 // server's ProtoVersion
+	ModelFormat  uint16 // persist.FormatVersion of the serving model
+	ModelVersion uint32 // registry version of the active model, 0 outside a registry
+	NumFeatures  uint16 // feature width every Sample frame must carry
+	Model        string // display name of the loaded model
 }
 
 // OpenStream starts a per-application sample stream on this connection.
@@ -141,12 +146,16 @@ type CloseStream struct {
 // StreamSummary is the server's account of a closed stream: samples
 // actually scored, samples shed under overload (never scored, no Verdict
 // was sent), alarm raise transitions, and the peak smoothed score.
+// ModelVersion is the registry version of the detector that scored the
+// stream — a stream opened before a hot swap keeps reporting the version
+// it was opened with, so agents can attribute verdicts across a swap.
 type StreamSummary struct {
-	Stream      uint32
-	Samples     uint64
-	Shed        uint64
-	Alarms      uint32
-	MaxSmoothed float64
+	Stream       uint32
+	ModelVersion uint32
+	Samples      uint64
+	Shed         uint64
+	Alarms       uint32
+	MaxSmoothed  float64
 }
 
 // Heartbeat is an opaque token the server echoes back verbatim; agents
@@ -204,6 +213,7 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 	case Welcome:
 		dst = appendU16(dst, fr.Proto)
 		dst = appendU16(dst, fr.ModelFormat)
+		dst = appendU32(dst, fr.ModelVersion)
 		dst = appendU16(dst, fr.NumFeatures)
 		dst, err = appendString(dst, fr.Model)
 	case OpenStream:
@@ -229,6 +239,7 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 		dst = appendU32(dst, fr.Stream)
 	case StreamSummary:
 		dst = appendU32(dst, fr.Stream)
+		dst = appendU32(dst, fr.ModelVersion)
 		dst = appendU64(dst, fr.Samples)
 		dst = appendU64(dst, fr.Shed)
 		dst = appendU32(dst, fr.Alarms)
@@ -346,7 +357,7 @@ func DecodePayload(body []byte, feats []float64) (Frame, error) {
 		f := Hello{Proto: r.u16(), Agent: r.str()}
 		return r.finish(f)
 	case TypeWelcome:
-		f := Welcome{Proto: r.u16(), ModelFormat: r.u16(), NumFeatures: r.u16(), Model: r.str()}
+		f := Welcome{Proto: r.u16(), ModelFormat: r.u16(), ModelVersion: r.u32(), NumFeatures: r.u16(), Model: r.str()}
 		return r.finish(f)
 	case TypeOpenStream:
 		f := OpenStream{Stream: r.u32(), App: r.str()}
@@ -378,7 +389,7 @@ func DecodePayload(body []byte, feats []float64) (Frame, error) {
 		f := CloseStream{Stream: r.u32()}
 		return r.finish(f)
 	case TypeStreamSummary:
-		f := StreamSummary{Stream: r.u32(), Samples: r.u64(), Shed: r.u64(), Alarms: r.u32(), MaxSmoothed: r.f64()}
+		f := StreamSummary{Stream: r.u32(), ModelVersion: r.u32(), Samples: r.u64(), Shed: r.u64(), Alarms: r.u32(), MaxSmoothed: r.f64()}
 		return r.finish(f)
 	case TypeHeartbeat:
 		f := Heartbeat{Nanos: r.u64()}

@@ -16,14 +16,14 @@ func sampleFrames() []Frame {
 	return []Frame{
 		Hello{Proto: ProtoVersion, Agent: "smartload/1"},
 		Hello{},
-		Welcome{Proto: ProtoVersion, ModelFormat: 1, NumFeatures: 4, Model: "runtime-common4"},
+		Welcome{Proto: ProtoVersion, ModelFormat: 1, ModelVersion: 3, NumFeatures: 4, Model: "runtime-common4"},
 		OpenStream{Stream: 7, App: "backdoor-3#2"},
 		Sample{Stream: 7, Seq: 42, Features: []float64{1.5, -0.25, 0, 1e-9}},
 		Sample{Stream: 1, Seq: 0, Features: []float64{}},
 		Sample{Stream: 2, Seq: 1, Features: []float64{math.Inf(1), math.Inf(-1), math.MaxFloat64}},
 		Verdict{Stream: 7, Seq: 42, Flags: FlagMalware | FlagAlarm, Class: 3, Score: 0.93, Smoothed: 0.71},
 		CloseStream{Stream: 7},
-		StreamSummary{Stream: 7, Samples: 1 << 40, Shed: 12, Alarms: 3, MaxSmoothed: 0.99},
+		StreamSummary{Stream: 7, ModelVersion: 2, Samples: 1 << 40, Shed: 12, Alarms: 3, MaxSmoothed: 0.99},
 		Heartbeat{Nanos: 1234567890},
 		Error{Code: CodeBadFeatures, Msg: "sample has 3 features, want 4"},
 	}
