@@ -3,25 +3,39 @@
 // reports end-to-end throughput, verdict latency quantiles (p50/p95/p99)
 // and the shed rate the server's load-shedding reported.
 //
+// With -cluster the harness loads a smartgw gateway instead of a single
+// server: -addr points at the gateway, and -shards (the same list the
+// gateway was started with) lets the harness predict each stream's
+// consistent-hash placement and report per-shard throughput skew. A
+// failing connection never surfaces a raw socket error: failures are
+// classified (server closed mid-run, drained, timed out) and summarized
+// per connection before the non-zero exit.
+//
 // Usage:
 //
 //	smartload -addr 127.0.0.1:7643
 //	smartload -addr 127.0.0.1:7643 -conns 8 -streams 4 -samples 20000
 //	smartload -addr 127.0.0.1:7643 -interval 10ms   # the paper's sampling period
+//	smartload -addr 127.0.0.1:7643 -cluster -shards 127.0.0.1:7644,127.0.0.1:7645
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"twosmart"
 	"twosmart/internal/cli"
+	"twosmart/internal/cluster"
 	"twosmart/internal/corpus"
 	"twosmart/internal/dataset"
 	"twosmart/internal/serve"
@@ -37,6 +51,9 @@ func main() {
 	samples := flag.Int("samples", 10000, "samples per stream")
 	interval := flag.Duration("interval", 0, "delay between a stream's samples (0 = full speed; 10ms = the paper's sampling period)")
 	seed := flag.Int64("seed", 7, "corpus seed for the replayed samples")
+	clusterMode := flag.Bool("cluster", false, "load a smartgw gateway: report per-shard routing and throughput skew (give the fleet with -shards)")
+	shardsFlag := flag.String("shards", "", "with -cluster: comma-separated shard addresses behind the gateway, used to predict consistent-hash placement")
+	replicas := flag.Int("replicas", cluster.DefaultReplicas, "with -cluster: virtual nodes per shard (must match smartgw -replicas)")
 	flag.Parse()
 
 	// Fail fast on nonsense sizing before spinning up telemetry or
@@ -56,6 +73,15 @@ func main() {
 		badFlag(fmt.Sprintf("-samples must be positive (got %d)", *samples))
 	case *interval < 0:
 		badFlag(fmt.Sprintf("-interval must not be negative (got %s)", *interval))
+	case !*clusterMode && *shardsFlag != "":
+		badFlag("-shards needs -cluster")
+	}
+	var fleet []string
+	if *shardsFlag != "" {
+		fleet = strings.Split(*shardsFlag, ",")
+		for i := range fleet {
+			fleet[i] = strings.TrimSpace(fleet[i])
+		}
 	}
 
 	ctx := app.Start()
@@ -111,9 +137,10 @@ func main() {
 	elapsed := time.Since(start)
 
 	var agg connResult
-	for _, r := range results {
-		if r.err != nil && agg.err == nil {
-			agg.err = r.err
+	var failed []int
+	for ci, r := range results {
+		if r.err != nil {
+			failed = append(failed, ci)
 		}
 		agg.sent += r.sent
 		agg.verdicts += r.verdicts
@@ -127,11 +154,19 @@ func main() {
 			agg.versions[v] += n
 		}
 	}
-	if agg.err != nil {
+	if len(failed) > 0 {
+		// One classified line per failed connection instead of whichever
+		// raw socket error happened to surface first.
 		if ctx.Err() != nil {
 			app.Fatal(context.Canceled)
 		}
-		app.Fatal(agg.err)
+		fmt.Fprintf(os.Stderr, "smartload: %d/%d connections failed:\n", len(failed), *conns)
+		for _, ci := range failed {
+			r := results[ci]
+			fmt.Fprintf(os.Stderr, "  conn %d: %s (sent %d samples, received %d verdicts)\n",
+				ci, classify(r.err), r.sent, r.verdicts)
+		}
+		app.Fatal(fmt.Errorf("%d/%d connections failed: %s", len(failed), *conns, classify(results[failed[0]].err)))
 	}
 
 	perSec := float64(agg.sent) / elapsed.Seconds()
@@ -160,6 +195,48 @@ func main() {
 			quantile(agg.latencies, 0.50), quantile(agg.latencies, 0.95),
 			quantile(agg.latencies, 0.99), quantile(agg.latencies, 1))
 	}
+	if *clusterMode && len(fleet) > 0 {
+		skewReport(results, fleet, *replicas, *streams)
+	}
+}
+
+// skewReport maps every stream's verdict count onto the shard the
+// consistent-hash ring places it on — the same (members, replicas, key)
+// routing smartgw computes — and prints the per-shard throughput split
+// plus the max/mean skew factor. A skew near 1.00 means the virtual-node
+// ring is spreading (agent, app) streams evenly.
+func skewReport(results []connResult, fleet []string, replicas, streams int) {
+	ring := cluster.BuildRing(fleet, replicas)
+	verdictsBy := make(map[string]uint64, len(fleet))
+	streamsBy := make(map[string]int, len(fleet))
+	var total uint64
+	for ci, r := range results {
+		for s := 0; s < streams; s++ {
+			shard := ring.Route(cluster.RouteKey(fmt.Sprintf("smartload-%d", ci), fmt.Sprintf("conn%d-app%d", ci, s)))
+			streamsBy[shard]++
+			n := r.byStream[uint32(s)]
+			verdictsBy[shard] += n
+			total += n
+		}
+	}
+	fmt.Printf("cluster  %d shards, %d streams (predicted placement, verdicts actually received per stream)\n",
+		len(fleet), len(results)*streams)
+	var max, sum float64
+	for _, shard := range ring.Members() {
+		share := 0.0
+		if total > 0 {
+			share = float64(verdictsBy[shard]) / float64(total)
+		}
+		if float64(verdictsBy[shard]) > max {
+			max = float64(verdictsBy[shard])
+		}
+		sum += float64(verdictsBy[shard])
+		fmt.Printf("  shard %-21s streams=%-4d verdicts=%-8d (%.1f%%)\n",
+			shard, streamsBy[shard], verdictsBy[shard], 100*share)
+	}
+	if mean := sum / float64(len(fleet)); mean > 0 {
+		fmt.Printf("  skew max/mean = %.2f\n", max/mean)
+	}
 }
 
 // project reduces the replay corpus to the feature width the served model
@@ -183,6 +260,23 @@ type connResult struct {
 	alarms    uint64
 	latencies []float64         // seconds
 	versions  map[uint32]uint64 // summaries per model version (hot-swap visibility)
+	byStream  map[uint32]uint64 // verdicts per stream id (cluster skew report)
+}
+
+// classify turns a connection failure into an operator-readable line:
+// the common "server went away mid-run" socket errors get a clear
+// diagnosis with the raw cause in parentheses.
+func classify(err error) string {
+	switch {
+	case errors.Is(err, syscall.EPIPE), errors.Is(err, syscall.ECONNRESET):
+		return fmt.Sprintf("server closed the connection mid-run (%v)", err)
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		return "server closed the connection mid-run (stream cut mid-frame)"
+	case errors.Is(err, io.EOF):
+		return "server closed the connection mid-run (EOF before all stream summaries arrived)"
+	default:
+		return err.Error()
+	}
 }
 
 // driveConn runs one agent connection: a sender pushing every stream's
@@ -216,6 +310,10 @@ func driveConn(ctx context.Context, addr string, ci, streams, samples int, inter
 				if fr.Flags&wire.FlagAlarm != 0 {
 					r.alarms++
 				}
+				if r.byStream == nil {
+					r.byStream = map[uint32]uint64{}
+				}
+				r.byStream[fr.Stream]++
 				idx := int(fr.Stream)*samples + int(fr.Seq)
 				if idx < len(sendNanos) {
 					if t0 := sendNanos[idx].Load(); t0 != 0 {

@@ -18,11 +18,18 @@
 // On SIGINT/SIGTERM the server drains gracefully — stops accepting,
 // scores and flushes everything already queued — and exits 130.
 //
+// Behind a smartgw gateway, run each instance with -shard: the gateway
+// health-checks shards over the same wire protocol and consistent-hashes
+// (agent, app) streams across them. -idle-timeout (defaulted to 5m by
+// -shard) reaps connections whose peer stops sending entirely, so a dead
+// agent or gateway cannot pin tracker and ring memory forever.
+//
 // Usage:
 //
 //	smartrain -runtime -model det.json
 //	smartserve -model det.json -addr :7643
 //	smartserve -registry models/ -watch -shadow 3 -report run.json
+//	smartserve -model det.json -shard -addr :7644   # behind smartgw
 package main
 
 import (
@@ -60,12 +67,21 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 4096, "per-connection ingress queue depth; beyond it the oldest samples are shed")
 	maxBatch := flag.Int("max-batch", 512, "largest per-stream scoring micro-batch")
 	workers := flag.Int("workers", 0, "per-connection scoring fan-out across streams (0 = NumCPU)")
+	shard := flag.Bool("shard", false, "run as a backend shard behind smartgw: tags logs with the shard role and defaults -idle-timeout to 5m so abandoned gateway connections are reaped")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections that send no frame (not even a Heartbeat) for this long (0 = never; -shard defaults it to 5m)")
 	alpha := flag.Float64("alpha", 0, "EWMA smoothing coefficient in (0,1] (0 = monitor default)")
 	raise := flag.Float64("raise", 0, "smoothed score above which the alarm raises (0 = monitor default)")
 	clear := flag.Float64("clear", 0, "smoothed score below which the alarm clears (0 = monitor default)")
 	flag.Parse()
 	ctx := app.Start()
 	defer app.Close()
+
+	if *shard {
+		app.Log = app.Log.With("role", "shard")
+		if *idleTimeout == 0 {
+			*idleTimeout = 5 * time.Minute
+		}
+	}
 
 	if (*modelIn == "") == (*regDir == "") {
 		app.Fatal(fmt.Errorf("exactly one of -model or -registry is required (train one with: smartrain -runtime -model det.json)"))
@@ -98,6 +114,7 @@ func main() {
 		QueueDepth:   *queueDepth,
 		MaxBatch:     *maxBatch,
 		Workers:      *workers,
+		IdleTimeout:  *idleTimeout,
 		Telemetry:    app.Telemetry,
 		Log:          app.Log,
 	})

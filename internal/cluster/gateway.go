@@ -1,0 +1,900 @@
+// Package cluster is the sharded gateway tier: a wire-protocol front end
+// that fans a fleet of agent connections out over N backend smartserve
+// shards. Agents speak the exact same protocol to the gateway as to a
+// single server — the gateway completes their handshake, then routes each
+// (agent, app) stream to a shard by consistent hash and relays samples up
+// and verdicts back.
+//
+// The gateway reuses the internal/session stream engine for its hot path:
+// the same drop-oldest ingress ring, unsheddable control queue and
+// adaptive micro-batch worker loop that internal/serve scores with, but
+// with a forwarding handler instead of a scoring one. One copy of the
+// per-stream machinery, two tiers (DESIGN §12).
+//
+// Placement: streams route on a consistent-hash ring with virtual nodes
+// (see Ring) keyed by RouteKey(agent, app), over the currently healthy
+// shard set. A health loop probes every configured shard each
+// CheckInterval with a Heartbeat round-trip on a dedicated probe
+// connection; data-path failures mark a shard down immediately. Any
+// change to the healthy set builds a new ring and bumps the membership
+// epoch; streams notice the epoch change on their next batch, drain off
+// their old shard (CloseStream upstream, summary suppressed) and re-open
+// on their new one. Rerouting resets the stream's monitor state on the
+// new shard — the smoothing window restarts — which is the price of
+// keeping shards stateless about each other.
+//
+// Delivery semantics across failover are at-least-once: a batch that
+// fails mid-send is re-sent in full to the replacement shard, so a few
+// samples around the failure may be scored twice (and the verdicts for
+// in-flight samples on the dead shard are lost). With no healthy shard a
+// stream's batches are dropped and counted (cluster_samples_dropped_total)
+// rather than killing the agent connection — agents ride out a full
+// outage and resume when a shard returns.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twosmart/internal/serve"
+	"twosmart/internal/session"
+	"twosmart/internal/telemetry"
+	"twosmart/internal/wire"
+)
+
+// handshakeTimeout bounds the agent-side Hello/Welcome exchange.
+const handshakeTimeout = 10 * time.Second
+
+// Config configures a Gateway.
+type Config struct {
+	// Shards lists the backend smartserve addresses. Required, >= 1.
+	Shards []string
+	// Replicas is the virtual-node count per shard on the hash ring
+	// (default DefaultReplicas).
+	Replicas int
+	// CheckInterval is the shard health-probe period (default 2s).
+	CheckInterval time.Duration
+	// DialTimeout bounds each upstream dial + handshake (default 3s).
+	DialTimeout time.Duration
+	// QueueDepth bounds each agent connection's ingress ring (default
+	// 4096); beyond it the oldest queued samples are shed.
+	QueueDepth int
+	// Telemetry, when non-nil, receives the cluster_* metric families.
+	Telemetry *telemetry.Registry
+	// Log receives lifecycle events (default slog.Default).
+	Log *slog.Logger
+}
+
+func (c Config) fill() (Config, error) {
+	if len(c.Shards) == 0 {
+		return c, errors.New("cluster: no shards configured")
+	}
+	seen := make(map[string]bool, len(c.Shards))
+	for _, s := range c.Shards {
+		if s == "" {
+			return c, errors.New("cluster: empty shard address")
+		}
+		if seen[s] {
+			return c, fmt.Errorf("cluster: duplicate shard %q", s)
+		}
+		seen[s] = true
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 2 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4096
+	}
+	if c.QueueDepth < 1 {
+		return c, fmt.Errorf("cluster: queue depth %d below 1", c.QueueDepth)
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	return c, nil
+}
+
+// routeState is one immutable routing generation: the ring over the
+// healthy shards plus the membership epoch it was built at. Streams
+// compare epochs to detect membership changes without locking.
+type routeState struct {
+	epoch uint64
+	ring  *Ring
+}
+
+// shardMetrics caches one shard's labeled instruments so the data path
+// never formats label strings.
+type shardMetrics struct {
+	routed    telemetry.Counter
+	forwarded telemetry.Counter
+	relayed   telemetry.Counter
+	up        telemetry.Gauge
+}
+
+// Gateway accepts agent connections and routes their streams across the
+// shard fleet.
+type Gateway struct {
+	cfg Config
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	routeP  atomic.Pointer[routeState]
+	welcome atomic.Pointer[wire.Welcome] // shard Welcome template for agent handshakes
+
+	mu     sync.Mutex
+	epoch  uint64
+	up     map[string]bool
+	probes map[string]*serve.Client
+	perSh  map[string]*shardMetrics
+
+	connsActive    telemetry.Gauge
+	connsTotal     telemetry.Counter
+	samplesIn      telemetry.Counter
+	shed           telemetry.Counter
+	protoErrs      telemetry.Counter
+	rerouted       telemetry.Counter
+	drained        telemetry.Counter
+	dropped        telemetry.Counter
+	shardsHealthy  telemetry.Gauge
+	memberChanges  telemetry.Counter
+	batchSize      telemetry.Histogram
+	healthFailures telemetry.Counter
+}
+
+// batchSizeBuckets mirrors serve's adaptive micro-batch histogram layout.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// New validates the configuration and builds a gateway. Call Listen then
+// Serve.
+func New(cfg Config) (*Gateway, error) {
+	filled, err := cfg.fill()
+	if err != nil {
+		return nil, err
+	}
+	reg := filled.Telemetry
+	g := &Gateway{
+		cfg:            filled,
+		up:             make(map[string]bool, len(filled.Shards)),
+		probes:         make(map[string]*serve.Client, len(filled.Shards)),
+		perSh:          make(map[string]*shardMetrics, len(filled.Shards)),
+		connsActive:    reg.Gauge("cluster_connections_active"),
+		connsTotal:     reg.Counter("cluster_connections_total"),
+		samplesIn:      reg.Counter("cluster_samples_total"),
+		shed:           reg.Counter("cluster_shed_total"),
+		protoErrs:      reg.Counter("cluster_protocol_errors_total"),
+		rerouted:       reg.Counter("cluster_streams_rerouted_total"),
+		drained:        reg.Counter("cluster_streams_drained_total"),
+		dropped:        reg.Counter("cluster_samples_dropped_total"),
+		shardsHealthy:  reg.Gauge("cluster_shards_healthy"),
+		memberChanges:  reg.Counter("cluster_membership_changes_total"),
+		batchSize:      reg.Histogram("cluster_batch_size", batchSizeBuckets),
+		healthFailures: reg.Counter("cluster_health_check_failures_total"),
+	}
+	g.routeP.Store(&routeState{epoch: 0, ring: BuildRing(nil, filled.Replicas)})
+	return g, nil
+}
+
+// metricsFor returns shard's cached labeled instruments.
+func (g *Gateway) metricsFor(shard string) *shardMetrics {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.metricsForLocked(shard)
+}
+
+func (g *Gateway) metricsForLocked(shard string) *shardMetrics {
+	m := g.perSh[shard]
+	if m == nil {
+		reg := g.cfg.Telemetry
+		m = &shardMetrics{
+			routed:    reg.Counter(telemetry.Label("cluster_streams_routed_total", "shard", shard)),
+			forwarded: reg.Counter(telemetry.Label("cluster_samples_forwarded_total", "shard", shard)),
+			relayed:   reg.Counter(telemetry.Label("cluster_verdicts_relayed_total", "shard", shard)),
+			up:        reg.Gauge(telemetry.Label("cluster_shard_up", "shard", shard)),
+		}
+		g.perSh[shard] = m
+	}
+	return m
+}
+
+// route returns the current routing generation.
+func (g *Gateway) route() *routeState { return g.routeP.Load() }
+
+// setHealth records one shard's probe outcome and rebuilds the ring when
+// the healthy set changed.
+func (g *Gateway) setHealth(shard string, healthy bool) {
+	g.mu.Lock()
+	if g.up[shard] == healthy {
+		g.mu.Unlock()
+		return
+	}
+	g.up[shard] = healthy
+	g.rebuildLocked(shard, healthy)
+	g.mu.Unlock()
+}
+
+// reportFailure marks a shard down from the data path (a failed dial,
+// send or relay read), without waiting for the next health pass. The
+// probe connection, if any, is torn down so the health loop re-dials.
+func (g *Gateway) reportFailure(shard string) {
+	g.mu.Lock()
+	if !g.up[shard] {
+		g.mu.Unlock()
+		return
+	}
+	g.up[shard] = false
+	if p := g.probes[shard]; p != nil {
+		p.Close()
+		delete(g.probes, shard)
+	}
+	g.rebuildLocked(shard, false)
+	g.mu.Unlock()
+}
+
+// rebuildLocked swaps in a new ring over the healthy set and bumps the
+// membership epoch. Caller holds g.mu.
+func (g *Gateway) rebuildLocked(shard string, healthy bool) {
+	members := make([]string, 0, len(g.up))
+	for s, ok := range g.up {
+		if ok {
+			members = append(members, s)
+		}
+	}
+	g.epoch++
+	g.routeP.Store(&routeState{epoch: g.epoch, ring: BuildRing(members, g.cfg.Replicas)})
+	g.memberChanges.Inc()
+	g.shardsHealthy.Set(float64(len(members)))
+	if m := g.metricsForLocked(shard); healthy {
+		m.up.Set(1)
+	} else {
+		m.up.Set(0)
+	}
+	g.cfg.Log.Info("shard membership changed",
+		"shard", shard, "healthy", healthy,
+		"fleet", len(members), "epoch", g.epoch)
+}
+
+// checkShard runs one health probe: ensure a probe connection exists
+// (dial + handshake), then round-trip a Heartbeat under a deadline.
+func (g *Gateway) checkShard(ctx context.Context, shard string) bool {
+	g.mu.Lock()
+	cli := g.probes[shard]
+	g.mu.Unlock()
+	if cli == nil {
+		dctx, cancel := context.WithTimeout(ctx, g.cfg.DialTimeout)
+		c, err := serve.DialOnce(dctx, shard, "smartgw-health")
+		cancel()
+		if err != nil {
+			g.healthFailures.Inc()
+			return false
+		}
+		w := c.Welcome()
+		g.welcome.Store(&w)
+		g.mu.Lock()
+		g.probes[shard] = c
+		g.mu.Unlock()
+		cli = c
+	}
+	ok := func() bool {
+		if err := cli.Heartbeat(uint64(time.Now().UnixNano())); err != nil {
+			return false
+		}
+		if err := cli.Flush(); err != nil {
+			return false
+		}
+		cli.SetReadDeadline(time.Now().Add(g.cfg.DialTimeout))
+		defer cli.SetReadDeadline(time.Time{})
+		f, err := cli.Next()
+		if err != nil {
+			return false
+		}
+		_, isHB := f.(wire.Heartbeat)
+		return isHB
+	}()
+	if !ok {
+		g.healthFailures.Inc()
+		cli.Close()
+		g.mu.Lock()
+		if g.probes[shard] == cli {
+			delete(g.probes, shard)
+		}
+		g.mu.Unlock()
+	}
+	return ok
+}
+
+// checkAll probes every configured shard once and applies the outcomes.
+func (g *Gateway) checkAll(ctx context.Context) {
+	for _, shard := range g.cfg.Shards {
+		if ctx.Err() != nil {
+			return
+		}
+		g.setHealth(shard, g.checkShard(ctx, shard))
+	}
+}
+
+// Listen binds the gateway's TCP listener and returns the bound address.
+func (g *Gateway) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	g.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve runs the health loop and accepts agent connections until ctx is
+// cancelled, then drains: the listener closes, every agent connection's
+// read side is shut, queued samples are forwarded and flushed, and Serve
+// returns nil. The first health pass runs synchronously so the earliest
+// agents have a routable fleet.
+func (g *Gateway) Serve(ctx context.Context) error {
+	if g.ln == nil {
+		return errors.New("cluster: Serve before Listen")
+	}
+	g.checkAll(ctx)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			g.ln.Close()
+		case <-stop:
+		}
+	}()
+	healthDone := make(chan struct{})
+	go func() {
+		defer close(healthDone)
+		t := time.NewTicker(g.cfg.CheckInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				g.checkAll(ctx)
+			}
+		}
+	}()
+
+	for {
+		nc, err := g.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			g.wg.Wait()
+			<-healthDone
+			return fmt.Errorf("cluster: accept: %w", err)
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.handle(ctx, nc)
+		}()
+	}
+	g.cfg.Log.Info("gateway draining", "reason", context.Cause(ctx))
+	g.wg.Wait()
+	<-healthDone
+	g.mu.Lock()
+	for s, p := range g.probes {
+		p.Close()
+		delete(g.probes, s)
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// gconn is the agent side of one gateway connection: wire transport plus
+// the session engine driving a forwarder.
+type gconn struct {
+	g   *Gateway
+	nc  net.Conn
+	r   *wire.Reader
+	fwd *forwarder
+	eng *session.Engine
+
+	wmu sync.Mutex
+	w   *wire.Writer
+
+	readerDone chan struct{}
+}
+
+func (g *Gateway) handle(ctx context.Context, nc net.Conn) {
+	g.connsTotal.Inc()
+	g.connsActive.Add(1)
+	defer g.connsActive.Add(-1)
+	defer nc.Close()
+	log := g.cfg.Log.With("remote", nc.RemoteAddr().String())
+
+	c := &gconn{
+		g:          g,
+		nc:         nc,
+		w:          wire.NewWriter(nc),
+		readerDone: make(chan struct{}),
+	}
+	agent, err := c.handshake()
+	if err != nil {
+		log.Warn("handshake", "err", err)
+		return
+	}
+	c.fwd = &forwarder{c: c, agent: agent, ups: make(map[string]*upstream)}
+	// Workers is pinned to 1: the forwarder's upstream map and stream
+	// routing state are worker-owned, and forwarding is I/O-bound — the
+	// per-stream fan-out that pays for scoring would only buy races here.
+	c.eng, err = session.New(session.Config{
+		Handler:    c.fwd,
+		QueueDepth: g.cfg.QueueDepth,
+		Workers:    1,
+		OnReject:   c.reject,
+		BatchSize:  g.batchSize,
+	})
+	if err != nil {
+		log.Error("session", "err", err)
+		return
+	}
+
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeRead(nc)
+		case <-stopWatch:
+		}
+	}()
+
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		if err := c.eng.Run(c.readerDone); err != nil {
+			log.Warn("connection worker", "err", err)
+			nc.Close()
+		}
+	}()
+
+	rerr := c.readLoop()
+	close(c.readerDone)
+	<-workerDone
+
+	if ctx.Err() != nil {
+		c.writeFrame(wire.Error{Code: wire.CodeDraining, Msg: "gateway draining"})
+	}
+	c.flush()
+	c.fwd.shutdown()
+	if rerr != nil && !errors.Is(rerr, io.EOF) && ctx.Err() == nil {
+		log.Warn("connection closed", "err", rerr)
+	} else {
+		log.Debug("connection closed")
+	}
+}
+
+func closeRead(nc net.Conn) {
+	type readCloser interface{ CloseRead() error }
+	if rc, ok := nc.(readCloser); ok {
+		rc.CloseRead()
+		return
+	}
+	nc.SetReadDeadline(time.Now())
+}
+
+// handshake accepts the agent's Hello and answers with the fleet's
+// Welcome template (captured from shard probes). With no shard ever seen
+// the gateway cannot promise a feature width, so it refuses the
+// connection with CodeUnavailable and the agent retries later.
+func (c *gconn) handshake() (agent string, err error) {
+	c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	r := wire.NewReader(c.nc)
+	f, err := r.Next()
+	if err != nil {
+		return "", err
+	}
+	hello, ok := f.(wire.Hello)
+	if !ok {
+		c.writeFrame(wire.Error{Code: wire.CodeProtocol, Msg: "expected Hello"})
+		c.flush()
+		return "", fmt.Errorf("first frame is %T, want Hello", f)
+	}
+	if hello.Proto != wire.ProtoVersion {
+		c.writeFrame(wire.Error{Code: wire.CodeVersion,
+			Msg: fmt.Sprintf("protocol v%d unsupported, gateway speaks v%d", hello.Proto, wire.ProtoVersion)})
+		c.flush()
+		return "", fmt.Errorf("client protocol v%d, want v%d", hello.Proto, wire.ProtoVersion)
+	}
+	w := c.g.welcome.Load()
+	if w == nil {
+		c.writeFrame(wire.Error{Code: wire.CodeUnavailable, Msg: "no healthy shard behind the gateway"})
+		c.flush()
+		return "", errors.New("no shard welcome template yet")
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	c.r = r
+	c.writeFrame(*w)
+	return hello.Agent, c.flush()
+}
+
+// readLoop parses agent frames into the engine until EOF or error —
+// the same shape as the shard's read loop, because the agent cannot tell
+// the tiers apart.
+func (c *gconn) readLoop() error {
+	numFeatures := int(c.g.welcome.Load().NumFeatures)
+	for {
+		f, err := c.r.Next()
+		if err != nil {
+			return err
+		}
+		switch fr := f.(type) {
+		case wire.Sample:
+			if len(fr.Features) != numFeatures {
+				c.g.protoErrs.Inc()
+				c.writeFrame(wire.Error{Code: wire.CodeBadFeatures,
+					Msg: fmt.Sprintf("sample has %d features, model wants %d", len(fr.Features), numFeatures)})
+				c.flush()
+				return fmt.Errorf("sample width %d, want %d", len(fr.Features), numFeatures)
+			}
+			c.g.samplesIn.Inc()
+			if c.eng.Push(fr.Stream, fr.Seq, time.Now(), fr.Features) {
+				c.g.shed.Inc()
+			}
+		case wire.OpenStream:
+			c.eng.Open(fr.Stream, fr.App)
+		case wire.CloseStream:
+			c.eng.Close(fr.Stream)
+		case wire.Heartbeat:
+			c.writeFrame(fr)
+			c.flush()
+		default:
+			c.g.protoErrs.Inc()
+			c.writeFrame(wire.Error{Code: wire.CodeProtocol, Msg: fmt.Sprintf("unexpected frame type 0x%02x", f.Type())})
+			c.flush()
+			return fmt.Errorf("unexpected frame %T", f)
+		}
+	}
+}
+
+func (c *gconn) reject(id uint32, app string, reason session.RejectReason) {
+	c.g.protoErrs.Inc()
+	switch reason {
+	case session.RejectDupStream:
+		c.writeFrame(wire.Error{Code: wire.CodeBadStream, Msg: fmt.Sprintf("stream %d already open", id)})
+	case session.RejectDupApp:
+		c.writeFrame(wire.Error{Code: wire.CodeBadStream,
+			Msg: fmt.Sprintf("app %q already streamed on this connection", app)})
+	case session.RejectUnknownClose:
+		c.writeFrame(wire.Error{Code: wire.CodeBadStream, Msg: fmt.Sprintf("stream %d not open", id)})
+	case session.RejectUnknownSample:
+		// Counted only, like the shard tier.
+	}
+}
+
+func (c *gconn) writeFrame(f wire.Frame) {
+	c.wmu.Lock()
+	c.w.Write(f)
+	c.wmu.Unlock()
+}
+
+func (c *gconn) flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.Flush()
+}
+
+// forwarder is the gateway's session.Handler: it relays each stream's
+// micro-batches to the shard the hash ring picked. All methods and all
+// fwdStream methods run on the engine's single worker goroutine; only the
+// per-upstream relay goroutines run beside it.
+type forwarder struct {
+	c     *gconn
+	agent string
+	ups   map[string]*upstream // worker-owned: live upstream per shard
+}
+
+// OpenStream routes the stream and announces it upstream. Routing
+// failures do not error the session: the stream starts unplaced and every
+// batch retries, so a brief full-fleet outage sheds samples, not
+// connections.
+func (f *forwarder) OpenStream(id uint32, app string) (session.Stream, error) {
+	st := &fwdStream{f: f, id: id, app: app, key: RouteKey(f.agent, app)}
+	st.ensureRoute()
+	return st, nil
+}
+
+// RoundEnd flushes every live upstream's buffered frames, then the agent
+// connection — one syscall per peer per round.
+func (f *forwarder) RoundEnd() error {
+	for shard, up := range f.ups {
+		if up.dead.Load() {
+			continue
+		}
+		if err := up.cli.Flush(); err != nil {
+			up.fail()
+			f.c.g.cfg.Log.Warn("upstream flush", "shard", shard, "err", err)
+		}
+	}
+	return f.c.flush()
+}
+
+// upstreamFor returns the live upstream connection to shard, dialing one
+// (plus its relay goroutine) on first use or after a failure.
+func (f *forwarder) upstreamFor(shard string) (*upstream, error) {
+	if up := f.ups[shard]; up != nil {
+		if !up.dead.Load() {
+			return up, nil
+		}
+		up.cli.Close()
+		delete(f.ups, shard)
+	}
+	g := f.c.g
+	// DialOnce, not Dial: a refused connection must fail the placement
+	// immediately (and refresh the ring via reportFailure) — the agent
+	// retry-on-refused loop would park the engine worker for DialTimeout
+	// behind a shard that is already gone.
+	dctx, cancel := context.WithTimeout(context.Background(), g.cfg.DialTimeout)
+	cli, err := serve.DialOnce(dctx, shard, f.agent)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	up := &upstream{
+		g:        g,
+		c:        f.c,
+		shard:    shard,
+		cli:      cli,
+		met:      g.metricsFor(shard),
+		perState: make(map[uint32]closeState),
+		done:     make(chan struct{}),
+	}
+	f.ups[shard] = up
+	go up.relay()
+	return up, nil
+}
+
+// shutdown tears down every upstream and waits for the relays so no
+// goroutine outlives the agent connection. The closing flag keeps the
+// relays' resulting read errors from being misread as shard failures —
+// an agent hanging up must not mark its shards unhealthy.
+func (f *forwarder) shutdown() {
+	for _, up := range f.ups {
+		up.closing.Store(true)
+		up.cli.Close()
+	}
+	for _, up := range f.ups {
+		<-up.done
+	}
+}
+
+// closeState is the relay-side bookkeeping for one stream's CloseStream
+// sent upstream: either its summary is suppressed (the stream drained to
+// another shard mid-flight) or the gateway-side shed count to fold into
+// the shard's StreamSummary before forwarding it.
+type closeState struct {
+	suppress bool
+	shed     uint64
+}
+
+// upstream is one gateway→shard data connection shared by all streams of
+// one agent connection that route to that shard, plus the relay goroutine
+// carrying shard frames back to the agent.
+type upstream struct {
+	g       *Gateway
+	c       *gconn
+	shard   string
+	cli     *serve.Client
+	met     *shardMetrics
+	dead    atomic.Bool
+	closing atomic.Bool // deliberate local teardown, not a shard failure
+
+	mu       sync.Mutex
+	perState map[uint32]closeState
+
+	done chan struct{}
+}
+
+// fail marks the upstream dead and the shard unhealthy; streams reroute
+// on their next batch.
+func (up *upstream) fail() {
+	if up.dead.CompareAndSwap(false, true) {
+		up.cli.Close()
+		up.g.reportFailure(up.shard)
+	}
+}
+
+func (up *upstream) setCloseState(id uint32, cs closeState) {
+	up.mu.Lock()
+	up.perState[id] = cs
+	up.mu.Unlock()
+}
+
+func (up *upstream) takeCloseState(id uint32) closeState {
+	up.mu.Lock()
+	cs := up.perState[id]
+	delete(up.perState, id)
+	up.mu.Unlock()
+	return cs
+}
+
+// relay pumps shard frames back to the agent: verdicts pass through
+// (counted per shard), stream summaries get the gateway-side shed folded
+// in (or are suppressed for drained streams), shard errors terminate the
+// upstream. Flushes batch: the agent writer flushes only when no more
+// shard input is already buffered.
+func (up *upstream) relay() {
+	defer close(up.done)
+	for {
+		f, err := up.cli.Next()
+		if err != nil {
+			if !up.closing.Load() {
+				up.fail()
+			}
+			return
+		}
+		switch fr := f.(type) {
+		case wire.Verdict:
+			up.c.writeFrame(fr)
+			up.met.relayed.Inc()
+		case wire.StreamSummary:
+			cs := up.takeCloseState(fr.Stream)
+			if cs.suppress {
+				continue
+			}
+			fr.Shed += cs.shed
+			up.c.writeFrame(fr)
+		case wire.Heartbeat:
+			// Echo of a keepalive; nothing to relay.
+		case wire.Error:
+			// A shard-side error is a fleet-operations event, not an agent
+			// protocol event: log it, mark the shard draining/dead so
+			// streams reroute, and never forward it downstream.
+			up.g.cfg.Log.Warn("upstream error frame", "shard", up.shard, "code", fr.Code, "msg", fr.Msg)
+			if fr.Code == wire.CodeDraining || fr.Code == wire.CodeIdle {
+				up.fail()
+				return
+			}
+		}
+		if up.cli.Buffered() == 0 {
+			up.c.flush()
+		}
+	}
+}
+
+// fwdStream is one (agent, app) stream's routing state: which upstream it
+// is placed on and under which membership epoch that placement was made.
+type fwdStream struct {
+	f     *forwarder
+	id    uint32
+	app   string
+	key   string
+	epoch uint64
+	up    *upstream
+
+	opened bool   // placed at least once (first placement counts as routed)
+	sent   uint64 // samples forwarded, for summaries synthesized after shard death
+}
+
+// ensureRoute returns the stream's live upstream, (re)placing it when the
+// stream is unplaced, its shard died, or the membership epoch moved. A
+// membership change that keeps the stream on its shard just adopts the
+// new epoch; a change that moves it drains the old placement (CloseStream
+// upstream, its summary suppressed) and opens on the new shard. Returns
+// nil when no healthy shard can take the stream.
+func (st *fwdStream) ensureRoute() *upstream {
+	g := st.f.c.g
+	cur := g.route()
+	if st.up != nil && st.epoch == cur.epoch && !st.up.dead.Load() {
+		return st.up
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		cur = g.route()
+		shard := cur.ring.Route(st.key)
+		if st.up != nil && !st.up.dead.Load() {
+			if st.up.shard == shard {
+				st.epoch = cur.epoch
+				return st.up
+			}
+			// Moved: close out the old placement and suppress its summary —
+			// the agent gets exactly one summary, from the final shard.
+			st.up.setCloseState(st.id, closeState{suppress: true})
+			if err := st.up.cli.CloseStream(st.id); err != nil {
+				st.up.fail()
+			}
+			g.drained.Inc()
+		}
+		st.up = nil
+		if shard == "" {
+			st.epoch = cur.epoch
+			return nil
+		}
+		up, err := st.f.upstreamFor(shard)
+		if err != nil {
+			g.reportFailure(shard) // refresh the ring, then retry once
+			continue
+		}
+		if err := up.cli.OpenStream(st.id, st.app); err != nil {
+			up.fail()
+			continue
+		}
+		if st.opened {
+			g.rerouted.Inc()
+		} else {
+			st.opened = true
+		}
+		up.met.routed.Inc()
+		st.up = up
+		st.epoch = cur.epoch
+		return up
+	}
+	return nil
+}
+
+// Process forwards one micro-batch to the stream's shard, rerouting and
+// re-sending the whole batch once if the send hits a dead upstream. With
+// no healthy shard the batch is dropped and counted; the agent connection
+// survives.
+func (st *fwdStream) Process(b session.Batch) error {
+	g := st.f.c.g
+	for attempt := 0; attempt < 2; attempt++ {
+		up := st.ensureRoute()
+		if up == nil {
+			break
+		}
+		if err := st.sendBatch(up, b); err != nil {
+			up.fail()
+			continue
+		}
+		st.sent += uint64(b.Len())
+		up.met.forwarded.Add(uint64(b.Len()))
+		return nil
+	}
+	g.dropped.Add(uint64(b.Len()))
+	return nil
+}
+
+func (st *fwdStream) sendBatch(up *upstream, b session.Batch) error {
+	for i := range b.Samples {
+		if err := up.cli.Send(st.id, b.Seqs[i], b.Samples[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close ends the stream: when its upstream is alive the shard's
+// StreamSummary (with the gateway-side shed folded in) flows back through
+// the relay; when the shard is gone the gateway synthesizes a summary
+// from its own accounting so the agent still gets a closing record.
+func (st *fwdStream) Close(shed uint64) error {
+	up := st.up
+	if up != nil && !up.dead.Load() {
+		up.setCloseState(st.id, closeState{shed: shed})
+		if err := up.cli.CloseStream(st.id); err == nil {
+			return nil
+		}
+		up.takeCloseState(st.id)
+		up.fail()
+	}
+	var version uint32
+	if w := st.f.c.g.welcome.Load(); w != nil {
+		version = w.ModelVersion
+	}
+	st.f.c.writeFrame(wire.StreamSummary{
+		Stream:       st.id,
+		ModelVersion: version,
+		Samples:      st.sent,
+		Shed:         shed,
+	})
+	return nil
+}

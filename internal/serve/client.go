@@ -30,6 +30,18 @@ type Client struct {
 // with a short backoff until ctx is cancelled, so an agent can start
 // before its server finishes loading the model.
 func Dial(ctx context.Context, addr, agent string) (*Client, error) {
+	return dialClient(ctx, addr, agent, true)
+}
+
+// DialOnce is Dial without the connection-refused retry loop: the first
+// dial error is returned immediately. The gateway tier uses it for its
+// shard connections — there a refused connection is the health signal
+// itself, and retrying would stall stream placement behind a dead shard.
+func DialOnce(ctx context.Context, addr, agent string) (*Client, error) {
+	return dialClient(ctx, addr, agent, false)
+}
+
+func dialClient(ctx context.Context, addr, agent string, retry bool) (*Client, error) {
 	var nc net.Conn
 	for {
 		var err error
@@ -37,7 +49,7 @@ func Dial(ctx context.Context, addr, agent string) (*Client, error) {
 		if err == nil {
 			break
 		}
-		if ctx.Err() != nil {
+		if !retry || ctx.Err() != nil {
 			return nil, err
 		}
 		select {
@@ -128,6 +140,14 @@ func (c *Client) Flush() error {
 func (c *Client) Next() (wire.Frame, error) {
 	return c.r.Next()
 }
+
+// Buffered reports how many inbound bytes are already read and waiting to
+// be decoded — nonzero means the next Next will not block.
+func (c *Client) Buffered() int { return c.r.Buffered() }
+
+// SetReadDeadline bounds the next read; the zero time clears it. Used by
+// callers that probe liveness with Heartbeat round-trips.
+func (c *Client) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
 
 // CloseWrite flushes and half-closes the connection so the server sees
 // end-of-stream while its remaining verdicts can still be read.

@@ -11,6 +11,11 @@
 //	                                                        │ internal/parallel
 //	writer ◄── verdict / summary frames ◄───────────────────┘
 //
+// The ring, worker loop, micro-batching and stream bookkeeping live in
+// internal/session — the engine this package shares with the sharded
+// gateway tier (internal/cluster) — with the scoring half supplied by
+// session.Scoring and the wire framing by this package's conn type.
+//
 // Backpressure is explicit: the ingress ring never grows past QueueDepth;
 // an overloaded server sheds the oldest queued samples (counted in
 // serve_shed_total and per-stream in StreamSummary.Shed) instead of
@@ -25,6 +30,13 @@
 // accepting, closes the read side of every connection, scores and flushes
 // everything already queued, then closes. cmd/smartserve maps that to
 // exit 130 on SIGINT/SIGTERM.
+//
+// Idle reaping: with IdleTimeout set, a connection that sends no frame —
+// not even a Heartbeat — for that long is reaped (Error{CodeIdle}, then
+// close, counted in serve_conns_reaped_total), so dead agents cannot pin
+// tracker and ring memory forever. Agents with sparse sample traffic keep
+// their connections alive with wire Heartbeat frames, which the server
+// echoes and which reset the idle clock like any other frame.
 //
 // Zero-downtime model swap: the server holds the active model behind an
 // atomic pointer. Each stream binds the generation that was active when
@@ -42,6 +54,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -50,8 +63,8 @@ import (
 	"twosmart/internal/core"
 	"twosmart/internal/drift"
 	"twosmart/internal/monitor"
-	"twosmart/internal/parallel"
 	"twosmart/internal/persist"
+	"twosmart/internal/session"
 	"twosmart/internal/shadow"
 	"twosmart/internal/telemetry"
 	"twosmart/internal/wire"
@@ -93,6 +106,13 @@ type Config struct {
 	// streams (default: one worker per touched stream, capped by
 	// runtime.NumCPU via internal/parallel).
 	Workers int
+	// IdleTimeout, when positive, reaps connections whose agents send no
+	// frame for that long: the read side is torn down, queued samples are
+	// still scored and flushed, an Error{CodeIdle} notice is sent, and
+	// serve_conns_reaped_total is incremented. Heartbeat frames reset the
+	// clock, so a live-but-quiet agent stays connected by probing. Zero
+	// disables reaping.
+	IdleTimeout time.Duration
 	// Telemetry, when non-nil, receives the serve_* metric families and
 	// the monitor layer's per-app instruments. Nil disables them.
 	Telemetry *telemetry.Registry
@@ -115,6 +135,9 @@ func (c Config) fill() (Config, error) {
 	}
 	if c.MaxBatch < 1 {
 		return c, fmt.Errorf("serve: max batch %d below 1", c.MaxBatch)
+	}
+	if c.IdleTimeout < 0 {
+		return c, fmt.Errorf("serve: negative idle timeout %s", c.IdleTimeout)
 	}
 	if c.Log == nil {
 		c.Log = slog.Default()
@@ -158,6 +181,7 @@ type Server struct {
 
 	connsActive telemetry.Gauge
 	connsTotal  telemetry.Counter
+	connsReaped telemetry.Counter
 	samplesIn   telemetry.Counter
 	verdictsOut telemetry.Counter
 	shed        telemetry.Counter
@@ -191,6 +215,7 @@ func New(cfg Config) (*Server, error) {
 		numFeatures: n,
 		connsActive: reg.Gauge("serve_connections_active"),
 		connsTotal:  reg.Counter("serve_connections_total"),
+		connsReaped: reg.Counter("serve_conns_reaped_total"),
 		samplesIn:   reg.Counter("serve_samples_total"),
 		verdictsOut: reg.Counter("serve_verdicts_total"),
 		shed:        reg.Counter("serve_shed_total"),
@@ -324,61 +349,19 @@ func (s *Server) Serve(ctx context.Context) error {
 	return nil
 }
 
-// stream is one (connection, app) sample stream: its compiled detector
-// (owned by the tracker's per-app monitor; see monitor.Tracker.OpenWith)
-// plus the reusable micro-batch buffers. A stream is only ever touched by
-// its connection's worker goroutine.
-//
-// det, version and drft are the stream's model epoch, captured from the
-// active generation in openStream. A hot swap that lands mid-stream does
-// not change them: samples already queued and samples still arriving on
-// this stream score on the epoch's detector, and the StreamSummary
-// reports the epoch's version.
-type stream struct {
-	id      uint32
-	app     string
-	det     *core.CompiledDetector
-	version int
-	drft    *drift.Monitor
-
-	// pending micro-batch, refilled each drain round
-	samples  [][]float64
-	bufs     [][]float64 // ring buffers to recycle after scoring
-	seqs     []uint32
-	ats      []time.Time
-	verdicts []core.Verdict
-	scores   []float64
-	events   []monitor.Event
-}
-
-// ctrl is a reader→worker control message (stream open/close), routed
-// through a queue separate from the sample ring so load-shedding can
-// never drop one.
-type ctrl struct {
-	open   bool
-	stream uint32
-	app    string
-}
-
+// conn is the wire transport around one connection's session engine: it
+// parses inbound frames into the engine and implements session.Emitter
+// to turn scored output back into Verdict/StreamSummary frames.
 type conn struct {
-	s  *Server
-	nc net.Conn
-	tr *monitor.Tracker
-	q  *ring
-	r  *wire.Reader
+	s   *Server
+	nc  net.Conn
+	eng *session.Engine
+	r   *wire.Reader
 
 	wmu sync.Mutex
 	w   *wire.Writer
 
-	ctrlMu sync.Mutex
-	ctrls  []ctrl
-
-	kick       chan struct{} // worker wake-up, capacity 1
 	readerDone chan struct{} // closed when the reader stops enqueueing
-
-	streams map[uint32]*stream // worker-owned after handshake
-	drain   []item             // reusable drain buffer
-	touched []*stream          // reusable per-round stream list
 }
 
 func (s *Server) handle(ctx context.Context, nc net.Conn) {
@@ -388,22 +371,37 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) {
 	defer nc.Close()
 	log := s.cfg.Log.With("remote", nc.RemoteAddr().String())
 
-	tr, err := monitor.NewTrackerFactory(func() monitor.Scorer {
-		return s.active.Load().Detector.Compile()
-	}, s.cfg.Monitor)
-	if err != nil {
-		log.Error("tracker", "err", err)
-		return
-	}
 	c := &conn{
 		s:          s,
 		nc:         nc,
-		tr:         tr,
-		q:          newRing(s.cfg.QueueDepth),
 		w:          wire.NewWriter(nc),
-		kick:       make(chan struct{}, 1),
 		readerDone: make(chan struct{}),
-		streams:    make(map[uint32]*stream),
+	}
+	scoring, err := session.NewScoring(session.ScoringConfig{
+		Source: func() session.Generation {
+			am := s.active.Load()
+			return session.Generation{Detector: am.Detector, Version: am.Version, Drift: am.Drift}
+		},
+		Emit:     c,
+		Monitor:  s.cfg.Monitor,
+		MaxBatch: s.cfg.MaxBatch,
+		Tap:      c.tap,
+		Hook:     s.scoreHook,
+	})
+	if err != nil {
+		log.Error("scoring", "err", err)
+		return
+	}
+	c.eng, err = session.New(session.Config{
+		Handler:    scoring,
+		QueueDepth: s.cfg.QueueDepth,
+		Workers:    s.cfg.Workers,
+		OnReject:   c.reject,
+		BatchSize:  s.batchSize,
+	})
+	if err != nil {
+		log.Error("session", "err", err)
+		return
 	}
 	if err := c.handshake(); err != nil {
 		log.Warn("handshake", "err", err)
@@ -425,21 +423,34 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) {
 	workerDone := make(chan struct{})
 	go func() {
 		defer close(workerDone)
-		c.work()
+		if err := c.eng.Run(c.readerDone); err != nil {
+			c.fail(err)
+		}
 	}()
 
 	rerr := c.readLoop()
 	close(c.readerDone)
 	<-workerDone
 
+	reaped := s.cfg.IdleTimeout > 0 && ctx.Err() == nil && errors.Is(rerr, os.ErrDeadlineExceeded)
+	if reaped {
+		s.connsReaped.Inc()
+		// Best-effort notice so a half-alive agent can tell a reap from a
+		// network failure; queued samples were already scored and flushed.
+		c.writeFrame(wire.Error{Code: wire.CodeIdle,
+			Msg: fmt.Sprintf("no frames for %s, reaping idle connection", s.cfg.IdleTimeout)})
+	}
 	if ctx.Err() != nil {
 		// Best-effort notice so agents can distinguish drain from a crash.
 		c.writeFrame(wire.Error{Code: wire.CodeDraining, Msg: "server draining"})
 	}
-	c.flush()
-	if rerr != nil && !errors.Is(rerr, io.EOF) && ctx.Err() == nil {
+	c.Flush()
+	switch {
+	case reaped:
+		log.Info("connection reaped", "idle_timeout", s.cfg.IdleTimeout)
+	case rerr != nil && !errors.Is(rerr, io.EOF) && ctx.Err() == nil:
 		log.Warn("connection closed", "err", rerr)
-	} else {
+	default:
 		log.Info("connection closed")
 	}
 }
@@ -465,13 +476,13 @@ func (c *conn) handshake() error {
 	hello, ok := f.(wire.Hello)
 	if !ok {
 		c.writeFrame(wire.Error{Code: wire.CodeProtocol, Msg: "expected Hello"})
-		c.flush()
+		c.Flush()
 		return fmt.Errorf("first frame is %T, want Hello", f)
 	}
 	if hello.Proto != wire.ProtoVersion {
 		c.writeFrame(wire.Error{Code: wire.CodeVersion,
 			Msg: fmt.Sprintf("protocol v%d unsupported, server speaks v%d", hello.Proto, wire.ProtoVersion)})
-		c.flush()
+		c.Flush()
 		return fmt.Errorf("client protocol v%d, want v%d", hello.Proto, wire.ProtoVersion)
 	}
 	c.nc.SetReadDeadline(time.Time{})
@@ -484,14 +495,27 @@ func (c *conn) handshake() error {
 		NumFeatures:  uint16(c.s.numFeatures),
 		Model:        am.Name,
 	})
-	return c.flush()
+	return c.Flush()
 }
 
-// readLoop parses frames until EOF, a read error or a protocol violation,
-// feeding samples into the ring and stream opens/closes into the control
-// queue.
+// readLoop parses frames until EOF, a read error, an idle-timeout reap
+// or a protocol violation, feeding samples into the engine's ring and
+// stream opens/closes into its control queue.
 func (c *conn) readLoop() error {
+	idle := c.s.cfg.IdleTimeout
+	var lastArm time.Time
 	for {
+		// Arm the idle deadline lazily — re-arming costs a poller update,
+		// so refresh only after a quarter of the budget has elapsed. Any
+		// inbound frame (samples, opens, heartbeats) pushes it out; a
+		// connection that stays silent past IdleTimeout fails the read
+		// with os.ErrDeadlineExceeded and is reaped by the caller.
+		if idle > 0 {
+			if now := time.Now(); now.Sub(lastArm) > idle/4 {
+				c.nc.SetReadDeadline(now.Add(idle))
+				lastArm = now
+			}
+		}
 		f, err := c.r.Next()
 		if err != nil {
 			return err
@@ -502,60 +526,25 @@ func (c *conn) readLoop() error {
 				c.s.protoErrs.Inc()
 				c.writeFrame(wire.Error{Code: wire.CodeBadFeatures,
 					Msg: fmt.Sprintf("sample has %d features, model wants %d", len(fr.Features), c.s.numFeatures)})
-				c.flush()
+				c.Flush()
 				return fmt.Errorf("sample width %d, want %d", len(fr.Features), c.s.numFeatures)
 			}
 			c.s.samplesIn.Inc()
-			if c.q.push(fr.Stream, fr.Seq, time.Now(), fr.Features) {
+			if c.eng.Push(fr.Stream, fr.Seq, time.Now(), fr.Features) {
 				c.s.shed.Inc()
 			}
-			c.wake()
 		case wire.OpenStream:
-			c.enqueueCtrl(ctrl{open: true, stream: fr.Stream, app: fr.App})
+			c.eng.Open(fr.Stream, fr.App)
 		case wire.CloseStream:
-			c.enqueueCtrl(ctrl{stream: fr.Stream})
+			c.eng.Close(fr.Stream)
 		case wire.Heartbeat:
 			c.writeFrame(fr)
-			c.flush()
+			c.Flush()
 		default:
 			c.s.protoErrs.Inc()
 			c.writeFrame(wire.Error{Code: wire.CodeProtocol, Msg: fmt.Sprintf("unexpected frame type 0x%02x", f.Type())})
-			c.flush()
+			c.Flush()
 			return fmt.Errorf("unexpected frame %T", f)
-		}
-	}
-}
-
-func (c *conn) enqueueCtrl(m ctrl) {
-	c.ctrlMu.Lock()
-	c.ctrls = append(c.ctrls, m)
-	c.ctrlMu.Unlock()
-	c.wake()
-}
-
-func (c *conn) wake() {
-	select {
-	case c.kick <- struct{}{}:
-	default:
-	}
-}
-
-// work is the connection's scoring loop: every wake-up it processes one
-// adaptive micro-batch round; when the reader stops it runs a final round
-// over whatever is still queued (the graceful-drain flush) and exits.
-func (c *conn) work() {
-	for {
-		select {
-		case <-c.kick:
-			if err := c.process(); err != nil {
-				c.fail(err)
-				return
-			}
-		case <-c.readerDone:
-			if err := c.process(); err != nil {
-				c.fail(err)
-			}
-			return
 		}
 	}
 }
@@ -567,203 +556,90 @@ func (c *conn) fail(err error) {
 	c.nc.Close() // unblocks the reader
 }
 
-// process runs one micro-batch round: apply stream opens, drain the ring,
-// fan scoring out across the touched streams, write verdicts, then apply
-// stream closes and flush.
-func (c *conn) process() error {
-	c.ctrlMu.Lock()
-	ctrls := c.ctrls
-	c.ctrls = nil
-	c.ctrlMu.Unlock()
-
-	for _, m := range ctrls {
-		if m.open {
-			if err := c.openStream(m.stream, m.app); err != nil {
-				return err
-			}
-		}
+// reject maps the engine's per-stream protocol violations onto wire
+// Error frames and the serve_protocol_errors_total counter; none of them
+// kill the connection.
+func (c *conn) reject(id uint32, app string, reason session.RejectReason) {
+	c.s.protoErrs.Inc()
+	switch reason {
+	case session.RejectDupStream:
+		c.writeFrame(wire.Error{Code: wire.CodeBadStream, Msg: fmt.Sprintf("stream %d already open", id)})
+	case session.RejectDupApp:
+		c.writeFrame(wire.Error{Code: wire.CodeBadStream,
+			Msg: fmt.Sprintf("app %q already streamed on this connection", app)})
+	case session.RejectUnknownClose:
+		c.writeFrame(wire.Error{Code: wire.CodeBadStream, Msg: fmt.Sprintf("stream %d not open", id)})
+	case session.RejectUnknownSample:
+		// Counted only: a shed OpenStream cannot happen (control frames
+		// are unsheddable), so this is an agent bug, not worth a frame
+		// per sample.
 	}
+}
 
-	c.drain = c.q.drainInto(c.drain[:0])
-	if len(c.drain) > 0 {
-		c.batchObserve(len(c.drain))
-		c.touched = c.touched[:0]
-		for i := range c.drain {
-			it := &c.drain[i]
-			st := c.streams[it.stream]
-			if st == nil {
-				c.s.protoErrs.Inc()
-				c.q.recycle(it.features)
-				continue
-			}
-			if len(st.samples) == 0 {
-				c.touched = append(c.touched, st)
-			}
-			st.samples = append(st.samples, it.features)
-			st.bufs = append(st.bufs, it.features)
-			st.seqs = append(st.seqs, it.seq)
-			st.ats = append(st.ats, it.at)
+// tap offers every scored chunk to the attached shadow scorer, if any —
+// off the hot path: Offer copies the sample and never blocks.
+func (c *conn) tap(samples [][]float64, verdicts []core.Verdict, scores []float64) {
+	sh := c.s.shadowP.Load()
+	if sh == nil {
+		return
+	}
+	for i := range samples {
+		sh.Offer(samples[i], shadow.Primary{
+			Malware: verdicts[i].Malware,
+			Class:   verdicts[i].PredictedClass.String(),
+			Score:   scores[i],
+		})
+	}
+}
+
+// Verdicts implements session.Emitter: one scored chunk becomes a run of
+// Verdict frames, written under the connection's writer mutex so chunks
+// from concurrently scoring streams interleave at frame granularity.
+func (c *conn) Verdicts(id uint32, _ int, seqs []uint32, ats []time.Time,
+	verdicts []core.Verdict, scores []float64, events []monitor.Event) error {
+	now := time.Now()
+	c.wmu.Lock()
+	for i := range verdicts {
+		var flags uint8
+		if verdicts[i].Malware {
+			flags |= wire.FlagMalware
 		}
-		// Per-stream fan-out: each stream's monitor and compiled detector
-		// are goroutine-isolated (see monitor.Tracker), so streams score
-		// concurrently; only the frame writer is shared and mutex-guarded.
-		// The fan-out deliberately ignores server cancellation: a drain
-		// must score and flush everything already queued.
-		err := parallel.ForEach(context.Background(), len(c.touched), parallel.Options{Workers: c.s.cfg.Workers},
-			func(_ context.Context, i int) error {
-				return c.scoreStream(c.touched[i])
-			})
-		for _, st := range c.touched {
-			for _, buf := range st.bufs {
-				c.q.recycle(buf)
-			}
-			st.samples = st.samples[:0]
-			st.bufs = st.bufs[:0]
-			st.seqs = st.seqs[:0]
-			st.ats = st.ats[:0]
+		if events[i].Alarm {
+			flags |= wire.FlagAlarm
 		}
-		if err != nil {
+		if events[i].Changed {
+			flags |= wire.FlagAlarmChanged
+		}
+		if err := c.w.Write(wire.Verdict{
+			Stream:   id,
+			Seq:      seqs[i],
+			Flags:    flags,
+			Class:    uint8(verdicts[i].PredictedClass),
+			Score:    scores[i],
+			Smoothed: events[i].Smoothed,
+		}); err != nil {
+			c.wmu.Unlock()
 			return err
 		}
+		c.s.latency.ObserveDuration(now.Sub(ats[i]))
 	}
-
-	for _, m := range ctrls {
-		if !m.open {
-			if err := c.closeStream(m.stream); err != nil {
-				return err
-			}
-		}
-	}
-	return c.flush()
-}
-
-func (c *conn) batchObserve(n int) {
-	c.s.batchSize.Observe(float64(n))
-}
-
-func (c *conn) openStream(id uint32, app string) error {
-	if _, dup := c.streams[id]; dup {
-		c.s.protoErrs.Inc()
-		c.writeFrame(wire.Error{Code: wire.CodeBadStream, Msg: fmt.Sprintf("stream %d already open", id)})
-		return nil
-	}
-	for _, st := range c.streams {
-		if st.app == app {
-			c.s.protoErrs.Inc()
-			c.writeFrame(wire.Error{Code: wire.CodeBadStream,
-				Msg: fmt.Sprintf("app %q already streamed on this connection", app)})
-			return nil
-		}
-	}
-	// Capture the stream's model epoch: compile the generation that is
-	// active right now and bind the app's monitor to that same instance.
-	// A swap after this point only affects streams opened later.
-	am := c.s.active.Load()
-	det := am.Detector.Compile()
-	if !c.tr.OpenWith(app, det) {
-		// The app key is already tracked (unreachable after the dup checks
-		// above); reuse the tracker-owned scorer so stream and monitor agree.
-		var ok bool
-		det, ok = c.tr.ScorerFor(app).(*core.CompiledDetector)
-		if !ok {
-			return fmt.Errorf("serve: tracker scorer for %q is %T, want *core.CompiledDetector", app, c.tr.ScorerFor(app))
-		}
-	}
-	c.streams[id] = &stream{id: id, app: app, det: det, version: am.Version, drft: am.Drift}
+	c.wmu.Unlock()
+	c.s.verdictsOut.Add(uint64(len(verdicts)))
 	return nil
 }
 
-func (c *conn) closeStream(id uint32) error {
-	st, ok := c.streams[id]
-	if !ok {
-		c.s.protoErrs.Inc()
-		c.writeFrame(wire.Error{Code: wire.CodeBadStream, Msg: fmt.Sprintf("stream %d not open", id)})
-		return nil
-	}
-	delete(c.streams, id)
-	sum, _ := c.tr.Close(st.app)
-	_, shedHere := c.q.shedCounts(id)
+// Summary implements session.Emitter: the closing account of a stream
+// becomes its StreamSummary frame, reporting the model epoch the stream
+// was opened under.
+func (c *conn) Summary(id uint32, version int, sum monitor.Summary, shed uint64) error {
 	c.writeFrame(wire.StreamSummary{
 		Stream:       id,
-		ModelVersion: uint32(st.version),
+		ModelVersion: uint32(version),
 		Samples:      uint64(sum.Samples),
-		Shed:         shedHere,
+		Shed:         shed,
 		Alarms:       uint32(sum.Alarms),
 		MaxSmoothed:  sum.MaxSmoothed,
 	})
-	return nil
-}
-
-// scoreStream scores one stream's pending micro-batch in MaxBatch chunks
-// through the fused compiled path and writes the verdict frames.
-func (c *conn) scoreStream(st *stream) error {
-	if c.s.scoreHook != nil {
-		c.s.scoreHook()
-	}
-	pending := len(st.samples)
-	if cap(st.verdicts) < pending {
-		st.verdicts = make([]core.Verdict, pending)
-		st.scores = make([]float64, pending)
-		st.events = make([]monitor.Event, pending)
-	}
-	for off := 0; off < pending; off += c.s.cfg.MaxBatch {
-		end := off + c.s.cfg.MaxBatch
-		if end > pending {
-			end = pending
-		}
-		n := end - off
-		verdicts := st.verdicts[:n]
-		scores := st.scores[:n]
-		events := st.events[:n]
-		if err := st.det.DetectScoredBatch(verdicts, scores, st.samples[off:end]); err != nil {
-			return err
-		}
-		if err := c.tr.ObserveScoredBatch(st.app, events, scores); err != nil {
-			return err
-		}
-		if st.drft != nil {
-			if err := st.drft.ObserveBatch(st.samples[off:end]); err != nil {
-				return err
-			}
-		}
-		if sh := c.s.shadowP.Load(); sh != nil {
-			for i := 0; i < n; i++ {
-				sh.Offer(st.samples[off+i], shadow.Primary{
-					Malware: verdicts[i].Malware,
-					Class:   verdicts[i].PredictedClass.String(),
-					Score:   scores[i],
-				})
-			}
-		}
-		now := time.Now()
-		c.wmu.Lock()
-		for i := 0; i < n; i++ {
-			var flags uint8
-			if verdicts[i].Malware {
-				flags |= wire.FlagMalware
-			}
-			if events[i].Alarm {
-				flags |= wire.FlagAlarm
-			}
-			if events[i].Changed {
-				flags |= wire.FlagAlarmChanged
-			}
-			if err := c.w.Write(wire.Verdict{
-				Stream:   st.id,
-				Seq:      st.seqs[off+i],
-				Flags:    flags,
-				Class:    uint8(verdicts[i].PredictedClass),
-				Score:    scores[i],
-				Smoothed: events[i].Smoothed,
-			}); err != nil {
-				c.wmu.Unlock()
-				return err
-			}
-			c.s.latency.ObserveDuration(now.Sub(st.ats[off+i]))
-		}
-		c.wmu.Unlock()
-		c.s.verdictsOut.Add(uint64(n))
-	}
 	return nil
 }
 
@@ -773,7 +649,8 @@ func (c *conn) writeFrame(f wire.Frame) {
 	c.wmu.Unlock()
 }
 
-func (c *conn) flush() error {
+// Flush implements session.Emitter; the engine calls it once per round.
+func (c *conn) Flush() error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	return c.w.Flush()

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"twosmart/internal/telemetry"
+	"twosmart/internal/wire"
+)
+
+// TestServeIdleReapsConnection pins the reap path: a connection that goes
+// silent past IdleTimeout is closed by the server, but only after every
+// queued sample was scored and flushed, and with a CodeIdle error frame
+// so the agent can tell a reap from a network failure.
+func TestServeIdleReapsConnection(t *testing.T) {
+	_, data := fixtures(t)
+	reg := telemetry.New()
+	ts := start(t, Config{Telemetry: reg, IdleTimeout: 250 * time.Millisecond}, nil)
+	c := dial(t, ts)
+
+	const n = 8
+	if err := c.OpenStream(1, "idle-app"); err != nil {
+		t.Fatal(err)
+	}
+	for i, fv := range samplesFrom(data, n) {
+		if err := c.Send(1, uint32(i), fv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Go silent and read until the server hangs up. The client-side
+	// deadline only bounds the test when the reap never happens.
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	verdicts := 0
+	var reap *wire.Error
+	for {
+		f, err := c.Next()
+		if err != nil {
+			break // EOF once the server closed the reaped connection
+		}
+		switch fr := f.(type) {
+		case wire.Verdict:
+			verdicts++
+		case wire.Error:
+			e := fr
+			reap = &e
+		}
+	}
+	if verdicts != n {
+		t.Errorf("got %d verdicts before the reap, want %d (queued samples must flush)", verdicts, n)
+	}
+	if reap == nil {
+		t.Fatal("connection closed without a CodeIdle error frame")
+	}
+	if reap.Code != wire.CodeIdle {
+		t.Fatalf("reap error code = %d, want CodeIdle (%d): %s", reap.Code, wire.CodeIdle, reap.Msg)
+	}
+	if got := reg.Counter("serve_conns_reaped_total").Value(); got != 1 {
+		t.Errorf("serve_conns_reaped_total = %d, want 1", got)
+	}
+}
+
+// TestServeHeartbeatKeepsConnectionAlive pins the other half of the reap
+// contract: Heartbeat frames count as activity, so an agent with nothing
+// to report stays connected across several idle budgets and can resume
+// streaming afterwards.
+func TestServeHeartbeatKeepsConnectionAlive(t *testing.T) {
+	_, data := fixtures(t)
+	reg := telemetry.New()
+	ts := start(t, Config{Telemetry: reg, IdleTimeout: 300 * time.Millisecond}, nil)
+	c := dial(t, ts)
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+
+	// Heartbeat-only traffic for three full idle budgets.
+	quiet := time.Now().Add(900 * time.Millisecond)
+	for time.Now().Before(quiet) {
+		if err := c.Heartbeat(uint64(time.Now().UnixNano())); err != nil {
+			t.Fatalf("heartbeat write: %v", err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatalf("heartbeat flush: %v", err)
+		}
+		f, err := c.Next()
+		if err != nil {
+			t.Fatalf("connection died during heartbeats: %v", err)
+		}
+		if _, ok := f.(wire.Heartbeat); !ok {
+			t.Fatalf("heartbeat echoed as %T", f)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Still alive: a real stream round-trips end to end.
+	if err := c.OpenStream(1, "kept-alive-app"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(1, 0, data.Instances[0].Features); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseStream(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		f, err := c.Next()
+		if err != nil {
+			t.Fatalf("read after keep-alive: %v", err)
+		}
+		if _, ok := f.(wire.StreamSummary); ok {
+			break
+		}
+	}
+	if got := reg.Counter("serve_conns_reaped_total").Value(); got != 0 {
+		t.Errorf("serve_conns_reaped_total = %d, want 0 (heartbeats are activity)", got)
+	}
+}

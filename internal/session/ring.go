@@ -1,4 +1,4 @@
-package serve
+package session
 
 import (
 	"sync"
@@ -16,12 +16,12 @@ type item struct {
 	features []float64
 }
 
-// ring is a connection's bounded ingress queue with explicit
-// load-shedding: pushing into a full ring drops the *oldest* queued
-// sample (the one whose 10 ms-period data is most stale and least worth
-// scoring late) rather than blocking the reader or buffering without
-// bound. Shed samples are counted in total and per stream so the server
-// can export serve_shed_total and report per-stream shed counts in
+// ring is a session's bounded ingress queue with explicit load-shedding:
+// pushing into a full ring drops the *oldest* queued sample (the one
+// whose 10 ms-period data is most stale and least worth scoring late)
+// rather than blocking the reader or buffering without bound. Shed
+// samples are counted in total and per stream so the transport can
+// export shed counters and report per-stream shed counts in
 // StreamSummary frames. Feature buffers cycle through an internal free
 // list, so the steady state allocates nothing.
 type ring struct {

@@ -1,6 +1,7 @@
-package serve
+package session
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -74,5 +75,73 @@ func TestRingRecycles(t *testing.T) {
 	fv[0] = 99
 	if got := r.drainInto(nil)[0].features[0]; got != 1 {
 		t.Fatalf("ring aliased the caller's buffer: got %v", got)
+	}
+}
+
+// TestRingConcurrentProducerConsumer hammers the ring with parallel
+// producers against a draining consumer (the real reader/worker
+// topology, multiplied) and checks, under -race, that the free-list
+// recycling never hands two live items the same buffer and that the shed
+// accounting balances: every pushed sample is either consumed intact or
+// counted shed, per stream.
+func TestRingConcurrentProducerConsumer(t *testing.T) {
+	const producers, perProducer = 4, 5000
+	r := newRing(64)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(stream uint32) {
+			defer wg.Done()
+			for seq := uint32(0); seq < perProducer; seq++ {
+				// Encode (stream, seq) into the payload so the consumer can
+				// detect cross-item buffer corruption.
+				r.push(stream, seq, time.Time{}, []float64{float64(stream), float64(seq), 7})
+			}
+		}(uint32(p))
+	}
+	producersDone := make(chan struct{})
+	go func() { wg.Wait(); close(producersDone) }()
+
+	consumedBy := make(map[uint32]uint64, producers)
+	var items []item
+	consume := func() {
+		items = r.drainInto(items[:0])
+		for _, it := range items {
+			if len(it.features) != 3 || it.features[0] != float64(it.stream) ||
+				it.features[1] != float64(it.seq) || it.features[2] != 7 {
+				t.Errorf("stream %d seq %d: corrupted payload %v (free-list buffer shared?)",
+					it.stream, it.seq, it.features)
+			}
+			consumedBy[it.stream]++
+			r.recycle(it.features)
+		}
+	}
+	running := true
+	for running {
+		select {
+		case <-producersDone:
+			running = false
+		default:
+		}
+		consume()
+	}
+	consume() // final drain: nothing is in flight anymore
+
+	for p := uint32(0); p < producers; p++ {
+		_, shed := r.shedCounts(p)
+		if got := consumedBy[p] + shed; got != perProducer {
+			t.Fatalf("stream %d: consumed %d + shed %d = %d, want %d",
+				p, consumedBy[p], shed, got, perProducer)
+		}
+	}
+	total, _ := r.shedCounts(0)
+	var per uint64
+	for p := uint32(0); p < producers; p++ {
+		_, shed := r.shedCounts(p)
+		per += shed
+	}
+	if total != per {
+		t.Fatalf("total shed %d != sum of per-stream sheds %d", total, per)
 	}
 }

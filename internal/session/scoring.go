@@ -1,0 +1,196 @@
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"twosmart/internal/core"
+	"twosmart/internal/drift"
+	"twosmart/internal/monitor"
+)
+
+// Generation is one servable model generation as the scoring handler
+// binds it: the trained detector, its registry version, and the optional
+// drift monitor that observes every sample scored under it. The Source
+// callback returns the generation active *right now*; each stream
+// captures the generation at open time (the hot-swap epoch model from
+// DESIGN §11) and keeps it for life.
+type Generation struct {
+	Detector *core.Detector
+	Version  int
+	Drift    *drift.Monitor
+}
+
+// Emitter receives the scoring handler's output. Methods are called on
+// the engine's worker goroutines — concurrently across streams, in order
+// within one stream — so implementations serialize their shared output
+// path (the serve transport holds its frame-writer mutex per chunk).
+type Emitter interface {
+	// Verdicts delivers one scored chunk for stream id, bound to model
+	// epoch version: parallel slices where verdicts[i]/scores[i]/events[i]
+	// belong to the sample with client sequence seqs[i] received at
+	// ats[i]. The slices are engine-owned and valid only during the call.
+	Verdicts(id uint32, version int, seqs []uint32, ats []time.Time,
+		verdicts []core.Verdict, scores []float64, events []monitor.Event) error
+	// Summary delivers the closing account of a stream: the monitor's
+	// session summary plus how many of the stream's samples the ingress
+	// ring shed.
+	Summary(id uint32, version int, sum monitor.Summary, shed uint64) error
+	// Flush pushes buffered output to the transport; called once per
+	// engine round (RoundEnd).
+	Flush() error
+}
+
+// ScoringConfig configures a Scoring handler (one per connection).
+type ScoringConfig struct {
+	// Source returns the model generation new streams should bind.
+	// Required. Called once per stream open, on the worker goroutine.
+	Source func() Generation
+	// Emit receives verdicts, summaries and flushes. Required.
+	Emit Emitter
+	// Monitor tunes the per-stream smoothing and alarm hysteresis.
+	Monitor monitor.Config
+	// MaxBatch caps how many samples one stream scores per fused
+	// DetectScoredBatch call inside a round (default 512).
+	MaxBatch int
+	// Tap, when non-nil, observes every scored chunk after its verdicts
+	// are computed — the shadow-scoring hook. Slices are engine-owned and
+	// valid only during the call.
+	Tap func(samples [][]float64, verdicts []core.Verdict, scores []float64)
+	// Hook, when non-nil (tests only), runs before every per-stream
+	// scoring round; a slow hook makes load-shedding deterministic.
+	Hook func()
+}
+
+// Scoring is the shard-role Handler: it owns the connection's
+// monitor.Tracker, captures each stream's model epoch at open time
+// (compiling that generation's detector), and scores every micro-batch
+// through the fused allocation-free path — one evaluation per sample for
+// both its verdict and its smoothed-alarm update.
+type Scoring struct {
+	cfg ScoringConfig
+	tr  *monitor.Tracker
+}
+
+// NewScoring validates the configuration and builds the handler.
+func NewScoring(cfg ScoringConfig) (*Scoring, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("session: nil generation source")
+	}
+	if cfg.Emit == nil {
+		return nil, fmt.Errorf("session: nil emitter")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 512
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("session: max batch %d below 1", cfg.MaxBatch)
+	}
+	tr, err := monitor.NewTrackerFactory(func() monitor.Scorer {
+		return cfg.Source().Detector.Compile()
+	}, cfg.Monitor)
+	if err != nil {
+		return nil, err
+	}
+	return &Scoring{cfg: cfg, tr: tr}, nil
+}
+
+// Tracker exposes the connection's tracker (per-stream monitors and
+// session summaries).
+func (s *Scoring) Tracker() *monitor.Tracker { return s.tr }
+
+// OpenStream captures the stream's model epoch: it compiles the
+// generation that is active right now and binds the app's monitor to
+// that same instance. A swap after this point only affects streams
+// opened later.
+func (s *Scoring) OpenStream(id uint32, app string) (Stream, error) {
+	g := s.cfg.Source()
+	det := g.Detector.Compile()
+	if !s.tr.OpenWith(app, det) {
+		// The app key is already tracked (unreachable after the engine's
+		// dup checks); reuse the tracker-owned scorer so stream and
+		// monitor agree.
+		var ok bool
+		det, ok = s.tr.ScorerFor(app).(*core.CompiledDetector)
+		if !ok {
+			return nil, fmt.Errorf("session: tracker scorer for %q is %T, want *core.CompiledDetector", app, s.tr.ScorerFor(app))
+		}
+	}
+	return &scoredStream{s: s, id: id, app: app, det: det, version: g.Version, drft: g.Drift}, nil
+}
+
+// RoundEnd flushes the emitter's buffered output.
+func (s *Scoring) RoundEnd() error { return s.cfg.Emit.Flush() }
+
+// scoredStream is one (connection, app) stream: its compiled detector
+// (owned by the tracker's per-app monitor; see monitor.Tracker.OpenWith)
+// plus the reusable scoring arenas. A stream is only ever touched by its
+// engine's worker goroutines, one round at a time.
+//
+// det, version and drft are the stream's model epoch, captured from the
+// active generation in OpenStream. A hot swap that lands mid-stream does
+// not change them: samples already queued and samples still arriving on
+// this stream score on the epoch's detector, and the Summary reports the
+// epoch's version.
+type scoredStream struct {
+	s       *Scoring
+	id      uint32
+	app     string
+	det     *core.CompiledDetector
+	version int
+	drft    *drift.Monitor
+
+	// reusable scoring arenas, grown to the largest micro-batch seen
+	verdicts []core.Verdict
+	scores   []float64
+	events   []monitor.Event
+}
+
+// Process scores one pending micro-batch in MaxBatch chunks through the
+// fused compiled path and emits the verdict chunks.
+func (st *scoredStream) Process(b Batch) error {
+	s := st.s
+	if s.cfg.Hook != nil {
+		s.cfg.Hook()
+	}
+	pending := b.Len()
+	if cap(st.verdicts) < pending {
+		st.verdicts = make([]core.Verdict, pending)
+		st.scores = make([]float64, pending)
+		st.events = make([]monitor.Event, pending)
+	}
+	for off := 0; off < pending; off += s.cfg.MaxBatch {
+		end := off + s.cfg.MaxBatch
+		if end > pending {
+			end = pending
+		}
+		n := end - off
+		verdicts := st.verdicts[:n]
+		scores := st.scores[:n]
+		events := st.events[:n]
+		if err := st.det.DetectScoredBatch(verdicts, scores, b.Samples[off:end]); err != nil {
+			return err
+		}
+		if err := s.tr.ObserveScoredBatch(st.app, events, scores); err != nil {
+			return err
+		}
+		if st.drft != nil {
+			if err := st.drft.ObserveBatch(b.Samples[off:end]); err != nil {
+				return err
+			}
+		}
+		if s.cfg.Tap != nil {
+			s.cfg.Tap(b.Samples[off:end], verdicts, scores)
+		}
+		if err := s.cfg.Emit.Verdicts(st.id, st.version, b.Seqs[off:end], b.Ats[off:end], verdicts, scores, events); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close removes the stream's monitor and emits its session summary.
+func (st *scoredStream) Close(shed uint64) error {
+	sum, _ := st.s.tr.Close(st.app)
+	return st.s.cfg.Emit.Summary(st.id, st.version, sum, shed)
+}

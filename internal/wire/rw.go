@@ -63,6 +63,11 @@ func (r *Reader) Next() (Frame, error) {
 	return f, nil
 }
 
+// Buffered reports how many bytes are already read into the Reader's
+// buffer and not yet consumed. A relay can use it to batch flushes: keep
+// copying frames while more input is buffered, flush once it would block.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
 // Writer encodes frames onto an io.Writer through a buffer, so a burst of
 // small frames costs one syscall. It is not safe for concurrent use;
 // callers that share a connection's write side serialize around it.

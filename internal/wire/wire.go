@@ -75,6 +75,8 @@ const (
 	CodeBadStream   = 3 // unknown, duplicate or exhausted stream id
 	CodeBadFeatures = 4 // sample width does not match the model
 	CodeDraining    = 5 // server is shutting down
+	CodeUnavailable = 6 // no healthy backend shard for the stream's route
+	CodeIdle        = 7 // connection reaped after the server's idle timeout
 )
 
 // Decode errors.
