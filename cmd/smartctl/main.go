@@ -13,6 +13,15 @@
 //	smartctl rollback -registry models/
 //	smartctl diff     -registry models/ -baseline 2 -candidate 3
 //	smartctl prune    -registry models/ -keep 5
+//	smartctl status   -fleet 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+//
+// status is the fleet observability view: it scrapes each node's
+// /metrics twice (-window apart) and /debug/traces once, autodetects
+// gateway vs shard roles from the metric families, and renders one
+// merged table — per-shard verdict rates, p99 latency, shed rates,
+// model versions, drift recommendations, gateway reroute counts and
+// probe RTTs — plus the slowest captured traces with per-hop latency
+// attribution. -json emits the same merged document for scripts.
 //
 // publish -reference profiles the deterministic synthetic corpus and
 // stores the training-time feature distribution alongside the model, so
@@ -26,12 +35,14 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"twosmart/internal/cli"
 	"twosmart/internal/core"
 	"twosmart/internal/corpus"
 	"twosmart/internal/dataset"
 	"twosmart/internal/drift"
+	"twosmart/internal/fleet"
 	"twosmart/internal/parallel"
 	"twosmart/internal/registry"
 	"twosmart/internal/shadow"
@@ -39,7 +50,7 @@ import (
 
 var app = cli.New("smartctl")
 
-const usageHint = "usage: smartctl {publish|list|promote|rollback|diff|prune} -registry DIR [flags]"
+const usageHint = "usage: smartctl {publish|list|promote|rollback|diff|prune} -registry DIR [flags] | smartctl status -fleet ADDR,... [flags]"
 
 func main() {
 	regDir := flag.String("registry", "", "model registry directory; required")
@@ -55,6 +66,10 @@ func main() {
 	scale := flag.Float64("scale", 0.01, "diff/-reference: synthetic corpus scale")
 	seed := flag.Int64("seed", 1, "diff/-reference: synthetic corpus seed")
 	workers := flag.Int("workers", 0, "diff: scoring parallelism (0 = NumCPU)")
+	fleetAddrs := flag.String("fleet", "", "status: comma-separated telemetry addresses of the gateways and shards to scrape (their -telemetry-addr)")
+	window := flag.Duration("window", 2*time.Second, "status: time between the two /metrics scrapes that anchor the rate columns")
+	top := flag.Int("top", 5, "status: slowest traces to show")
+	jsonOut := flag.Bool("json", false, "status: emit the merged fleet status as JSON instead of tables")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
 		fmt.Fprintln(os.Stderr, usageHint)
@@ -65,6 +80,12 @@ func main() {
 	flag.Parse()
 	ctx := app.Start()
 	defer app.Close()
+
+	// status talks to running processes, not to a registry directory.
+	if cmd == "status" {
+		runStatus(ctx, *fleetAddrs, *window, *top, *jsonOut)
+		return
+	}
 
 	if *regDir == "" {
 		app.Fatal(fmt.Errorf("-registry is required (%s)", usageHint))
@@ -108,6 +129,32 @@ func main() {
 	default:
 		app.Fatal(fmt.Errorf("unknown command %q (%s)", cmd, usageHint))
 	}
+}
+
+// runStatus scrapes every fleet node's /metrics (twice, window apart)
+// and /debug/traces, and renders the merged view: per-shard verdict
+// rates, p99 latency, shed rates, model versions and drift state, the
+// gateway's per-shard forwarding and probe RTTs, and the slowest traces
+// with per-hop attribution.
+func runStatus(ctx context.Context, fleetAddrs string, window time.Duration, top int, jsonOut bool) {
+	if fleetAddrs == "" {
+		app.Fatal(fmt.Errorf("status needs -fleet ADDR,... (each node's -telemetry-addr)"))
+	}
+	addrs := strings.Split(fleetAddrs, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	st, err := fleet.CollectStatus(ctx, addrs, fleet.CollectConfig{Window: window, Top: top})
+	if err != nil {
+		app.Fatal(err)
+	}
+	if jsonOut {
+		if err := st.WriteJSON(os.Stdout); err != nil {
+			app.Fatal(err)
+		}
+		return
+	}
+	st.Render(os.Stdout)
 }
 
 func short(sha string) string {

@@ -33,6 +33,7 @@ import (
 
 	"twosmart/internal/cli"
 	"twosmart/internal/cluster"
+	"twosmart/internal/trace"
 )
 
 var app = cli.New("smartgw")
@@ -45,9 +46,14 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 3*time.Second, "upstream dial + handshake / probe round-trip budget")
 	queueDepth := flag.Int("queue-depth", 4096, "per-connection ingress queue depth; beyond it the oldest samples are shed")
 	reportOut := flag.String("report", "", "write the machine-readable run report (JSON, includes the cluster_* counters) to this file (- for stdout)")
+	traceSample := flag.Int("trace-sample", 1024, "capture one gateway-tier trace per this many forwarded samples (0 = tracing off; served at /debug/traces with -telemetry-addr)")
+	traceDepth := flag.Int("trace-depth", 256, "trace ring capacity (rounded up to a power of two)")
 	flag.Parse()
 	ctx := app.Start()
 	defer app.Close()
+
+	tracer := trace.New(trace.Config{SampleEvery: *traceSample, Depth: *traceDepth})
+	app.DebugHandle("/debug/traces", tracer.Handler())
 
 	if *shards == "" {
 		app.Fatal(fmt.Errorf("-shards is required (comma-separated smartserve addresses)"))
@@ -64,6 +70,7 @@ func main() {
 		DialTimeout:   *dialTimeout,
 		QueueDepth:    *queueDepth,
 		Telemetry:     app.Telemetry,
+		Tracer:        tracer,
 		Log:           app.Log,
 	})
 	if err != nil {

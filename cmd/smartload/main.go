@@ -39,6 +39,7 @@ import (
 	"twosmart/internal/corpus"
 	"twosmart/internal/dataset"
 	"twosmart/internal/serve"
+	"twosmart/internal/telemetry"
 	"twosmart/internal/wire"
 )
 
@@ -54,6 +55,7 @@ func main() {
 	clusterMode := flag.Bool("cluster", false, "load a smartgw gateway: report per-shard routing and throughput skew (give the fleet with -shards)")
 	shardsFlag := flag.String("shards", "", "with -cluster: comma-separated shard addresses behind the gateway, used to predict consistent-hash placement")
 	replicas := flag.Int("replicas", cluster.DefaultReplicas, "with -cluster: virtual nodes per shard (must match smartgw -replicas)")
+	reportOut := flag.String("report", "", "write the machine-readable run report (JSON: throughput, latency and heartbeat RTT histograms) to this file (- for stdout)")
 	flag.Parse()
 
 	// Fail fast on nonsense sizing before spinning up telemetry or
@@ -194,9 +196,60 @@ func main() {
 		fmt.Printf("latency  p50=%s p95=%s p99=%s max=%s\n",
 			quantile(agg.latencies, 0.50), quantile(agg.latencies, 0.95),
 			quantile(agg.latencies, 0.99), quantile(agg.latencies, 1))
+		// Fold the exact latency samples into the run-report histogram.
+		lat := app.Telemetry.Histogram("load_verdict_latency_seconds", telemetry.LatencyBuckets)
+		for _, l := range agg.latencies {
+			lat.Observe(l)
+		}
+	}
+	if hb := hbHist().Summary(); hb.Count > 0 {
+		fmt.Printf("hb rtt   p50=%s p99=%s max=%s (%d echoes)\n",
+			time.Duration(hb.P50*float64(time.Second)),
+			time.Duration(hb.P99*float64(time.Second)),
+			time.Duration(hb.Max*float64(time.Second)), hb.Count)
 	}
 	if *clusterMode && len(fleet) > 0 {
 		skewReport(results, fleet, *replicas, *streams)
+	}
+	if *reportOut != "" {
+		writeReport(*reportOut, agg, elapsed, welcome)
+	}
+}
+
+// hbHist is the heartbeat-RTT histogram every connection's receiver
+// feeds; it rides into the -report document like any other metric.
+func hbHist() telemetry.Histogram {
+	return app.Telemetry.Histogram("load_heartbeat_rtt_seconds", telemetry.LatencyBuckets)
+}
+
+// writeReport emits the RunReport-shaped JSON artifact: the headline
+// throughput/latency figures in Results, plus every histogram the run
+// recorded (verdict latency, heartbeat RTT).
+func writeReport(path string, agg connResult, elapsed time.Duration, welcome wire.Welcome) {
+	rep := app.Telemetry.Report(app.Tool)
+	rep.Results["samples_sent"] = float64(agg.sent)
+	rep.Results["verdicts"] = float64(agg.verdicts)
+	rep.Results["shed"] = float64(agg.shed)
+	rep.Results["alarms"] = float64(agg.alarms)
+	rep.Results["wall_s"] = elapsed.Seconds()
+	rep.Results["samples_per_s"] = float64(agg.sent) / elapsed.Seconds()
+	rep.Results["verdicts_per_s"] = float64(agg.verdicts) / elapsed.Seconds()
+	if agg.sent > 0 {
+		rep.Results["shed_rate"] = float64(agg.shed) / float64(agg.sent)
+	}
+	if len(agg.latencies) > 0 { // already sorted by the summary print
+		rep.Results["latency_p50_s"] = quantile(agg.latencies, 0.50).Seconds()
+		rep.Results["latency_p95_s"] = quantile(agg.latencies, 0.95).Seconds()
+		rep.Results["latency_p99_s"] = quantile(agg.latencies, 0.99).Seconds()
+	}
+	rep.Results["model_version"] = float64(welcome.ModelVersion)
+	rep.Notes = map[string]string{"model": welcome.Model}
+	if err := rep.WriteFile(path); err != nil {
+		app.Log.Error("write run report", "path", path, "err", err)
+		return
+	}
+	if path != "-" {
+		app.Log.Info("wrote run report", "path", path)
 	}
 }
 
@@ -305,6 +358,13 @@ func driveConn(ctx context.Context, addr string, ci, streams, samples int, inter
 				break
 			}
 			switch fr := f.(type) {
+			case wire.Heartbeat:
+				// Echo of a probe this sender stamped with its send time:
+				// the round trip measures wire + server turnaround without
+				// any scoring in the path.
+				if rtt := time.Since(time.Unix(0, int64(fr.Nanos))).Seconds(); rtt > 0 {
+					hbHist().Observe(rtt)
+				}
 			case wire.Verdict:
 				r.verdicts++
 				if fr.Flags&wire.FlagAlarm != 0 {
@@ -364,8 +424,13 @@ send:
 			res.sent++
 		}
 		// Flush in bursts so frames actually hit the wire while keeping
-		// syscalls amortised.
+		// syscalls amortised. Each burst carries one heartbeat probe so the
+		// run samples wire RTT alongside verdict latency.
 		if i%64 == 63 {
+			if err := c.Heartbeat(uint64(time.Now().UnixNano())); err != nil {
+				res.err = err
+				break send
+			}
 			if err := c.Flush(); err != nil {
 				res.err = err
 				break send

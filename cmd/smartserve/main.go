@@ -51,6 +51,7 @@ import (
 	"twosmart/internal/registry"
 	"twosmart/internal/serve"
 	"twosmart/internal/shadow"
+	"twosmart/internal/trace"
 )
 
 var app = cli.New("smartserve")
@@ -72,9 +73,14 @@ func main() {
 	alpha := flag.Float64("alpha", 0, "EWMA smoothing coefficient in (0,1] (0 = monitor default)")
 	raise := flag.Float64("raise", 0, "smoothed score above which the alarm raises (0 = monitor default)")
 	clear := flag.Float64("clear", 0, "smoothed score below which the alarm clears (0 = monitor default)")
+	traceSample := flag.Int("trace-sample", 1024, "capture one end-to-end trace per this many scored samples (0 = tracing off; served at /debug/traces with -telemetry-addr)")
+	traceDepth := flag.Int("trace-depth", 256, "trace ring capacity (rounded up to a power of two)")
 	flag.Parse()
 	ctx := app.Start()
 	defer app.Close()
+
+	tracer := trace.New(trace.Config{SampleEvery: *traceSample, Depth: *traceDepth})
+	app.DebugHandle("/debug/traces", tracer.Handler())
 
 	if *shard {
 		app.Log = app.Log.With("role", "shard")
@@ -116,6 +122,7 @@ func main() {
 		Workers:      *workers,
 		IdleTimeout:  *idleTimeout,
 		Telemetry:    app.Telemetry,
+		Tracer:       tracer,
 		Log:          app.Log,
 	})
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"flag"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -83,11 +84,26 @@ func (a *App) Start() context.Context {
 			a.Fatal(err)
 		}
 		a.server = srv
+		// Readiness follows the signal context: the first SIGINT/SIGTERM
+		// starts the graceful drain, so /healthz flips to 503 while the
+		// other endpoints keep serving the drain's telemetry.
+		go func() {
+			<-ctx.Done()
+			srv.SetDraining()
+		}()
 		a.Log.Info("telemetry server listening",
 			"addr", srv.Addr(),
-			"endpoints", "/metrics /debug/vars /debug/pprof/")
+			"endpoints", "/metrics /healthz /debug/vars /debug/pprof/")
 	}
 	return ctx
+}
+
+// DebugHandle mounts an extra handler (e.g. /debug/traces) on the debug
+// server. A no-op when -telemetry-addr is unset; call after Start.
+func (a *App) DebugHandle(pattern string, h http.Handler) {
+	if a.server != nil {
+		a.server.Handle(pattern, h)
+	}
 }
 
 // Quiet reports whether -quiet was set.

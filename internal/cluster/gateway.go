@@ -46,6 +46,7 @@ import (
 	"twosmart/internal/serve"
 	"twosmart/internal/session"
 	"twosmart/internal/telemetry"
+	"twosmart/internal/trace"
 	"twosmart/internal/wire"
 )
 
@@ -68,6 +69,12 @@ type Config struct {
 	QueueDepth int
 	// Telemetry, when non-nil, receives the cluster_* metric families.
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, samples forwarded batches into gateway-tier
+	// trace records (queue wait, routing/assembly, upstream write). The
+	// forwarded Sample frames additionally carry the gateway's ingress
+	// stamp regardless of Tracer, so the shard tier can attribute the
+	// gateway→shard hop in its own end-to-end records.
+	Tracer *trace.Tracer
 	// Log receives lifecycle events (default slog.Default).
 	Log *slog.Logger
 }
@@ -122,6 +129,7 @@ type shardMetrics struct {
 	forwarded telemetry.Counter
 	relayed   telemetry.Counter
 	up        telemetry.Gauge
+	probeRTT  telemetry.Gauge
 }
 
 // Gateway accepts agent connections and routes their streams across the
@@ -204,6 +212,7 @@ func (g *Gateway) metricsForLocked(shard string) *shardMetrics {
 			forwarded: reg.Counter(telemetry.Label("cluster_samples_forwarded_total", "shard", shard)),
 			relayed:   reg.Counter(telemetry.Label("cluster_verdicts_relayed_total", "shard", shard)),
 			up:        reg.Gauge(telemetry.Label("cluster_shard_up", "shard", shard)),
+			probeRTT:  reg.Gauge(telemetry.Label("cluster_probe_rtt_seconds", "shard", shard)),
 		}
 		g.perSh[shard] = m
 	}
@@ -288,8 +297,9 @@ func (g *Gateway) checkShard(ctx context.Context, shard string) bool {
 		g.mu.Unlock()
 		cli = c
 	}
+	probeStart := time.Now()
 	ok := func() bool {
-		if err := cli.Heartbeat(uint64(time.Now().UnixNano())); err != nil {
+		if err := cli.Heartbeat(uint64(probeStart.UnixNano())); err != nil {
 			return false
 		}
 		if err := cli.Flush(); err != nil {
@@ -304,6 +314,9 @@ func (g *Gateway) checkShard(ctx context.Context, shard string) bool {
 		_, isHB := f.(wire.Heartbeat)
 		return isHB
 	}()
+	if ok {
+		g.metricsFor(shard).probeRTT.Set(time.Since(probeStart).Seconds())
+	}
 	if !ok {
 		g.healthFailures.Inc()
 		cli.Close()
@@ -547,7 +560,10 @@ func (c *gconn) readLoop() error {
 				return fmt.Errorf("sample width %d, want %d", len(fr.Features), numFeatures)
 			}
 			c.g.samplesIn.Inc()
-			if c.eng.Push(fr.Stream, fr.Seq, time.Now(), fr.Features) {
+			// Origin 0: the gateway is the fleet's ingress edge; its own
+			// receive time (the Push timestamp) becomes the stamp the
+			// forwarder puts on the upstream Sample frames.
+			if c.eng.Push(fr.Stream, fr.Seq, 0, time.Now(), fr.Features) {
 				c.g.shed.Inc()
 			}
 		case wire.OpenStream:
@@ -843,9 +859,16 @@ func (st *fwdStream) ensureRoute() *upstream {
 // Process forwards one micro-batch to the stream's shard, rerouting and
 // re-sending the whole batch once if the send hits a dead upstream. With
 // no healthy shard the batch is dropped and counted; the agent connection
-// survives.
+// survives. When the gateway traces, one sample per sampled batch gets a
+// gateway-tier record attributing ring wait, routing/assembly and the
+// upstream write.
 func (st *fwdStream) Process(b session.Batch) error {
 	g := st.f.c.g
+	traceIdx, traceID, traced := g.cfg.Tracer.SampleBatch(b.Len())
+	var sendStart time.Time
+	if traced {
+		sendStart = time.Now()
+	}
 	for attempt := 0; attempt < 2; attempt++ {
 		up := st.ensureRoute()
 		if up == nil {
@@ -857,15 +880,55 @@ func (st *fwdStream) Process(b session.Batch) error {
 		}
 		st.sent += uint64(b.Len())
 		up.met.forwarded.Add(uint64(b.Len()))
+		if traced {
+			st.capture(b, traceIdx, traceID, sendStart, up.shard)
+		}
 		return nil
 	}
 	g.dropped.Add(uint64(b.Len()))
 	return nil
 }
 
+// capture assembles the gateway-tier trace record for the sampled sample
+// at batch index i: HopQueue is the ingress-ring wait, HopAssembly the
+// drain→send grouping and routing, HopEmit the upstream write(s)
+// (including any failover re-send). HopGateway and HopScore stay zero —
+// the matching shard-tier record owns those.
+func (st *fwdStream) capture(b session.Batch, i int, traceID uint64, sendStart time.Time, shard string) {
+	g := st.f.c.g
+	sendEnd := time.Now()
+	at := b.Ats[i]
+	rec := trace.Record{
+		TraceID: traceID,
+		Tier:    trace.TierGateway,
+		App:     st.app,
+		Shard:   shard,
+		Stream:  st.id,
+		Seq:     b.Seqs[i],
+	}
+	rec.Hops[trace.HopQueue] = maxNanos(b.DrainedAt.Sub(at), 0)
+	rec.Hops[trace.HopAssembly] = maxNanos(sendStart.Sub(b.DrainedAt), 0)
+	rec.Hops[trace.HopEmit] = sendEnd.Sub(sendStart).Nanoseconds()
+	for _, h := range rec.Hops {
+		rec.TotalNanos += h
+	}
+	rec.StartNanos = sendEnd.UnixNano() - rec.TotalNanos
+	g.cfg.Tracer.Add(rec)
+}
+
+func maxNanos(d time.Duration, floor int64) int64 {
+	if n := d.Nanoseconds(); n > floor {
+		return n
+	}
+	return floor
+}
+
 func (st *fwdStream) sendBatch(up *upstream, b session.Batch) error {
 	for i := range b.Samples {
-		if err := up.cli.Send(st.id, b.Seqs[i], b.Samples[i]); err != nil {
+		// Stamp the gateway's ingress time (when its read loop accepted the
+		// sample) onto the forwarded frame: the shard subtracts it from its
+		// own ingress clock to attribute the gateway→shard hop.
+		if err := up.cli.SendAt(st.id, b.Seqs[i], b.Ats[i].UnixNano(), b.Samples[i]); err != nil {
 			return err
 		}
 	}

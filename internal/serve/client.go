@@ -116,6 +116,14 @@ func (c *Client) Send(stream, seq uint32, features []float64) error {
 	return c.write(wire.Sample{Stream: stream, Seq: seq, Features: features})
 }
 
+// SendAt is Send with an upstream ingress stamp (unix nanos): the
+// gateway tier uses it to stamp its own ingress time onto forwarded
+// samples so the scoring shard can attribute the gateway→shard hop in
+// end-to-end trace records.
+func (c *Client) SendAt(stream, seq uint32, ingressNanos int64, features []float64) error {
+	return c.write(wire.Sample{Stream: stream, Seq: seq, IngressNanos: uint64(ingressNanos), Features: features})
+}
+
 // CloseStream ends a stream; the server answers with a StreamSummary.
 func (c *Client) CloseStream(stream uint32) error {
 	return c.write(wire.CloseStream{Stream: stream})

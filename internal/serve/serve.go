@@ -67,6 +67,7 @@ import (
 	"twosmart/internal/session"
 	"twosmart/internal/shadow"
 	"twosmart/internal/telemetry"
+	"twosmart/internal/trace"
 	"twosmart/internal/wire"
 )
 
@@ -116,6 +117,11 @@ type Config struct {
 	// Telemetry, when non-nil, receives the serve_* metric families and
 	// the monitor layer's per-app instruments. Nil disables them.
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, samples scored chunks into end-to-end trace
+	// records (internal/trace): per-hop attribution from gateway ingress
+	// (wire.Sample.IngressNanos, when stamped) through ring wait, batch
+	// assembly, scoring and verdict emission. Nil disables tracing.
+	Tracer *trace.Tracer
 	// Log receives connection lifecycle events (default slog.Default).
 	Log *slog.Logger
 }
@@ -386,6 +392,8 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) {
 		Monitor:  s.cfg.Monitor,
 		MaxBatch: s.cfg.MaxBatch,
 		Tap:      c.tap,
+		Tracer:   s.cfg.Tracer,
+		Latency:  s.latency,
 		Hook:     s.scoreHook,
 	})
 	if err != nil {
@@ -530,7 +538,7 @@ func (c *conn) readLoop() error {
 				return fmt.Errorf("sample width %d, want %d", len(fr.Features), c.s.numFeatures)
 			}
 			c.s.samplesIn.Inc()
-			if c.eng.Push(fr.Stream, fr.Seq, time.Now(), fr.Features) {
+			if c.eng.Push(fr.Stream, fr.Seq, int64(fr.IngressNanos), time.Now(), fr.Features) {
 				c.s.shed.Inc()
 			}
 		case wire.OpenStream:

@@ -6,12 +6,15 @@ import (
 )
 
 // item is one queued ingress sample: which stream it belongs to, the
-// client's sequence number, the ingress timestamp (for the end-to-end
-// verdict latency histogram) and the feature vector, copied into a
-// ring-owned buffer that is recycled once the sample is scored or shed.
+// client's sequence number, the upstream-tier ingress stamp (unix nanos
+// from the gateway, 0 when the agent sent directly), the local ingress
+// timestamp (for the end-to-end verdict latency histogram) and the
+// feature vector, copied into a ring-owned buffer that is recycled once
+// the sample is scored or shed.
 type item struct {
 	stream   uint32
 	seq      uint32
+	origin   int64
 	at       time.Time
 	features []float64
 }
@@ -57,7 +60,7 @@ func (r *ring) grab(n int) []float64 {
 
 // push copies features into the queue. When the ring is full it sheds the
 // oldest queued sample first and reports shed=true.
-func (r *ring) push(stream, seq uint32, at time.Time, features []float64) (shed bool) {
+func (r *ring) push(stream, seq uint32, origin int64, at time.Time, features []float64) (shed bool) {
 	r.mu.Lock()
 	if r.n == len(r.buf) {
 		oldest := &r.buf[r.head]
@@ -72,7 +75,7 @@ func (r *ring) push(stream, seq uint32, at time.Time, features []float64) (shed 
 	slot := &r.buf[(r.head+r.n)%len(r.buf)]
 	buf := r.grab(len(features))
 	copy(buf, features)
-	*slot = item{stream: stream, seq: seq, at: at, features: buf}
+	*slot = item{stream: stream, seq: seq, origin: origin, at: at, features: buf}
 	r.n++
 	r.mu.Unlock()
 	return shed

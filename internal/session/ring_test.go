@@ -10,7 +10,7 @@ func TestRingDropOldest(t *testing.T) {
 	r := newRing(3)
 	now := time.Now()
 	for seq := uint32(0); seq < 5; seq++ {
-		shed := r.push(1, seq, now, []float64{float64(seq)})
+		shed := r.push(1, seq, 0, now, []float64{float64(seq)})
 		if want := seq >= 3; shed != want {
 			t.Fatalf("push %d: shed=%v, want %v", seq, shed, want)
 		}
@@ -40,9 +40,9 @@ func TestRingDropOldest(t *testing.T) {
 func TestRingShedCountsPerStream(t *testing.T) {
 	r := newRing(1)
 	now := time.Now()
-	r.push(1, 0, now, []float64{0})
-	r.push(2, 0, now, []float64{0}) // sheds stream 1's sample
-	r.push(2, 1, now, []float64{0}) // sheds stream 2's
+	r.push(1, 0, 0, now, []float64{0})
+	r.push(2, 0, 0, now, []float64{0}) // sheds stream 1's sample
+	r.push(2, 1, 0, now, []float64{0}) // sheds stream 2's
 	total, s1 := r.shedCounts(1)
 	_, s2 := r.shedCounts(2)
 	if total != 2 || s1 != 1 || s2 != 1 {
@@ -59,7 +59,7 @@ func TestRingRecycles(t *testing.T) {
 	var dst []item
 	warm := func() {
 		for seq := uint32(0); seq < 4; seq++ {
-			r.push(1, seq, now, fv)
+			r.push(1, seq, 0, now, fv)
 		}
 		dst = r.drainInto(dst[:0])
 		for _, it := range dst {
@@ -71,7 +71,7 @@ func TestRingRecycles(t *testing.T) {
 		t.Fatalf("warm push/drain/recycle cycle allocates %.1f times, want 0", allocs)
 	}
 	// Pushing a copy must not alias the caller's slice.
-	r.push(1, 0, now, fv)
+	r.push(1, 0, 0, now, fv)
 	fv[0] = 99
 	if got := r.drainInto(nil)[0].features[0]; got != 1 {
 		t.Fatalf("ring aliased the caller's buffer: got %v", got)
@@ -96,7 +96,7 @@ func TestRingConcurrentProducerConsumer(t *testing.T) {
 			for seq := uint32(0); seq < perProducer; seq++ {
 				// Encode (stream, seq) into the payload so the consumer can
 				// detect cross-item buffer corruption.
-				r.push(stream, seq, time.Time{}, []float64{float64(stream), float64(seq), 7})
+				r.push(stream, seq, 0, time.Time{}, []float64{float64(stream), float64(seq), 7})
 			}
 		}(uint32(p))
 	}

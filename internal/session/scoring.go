@@ -7,6 +7,8 @@ import (
 	"twosmart/internal/core"
 	"twosmart/internal/drift"
 	"twosmart/internal/monitor"
+	"twosmart/internal/telemetry"
+	"twosmart/internal/trace"
 )
 
 // Generation is one servable model generation as the scoring handler
@@ -57,6 +59,15 @@ type ScoringConfig struct {
 	// are computed — the shadow-scoring hook. Slices are engine-owned and
 	// valid only during the call.
 	Tap func(samples [][]float64, verdicts []core.Verdict, scores []float64)
+	// Tracer, when non-nil, samples scored chunks into end-to-end trace
+	// records with per-hop attribution (gateway → ring wait → assembly →
+	// score → emit). The unsampled path costs one atomic add per chunk.
+	Tracer *trace.Tracer
+	// Latency, when non-nil, receives a histogram exemplar (the traced
+	// sample's end-to-end seconds keyed by trace ID) for every sampled
+	// trace. The serve transport passes its verdict-latency histogram so
+	// /metrics p99s link back to /debug/traces records.
+	Latency telemetry.Histogram
 	// Hook, when non-nil (tests only), runs before every per-stream
 	// scoring round; a slow hook makes load-shedding deterministic.
 	Hook func()
@@ -85,6 +96,9 @@ func NewScoring(cfg ScoringConfig) (*Scoring, error) {
 	}
 	if cfg.MaxBatch < 1 {
 		return nil, fmt.Errorf("session: max batch %d below 1", cfg.MaxBatch)
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = telemetry.NopHistogram
 	}
 	tr, err := monitor.NewTrackerFactory(func() monitor.Scorer {
 		return cfg.Source().Detector.Compile()
@@ -165,6 +179,13 @@ func (st *scoredStream) Process(b Batch) error {
 			end = pending
 		}
 		n := end - off
+		// One sampling decision per chunk: a single atomic add when not
+		// chosen, three time.Now calls bracketing score and emit when it is.
+		traceIdx, traceID, traced := s.cfg.Tracer.SampleBatch(n)
+		var scoreStart time.Time
+		if traced {
+			scoreStart = time.Now()
+		}
 		verdicts := st.verdicts[:n]
 		scores := st.scores[:n]
 		events := st.events[:n]
@@ -182,11 +203,60 @@ func (st *scoredStream) Process(b Batch) error {
 		if s.cfg.Tap != nil {
 			s.cfg.Tap(b.Samples[off:end], verdicts, scores)
 		}
+		var scoreEnd time.Time
+		if traced {
+			scoreEnd = time.Now()
+		}
 		if err := s.cfg.Emit.Verdicts(st.id, st.version, b.Seqs[off:end], b.Ats[off:end], verdicts, scores, events); err != nil {
 			return err
 		}
+		if traced {
+			st.capture(b, off+traceIdx, traceID, scoreStart, scoreEnd)
+		}
 	}
 	return nil
+}
+
+// capture assembles the end-to-end trace record for the sampled sample
+// at batch index i and publishes it. The hops telescope over one
+// interval — gateway ingress (or local ingress, for direct agents) →
+// verdict handed to the emitter — so their sum equals TotalNanos by
+// construction; only HopGateway crosses a process boundary and relies on
+// wall clocks (clamped at zero against skew), every other hop is a
+// monotonic same-process delta.
+func (st *scoredStream) capture(b Batch, i int, traceID uint64, scoreStart, scoreEnd time.Time) {
+	s := st.s
+	emitEnd := time.Now()
+	at := b.Ats[i]
+	rec := trace.Record{
+		TraceID: traceID,
+		Tier:    trace.TierShard,
+		App:     st.app,
+		Stream:  st.id,
+		Seq:     b.Seqs[i],
+	}
+	if origin := b.Origins[i]; origin > 0 {
+		if gw := at.UnixNano() - origin; gw > 0 {
+			rec.Hops[trace.HopGateway] = gw
+		}
+	}
+	rec.Hops[trace.HopQueue] = max64(b.DrainedAt.Sub(at).Nanoseconds(), 0)
+	rec.Hops[trace.HopAssembly] = max64(scoreStart.Sub(b.DrainedAt).Nanoseconds(), 0)
+	rec.Hops[trace.HopScore] = scoreEnd.Sub(scoreStart).Nanoseconds()
+	rec.Hops[trace.HopEmit] = emitEnd.Sub(scoreEnd).Nanoseconds()
+	for _, h := range rec.Hops {
+		rec.TotalNanos += h
+	}
+	rec.StartNanos = emitEnd.UnixNano() - rec.TotalNanos
+	s.cfg.Tracer.Add(rec)
+	s.cfg.Latency.Exemplar(float64(rec.TotalNanos)/1e9, traceID)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Close removes the stream's monitor and emits its session summary.

@@ -45,10 +45,18 @@ import (
 // call: Samples[i] (with client sequence Seqs[i], received at Ats[i]) is
 // a recycled ring buffer that goes back on the free list as soon as
 // Process returns. Handlers that retain samples must copy.
+//
+// Origins[i] is the upstream tier's unix-nano ingress stamp for the
+// sample (0 when the agent talked to this process directly); DrainedAt
+// is the single timestamp at which this round's ring drain happened.
+// Both exist for trace hop attribution (internal/trace) and cost the
+// unsampled path nothing beyond the slice append.
 type Batch struct {
-	Samples [][]float64
-	Seqs    []uint32
-	Ats     []time.Time
+	Samples   [][]float64
+	Seqs      []uint32
+	Ats       []time.Time
+	Origins   []int64
+	DrainedAt time.Time
 }
 
 // Len returns the number of samples in the batch.
@@ -168,6 +176,7 @@ type entry struct {
 	samples [][]float64
 	seqs    []uint32
 	ats     []time.Time
+	origins []int64
 }
 
 // Engine is one connection's stream pump. The reader goroutine feeds it
@@ -202,10 +211,12 @@ func New(cfg Config) (*Engine, error) {
 
 // Push copies one sample into the ingress ring, waking the worker. It
 // reports whether the ring shed its oldest queued sample to make room —
-// the caller owns the shed telemetry. Safe to call from the reader
-// goroutine concurrently with Run.
-func (e *Engine) Push(stream, seq uint32, at time.Time, features []float64) (shed bool) {
-	shed = e.q.push(stream, seq, at, features)
+// the caller owns the shed telemetry. origin is the upstream tier's
+// unix-nano ingress stamp (wire.Sample.IngressNanos; 0 for direct
+// agents), threaded through to Batch.Origins for trace attribution.
+// Safe to call from the reader goroutine concurrently with Run.
+func (e *Engine) Push(stream, seq uint32, origin int64, at time.Time, features []float64) (shed bool) {
+	shed = e.q.push(stream, seq, origin, at, features)
 	e.wake()
 	return shed
 }
@@ -277,6 +288,7 @@ func (e *Engine) round() error {
 
 	e.drain = e.q.drainInto(e.drain[:0])
 	if len(e.drain) > 0 {
+		drainedAt := time.Now()
 		e.cfg.BatchSize.Observe(float64(len(e.drain)))
 		e.touched = e.touched[:0]
 		for i := range e.drain {
@@ -293,6 +305,7 @@ func (e *Engine) round() error {
 			st.samples = append(st.samples, it.features)
 			st.seqs = append(st.seqs, it.seq)
 			st.ats = append(st.ats, it.at)
+			st.origins = append(st.origins, it.origin)
 		}
 		// Per-stream fan-out: each stream's processing state is
 		// goroutine-isolated (see the package doc), so streams process
@@ -302,7 +315,7 @@ func (e *Engine) round() error {
 		err := parallel.ForEach(context.Background(), len(e.touched), parallel.Options{Workers: e.cfg.Workers},
 			func(_ context.Context, i int) error {
 				st := e.touched[i]
-				return st.h.Process(Batch{Samples: st.samples, Seqs: st.seqs, Ats: st.ats})
+				return st.h.Process(Batch{Samples: st.samples, Seqs: st.seqs, Ats: st.ats, Origins: st.origins, DrainedAt: drainedAt})
 			})
 		for _, st := range e.touched {
 			for _, buf := range st.samples {
@@ -311,6 +324,7 @@ func (e *Engine) round() error {
 			st.samples = st.samples[:0]
 			st.seqs = st.seqs[:0]
 			st.ats = st.ats[:0]
+			st.origins = st.origins[:0]
 		}
 		if err != nil {
 			return err

@@ -105,8 +105,8 @@ func TestEngineOpenProcessClose(t *testing.T) {
 	e.Open(1, "appA")
 	e.Open(2, "appB")
 	for i := 0; i < 5; i++ {
-		e.Push(1, uint32(i), time.Now(), []float64{float64(i), 1})
-		e.Push(2, uint32(i), time.Now(), []float64{float64(i), 2})
+		e.Push(1, uint32(i), 0, time.Now(), []float64{float64(i), 1})
+		e.Push(2, uint32(i), 0, time.Now(), []float64{float64(i), 2})
 	}
 	e.Close(1)
 	e.Close(2)
@@ -153,10 +153,10 @@ func TestEngineRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Open(1, "appA")
-	e.Open(1, "appB")                      // duplicate stream id
-	e.Open(2, "appA")                      // duplicate app
-	e.Push(9, 0, time.Now(), []float64{1}) // unknown stream
-	e.Close(7)                             // unknown close
+	e.Open(1, "appB")                         // duplicate stream id
+	e.Open(2, "appA")                         // duplicate app
+	e.Push(9, 0, 0, time.Now(), []float64{1}) // unknown stream
+	e.Close(7)                                // unknown close
 	run(t, e)
 
 	want := []string{
@@ -189,7 +189,7 @@ func TestEngineShedAccounting(t *testing.T) {
 	e.Open(1, "appA")
 	shed := 0
 	for i := 0; i < 10; i++ {
-		if e.Push(1, uint32(i), time.Now(), []float64{float64(i)}) {
+		if e.Push(1, uint32(i), 0, time.Now(), []float64{float64(i)}) {
 			shed++
 		}
 	}
@@ -234,7 +234,7 @@ func TestEngineHandlerErrors(t *testing.T) {
 	h.procErr = boom
 	e, _ = New(Config{Handler: h})
 	e.Open(1, "appA")
-	e.Push(1, 0, time.Now(), []float64{1})
+	e.Push(1, 0, 0, time.Now(), []float64{1})
 	if err := e.Run(done); !errors.Is(err, boom) {
 		t.Fatalf("Run after process error = %v, want %v", err, boom)
 	}
@@ -264,7 +264,7 @@ func TestEngineConcurrentProducer(t *testing.T) {
 		go func(s uint32) {
 			defer wg.Done()
 			for i := 0; i < perStream; i++ {
-				e.Push(s, uint32(i), time.Now(), []float64{float64(s), float64(i)})
+				e.Push(s, uint32(i), 0, time.Now(), []float64{float64(s), float64(i)})
 			}
 		}(s)
 	}

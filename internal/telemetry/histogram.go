@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -24,15 +25,27 @@ var LatencyBuckets = []float64{
 // HistogramSummary is a point-in-time digest of a histogram. Quantiles are
 // estimated by linear interpolation inside the owning bucket, so their
 // error is bounded by that bucket's width; Min and Max are exact.
+// Exemplars, when any were offered, are the slowest traced observations
+// in descending value order.
 type HistogramSummary struct {
-	Count uint64  `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
+	Count     uint64           `json:"count"`
+	Sum       float64          `json:"sum"`
+	Min       float64          `json:"min"`
+	Max       float64          `json:"max"`
+	P50       float64          `json:"p50"`
+	P95       float64          `json:"p95"`
+	P99       float64          `json:"p99"`
+	Exemplars []ExemplarRecord `json:"exemplars,omitempty"`
 }
+
+// ExemplarRecord links one observed value to the trace that produced it.
+type ExemplarRecord struct {
+	Value   float64 `json:"value"`
+	TraceID uint64  `json:"trace_id"`
+}
+
+// maxExemplars bounds the slowest-K exemplar set kept per histogram.
+const maxExemplars = 8
 
 // Mean returns Sum/Count, or 0 for an empty histogram.
 func (s HistogramSummary) Mean() float64 {
@@ -49,6 +62,12 @@ type histogram struct {
 	sumBits atomic.Uint64
 	minBits atomic.Uint64 // valid only when count > 0
 	maxBits atomic.Uint64
+
+	// Exemplars arrive only for trace-sampled observations (a small
+	// fraction of Observe traffic), so a mutex-guarded slowest-K set is
+	// cheap enough and keeps Summary torn-read free.
+	exMu sync.Mutex
+	ex   []ExemplarRecord
 }
 
 func newHistogram(bounds []float64) *histogram {
@@ -74,6 +93,24 @@ func (h *histogram) Observe(v float64) {
 
 func (h *histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// Exemplar keeps the slowest maxExemplars traced observations. The set is
+// maintained sorted descending; a new value below the current floor of a
+// full set is rejected in O(1).
+func (h *histogram) Exemplar(v float64, traceID uint64) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if len(h.ex) == maxExemplars {
+		if v <= h.ex[len(h.ex)-1].Value {
+			return
+		}
+		h.ex = h.ex[:len(h.ex)-1]
+	}
+	i := sort.Search(len(h.ex), func(i int) bool { return h.ex[i].Value < v })
+	h.ex = append(h.ex, ExemplarRecord{})
+	copy(h.ex[i+1:], h.ex[i:])
+	h.ex[i] = ExemplarRecord{Value: v, TraceID: traceID}
+}
+
 func (h *histogram) Summary() HistogramSummary {
 	s := HistogramSummary{
 		Count: h.count.Load(),
@@ -88,6 +125,11 @@ func (h *histogram) Summary() HistogramSummary {
 	s.P50 = quantile(h.bounds, counts, s.Min, s.Max, 0.50)
 	s.P95 = quantile(h.bounds, counts, s.Min, s.Max, 0.95)
 	s.P99 = quantile(h.bounds, counts, s.Min, s.Max, 0.99)
+	h.exMu.Lock()
+	if len(h.ex) > 0 {
+		s.Exemplars = append([]ExemplarRecord(nil), h.ex...)
+	}
+	h.exMu.Unlock()
 	return s
 }
 

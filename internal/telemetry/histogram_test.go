@@ -110,7 +110,8 @@ func TestHistogramSingleValue(t *testing.T) {
 func TestHistogramEmpty(t *testing.T) {
 	h := newHistogram(LatencyBuckets)
 	s := h.Summary()
-	if s != (HistogramSummary{}) {
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 ||
+		s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Exemplars != nil {
 		t.Fatalf("empty summary = %+v, want zero value", s)
 	}
 	if s.Mean() != 0 {

@@ -16,14 +16,18 @@ import (
 // serves:
 //
 //	/metrics       Prometheus text exposition of the registry
+//	/healthz       drain-aware readiness (200 until SetDraining, then 503)
 //	/debug/vars    expvar (Go runtime memstats + a "telemetry" snapshot)
 //	/debug/pprof/  the standard pprof profiles (heap, profile, trace, ...)
 //
+// Tools can mount extra endpoints (e.g. /debug/traces) with Handle.
 // Close shuts it down gracefully and leaks no goroutines.
 type Server struct {
-	ln   net.Listener
-	srv  *http.Server
-	done chan struct{}
+	ln       net.Listener
+	srv      *http.Server
+	mux      *http.ServeMux
+	draining atomic.Bool
+	done     chan struct{}
 }
 
 // expvarReg is the registry the process-global expvar "telemetry" variable
@@ -51,16 +55,29 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	})
 
 	mux := http.NewServeMux()
+	s := &Server{
+		ln:   ln,
+		mux:  mux,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		done: make(chan struct{}),
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "twosmart telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "twosmart telemetry\n\n/metrics\n/healthz\n/debug/vars\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "ok\n")
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -68,12 +85,6 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	s := &Server{
-		ln:   ln,
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
-		done: make(chan struct{}),
-	}
 	go func() {
 		defer close(s.done)
 		s.srv.Serve(ln) // returns http.ErrServerClosed on Shutdown
@@ -83,6 +94,19 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Handle mounts an extra handler on the debug mux (e.g. /debug/traces).
+// Safe to call after the server started serving; panics (like
+// http.ServeMux) on a duplicate pattern.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// SetDraining flips /healthz to 503 so external orchestration stops
+// routing to this process while its graceful drain runs. The metrics and
+// debug endpoints keep serving — a draining process is still observable.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// Draining reports whether SetDraining was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close drains in-flight requests (bounded at 5 s, then hard-closes) and
 // waits for the serve goroutine to exit.

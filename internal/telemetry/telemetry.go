@@ -46,6 +46,11 @@ type Gauge interface {
 type Histogram interface {
 	Observe(v float64)
 	ObserveDuration(d time.Duration)
+	// Exemplar offers one traced observation (value + trace ID). The
+	// histogram keeps the slowest few so a p99 on /metrics can be chased
+	// to a concrete /debug/traces record. Callers invoke it only for
+	// already-sampled observations — it is not a hot-path method.
+	Exemplar(v float64, traceID uint64)
 	Summary() HistogramSummary
 }
 
@@ -67,6 +72,7 @@ type nopHistogram struct{}
 
 func (nopHistogram) Observe(float64)               {}
 func (nopHistogram) ObserveDuration(time.Duration) {}
+func (nopHistogram) Exemplar(float64, uint64)      {}
 func (nopHistogram) Summary() HistogramSummary     { return HistogramSummary{} }
 
 // The shared no-op instruments returned by a nil registry.

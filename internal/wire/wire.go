@@ -35,8 +35,11 @@ import (
 //
 // History: v2 added ModelVersion to Welcome and StreamSummary so agents
 // can tell which registry version scored their stream across a
-// zero-downtime model swap.
-const ProtoVersion = 2
+// zero-downtime model swap. v3 added IngressNanos to Sample so the
+// gateway tier can stamp its ingress wall clock onto forwarded samples,
+// letting the shard attribute gateway→shard latency in end-to-end
+// traces (internal/trace).
+const ProtoVersion = 3
 
 // Codec resource bounds, enforced during decode before any allocation.
 const (
@@ -122,10 +125,15 @@ type OpenStream struct {
 // Sample carries one HPC feature vector for an open stream. Seq is a
 // client-assigned sequence number echoed in the matching Verdict, which
 // lets the agent measure end-to-end latency and detect shed samples.
+// IngressNanos, when nonzero, is the unix-nano wall clock at which an
+// upstream tier (the gateway) first accepted this sample; the scoring
+// shard uses it as the origin of sampled end-to-end trace records.
+// Agents sending directly leave it zero.
 type Sample struct {
-	Stream   uint32
-	Seq      uint32
-	Features []float64
+	Stream       uint32
+	Seq          uint32
+	IngressNanos uint64
+	Features     []float64
 }
 
 // Verdict is the server's classification of one sample: the raw malware
@@ -227,6 +235,7 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 		}
 		dst = appendU32(dst, fr.Stream)
 		dst = appendU32(dst, fr.Seq)
+		dst = appendU64(dst, fr.IngressNanos)
 		dst = appendU16(dst, uint16(len(fr.Features)))
 		for _, v := range fr.Features {
 			dst = appendF64(dst, v)
@@ -365,7 +374,7 @@ func DecodePayload(body []byte, feats []float64) (Frame, error) {
 		f := OpenStream{Stream: r.u32(), App: r.str()}
 		return r.finish(f)
 	case TypeSample:
-		f := Sample{Stream: r.u32(), Seq: r.u32()}
+		f := Sample{Stream: r.u32(), Seq: r.u32(), IngressNanos: r.u64()}
 		n := int(r.u16())
 		if n > MaxFeatures {
 			return nil, fmt.Errorf("wire: sample with %d features exceeds max %d", n, MaxFeatures)

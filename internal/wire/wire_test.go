@@ -20,7 +20,7 @@ func sampleFrames() []Frame {
 		OpenStream{Stream: 7, App: "backdoor-3#2"},
 		Sample{Stream: 7, Seq: 42, Features: []float64{1.5, -0.25, 0, 1e-9}},
 		Sample{Stream: 1, Seq: 0, Features: []float64{}},
-		Sample{Stream: 2, Seq: 1, Features: []float64{math.Inf(1), math.Inf(-1), math.MaxFloat64}},
+		Sample{Stream: 2, Seq: 1, IngressNanos: 1754500000123456789, Features: []float64{math.Inf(1), math.Inf(-1), math.MaxFloat64}},
 		Verdict{Stream: 7, Seq: 42, Flags: FlagMalware | FlagAlarm, Class: 3, Score: 0.93, Smoothed: 0.71},
 		CloseStream{Stream: 7},
 		StreamSummary{Stream: 7, ModelVersion: 2, Samples: 1 << 40, Shed: 12, Alarms: 3, MaxSmoothed: 0.99},
@@ -120,7 +120,7 @@ func TestDecodeRejects(t *testing.T) {
 		{"unknown type", []byte{0, 0, 0, 1, 0x7f}},
 		{"truncated hello", []byte{0, 0, 0, 2, TypeHello, 0}},
 		{"trailing bytes", []byte{0, 0, 0, 6, TypeCloseStream, 0, 0, 0, 1, 0xee}},
-		{"sample feature count lies", []byte{0, 0, 0, 11, TypeSample, 0, 0, 0, 1, 0, 0, 0, 2, 0, 9}},
+		{"sample feature count lies", []byte{0, 0, 0, 19, TypeSample, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9}},
 		{"string over max", append([]byte{0, 0, 0, 5, TypeHello, 0, 1, 0xff, 0xff}, make([]byte, 0)...)},
 	}
 	for _, tc := range cases {
