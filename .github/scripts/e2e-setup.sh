@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Shared setup for the end-to-end smoke jobs: build every service-tier
+# tool into /tmp and train the tiny runtime model(s) the smokes serve.
+#
+#   MODELS=1 (default)  /tmp/det.json                 (seed 1)
+#   MODELS=2            /tmp/det1.json, /tmp/det2.json (seeds 5, 17)
+#
+# Every job gets every tool — the build is seconds on a warm module
+# cache, and one script beats four drifting copies of the same steps.
+set -euo pipefail
+
+MODELS="${MODELS:-1}"
+
+for tool in smartrain smartserve smartgw smartload smartctl; do
+  go build -o "/tmp/$tool" "./cmd/$tool"
+done
+
+if [ "$MODELS" = "2" ]; then
+  /tmp/smartrain -scale 0.002 -runtime -model /tmp/det1.json -seed 5 -quiet
+  /tmp/smartrain -scale 0.002 -runtime -model /tmp/det2.json -seed 17 -quiet
+else
+  /tmp/smartrain -scale 0.002 -runtime -model /tmp/det.json -quiet
+fi

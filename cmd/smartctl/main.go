@@ -14,6 +14,19 @@
 //	smartctl diff     -registry models/ -baseline 2 -candidate 3
 //	smartctl prune    -registry models/ -keep 5
 //	smartctl status   -fleet 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+//	smartctl backtest -registry models/ -log samples/ -version 3
+//	smartctl logverify -log samples/
+//
+// backtest replays a durable sample log (smartserve -samplelog) through
+// a published candidate version at full speed and reports divergence
+// against the verdicts the fleet actually served — the same report shape
+// as diff, but over real recorded traffic instead of the synthetic
+// corpus. -from/-to (RFC3339) and -app narrow the replay window.
+//
+// logverify scans a sample log's segments and reports record counts,
+// torn-tail bytes (a crash mid-append; recovered on next open) and
+// checksum-corrupted records. It exits non-zero when corruption is
+// found, so CI can assert a SIGKILLed log recovered cleanly.
 //
 // status is the fleet observability view: it scrapes each node's
 // /metrics twice (-window apart) and /debug/traces once, autodetects
@@ -30,6 +43,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,12 +59,13 @@ import (
 	"twosmart/internal/fleet"
 	"twosmart/internal/parallel"
 	"twosmart/internal/registry"
+	"twosmart/internal/samplelog"
 	"twosmart/internal/shadow"
 )
 
 var app = cli.New("smartctl")
 
-const usageHint = "usage: smartctl {publish|list|promote|rollback|diff|prune} -registry DIR [flags] | smartctl status -fleet ADDR,... [flags]"
+const usageHint = "usage: smartctl {publish|list|promote|rollback|diff|prune|backtest} -registry DIR [flags] | smartctl status -fleet ADDR,... [flags] | smartctl logverify -log DIR [flags]"
 
 func main() {
 	regDir := flag.String("registry", "", "model registry directory; required")
@@ -59,17 +74,21 @@ func main() {
 	meta := flag.String("meta", "", "publish: training metadata as comma-separated k=v pairs")
 	promote := flag.Bool("promote", false, "publish: make the new version active immediately")
 	withRef := flag.Bool("reference", false, "publish: profile the synthetic corpus and store the feature distribution for drift monitoring")
-	version := flag.Int("version", 0, "promote: version to make active")
+	version := flag.Int("version", 0, "promote: version to make active; backtest: candidate version to replay (default: the latest)")
 	keep := flag.Int("keep", 5, "prune: newest versions to keep (the active one always survives)")
 	baseline := flag.Int("baseline", 0, "diff: baseline version (default: the active one)")
 	candidate := flag.Int("candidate", 0, "diff: candidate version (default: the latest)")
 	scale := flag.Float64("scale", 0.01, "diff/-reference: synthetic corpus scale")
 	seed := flag.Int64("seed", 1, "diff/-reference: synthetic corpus seed")
-	workers := flag.Int("workers", 0, "diff: scoring parallelism (0 = NumCPU)")
+	workers := flag.Int("workers", 0, "diff/backtest: scoring parallelism (0 = NumCPU)")
+	logDir := flag.String("log", "", "backtest/logverify: sample log directory (written by smartserve/smartgw -samplelog)")
+	appFilter := flag.String("app", "", "backtest: replay only this application's records")
+	fromTS := flag.String("from", "", "backtest: replay window start, inclusive (RFC3339, e.g. 2026-08-07T12:00:00Z)")
+	toTS := flag.String("to", "", "backtest: replay window end, inclusive (RFC3339)")
 	fleetAddrs := flag.String("fleet", "", "status: comma-separated telemetry addresses of the gateways and shards to scrape (their -telemetry-addr)")
 	window := flag.Duration("window", 2*time.Second, "status: time between the two /metrics scrapes that anchor the rate columns")
 	top := flag.Int("top", 5, "status: slowest traces to show")
-	jsonOut := flag.Bool("json", false, "status: emit the merged fleet status as JSON instead of tables")
+	jsonOut := flag.Bool("json", false, "status/backtest/logverify: emit the result as JSON instead of text")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
 		fmt.Fprintln(os.Stderr, usageHint)
@@ -84,6 +103,11 @@ func main() {
 	// status talks to running processes, not to a registry directory.
 	if cmd == "status" {
 		runStatus(ctx, *fleetAddrs, *window, *top, *jsonOut)
+		return
+	}
+	// logverify only reads the sample log, no registry needed.
+	if cmd == "logverify" {
+		runLogVerify(*logDir, *jsonOut)
 		return
 	}
 
@@ -117,6 +141,8 @@ func main() {
 		fmt.Printf("rolled back, active v%d (sha256 %s)\n", e.Version, short(e.SHA256))
 	case "diff":
 		runDiff(ctx, reg, *baseline, *candidate, *scale, *seed, *workers)
+	case "backtest":
+		runBacktest(ctx, reg, *logDir, *version, *appFilter, *fromTS, *toTS, *workers, *jsonOut)
 	case "prune":
 		removed, err := reg.Prune(*keep)
 		if err != nil {
@@ -300,5 +326,117 @@ func runDiff(ctx context.Context, reg *registry.Registry, baseVer, candVer int, 
 		cs := rep.PerClass[name]
 		fmt.Printf("  class %-10s observed %-6d disagreed %-6d mean abs delta %.4f\n",
 			name, cs.Observed, cs.Disagreed, cs.MeanAbsDelta)
+	}
+}
+
+// parseWindowTS parses one -from/-to bound; empty means unbounded.
+func parseWindowTS(flagName, val string) int64 {
+	if val == "" {
+		return 0
+	}
+	t, err := time.Parse(time.RFC3339Nano, val)
+	if err != nil {
+		app.Fatal(fmt.Errorf("backtest -%s %q is not RFC3339: %w", flagName, val, err))
+	}
+	return t.UnixNano()
+}
+
+// runBacktest replays a recorded sample log through a published candidate
+// version at full speed and prints the divergence against the verdicts
+// the fleet actually served — runDiff's report shape over real traffic.
+func runBacktest(ctx context.Context, reg *registry.Registry, logDir string, candVer int, appFilter, fromTS, toTS string, workers int, jsonOut bool) {
+	if logDir == "" {
+		app.Fatal(fmt.Errorf("backtest needs -log DIR (a smartserve/smartgw -samplelog directory)"))
+	}
+	if candVer == 0 {
+		m, err := reg.Manifest()
+		if err != nil {
+			app.Fatal(err)
+		}
+		e, ok := m.Latest()
+		if !ok {
+			app.Fatal(fmt.Errorf("backtest: registry is empty, nothing to replay through"))
+		}
+		candVer = e.Version
+	}
+	cand, _, err := reg.Load(candVer)
+	if err != nil {
+		app.Fatal(err)
+	}
+	res, err := samplelog.Backtest(ctx, logDir, cand, samplelog.BacktestOptions{
+		Version:   candVer,
+		Workers:   workers,
+		FromNanos: parseWindowTS("from", fromTS),
+		ToNanos:   parseWindowTS("to", toTS),
+		App:       appFilter,
+	})
+	if err != nil {
+		app.Fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			app.Fatal(err)
+		}
+		return
+	}
+	rep := res.Report
+	fmt.Printf("backtest v%d over %d recorded verdicts (log: %d records in %d segments)\n",
+		candVer, res.Replayed, res.Log.Records, len(res.Log.Segments))
+	fmt.Printf("  skipped: %d unscored, %d outside window/app filter\n",
+		res.SkippedUnscored, res.SkippedFiltered)
+	if res.Log.TornBytes > 0 || res.Log.Corrupted > 0 {
+		fmt.Printf("  log integrity: torn tail %d bytes, corrupted %d record(s)\n",
+			res.Log.TornBytes, res.Log.Corrupted)
+	}
+	fmt.Printf("  verdict divergence: %.4f (%d disagreements)\n", rep.VerdictDivergence, rep.Disagreements)
+	fmt.Printf("  score delta: mean abs %.4f, max %.4f\n", rep.MeanAbsScoreDelta, rep.MaxScoreDelta)
+	if rep.Errors > 0 {
+		fmt.Printf("  scoring errors: %d\n", rep.Errors)
+	}
+	classes := make([]string, 0, len(rep.PerClass))
+	for name := range rep.PerClass {
+		classes = append(classes, name)
+	}
+	sort.Strings(classes)
+	for _, name := range classes {
+		cs := rep.PerClass[name]
+		fmt.Printf("  class %-10s observed %-6d disagreed %-6d mean abs delta %.4f\n",
+			name, cs.Observed, cs.Disagreed, cs.MeanAbsDelta)
+	}
+}
+
+// runLogVerify scans a sample log and reports its integrity: record and
+// segment counts, the crash-torn tail (benign, truncated on reopen) and
+// checksum-corrupted records (never benign — non-zero exits 1 so the CI
+// crash-recovery step can assert a SIGKILLed log recovered cleanly).
+func runLogVerify(logDir string, jsonOut bool) {
+	if logDir == "" {
+		app.Fatal(fmt.Errorf("logverify needs -log DIR (a smartserve/smartgw -samplelog directory)"))
+	}
+	rep, err := samplelog.Verify(logDir)
+	if err != nil {
+		app.Fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			app.Fatal(err)
+		}
+	} else {
+		fmt.Printf("sample log %s: %d record(s) in %d segment(s), %d scored\n",
+			logDir, rep.Records, len(rep.Segments), rep.ScoredRecords)
+		if rep.Records > 0 {
+			fmt.Printf("  window: %s .. %s\n",
+				time.Unix(0, rep.FirstNanos).UTC().Format(time.RFC3339Nano),
+				time.Unix(0, rep.LastNanos).UTC().Format(time.RFC3339Nano))
+		}
+		fmt.Printf("  torn tail bytes: %d\n", rep.TornBytes)
+		fmt.Printf("  corrupted records: %d\n", rep.Corrupted)
+	}
+	if rep.Corrupted > 0 {
+		app.Fatal(fmt.Errorf("logverify: %d corrupted record(s) in %s", rep.Corrupted, logDir))
 	}
 }

@@ -33,6 +33,7 @@ import (
 
 	"twosmart/internal/cli"
 	"twosmart/internal/cluster"
+	"twosmart/internal/samplelog"
 	"twosmart/internal/trace"
 )
 
@@ -48,6 +49,9 @@ func main() {
 	reportOut := flag.String("report", "", "write the machine-readable run report (JSON, includes the cluster_* counters) to this file (- for stdout)")
 	traceSample := flag.Int("trace-sample", 1024, "capture one gateway-tier trace per this many forwarded samples (0 = tracing off; served at /debug/traces with -telemetry-addr)")
 	traceDepth := flag.Int("trace-depth", 256, "trace ring capacity (rounded up to a power of two)")
+	sampleLogDir := flag.String("samplelog", "", "record every sample arriving at the gateway edge (features only, no verdict) to this durable log directory for smartload -replay; written off the hot path")
+	sampleLogSegment := flag.Int64("samplelog-segment", 8<<20, "with -samplelog: rotate segments at this many bytes")
+	sampleLogRetain := flag.Int("samplelog-retain", 64, "with -samplelog: keep at most this many segments, pruning oldest-first (-1 = unbounded)")
 	flag.Parse()
 	ctx := app.Start()
 	defer app.Close()
@@ -63,6 +67,22 @@ func main() {
 		fleet[i] = strings.TrimSpace(fleet[i])
 	}
 
+	var sampleLog *samplelog.Writer
+	if *sampleLogDir != "" {
+		sl, err := samplelog.OpenWriter(samplelog.WriterConfig{
+			Dir:          *sampleLogDir,
+			SegmentBytes: *sampleLogSegment,
+			MaxSegments:  *sampleLogRetain,
+			Telemetry:    app.Telemetry,
+		})
+		if err != nil {
+			app.Fatal(err)
+		}
+		sampleLog = sl
+		app.Log.Info("sample log attached", "dir", *sampleLogDir,
+			"segment_bytes", *sampleLogSegment, "retain", *sampleLogRetain)
+	}
+
 	gw, err := cluster.New(cluster.Config{
 		Shards:        fleet,
 		Replicas:      *replicas,
@@ -71,6 +91,7 @@ func main() {
 		QueueDepth:    *queueDepth,
 		Telemetry:     app.Telemetry,
 		Tracer:        tracer,
+		SampleLog:     sampleLog,
 		Log:           app.Log,
 	})
 	if err != nil {
@@ -87,8 +108,23 @@ func main() {
 	app.Log.Info("gateway up", "addr", bound.String(), "shards", len(fleet), "replicas", *replicas)
 
 	serveErr := gw.Serve(ctx)
+	var logStats samplelog.Stats
+	if sampleLog != nil {
+		var err error
+		logStats, err = sampleLog.Close()
+		if err != nil {
+			app.Log.Warn("sample log close", "err", err)
+		}
+		app.Log.Info("sample log closed",
+			"appended", logStats.Appended, "dropped", logStats.Dropped,
+			"bytes", logStats.Bytes, "segments", logStats.Segments, "pruned", logStats.Pruned)
+	}
 	if *reportOut != "" {
 		rep := app.Telemetry.Report(app.Tool)
+		if sampleLog != nil {
+			rep.Results["samplelog_appended"] = float64(logStats.Appended)
+			rep.Results["samplelog_dropped"] = float64(logStats.Dropped)
+		}
 		if err := rep.WriteFile(*reportOut); err != nil {
 			app.Log.Error("write run report", "path", *reportOut, "err", err)
 		} else if *reportOut != "-" {

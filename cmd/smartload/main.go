@@ -11,12 +11,21 @@
 // classified (server closed mid-run, drained, timed out) and summarized
 // per connection before the non-zero exit.
 //
+// With -replay the harness feeds a recorded sample log (a smartserve or
+// smartgw -samplelog directory) back through the wire path instead of
+// the synthetic corpus: the exact production feature stream, replayed on
+// its recorded inter-arrival timeline compressed by -amplify (1 = real
+// time, 0 = full speed). Recorded streams map onto fresh wire streams in
+// first-appearance order, so each original stream's samples arrive in
+// their original sequence.
+//
 // Usage:
 //
 //	smartload -addr 127.0.0.1:7643
 //	smartload -addr 127.0.0.1:7643 -conns 8 -streams 4 -samples 20000
 //	smartload -addr 127.0.0.1:7643 -interval 10ms   # the paper's sampling period
 //	smartload -addr 127.0.0.1:7643 -cluster -shards 127.0.0.1:7644,127.0.0.1:7645
+//	smartload -addr 127.0.0.1:7643 -replay samples/ -amplify 10
 package main
 
 import (
@@ -56,6 +65,8 @@ func main() {
 	shardsFlag := flag.String("shards", "", "with -cluster: comma-separated shard addresses behind the gateway, used to predict consistent-hash placement")
 	replicas := flag.Int("replicas", cluster.DefaultReplicas, "with -cluster: virtual nodes per shard (must match smartgw -replicas)")
 	reportOut := flag.String("report", "", "write the machine-readable run report (JSON: throughput, latency and heartbeat RTT histograms) to this file (- for stdout)")
+	replayDir := flag.String("replay", "", "replay a recorded sample log (smartserve/smartgw -samplelog directory) through the wire path instead of the synthetic corpus")
+	amplify := flag.Int("amplify", 1, "with -replay: compress the recorded timeline by this factor (1 = real time, 0 = full speed)")
 	flag.Parse()
 
 	// Fail fast on nonsense sizing before spinning up telemetry or
@@ -77,7 +88,24 @@ func main() {
 		badFlag(fmt.Sprintf("-interval must not be negative (got %s)", *interval))
 	case !*clusterMode && *shardsFlag != "":
 		badFlag("-shards needs -cluster")
+	case *amplify < 0:
+		badFlag(fmt.Sprintf("-amplify must not be negative (got %d)", *amplify))
 	}
+	// In replay mode the log dictates streams, pacing and sample counts;
+	// an explicitly-set corpus-shape flag is a conflicting intent, not a
+	// silently ignored default.
+	replaySet := map[string]bool{
+		"conns": true, "streams": true, "samples": true, "interval": true,
+		"seed": true, "cluster": true, "shards": true, "replicas": true,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch {
+		case *replayDir != "" && replaySet[f.Name]:
+			badFlag(fmt.Sprintf("-%s does not apply with -replay (the recorded log dictates streams, pacing and sample counts)", f.Name))
+		case *replayDir == "" && f.Name == "amplify":
+			badFlag("-amplify needs -replay")
+		}
+	})
 	var fleet []string
 	if *shardsFlag != "" {
 		fleet = strings.Split(*shardsFlag, ",")
@@ -88,6 +116,11 @@ func main() {
 
 	ctx := app.Start()
 	defer app.Close()
+
+	if *replayDir != "" {
+		runReplay(ctx, *addr, *replayDir, *amplify, *reportOut)
+		return
+	}
 
 	app.Log.Info("collecting replay corpus", "seed", *seed)
 	data, err := twosmart.CollectContext(ctx, corpus.Config{

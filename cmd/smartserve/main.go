@@ -15,6 +15,12 @@
 // drift reference turns on live feature-distribution monitoring, whose
 // verdict ("ok" / "retrain-or-rollback") lands in the -report document.
 //
+// With -samplelog DIR every scored sample is recorded to a segmented,
+// checksummed, append-only log (features, verdict, score, model version)
+// written off the hot path — the substrate for `smartctl backtest` and
+// `smartload -replay`. A slow log disk sheds records (counted in
+// samplelog_dropped_total) instead of ever stalling verdicts.
+//
 // On SIGINT/SIGTERM the server drains gracefully — stops accepting,
 // scores and flushes everything already queued — and exits 130.
 //
@@ -49,6 +55,7 @@ import (
 	"twosmart/internal/drift"
 	"twosmart/internal/monitor"
 	"twosmart/internal/registry"
+	"twosmart/internal/samplelog"
 	"twosmart/internal/serve"
 	"twosmart/internal/shadow"
 	"twosmart/internal/trace"
@@ -75,6 +82,9 @@ func main() {
 	clear := flag.Float64("clear", 0, "smoothed score below which the alarm clears (0 = monitor default)")
 	traceSample := flag.Int("trace-sample", 1024, "capture one end-to-end trace per this many scored samples (0 = tracing off; served at /debug/traces with -telemetry-addr)")
 	traceDepth := flag.Int("trace-depth", 256, "trace ring capacity (rounded up to a power of two)")
+	sampleLogDir := flag.String("samplelog", "", "record every scored sample (features, verdict, score, model version) to this durable log directory for smartctl backtest / smartload -replay; written off the hot path, a slow disk sheds records instead of stalling verdicts")
+	sampleLogSegment := flag.Int64("samplelog-segment", 8<<20, "with -samplelog: rotate segments at this many bytes")
+	sampleLogRetain := flag.Int("samplelog-retain", 64, "with -samplelog: keep at most this many segments, pruning oldest-first (-1 = unbounded)")
 	flag.Parse()
 	ctx := app.Start()
 	defer app.Close()
@@ -111,6 +121,21 @@ func main() {
 		app.Fatal(err)
 	}
 
+	var sampleLog *samplelog.Writer
+	if *sampleLogDir != "" {
+		sampleLog, err = samplelog.OpenWriter(samplelog.WriterConfig{
+			Dir:          *sampleLogDir,
+			SegmentBytes: *sampleLogSegment,
+			MaxSegments:  *sampleLogRetain,
+			Telemetry:    app.Telemetry,
+		})
+		if err != nil {
+			app.Fatal(err)
+		}
+		app.Log.Info("sample log attached", "dir", *sampleLogDir,
+			"segment_bytes", *sampleLogSegment, "retain", *sampleLogRetain)
+	}
+
 	srv, err := serve.New(serve.Config{
 		Detector:     initial.Detector,
 		Model:        initial.Name,
@@ -123,6 +148,7 @@ func main() {
 		IdleTimeout:  *idleTimeout,
 		Telemetry:    app.Telemetry,
 		Tracer:       tracer,
+		SampleLog:    sampleLog,
 		Log:          app.Log,
 	})
 	if err != nil {
@@ -182,7 +208,7 @@ func main() {
 		"features", srv.NumFeatures(), "addr", bound.String())
 
 	serveErr := srv.Serve(ctx)
-	finish(srv, sh, *reportOut)
+	finish(srv, sh, sampleLog, *reportOut)
 	if serveErr != nil {
 		app.Fatal(serveErr)
 	}
@@ -280,9 +306,10 @@ func swapFromRegistry(srv *serve.Server, reg *registry.Registry, alertPSI float6
 		"from", cur.Version, "to", entry.Version, "sha256", entry.SHA256)
 }
 
-// finish detaches the shadow, folds the drift assessment and shadow
-// divergence into the run report, and writes it when -report is set.
-func finish(srv *serve.Server, sh *shadow.Shadow, reportOut string) {
+// finish detaches the shadow, drains and closes the sample log, folds
+// the drift assessment, shadow divergence and log accounting into the
+// run report, and writes it when -report is set.
+func finish(srv *serve.Server, sh *shadow.Shadow, sampleLog *samplelog.Writer, reportOut string) {
 	var shadowRep shadow.Report
 	if sh != nil {
 		if err := srv.SetShadow(nil); err != nil {
@@ -293,6 +320,17 @@ func finish(srv *serve.Server, sh *shadow.Shadow, reportOut string) {
 			"candidate_version", shadowRep.CandidateVersion,
 			"scored", shadowRep.Scored, "dropped", shadowRep.Dropped,
 			"divergence", shadowRep.VerdictDivergence)
+	}
+	var logStats samplelog.Stats
+	if sampleLog != nil {
+		var err error
+		logStats, err = sampleLog.Close()
+		if err != nil {
+			app.Log.Warn("sample log close", "err", err)
+		}
+		app.Log.Info("sample log closed",
+			"appended", logStats.Appended, "dropped", logStats.Dropped,
+			"bytes", logStats.Bytes, "segments", logStats.Segments, "pruned", logStats.Pruned)
 	}
 	var driftRep drift.Report
 	active := srv.ActiveModel()
@@ -318,6 +356,12 @@ func finish(srv *serve.Server, sh *shadow.Shadow, reportOut string) {
 		rep.Results["shadow_scored"] = float64(shadowRep.Scored)
 		rep.Results["shadow_dropped"] = float64(shadowRep.Dropped)
 		rep.Results["shadow_verdict_divergence"] = shadowRep.VerdictDivergence
+	}
+	if sampleLog != nil {
+		rep.Results["samplelog_appended"] = float64(logStats.Appended)
+		rep.Results["samplelog_dropped"] = float64(logStats.Dropped)
+		rep.Results["samplelog_bytes"] = float64(logStats.Bytes)
+		rep.Results["samplelog_segments"] = float64(logStats.Segments)
 	}
 	if err := rep.WriteFile(reportOut); err != nil {
 		app.Log.Error("write run report", "path", reportOut, "err", err)

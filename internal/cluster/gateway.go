@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"twosmart/internal/samplelog"
 	"twosmart/internal/serve"
 	"twosmart/internal/session"
 	"twosmart/internal/telemetry"
@@ -75,6 +76,13 @@ type Config struct {
 	// stamp regardless of Tracer, so the shard tier can attribute the
 	// gateway→shard hop in its own end-to-end records.
 	Tracer *trace.Tracer
+	// SampleLog, when non-nil, records every forwarded sample to the
+	// durable sample log at the gateway edge. Gateway records carry no
+	// verdict (FlagScored clear) — the gateway never sees scores
+	// correlated to features — so backtests skip them while replay uses
+	// them like any other record. Append copies and never blocks. The
+	// caller keeps ownership and Closes it after Serve returns.
+	SampleLog *samplelog.Writer
 	// Log receives lifecycle events (default slog.Default).
 	Log *slog.Logger
 }
@@ -864,6 +872,27 @@ func (st *fwdStream) ensureRoute() *upstream {
 // upstream write.
 func (st *fwdStream) Process(b session.Batch) error {
 	g := st.f.c.g
+	if sl := g.cfg.SampleLog; sl != nil {
+		// Log arrivals at the fleet edge, before routing: replay wants the
+		// traffic that reached the gateway, whether or not a shard was
+		// healthy enough to score it. No verdict exists yet, so the record
+		// is unscored (FlagScored clear) and backtests skip it.
+		var version uint32
+		if w := g.welcome.Load(); w != nil {
+			version = w.ModelVersion
+		}
+		recs := make([]samplelog.Record, len(b.Samples))
+		for i := range b.Samples {
+			recs[i] = samplelog.Record{
+				Nanos:        b.Ats[i].UnixNano(),
+				Stream:       st.id,
+				App:          st.app,
+				ModelVersion: version,
+				Features:     b.Samples[i],
+			}
+		}
+		sl.AppendBatch(recs)
+	}
 	traceIdx, traceID, traced := g.cfg.Tracer.SampleBatch(b.Len())
 	var sendStart time.Time
 	if traced {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package samplelog
+
+const raceEnabled = false

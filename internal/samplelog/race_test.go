@@ -1,0 +1,8 @@
+//go:build race
+
+package samplelog
+
+// raceEnabled lets tests skip allocation-count assertions: the race
+// detector's instrumentation forces escapes the uninstrumented hot path
+// does not have.
+const raceEnabled = true

@@ -64,6 +64,7 @@ import (
 	"twosmart/internal/drift"
 	"twosmart/internal/monitor"
 	"twosmart/internal/persist"
+	"twosmart/internal/samplelog"
 	"twosmart/internal/session"
 	"twosmart/internal/shadow"
 	"twosmart/internal/telemetry"
@@ -122,6 +123,12 @@ type Config struct {
 	// (wire.Sample.IngressNanos, when stamped) through ring wait, batch
 	// assembly, scoring and verdict emission. Nil disables tracing.
 	Tracer *trace.Tracer
+	// SampleLog, when non-nil, records every scored sample (features,
+	// verdict, score, model version) to the durable sample log. Append
+	// copies and never blocks — a slow log disk sheds records, it cannot
+	// stall verdicts. The caller keeps ownership and Closes it after
+	// Serve returns.
+	SampleLog *samplelog.Writer
 	// Log receives connection lifecycle events (default slog.Default).
 	Log *slog.Logger
 }
@@ -584,19 +591,44 @@ func (c *conn) reject(id uint32, app string, reason session.RejectReason) {
 	}
 }
 
-// tap offers every scored chunk to the attached shadow scorer, if any —
-// off the hot path: Offer copies the sample and never blocks.
-func (c *conn) tap(samples [][]float64, verdicts []core.Verdict, scores []float64) {
-	sh := c.s.shadowP.Load()
-	if sh == nil {
-		return
+// tap offers every scored chunk to the attached shadow scorer and the
+// durable sample log, if configured — both off the hot path: Offer and
+// Append copy what they keep and never block.
+func (c *conn) tap(ch session.TapChunk) {
+	if sh := c.s.shadowP.Load(); sh != nil {
+		for i := range ch.Samples {
+			sh.Offer(ch.Samples[i], shadow.Primary{
+				Malware: ch.Verdicts[i].Malware,
+				Class:   ch.Verdicts[i].PredictedClass.String(),
+				Score:   ch.Scores[i],
+			})
+		}
 	}
-	for i := range samples {
-		sh.Offer(samples[i], shadow.Primary{
-			Malware: verdicts[i].Malware,
-			Class:   verdicts[i].PredictedClass.String(),
-			Score:   scores[i],
-		})
+	if sl := c.s.cfg.SampleLog; sl != nil {
+		// One AppendBatch per chunk: per-record locking here serializes
+		// the scoring workers behind the log's mutex at full load. The
+		// chunk slice is per-call — taps run concurrently across streams.
+		recs := make([]samplelog.Record, len(ch.Samples))
+		for i := range ch.Samples {
+			flags := samplelog.FlagScored
+			if ch.Verdicts[i].Malware {
+				flags |= samplelog.FlagMalware
+			}
+			if ch.Events[i].Alarm {
+				flags |= samplelog.FlagAlarm
+			}
+			recs[i] = samplelog.Record{
+				Nanos:        ch.Ats[i].UnixNano(),
+				Stream:       ch.Stream,
+				App:          ch.App,
+				ModelVersion: uint32(ch.Version),
+				Flags:        flags,
+				Class:        uint8(ch.Verdicts[i].PredictedClass),
+				Score:        ch.Scores[i],
+				Features:     ch.Samples[i],
+			}
+		}
+		sl.AppendBatch(recs)
 	}
 }
 

@@ -43,6 +43,22 @@ type Emitter interface {
 	Flush() error
 }
 
+// TapChunk is one scored chunk as handed to ScoringConfig.Tap: the
+// stream's identity and model epoch plus parallel slices where
+// Samples[i]/Verdicts[i]/Scores[i]/Events[i] belong to the sample
+// received at Ats[i]. All slices are engine-owned and valid only during
+// the Tap call — consumers copy what they keep.
+type TapChunk struct {
+	App      string
+	Stream   uint32
+	Version  int
+	Ats      []time.Time
+	Samples  [][]float64
+	Verdicts []core.Verdict
+	Scores   []float64
+	Events   []monitor.Event
+}
+
 // ScoringConfig configures a Scoring handler (one per connection).
 type ScoringConfig struct {
 	// Source returns the model generation new streams should bind.
@@ -56,9 +72,9 @@ type ScoringConfig struct {
 	// DetectScoredBatch call inside a round (default 512).
 	MaxBatch int
 	// Tap, when non-nil, observes every scored chunk after its verdicts
-	// are computed — the shadow-scoring hook. Slices are engine-owned and
-	// valid only during the call.
-	Tap func(samples [][]float64, verdicts []core.Verdict, scores []float64)
+	// are computed — the shadow-scoring and sample-log hook. The chunk's
+	// slices are engine-owned and valid only during the call.
+	Tap func(TapChunk)
 	// Tracer, when non-nil, samples scored chunks into end-to-end trace
 	// records with per-hop attribution (gateway → ring wait → assembly →
 	// score → emit). The unsampled path costs one atomic add per chunk.
@@ -201,7 +217,16 @@ func (st *scoredStream) Process(b Batch) error {
 			}
 		}
 		if s.cfg.Tap != nil {
-			s.cfg.Tap(b.Samples[off:end], verdicts, scores)
+			s.cfg.Tap(TapChunk{
+				App:      st.app,
+				Stream:   st.id,
+				Version:  st.version,
+				Ats:      b.Ats[off:end],
+				Samples:  b.Samples[off:end],
+				Verdicts: verdicts,
+				Scores:   scores,
+				Events:   events,
+			})
 		}
 		var scoreEnd time.Time
 		if traced {
