@@ -19,5 +19,6 @@ if [ "$MODELS" = "2" ]; then
   /tmp/smartrain -scale 0.002 -runtime -model /tmp/det1.json -seed 5 -quiet
   /tmp/smartrain -scale 0.002 -runtime -model /tmp/det2.json -seed 17 -quiet
 else
-  /tmp/smartrain -scale 0.002 -runtime -model /tmp/det.json -quiet
+  # The stage-0 envelope rides along for the cascade smoke pass.
+  /tmp/smartrain -scale 0.002 -runtime -model /tmp/det.json -envelope /tmp/env.json -quiet
 fi

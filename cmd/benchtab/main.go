@@ -25,7 +25,7 @@ import (
 var app = cli.New("benchtab")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1|tab1|tab2|fig2|fig3|tab3|fig4|tab4|fig5a|fig5b|tab5|extgran|extlat|extint|all")
+	exp := flag.String("exp", "all", "experiment id: fig1|tab1|tab2|fig2|fig3|tab3|fig4|tab4|fig5a|fig5b|tab5|extgran|extlat|extint|extcas|all")
 	scale := flag.Float64("scale", 0.15, "corpus scale (1.0 = the paper's 3621 applications)")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	budget := flag.Int64("budget", 0, "per-run instruction budget (0 = default)")
@@ -80,6 +80,7 @@ func main() {
 		{"extgran", func() (fmt.Stringer, error) { return ctx.ExtGranularity() }},
 		{"extlat", func() (fmt.Stringer, error) { return ctx.ExtLatency() }},
 		{"extint", func() (fmt.Stringer, error) { return ctx.ExtInterference() }},
+		{"extcas", func() (fmt.Stringer, error) { return ctx.ExtCascade() }},
 	}
 
 	// The sweep dominates several drivers; populate its cache through the

@@ -21,7 +21,11 @@
 // a published candidate version at full speed and reports divergence
 // against the verdicts the fleet actually served — the same report shape
 // as diff, but over real recorded traffic instead of the synthetic
-// corpus. -from/-to (RFC3339) and -app narrow the replay window.
+// corpus. -from/-to (RFC3339) and -app narrow the replay window. When the
+// candidate carries a published stage-0 envelope (or -envelope FILE is
+// given), the replay also runs the cascade and reports the would-be
+// short-circuit fraction plus the safety number: recorded malware
+// verdicts the envelope would have suppressed.
 //
 // logverify scans a sample log's segments and reports record counts,
 // torn-tail bytes (a crash mid-append; recovered on next open) and
@@ -51,6 +55,7 @@ import (
 	"strings"
 	"time"
 
+	"twosmart/internal/anomaly"
 	"twosmart/internal/cli"
 	"twosmart/internal/core"
 	"twosmart/internal/corpus"
@@ -58,6 +63,7 @@ import (
 	"twosmart/internal/drift"
 	"twosmart/internal/fleet"
 	"twosmart/internal/parallel"
+	"twosmart/internal/persist"
 	"twosmart/internal/registry"
 	"twosmart/internal/samplelog"
 	"twosmart/internal/shadow"
@@ -85,6 +91,8 @@ func main() {
 	appFilter := flag.String("app", "", "backtest: replay only this application's records")
 	fromTS := flag.String("from", "", "backtest: replay window start, inclusive (RFC3339, e.g. 2026-08-07T12:00:00Z)")
 	toTS := flag.String("to", "", "backtest: replay window end, inclusive (RFC3339)")
+	envelopeIn := flag.String("envelope", "", "publish: stage-0 anomaly envelope (JSON, from smartrain -envelope) to store with the model; backtest: replay through this envelope instead of the candidate's published one")
+	cascadeThreshold := flag.Float64("cascade-threshold", 0, "backtest: stage-0 short-circuit threshold (0 = the envelope's calibrated threshold, >0 overrides, <0 skips the cascade replay)")
 	fleetAddrs := flag.String("fleet", "", "status: comma-separated telemetry addresses of the gateways and shards to scrape (their -telemetry-addr)")
 	window := flag.Duration("window", 2*time.Second, "status: time between the two /metrics scrapes that anchor the rate columns")
 	top := flag.Int("top", 5, "status: slowest traces to show")
@@ -121,7 +129,7 @@ func main() {
 
 	switch cmd {
 	case "publish":
-		runPublish(reg, *modelIn, *note, *meta, *withRef, *promote, *scale, *seed)
+		runPublish(reg, *modelIn, *note, *meta, *envelopeIn, *withRef, *promote, *scale, *seed)
 	case "list":
 		runList(reg)
 	case "promote":
@@ -142,7 +150,7 @@ func main() {
 	case "diff":
 		runDiff(ctx, reg, *baseline, *candidate, *scale, *seed, *workers)
 	case "backtest":
-		runBacktest(ctx, reg, *logDir, *version, *appFilter, *fromTS, *toTS, *workers, *jsonOut)
+		runBacktest(ctx, reg, *logDir, *version, *appFilter, *fromTS, *toTS, *envelopeIn, *cascadeThreshold, *workers, *jsonOut)
 	case "prune":
 		removed, err := reg.Prune(*keep)
 		if err != nil {
@@ -207,7 +215,7 @@ func trainingSet(features []string, scale float64, seed int64) (*dataset.Dataset
 	return data.SelectByName(features)
 }
 
-func runPublish(reg *registry.Registry, modelIn, note, meta string, withRef, promote bool, scale float64, seed int64) {
+func runPublish(reg *registry.Registry, modelIn, note, meta, envelopeIn string, withRef, promote bool, scale float64, seed int64) {
 	if modelIn == "" {
 		app.Fatal(fmt.Errorf("publish needs -model det.json"))
 	}
@@ -216,6 +224,9 @@ func runPublish(reg *registry.Registry, modelIn, note, meta string, withRef, pro
 		app.Fatal(err)
 	}
 	opts := registry.PublishOptions{Note: note, Promote: promote}
+	if envelopeIn != "" {
+		opts.Envelope = loadEnvelope(envelopeIn)
+	}
 	if meta != "" {
 		opts.TrainMeta = map[string]string{}
 		for _, pair := range strings.Split(meta, ",") {
@@ -250,6 +261,24 @@ func runPublish(reg *registry.Registry, modelIn, note, meta string, withRef, pro
 		state = "published and promoted"
 	}
 	fmt.Printf("%s v%d (sha256 %s, %d bytes)\n", state, e.Version, short(e.SHA256), e.Size)
+	if opts.Envelope != nil {
+		fmt.Printf("  stage-0 envelope: %d features, threshold %.4g\n",
+			opts.Envelope.NumFeatures(), opts.Envelope.Threshold)
+	}
+}
+
+// loadEnvelope reads a stage-0 anomaly envelope written by smartrain
+// -envelope.
+func loadEnvelope(path string) *anomaly.Envelope {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		app.Fatal(err)
+	}
+	env, err := persist.UnmarshalEnvelope(blob)
+	if err != nil {
+		app.Fatal(fmt.Errorf("envelope %s: %w", path, err))
+	}
+	return env
 }
 
 func runList(reg *registry.Registry) {
@@ -261,7 +290,7 @@ func runList(reg *registry.Registry) {
 		fmt.Println("registry is empty")
 		return
 	}
-	fmt.Printf("%-8s %-14s %-8s %-20s %-6s %s\n", "VERSION", "SHA256", "SIZE", "CREATED", "DRIFT", "NOTE")
+	fmt.Printf("%-8s %-14s %-8s %-20s %-6s %-8s %s\n", "VERSION", "SHA256", "SIZE", "CREATED", "DRIFT", "CASCADE", "NOTE")
 	for _, e := range m.Models {
 		mark := " "
 		if e.Version == m.Active {
@@ -271,9 +300,13 @@ func runList(reg *registry.Registry) {
 		if e.Reference != nil {
 			ref = "yes"
 		}
-		fmt.Printf("%s%-7d %-14s %-8d %-20s %-6s %s\n",
+		env := "-"
+		if e.Envelope != nil {
+			env = "yes"
+		}
+		fmt.Printf("%s%-7d %-14s %-8d %-20s %-6s %-8s %s\n",
 			mark, e.Version, short(e.SHA256), e.Size,
-			e.CreatedAt.Format("2006-01-02 15:04:05"), ref, e.Note)
+			e.CreatedAt.Format("2006-01-02 15:04:05"), ref, env, e.Note)
 	}
 }
 
@@ -344,7 +377,7 @@ func parseWindowTS(flagName, val string) int64 {
 // runBacktest replays a recorded sample log through a published candidate
 // version at full speed and prints the divergence against the verdicts
 // the fleet actually served — runDiff's report shape over real traffic.
-func runBacktest(ctx context.Context, reg *registry.Registry, logDir string, candVer int, appFilter, fromTS, toTS string, workers int, jsonOut bool) {
+func runBacktest(ctx context.Context, reg *registry.Registry, logDir string, candVer int, appFilter, fromTS, toTS, envelopeIn string, cascadeThreshold float64, workers int, jsonOut bool) {
 	if logDir == "" {
 		app.Fatal(fmt.Errorf("backtest needs -log DIR (a smartserve/smartgw -samplelog directory)"))
 	}
@@ -359,16 +392,25 @@ func runBacktest(ctx context.Context, reg *registry.Registry, logDir string, can
 		}
 		candVer = e.Version
 	}
-	cand, _, err := reg.Load(candVer)
+	cand, entry, err := reg.Load(candVer)
 	if err != nil {
 		app.Fatal(err)
 	}
+	// Explicit -envelope wins; otherwise the candidate's published
+	// envelope rides along, so a plain backtest evaluates the cascade the
+	// fleet would actually run with that version.
+	envelope := entry.Envelope
+	if envelopeIn != "" {
+		envelope = loadEnvelope(envelopeIn)
+	}
 	res, err := samplelog.Backtest(ctx, logDir, cand, samplelog.BacktestOptions{
-		Version:   candVer,
-		Workers:   workers,
-		FromNanos: parseWindowTS("from", fromTS),
-		ToNanos:   parseWindowTS("to", toTS),
-		App:       appFilter,
+		Version:          candVer,
+		Workers:          workers,
+		FromNanos:        parseWindowTS("from", fromTS),
+		ToNanos:          parseWindowTS("to", toTS),
+		App:              appFilter,
+		Envelope:         envelope,
+		CascadeThreshold: cascadeThreshold,
 	})
 	if err != nil {
 		app.Fatal(err)
@@ -394,6 +436,12 @@ func runBacktest(ctx context.Context, reg *registry.Registry, logDir string, can
 	fmt.Printf("  score delta: mean abs %.4f, max %.4f\n", rep.MeanAbsScoreDelta, rep.MaxScoreDelta)
 	if rep.Errors > 0 {
 		fmt.Printf("  scoring errors: %d\n", rep.Errors)
+	}
+	if c := res.Cascade; c != nil {
+		fmt.Printf("  cascade (threshold %.4g): %d short-circuited (%.1f%%), %d passed on\n",
+			c.Threshold, c.ShortCircuited, 100*c.ShortFraction, c.PassedOn)
+		fmt.Printf("  cascade safety: %d recorded malware verdict(s) would have short-circuited\n",
+			c.MalwareShortCircuited)
 	}
 	classes := make([]string, 0, len(rep.PerClass))
 	for name := range rep.PerClass {

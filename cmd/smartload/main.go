@@ -50,6 +50,7 @@ import (
 	"twosmart/internal/serve"
 	"twosmart/internal/telemetry"
 	"twosmart/internal/wire"
+	"twosmart/internal/workload"
 )
 
 var app = cli.New("smartload")
@@ -65,6 +66,7 @@ func main() {
 	shardsFlag := flag.String("shards", "", "with -cluster: comma-separated shard addresses behind the gateway, used to predict consistent-hash placement")
 	replicas := flag.Int("replicas", cluster.DefaultReplicas, "with -cluster: virtual nodes per shard (must match smartgw -replicas)")
 	reportOut := flag.String("report", "", "write the machine-readable run report (JSON: throughput, latency and heartbeat RTT histograms) to this file (- for stdout)")
+	benign := flag.Bool("benign", false, "replay only the corpus's benign-class samples — the benign-heavy traffic profile a stage-0 cascade (-envelope on the server) is built for")
 	replayDir := flag.String("replay", "", "replay a recorded sample log (smartserve/smartgw -samplelog directory) through the wire path instead of the synthetic corpus")
 	amplify := flag.Int("amplify", 1, "with -replay: compress the recorded timeline by this factor (1 = real time, 0 = full speed)")
 	flag.Parse()
@@ -96,7 +98,7 @@ func main() {
 	// silently ignored default.
 	replaySet := map[string]bool{
 		"conns": true, "streams": true, "samples": true, "interval": true,
-		"seed": true, "cluster": true, "shards": true, "replicas": true,
+		"seed": true, "cluster": true, "shards": true, "replicas": true, "benign": true,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		switch {
@@ -148,6 +150,19 @@ func main() {
 	data, err = project(data, int(welcome.NumFeatures))
 	if err != nil {
 		app.Fatal(err)
+	}
+	if *benign {
+		kept := data.Instances[:0]
+		for _, ins := range data.Instances {
+			if workload.Class(ins.Label) == workload.Benign {
+				kept = append(kept, ins)
+			}
+		}
+		if len(kept) == 0 {
+			app.Fatal(fmt.Errorf("-benign: corpus has no benign-class samples"))
+		}
+		data.Instances = kept
+		app.Log.Info("benign-only corpus", "samples", data.Len())
 	}
 	replay := make([][]float64, data.Len())
 	for i, ins := range data.Instances {

@@ -8,6 +8,7 @@
 //	smartrain -scale 0.15 -out corpus.csv
 //	smartrain -in corpus.csv -boost
 //	smartrain -telemetry-addr :8080 -report run.json
+//	smartrain -runtime -model det.json -envelope env.json
 package main
 
 import (
@@ -20,10 +21,12 @@ import (
 	"time"
 
 	"twosmart"
+	"twosmart/internal/anomaly"
 	"twosmart/internal/cli"
 	"twosmart/internal/corpus"
 	"twosmart/internal/dataset"
 	"twosmart/internal/metrics"
+	"twosmart/internal/persist"
 	"twosmart/internal/workload"
 )
 
@@ -45,6 +48,8 @@ func main() {
 	runtimeModel := flag.Bool("runtime", false, "train on the 4 Common HPC features only, producing a model deployable with cmd/smartdetect -model")
 	faithful := flag.Bool("faithful", false, "use the 11-batch multiplexed collection path")
 	reportOut := flag.String("report", "", "write the machine-readable run report (JSON: stage timings, dataset stats, final metrics) to this file (- for stdout)")
+	envelopeOut := flag.String("envelope", "", "train a stage-0 anomaly envelope from the training split's benign samples and write it (JSON) to this file")
+	envelopeBudget := flag.Float64("envelope-budget", anomaly.DefaultBudget, "envelope false-short-circuit budget: the held-out benign fraction allowed to score above the calibrated threshold")
 	flag.Parse()
 	ctx := app.Start()
 	defer app.Close()
@@ -118,6 +123,12 @@ func main() {
 		app.Log.Info("wrote detector", "bytes", len(blob), "path", *modelOut)
 	}
 
+	if *envelopeOut != "" {
+		if err := trainEnvelope(*envelopeOut, *envelopeBudget, *seed, train, test); err != nil {
+			fatal(err)
+		}
+	}
+
 	fmt.Println("stage-2 specialized detectors:")
 	for _, c := range twosmart.MalwareClasses() {
 		kind, feats, err := det.Stage2Info(c)
@@ -170,6 +181,42 @@ func main() {
 			app.Log.Info("wrote run report", "path", *reportOut)
 		}
 	}
+}
+
+// trainEnvelope fits the stage-0 cascade envelope on the training split's
+// benign samples (in the same feature space the detector trains in),
+// persists it and reports the calibration: the short-circuit threshold
+// plus how the fully held-out test benign behaves under it.
+func trainEnvelope(path string, budget float64, seed int64, train, test *twosmart.Dataset) error {
+	benignOf := func(d *twosmart.Dataset) [][]float64 {
+		var out [][]float64
+		for _, ins := range d.Instances {
+			if workload.Class(ins.Label) == workload.Benign {
+				out = append(out, ins.Features)
+			}
+		}
+		return out
+	}
+	env, err := anomaly.Train(train.FeatureNames, benignOf(train), anomaly.TrainConfig{
+		Budget: budget,
+		Seed:   seed,
+	})
+	if err != nil {
+		return err
+	}
+	blob, err := persist.MarshalEnvelope(env)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	testPass := env.PassRate(benignOf(test), env.Threshold)
+	app.Log.Info("wrote stage-0 envelope", "path", path,
+		"features", env.NumFeatures(), "threshold", env.Threshold, "budget", env.Budget)
+	fmt.Printf("\nstage-0 envelope: threshold=%.4g budget=%.4g test-benign passed onward=%.2f%%\n",
+		env.Threshold, env.Budget, 100*testPass)
+	return nil
 }
 
 func loadOrCollect(ctx context.Context, inCSV string, scale float64, seed int64, faithful bool) (*twosmart.Dataset, error) {

@@ -21,6 +21,13 @@
 // `smartload -replay`. A slow log disk sheds records (counted in
 // samplelog_dropped_total) instead of ever stalling verdicts.
 //
+// With -envelope (or a registry entry published with an envelope) the
+// server runs the stage-0 anomaly cascade ahead of the detector: samples
+// inside the benign envelope short-circuit to a benign verdict without
+// touching stage 1/2, and -cascade-threshold tunes (or, negative,
+// disables) the short-circuit boundary. Cascade cost and effectiveness
+// are exported as cascade_* metrics and a stage0 trace hop.
+//
 // On SIGINT/SIGTERM the server drains gracefully — stops accepting,
 // scores and flushes everything already queued — and exits 130.
 //
@@ -32,8 +39,9 @@
 //
 // Usage:
 //
-//	smartrain -runtime -model det.json
+//	smartrain -runtime -model det.json -envelope env.json
 //	smartserve -model det.json -addr :7643
+//	smartserve -model det.json -envelope env.json -cascade-threshold 0
 //	smartserve -registry models/ -watch -shadow 3 -report run.json
 //	smartserve -model det.json -shard -addr :7644   # behind smartgw
 package main
@@ -41,6 +49,7 @@ package main
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,10 +59,12 @@ import (
 	"time"
 
 	"twosmart"
+	"twosmart/internal/anomaly"
 	"twosmart/internal/cli"
 	"twosmart/internal/core"
 	"twosmart/internal/drift"
 	"twosmart/internal/monitor"
+	"twosmart/internal/persist"
 	"twosmart/internal/registry"
 	"twosmart/internal/samplelog"
 	"twosmart/internal/serve"
@@ -85,6 +96,8 @@ func main() {
 	sampleLogDir := flag.String("samplelog", "", "record every scored sample (features, verdict, score, model version) to this durable log directory for smartctl backtest / smartload -replay; written off the hot path, a slow disk sheds records instead of stalling verdicts")
 	sampleLogSegment := flag.Int64("samplelog-segment", 8<<20, "with -samplelog: rotate segments at this many bytes")
 	sampleLogRetain := flag.Int("samplelog-retain", 64, "with -samplelog: keep at most this many segments, pruning oldest-first (-1 = unbounded)")
+	envelopeIn := flag.String("envelope", "", "with -model: stage-0 anomaly envelope (JSON, from smartrain -envelope) enabling the detection cascade; with -registry the active entry's published envelope is used instead")
+	cascadeThreshold := flag.Float64("cascade-threshold", 0, "stage-0 short-circuit threshold: 0 uses the envelope's calibrated threshold, >0 overrides it, <0 disables the cascade even when an envelope is present")
 	flag.Parse()
 	ctx := app.Start()
 	defer app.Close()
@@ -109,6 +122,9 @@ func main() {
 		err     error
 	)
 	if *regDir != "" {
+		if *envelopeIn != "" {
+			app.Fatal(fmt.Errorf("-envelope only applies with -model; registry entries carry their envelope (publish one with: smartctl publish -envelope env.json)"))
+		}
 		reg, err = registry.Open(*regDir)
 		if err != nil {
 			app.Fatal(err)
@@ -116,6 +132,9 @@ func main() {
 		initial, err = loadFromRegistry(reg, *driftAlert)
 	} else {
 		initial, err = loadFromFile(*modelIn)
+		if err == nil && *envelopeIn != "" {
+			initial.Envelope, err = loadEnvelope(*envelopeIn)
+		}
 	}
 	if err != nil {
 		app.Fatal(err)
@@ -137,22 +156,27 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Detector:     initial.Detector,
-		Model:        initial.Name,
-		ModelVersion: initial.Version,
-		Drift:        initial.Drift,
-		Monitor:      monitor.Config{Alpha: *alpha, RaiseThreshold: *raise, ClearThreshold: *clear, Telemetry: app.Telemetry},
-		QueueDepth:   *queueDepth,
-		MaxBatch:     *maxBatch,
-		Workers:      *workers,
-		IdleTimeout:  *idleTimeout,
-		Telemetry:    app.Telemetry,
-		Tracer:       tracer,
-		SampleLog:    sampleLog,
-		Log:          app.Log,
+		Detector:         initial.Detector,
+		Model:            initial.Name,
+		ModelVersion:     initial.Version,
+		Drift:            initial.Drift,
+		Envelope:         initial.Envelope,
+		CascadeThreshold: *cascadeThreshold,
+		Monitor:          monitor.Config{Alpha: *alpha, RaiseThreshold: *raise, ClearThreshold: *clear, Telemetry: app.Telemetry},
+		QueueDepth:       *queueDepth,
+		MaxBatch:         *maxBatch,
+		Workers:          *workers,
+		IdleTimeout:      *idleTimeout,
+		Telemetry:        app.Telemetry,
+		Tracer:           tracer,
+		SampleLog:        sampleLog,
+		Log:              app.Log,
 	})
 	if err != nil {
 		app.Fatal(err)
+	}
+	if am := srv.ActiveModel(); am.CascadeEnabled() {
+		app.Log.Info("stage-0 cascade enabled", "threshold", am.CascadeThreshold())
 	}
 
 	var sh *shadow.Shadow
@@ -253,9 +277,45 @@ func loadFromRegistry(reg *registry.Registry, alertPSI float64) (serve.Model, er
 	if err != nil {
 		return serve.Model{}, err
 	}
+	m.Envelope, err = cascadeEnvelopeFor(entry)
+	if err != nil {
+		return serve.Model{}, err
+	}
 	app.Log.Info("model loaded", "registry", reg.Root(), "version", entry.Version,
-		"sha256", entry.SHA256, "features", det.NumFeatures(), "drift", m.Drift != nil)
+		"sha256", entry.SHA256, "features", det.NumFeatures(), "drift", m.Drift != nil,
+		"envelope", m.Envelope != nil)
 	return m, nil
+}
+
+// loadEnvelope reads a stage-0 anomaly envelope written by smartrain
+// -envelope.
+func loadEnvelope(path string) (*anomaly.Envelope, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	env, err := persist.UnmarshalEnvelope(blob)
+	if err != nil {
+		return nil, fmt.Errorf("envelope %s: %w", path, err)
+	}
+	app.Log.Info("envelope loaded", "path", path,
+		"features", env.NumFeatures(), "threshold", env.Threshold)
+	return env, nil
+}
+
+// cascadeEnvelopeFor returns the entry's published stage-0 envelope, or
+// nil when the entry predates envelope publishing — older registries keep
+// serving, just with the cascade disabled.
+func cascadeEnvelopeFor(entry registry.Entry) (*anomaly.Envelope, error) {
+	env, err := entry.CascadeEnvelope()
+	if err != nil {
+		if errors.Is(err, registry.ErrNoEnvelope) {
+			app.Log.Info("registry entry has no stage-0 envelope; cascade disabled", "version", entry.Version)
+			return nil, nil
+		}
+		return nil, err
+	}
+	return env, nil
 }
 
 func driftMonitorFor(det *core.Detector, entry registry.Entry, alertPSI float64) (*drift.Monitor, error) {
@@ -292,11 +352,17 @@ func swapFromRegistry(srv *serve.Server, reg *registry.Registry, alertPSI float6
 		app.Log.Error("hot swap failed", "trigger", trigger, "err", err)
 		return
 	}
+	env, err := cascadeEnvelopeFor(entry)
+	if err != nil {
+		app.Log.Error("hot swap failed", "trigger", trigger, "err", err)
+		return
+	}
 	next := serve.Model{
 		Detector: det,
 		Version:  entry.Version,
 		Name:     fmt.Sprintf("%s@v%d", filepath.Base(reg.Root()), entry.Version),
 		Drift:    mon,
+		Envelope: env,
 	}
 	if err := srv.Swap(next); err != nil {
 		app.Log.Error("hot swap failed", "trigger", trigger, "version", entry.Version, "err", err)
@@ -334,6 +400,18 @@ func finish(srv *serve.Server, sh *shadow.Shadow, sampleLog *samplelog.Writer, r
 	}
 	var driftRep drift.Report
 	active := srv.ActiveModel()
+	var cascadeShort, cascadePass uint64
+	var cascadeFrac float64
+	if active.CascadeEnabled() {
+		cascadeShort = app.Telemetry.Counter("cascade_short_total").Value()
+		cascadePass = app.Telemetry.Counter("cascade_pass_total").Value()
+		if total := cascadeShort + cascadePass; total > 0 {
+			cascadeFrac = float64(cascadeShort) / float64(total)
+		}
+		app.Log.Info("cascade summary",
+			"short_circuited", cascadeShort, "passed_on", cascadePass,
+			"short_fraction", cascadeFrac, "threshold", active.CascadeThreshold())
+	}
 	if active.Drift != nil {
 		driftRep = active.Drift.Snapshot()
 		app.Log.Info("drift verdict",
@@ -356,6 +434,15 @@ func finish(srv *serve.Server, sh *shadow.Shadow, sampleLog *samplelog.Writer, r
 		rep.Results["shadow_scored"] = float64(shadowRep.Scored)
 		rep.Results["shadow_dropped"] = float64(shadowRep.Dropped)
 		rep.Results["shadow_verdict_divergence"] = shadowRep.VerdictDivergence
+	}
+	if active.CascadeEnabled() {
+		rep.Results["cascade_short_circuited"] = float64(cascadeShort)
+		rep.Results["cascade_passed_on"] = float64(cascadePass)
+		rep.Results["cascade_short_fraction"] = cascadeFrac
+		if rep.Notes == nil {
+			rep.Notes = map[string]string{}
+		}
+		rep.Notes["cascade"] = fmt.Sprintf("enabled threshold=%g", active.CascadeThreshold())
 	}
 	if sampleLog != nil {
 		rep.Results["samplelog_appended"] = float64(logStats.Appended)

@@ -43,12 +43,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"twosmart/internal/anomaly"
 	"twosmart/internal/samplelog"
 	"twosmart/internal/serve"
 	"twosmart/internal/session"
 	"twosmart/internal/telemetry"
 	"twosmart/internal/trace"
 	"twosmart/internal/wire"
+	"twosmart/internal/workload"
 )
 
 // handshakeTimeout bounds the agent-side Hello/Welcome exchange.
@@ -76,13 +78,31 @@ type Config struct {
 	// stamp regardless of Tracer, so the shard tier can attribute the
 	// gateway→shard hop in its own end-to-end records.
 	Tracer *trace.Tracer
-	// SampleLog, when non-nil, records every forwarded sample to the
-	// durable sample log at the gateway edge. Gateway records carry no
+	// SampleLog, when non-nil, records every arriving sample to the
+	// durable sample log at the gateway edge. Forwarded records carry no
 	// verdict (FlagScored clear) — the gateway never sees scores
 	// correlated to features — so backtests skip them while replay uses
-	// them like any other record. Append copies and never blocks. The
+	// them like any other record. Records the edge cascade short-circuits
+	// are the exception: they carry their synthesized benign verdict
+	// (FlagScored|FlagShortCircuit). Append copies and never blocks. The
 	// caller keeps ownership and Closes it after Serve returns.
 	SampleLog *samplelog.Writer
+	// Envelope, when non-nil, runs the stage-0 anomaly cascade at the
+	// fleet edge: samples the envelope scores as clear benign are answered
+	// directly by the gateway (a synthesized benign Verdict carrying
+	// wire.FlagShortCircuit) and never forwarded, so the shard tier only
+	// spends scoring work on pass-throughs. Shard-side EWMA smoothing then
+	// observes only the passed samples — the gateway's synthesized
+	// verdicts carry no smoothing (DESIGN §15 records the tradeoff). The
+	// envelope's feature width is checked against the fleet's Welcome
+	// template per agent connection; on mismatch the cascade is skipped
+	// for that connection and a warning logged once.
+	Envelope *anomaly.Envelope
+	// CascadeThreshold is the operator's short-circuit knob, matching
+	// smartserve's: 0 uses the envelope's calibrated threshold, > 0
+	// overrides it, < 0 disables the edge cascade even with an Envelope
+	// configured.
+	CascadeThreshold float64
 	// Log receives lifecycle events (default slog.Default).
 	Log *slog.Logger
 }
@@ -169,6 +189,17 @@ type Gateway struct {
 	memberChanges  telemetry.Counter
 	batchSize      telemetry.Histogram
 	healthFailures telemetry.Counter
+
+	// edge cascade, resolved at New (nil = disabled). The cascade_*
+	// instruments exist only on a cascade-running gateway.
+	cascade          *anomaly.Compiled
+	cascadeWidth     int
+	cascadeThreshold float64
+	cascadeWarn      sync.Once
+	cascadeShort     telemetry.Counter
+	cascadePass      telemetry.Counter
+	cascadeNanos     telemetry.Counter
+	cascadeSamples   telemetry.Counter
 }
 
 // batchSizeBuckets mirrors serve's adaptive micro-batch histogram layout.
@@ -199,6 +230,21 @@ func New(cfg Config) (*Gateway, error) {
 		memberChanges:  reg.Counter("cluster_membership_changes_total"),
 		batchSize:      reg.Histogram("cluster_batch_size", batchSizeBuckets),
 		healthFailures: reg.Counter("cluster_health_check_failures_total"),
+	}
+	if filled.Envelope != nil && filled.CascadeThreshold >= 0 {
+		if err := filled.Envelope.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: cascade envelope: %w", err)
+		}
+		g.cascade = filled.Envelope.Compile()
+		g.cascadeWidth = filled.Envelope.NumFeatures()
+		g.cascadeThreshold = filled.Envelope.Threshold
+		if filled.CascadeThreshold > 0 {
+			g.cascadeThreshold = filled.CascadeThreshold
+		}
+		g.cascadeShort = reg.Counter("cascade_short_total")
+		g.cascadePass = reg.Counter("cascade_pass_total")
+		g.cascadeNanos = reg.Counter("cascade_stage0_nanos_total")
+		g.cascadeSamples = reg.Counter("cascade_stage0_samples_total")
 	}
 	g.routeP.Store(&routeState{epoch: 0, ring: BuildRing(nil, filled.Replicas)})
 	return g, nil
@@ -429,6 +475,12 @@ type gconn struct {
 	fwd *forwarder
 	eng *session.Engine
 
+	// cascade is the gateway's compiled edge envelope, bound after the
+	// handshake iff its width matches the fleet's feature width (nil
+	// otherwise — the cascade silently disables for this connection).
+	cascade          *anomaly.Compiled
+	cascadeThreshold float64
+
 	wmu sync.Mutex
 	w   *wire.Writer
 
@@ -452,6 +504,17 @@ func (g *Gateway) handle(ctx context.Context, nc net.Conn) {
 	if err != nil {
 		log.Warn("handshake", "err", err)
 		return
+	}
+	if g.cascade != nil {
+		if n := int(g.welcome.Load().NumFeatures); n == g.cascadeWidth {
+			c.cascade = g.cascade
+			c.cascadeThreshold = g.cascadeThreshold
+		} else {
+			g.cascadeWarn.Do(func() {
+				g.cfg.Log.Warn("edge cascade disabled: envelope width does not match fleet",
+					"envelope", g.cascadeWidth, "fleet", n)
+			})
+		}
 	}
 	c.fwd = &forwarder{c: c, agent: agent, ups: make(map[string]*upstream)}
 	// Workers is pinned to 1: the forwarder's upstream map and stream
@@ -633,6 +696,11 @@ type forwarder struct {
 // connections.
 func (f *forwarder) OpenStream(id uint32, app string) (session.Stream, error) {
 	st := &fwdStream{f: f, id: id, app: app, key: RouteKey(f.agent, app)}
+	if f.c.cascade != nil {
+		reg := f.c.g.cfg.Telemetry
+		st.appShort = reg.Counter(telemetry.Label("cascade_app_short_total", "app", app))
+		st.appPass = reg.Counter(telemetry.Label("cascade_app_pass_total", "app", app))
+	}
 	st.ensureRoute()
 	return st, nil
 }
@@ -708,6 +776,11 @@ func (f *forwarder) shutdown() {
 type closeState struct {
 	suppress bool
 	shed     uint64
+	// short is the gateway-side short-circuit count folded into the
+	// shard's StreamSummary.Samples, so the agent's closing record still
+	// accounts for every sample it sent even though the shard never saw
+	// the short-circuited ones.
+	short uint64
 }
 
 // upstream is one gateway→shard data connection shared by all streams of
@@ -776,6 +849,7 @@ func (up *upstream) relay() {
 				continue
 			}
 			fr.Shed += cs.shed
+			fr.Samples += cs.short
 			up.c.writeFrame(fr)
 		case wire.Heartbeat:
 			// Echo of a keepalive; nothing to relay.
@@ -807,6 +881,17 @@ type fwdStream struct {
 
 	opened bool   // placed at least once (first placement counts as routed)
 	sent   uint64 // samples forwarded, for summaries synthesized after shard death
+	short  uint64 // samples the edge cascade answered without forwarding
+
+	// edge-cascade per-app counters (set iff the connection runs the
+	// cascade) and the reusable pass-through gather arenas.
+	appShort  telemetry.Counter
+	appPass   telemetry.Counter
+	shortMask []bool
+	fseqs     []uint32
+	fats      []time.Time
+	forigins  []int64
+	fsamples  [][]float64
 }
 
 // ensureRoute returns the stream's live upstream, (re)placing it when the
@@ -864,19 +949,23 @@ func (st *fwdStream) ensureRoute() *upstream {
 	return nil
 }
 
-// Process forwards one micro-batch to the stream's shard, rerouting and
-// re-sending the whole batch once if the send hits a dead upstream. With
-// no healthy shard the batch is dropped and counted; the agent connection
-// survives. When the gateway traces, one sample per sampled batch gets a
-// gateway-tier record attributing ring wait, routing/assembly and the
-// upstream write.
+// Process runs the edge cascade (when configured) and forwards the
+// pass-through remainder to the stream's shard, rerouting and re-sending
+// the whole batch once if the send hits a dead upstream. With no healthy
+// shard the batch is dropped and counted; the agent connection survives.
+// When the gateway traces, one sample per sampled forwarded batch gets a
+// gateway-tier record attributing ring wait, the edge envelope pass,
+// routing/assembly and the upstream write.
 func (st *fwdStream) Process(b session.Batch) error {
 	g := st.f.c.g
+	fb, shortMask, stage0 := st.cascadeFilter(b)
 	if sl := g.cfg.SampleLog; sl != nil {
 		// Log arrivals at the fleet edge, before routing: replay wants the
 		// traffic that reached the gateway, whether or not a shard was
-		// healthy enough to score it. No verdict exists yet, so the record
-		// is unscored (FlagScored clear) and backtests skip it.
+		// healthy enough to score it. Forwarded samples have no verdict yet,
+		// so their records are unscored (FlagScored clear) and backtests
+		// skip them; edge-cascade short-circuits carry their synthesized
+		// benign verdict.
 		var version uint32
 		if w := g.welcome.Load(); w != nil {
 			version = w.ModelVersion
@@ -890,10 +979,17 @@ func (st *fwdStream) Process(b session.Batch) error {
 				ModelVersion: version,
 				Features:     b.Samples[i],
 			}
+			if shortMask != nil && shortMask[i] {
+				recs[i].Flags = samplelog.FlagScored | samplelog.FlagShortCircuit
+				recs[i].Class = uint8(workload.Benign)
+			}
 		}
 		sl.AppendBatch(recs)
 	}
-	traceIdx, traceID, traced := g.cfg.Tracer.SampleBatch(b.Len())
+	if fb.Len() == 0 {
+		return nil
+	}
+	traceIdx, traceID, traced := g.cfg.Tracer.SampleBatch(fb.Len())
 	var sendStart time.Time
 	if traced {
 		sendStart = time.Now()
@@ -903,27 +999,89 @@ func (st *fwdStream) Process(b session.Batch) error {
 		if up == nil {
 			break
 		}
-		if err := st.sendBatch(up, b); err != nil {
+		if err := st.sendBatch(up, fb); err != nil {
 			up.fail()
 			continue
 		}
-		st.sent += uint64(b.Len())
-		up.met.forwarded.Add(uint64(b.Len()))
+		st.sent += uint64(fb.Len())
+		up.met.forwarded.Add(uint64(fb.Len()))
 		if traced {
-			st.capture(b, traceIdx, traceID, sendStart, up.shard)
+			st.capture(fb, traceIdx, traceID, sendStart, stage0, up.shard)
 		}
 		return nil
 	}
-	g.dropped.Add(uint64(b.Len()))
+	g.dropped.Add(uint64(fb.Len()))
 	return nil
 }
 
+// cascadeFilter runs the edge envelope over one batch. Short-circuited
+// samples are answered on the spot — a synthesized benign Verdict with
+// FlagShortCircuit written straight to the agent (flushed with the
+// round) — and excluded from the returned batch. Returns the batch to
+// forward (b itself when the cascade is off), the per-sample short mask
+// (nil when off) and the wall time the pass took.
+func (st *fwdStream) cascadeFilter(b session.Batch) (session.Batch, []bool, time.Duration) {
+	c := st.f.c
+	if c.cascade == nil {
+		return b, nil, 0
+	}
+	g := c.g
+	start := time.Now()
+	n := b.Len()
+	if cap(st.shortMask) < n {
+		st.shortMask = make([]bool, n)
+	}
+	mask := st.shortMask[:n]
+	st.fseqs = st.fseqs[:0]
+	st.fats = st.fats[:0]
+	st.forigins = st.forigins[:0]
+	st.fsamples = st.fsamples[:0]
+	shorts := 0
+	for i, fv := range b.Samples {
+		if c.cascade.Score(fv) <= c.cascadeThreshold {
+			mask[i] = true
+			shorts++
+			c.writeFrame(wire.Verdict{
+				Stream: st.id,
+				Seq:    b.Seqs[i],
+				Flags:  wire.FlagShortCircuit,
+				Class:  uint8(workload.Benign),
+			})
+		} else {
+			mask[i] = false
+			st.fseqs = append(st.fseqs, b.Seqs[i])
+			st.fats = append(st.fats, b.Ats[i])
+			st.forigins = append(st.forigins, b.Origins[i])
+			st.fsamples = append(st.fsamples, b.Samples[i])
+		}
+	}
+	elapsed := time.Since(start)
+	st.short += uint64(shorts)
+	g.cascadeShort.Add(uint64(shorts))
+	g.cascadePass.Add(uint64(n - shorts))
+	st.appShort.Add(uint64(shorts))
+	st.appPass.Add(uint64(n - shorts))
+	g.cascadeNanos.Add(uint64(maxNanos(elapsed, 0)))
+	g.cascadeSamples.Add(uint64(n))
+	if shorts == 0 {
+		return b, mask, elapsed
+	}
+	return session.Batch{
+		Samples:   st.fsamples,
+		Seqs:      st.fseqs,
+		Ats:       st.fats,
+		Origins:   st.forigins,
+		DrainedAt: b.DrainedAt,
+	}, mask, elapsed
+}
+
 // capture assembles the gateway-tier trace record for the sampled sample
-// at batch index i: HopQueue is the ingress-ring wait, HopAssembly the
-// drain→send grouping and routing, HopEmit the upstream write(s)
-// (including any failover re-send). HopGateway and HopScore stay zero —
-// the matching shard-tier record owns those.
-func (st *fwdStream) capture(b session.Batch, i int, traceID uint64, sendStart time.Time, shard string) {
+// at batch index i: HopQueue is the ingress-ring wait, HopStage0 the edge
+// envelope pass over the sample's batch (zero without a cascade),
+// HopAssembly the drain→send grouping and routing, HopEmit the upstream
+// write(s) (including any failover re-send). HopGateway and HopScore stay
+// zero — the matching shard-tier record owns those.
+func (st *fwdStream) capture(b session.Batch, i int, traceID uint64, sendStart time.Time, stage0 time.Duration, shard string) {
 	g := st.f.c.g
 	sendEnd := time.Now()
 	at := b.Ats[i]
@@ -936,7 +1094,8 @@ func (st *fwdStream) capture(b session.Batch, i int, traceID uint64, sendStart t
 		Seq:     b.Seqs[i],
 	}
 	rec.Hops[trace.HopQueue] = maxNanos(b.DrainedAt.Sub(at), 0)
-	rec.Hops[trace.HopAssembly] = maxNanos(sendStart.Sub(b.DrainedAt), 0)
+	rec.Hops[trace.HopStage0] = maxNanos(stage0, 0)
+	rec.Hops[trace.HopAssembly] = maxNanos(sendStart.Sub(b.DrainedAt)-stage0, 0)
 	rec.Hops[trace.HopEmit] = sendEnd.Sub(sendStart).Nanoseconds()
 	for _, h := range rec.Hops {
 		rec.TotalNanos += h
@@ -971,7 +1130,7 @@ func (st *fwdStream) sendBatch(up *upstream, b session.Batch) error {
 func (st *fwdStream) Close(shed uint64) error {
 	up := st.up
 	if up != nil && !up.dead.Load() {
-		up.setCloseState(st.id, closeState{shed: shed})
+		up.setCloseState(st.id, closeState{shed: shed, short: st.short})
 		if err := up.cli.CloseStream(st.id); err == nil {
 			return nil
 		}
@@ -985,7 +1144,7 @@ func (st *fwdStream) Close(shed uint64) error {
 	st.f.c.writeFrame(wire.StreamSummary{
 		Stream:       st.id,
 		ModelVersion: version,
-		Samples:      st.sent,
+		Samples:      st.sent + st.short,
 		Shed:         shed,
 	})
 	return nil

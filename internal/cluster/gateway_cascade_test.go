@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"testing"
+
+	"twosmart/internal/anomaly"
+	"twosmart/internal/dataset"
+	"twosmart/internal/telemetry"
+	"twosmart/internal/wire"
+	"twosmart/internal/workload"
+)
+
+// trainEnvelope fits an edge envelope over the benign instances of the
+// package fixture corpus.
+func trainEnvelope(t *testing.T, data *dataset.Dataset) *anomaly.Envelope {
+	t.Helper()
+	var benign [][]float64
+	for _, ins := range data.Instances {
+		if workload.Class(ins.Label) == workload.Benign {
+			benign = append(benign, ins.Features)
+		}
+	}
+	env, err := anomaly.Train(data.FeatureNames, benign, anomaly.TrainConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestGatewayEdgeCascadeShortCircuitAll puts a wide-open envelope at the
+// gateway edge: every sample is answered by the gateway itself, nothing
+// reaches the shard, and the closing summary still accounts for every
+// sample sent.
+func TestGatewayEdgeCascadeShortCircuitAll(t *testing.T) {
+	_, data := fixtures(t)
+	env := trainEnvelope(t, data)
+	sh := startShard(t)
+	tg := startGatewayWith(t, []string{sh.addr}, func(c *Config) {
+		c.Envelope = env
+		c.CascadeThreshold = 1e18
+	})
+	c := dialGateway(t, tg, testAgent)
+
+	const n = 48
+	if err := c.OpenStream(1, "gwapp-cascade"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		fv := data.Instances[i%data.Len()].Features
+		if err := c.Send(1, uint32(i), fv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CloseStream(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	verdicts := map[uint32]int{}
+	shorts := 0
+	var sum wire.StreamSummary
+	for {
+		f, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := f.(wire.Verdict); ok {
+			verdicts[v.Stream]++
+			if v.Flags&wire.FlagShortCircuit == 0 {
+				t.Fatalf("verdict seq %d missing short-circuit flag (flags %08b)", v.Seq, v.Flags)
+			}
+			if v.Class != uint8(workload.Benign) || v.Score != 0 {
+				t.Fatalf("verdict seq %d: class %d score %v, want benign 0", v.Seq, v.Class, v.Score)
+			}
+			shorts++
+			continue
+		}
+		if s, ok := f.(wire.StreamSummary); ok {
+			sum = s
+			break
+		}
+		t.Fatalf("unexpected frame %#v", f)
+	}
+	if shorts != n {
+		t.Fatalf("short-circuit verdicts %d, want %d", shorts, n)
+	}
+	if sum.Samples != n {
+		t.Fatalf("summary samples %d, want %d (short-circuits must be folded in)", sum.Samples, n)
+	}
+	if got := tg.reg.Counter("cascade_short_total").Value(); got != n {
+		t.Fatalf("cascade_short_total = %d, want %d", got, n)
+	}
+	if got := tg.reg.Counter("cascade_pass_total").Value(); got != 0 {
+		t.Fatalf("cascade_pass_total = %d, want 0", got)
+	}
+	if got := tg.reg.Counter("cascade_stage0_nanos_total").Value(); got == 0 {
+		t.Fatal("cascade_stage0_nanos_total = 0, want > 0")
+	}
+	// The shard tier never saw a sample from the agent stream.
+	if got := tg.reg.Counter(telemetry.Label("cluster_samples_forwarded_total", "shard", sh.addr)).Value(); got != 0 {
+		t.Fatalf("shard forwarded %d samples, want 0", got)
+	}
+}
+
+// TestGatewayEdgeCascadeMixed runs the edge cascade at its calibrated
+// threshold over a mixed corpus slice: short-circuit verdicts come from
+// the gateway, the rest from the shard, and every sample gets exactly one
+// verdict.
+func TestGatewayEdgeCascadeMixed(t *testing.T) {
+	_, data := fixtures(t)
+	env := trainEnvelope(t, data)
+	sh := startShard(t)
+	tg := startGatewayWith(t, []string{sh.addr}, func(c *Config) {
+		c.Envelope = env
+	})
+	c := dialGateway(t, tg, testAgent)
+
+	const n = 96
+	wantShorts := 0
+	if err := c.OpenStream(1, "gwapp-mixed"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		fv := data.Instances[i%data.Len()].Features
+		if env.Score(fv) <= env.Threshold {
+			wantShorts++
+		}
+		if err := c.Send(1, uint32(i), fv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CloseStream(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if wantShorts == 0 || wantShorts == n {
+		t.Fatalf("degenerate partition %d/%d; fixture corpus should mix", wantShorts, n)
+	}
+
+	total, shorts := 0, 0
+	var sum wire.StreamSummary
+	for {
+		f, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := f.(wire.Verdict); ok {
+			total++
+			if v.Flags&wire.FlagShortCircuit != 0 {
+				shorts++
+			}
+			continue
+		}
+		if s, ok := f.(wire.StreamSummary); ok {
+			sum = s
+			break
+		}
+		t.Fatalf("unexpected frame %#v", f)
+	}
+	if total != n {
+		t.Fatalf("verdicts %d, want %d", total, n)
+	}
+	if shorts != wantShorts {
+		t.Fatalf("short-circuit verdicts %d, want %d", shorts, wantShorts)
+	}
+	if sum.Samples != n {
+		t.Fatalf("summary samples %d, want %d", sum.Samples, n)
+	}
+	if got := tg.reg.Counter("cascade_short_total").Value(); got != uint64(wantShorts) {
+		t.Fatalf("cascade_short_total = %d, want %d", got, wantShorts)
+	}
+	if got := tg.reg.Counter("cascade_pass_total").Value(); got != uint64(n-wantShorts) {
+		t.Fatalf("cascade_pass_total = %d, want %d", got, n-wantShorts)
+	}
+}

@@ -117,15 +117,24 @@ type testGateway struct {
 }
 
 func startGateway(t *testing.T, shards []string) *testGateway {
+	return startGatewayWith(t, shards, nil)
+}
+
+// startGatewayWith boots a gateway whose Config was adjusted by tweak.
+func startGatewayWith(t *testing.T, shards []string, tweak func(*Config)) *testGateway {
 	t.Helper()
 	reg := telemetry.New()
-	gw, err := New(Config{
+	cfg := Config{
 		Shards:        shards,
 		CheckInterval: 100 * time.Millisecond,
 		DialTimeout:   2 * time.Second,
 		Telemetry:     reg,
 		Log:           quietLog(),
-	})
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	gw, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -344,6 +344,28 @@ func featureIndices(d *dataset.Dataset, names []string) ([]int, error) {
 	return idx, nil
 }
 
+// CascadeStage marks which stage of the serving cascade produced a
+// verdict. The zero value is the full two-stage path, so detectors that
+// know nothing about the cascade produce correctly-marked verdicts for
+// free.
+type CascadeStage uint8
+
+const (
+	// StageFull means the full two-stage detector scored the sample.
+	StageFull CascadeStage = iota
+	// StageShortCircuit means the stage-0 anomaly envelope classified
+	// the sample as clear benign and the full detector never ran.
+	StageShortCircuit
+)
+
+// String names the stage for logs and trace output.
+func (s CascadeStage) String() string {
+	if s == StageShortCircuit {
+		return "stage0-short-circuit"
+	}
+	return "full"
+}
+
 // Verdict is the detector's decision for one sample.
 type Verdict struct {
 	// PredictedClass is stage 1's application-type prediction.
@@ -356,6 +378,10 @@ type Verdict struct {
 	Stage2Kind Kind
 	// Confidence is the consulted model's score for its decision.
 	Confidence float64
+	// Stage records which cascade stage decided: StageFull for the
+	// two-stage detector, StageShortCircuit when the stage-0 envelope
+	// short-circuited the sample as clear benign.
+	Stage CascadeStage
 }
 
 // Detect classifies one sample (a feature vector in the training feature

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"twosmart/internal/anomaly"
+	"twosmart/internal/core"
+	"twosmart/internal/metrics"
+	"twosmart/internal/workload"
+)
+
+// ExtCascadePoint is one operating point of the stage-0 cascade sweep:
+// the detection cascade evaluated at one short-circuit threshold.
+type ExtCascadePoint struct {
+	// Multiplier scales the envelope's calibrated threshold (1.0 is the
+	// trained operating point; 0 short-circuits only samples strictly
+	// inside the envelope).
+	Multiplier float64
+	// Threshold is the resulting absolute short-circuit threshold.
+	Threshold float64
+	// ShortFrac is the fraction of held-out samples the cascade resolved
+	// at stage 0 without running the detector.
+	ShortFrac float64
+	// Stage0Ns is the envelope cost amortized over every sample;
+	// Stage1Ns is the detector cost per sample that passed stage 0.
+	Stage0Ns, Stage1Ns float64
+	// EffectiveNs is the cascade's blended scoring cost per sample:
+	// Stage0Ns + (1-ShortFrac)*Stage1Ns.
+	EffectiveNs float64
+	// F is the pooled malware-vs-benign F-measure with the cascade in
+	// front; DeltaF is F minus the no-cascade baseline (negative =
+	// accuracy given up for the speedup).
+	F, DeltaF float64
+}
+
+// ExtCascadeResult sweeps the stage-0 anomaly cascade's short-circuit
+// threshold over the held-out split and reports, per operating point, how
+// much traffic short-circuits, what each stage costs, and what the
+// shortcut does to detection quality relative to always running both
+// detector stages.
+type ExtCascadeResult struct {
+	// BaselineF and BaselineNs are the no-cascade reference: pooled
+	// F-measure and detector ns/sample when every sample runs stage 1/2.
+	BaselineF, BaselineNs float64
+	// Calibrated is the envelope's trained threshold (budget
+	// anomaly.DefaultBudget over the training benign split).
+	Calibrated float64
+	// TestBenignFrac is the benign share of the held-out split — the
+	// ceiling on useful short-circuiting.
+	TestBenignFrac float64
+	Points         []ExtCascadePoint
+}
+
+// extCascadeMultipliers are the swept scalings of the calibrated
+// threshold: the trained point, tighter (fewer short-circuits, safer) and
+// looser (more short-circuits, riskier) settings.
+var extCascadeMultipliers = []float64{0, 0.5, 1, 2, 4}
+
+// ExtCascade trains the runtime 4-HPC detector and a stage-0 benign
+// envelope on the training split, then sweeps the short-circuit threshold
+// over the held-out split.
+func (ctx *Context) ExtCascade() (*ExtCascadeResult, error) {
+	det, err := ctx.runtimeDetector(false)
+	if err != nil {
+		return nil, err
+	}
+	train, err := ctx.Train.SelectByName(core.CommonFeatures)
+	if err != nil {
+		return nil, err
+	}
+	test, err := ctx.Test.SelectByName(core.CommonFeatures)
+	if err != nil {
+		return nil, err
+	}
+	var benign [][]float64
+	for _, ins := range train.Instances {
+		if workload.Class(ins.Label) == workload.Benign {
+			benign = append(benign, ins.Features)
+		}
+	}
+	env, err := anomaly.Train(train.FeatureNames, benign, anomaly.TrainConfig{Seed: ctx.Opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	cenv := env.Compile()
+	cd := det.Compile()
+
+	feats := make([][]float64, test.Len())
+	actual := make([]bool, test.Len())
+	benignCount := 0
+	for i, ins := range test.Instances {
+		feats[i] = ins.Features
+		actual[i] = workload.Class(ins.Label).IsMalware()
+		if !actual[i] {
+			benignCount++
+		}
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("experiments: empty held-out split")
+	}
+
+	res := &ExtCascadeResult{
+		Calibrated:     env.Threshold,
+		TestBenignFrac: float64(benignCount) / float64(len(feats)),
+	}
+
+	// No-cascade baseline: every sample runs the full detector.
+	var baseConf metrics.Confusion
+	start := time.Now()
+	for i, fv := range feats {
+		v, err := cd.Detect(fv)
+		if err != nil {
+			return nil, err
+		}
+		baseConf.Add(actual[i], v.Malware)
+	}
+	res.BaselineNs = float64(time.Since(start).Nanoseconds()) / float64(len(feats))
+	res.BaselineF = baseConf.F1()
+
+	scores := make([]float64, len(feats))
+	for _, mult := range extCascadeMultipliers {
+		threshold := mult * env.Threshold
+		// Stage 0 over everything, timed in bulk so the per-sample cost
+		// is not swamped by timer reads.
+		start = time.Now()
+		for i, fv := range feats {
+			scores[i] = cenv.Score(fv)
+		}
+		stage0 := float64(time.Since(start).Nanoseconds()) / float64(len(feats))
+
+		var conf metrics.Confusion
+		passed := 0
+		start = time.Now()
+		for i, fv := range feats {
+			if scores[i] <= threshold {
+				conf.Add(actual[i], false) // short-circuit: benign verdict
+				continue
+			}
+			passed++
+			v, err := cd.Detect(fv)
+			if err != nil {
+				return nil, err
+			}
+			conf.Add(actual[i], v.Malware)
+		}
+		stage1Total := float64(time.Since(start).Nanoseconds())
+		p := ExtCascadePoint{
+			Multiplier: mult,
+			Threshold:  threshold,
+			ShortFrac:  1 - float64(passed)/float64(len(feats)),
+			Stage0Ns:   stage0,
+			F:          conf.F1(),
+			DeltaF:     conf.F1() - res.BaselineF,
+		}
+		if passed > 0 {
+			p.Stage1Ns = stage1Total / float64(passed)
+		}
+		p.EffectiveNs = p.Stage0Ns + (1-p.ShortFrac)*p.Stage1Ns
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// String renders the cascade sweep.
+func (res *ExtCascadeResult) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: stage-0 cascade threshold sweep (4 Common HPCs)\n\n")
+	fmt.Fprintf(&b, "no-cascade baseline: F=%.1f%% at %.0f ns/sample; calibrated threshold %.4g; test benign share %.0f%%\n\n",
+		100*res.BaselineF, res.BaselineNs, res.Calibrated, 100*res.TestBenignFrac)
+	fmt.Fprintf(&b, "%-10s | %-11s | %-12s | %-10s | %-10s | %-12s | %-8s\n",
+		"threshold", "short-circ.", "stage0 ns", "stage1 ns", "eff. ns", "F-measure", "delta F")
+	for _, p := range res.Points {
+		fmt.Fprintf(&b, "%9.2fx | %10.1f%% | %12.1f | %10.1f | %10.1f | %11.1f%% | %+7.2fpp\n",
+			p.Multiplier, 100*p.ShortFrac, p.Stage0Ns, p.Stage1Ns, p.EffectiveNs,
+			100*p.F, 100*p.DeltaF)
+	}
+	return b.String()
+}

@@ -77,6 +77,7 @@ type Report struct {
 		Granularity  *ExtGranularityResult  `json:"granularity"`
 		Latency      *ExtLatencyResult      `json:"detection_latency"`
 		Interference *ExtInterferenceResult `json:"interference"`
+		Cascade      *ExtCascadeResult      `json:"cascade"`
 	} `json:"extensions"`
 }
 
@@ -189,6 +190,9 @@ func (ctx *Context) Report() (*Report, error) {
 		return nil, err
 	}
 	if r.Extensions.Interference, err = ctx.ExtInterference(); err != nil {
+		return nil, err
+	}
+	if r.Extensions.Cascade, err = ctx.ExtCascade(); err != nil {
 		return nil, err
 	}
 

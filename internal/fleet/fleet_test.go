@@ -140,13 +140,21 @@ serve_model_info{model="tiny",version="3"} 1
 serve_model_info{model="tiny",version="2"} 0
 # TYPE drift_alert gauge
 drift_alert 1
+# TYPE cascade_short_total counter
+cascade_short_total %d
+# TYPE cascade_pass_total counter
+cascade_pass_total %d
+# TYPE cascade_stage0_nanos_total counter
+cascade_stage0_nanos_total %d
+# TYPE cascade_stage0_samples_total counter
+cascade_stage0_samples_total %d
 # TYPE serve_verdict_latency_seconds histogram
 serve_verdict_latency_seconds_bucket{le="0.001"} 0
 serve_verdict_latency_seconds_bucket{le="0.005"} %d
 serve_verdict_latency_seconds_bucket{le="+Inf"} %d
 serve_verdict_latency_seconds_sum 1
 serve_verdict_latency_seconds_count %d
-`, 200*n, 10*n, 200*n, 200*n, 200*n)
+`, 200*n, 10*n, 160*n, 40*n, 10000*n, 200*n, 200*n, 200*n, 200*n)
 	}, trace.Dump{SampleEvery: 1, Depth: 256, Dropped: 2, HopNames: trace.HopNames[:], Records: []trace.Record{shardTrace}})
 
 	gwTrace := trace.Record{
@@ -206,6 +214,17 @@ cluster_streams_routed_total{shard="10.0.0.1:7000"} 16
 	if sh.TraceCount != 1 || sh.TraceDropped != 2 {
 		t.Fatalf("trace count/dropped = %d/%d, want 1/2", sh.TraceCount, sh.TraceDropped)
 	}
+	// 160 shorts + 40 passes per interval → 80% short-circuited; 10000ns
+	// over 200 stage-0 samples → 50ns/sample.
+	if sh.Cascade == nil {
+		t.Fatal("cascade section missing on a cascade-running shard")
+	}
+	if math.Abs(sh.Cascade.ShortFraction-0.8) > 0.001 {
+		t.Fatalf("cascade short fraction %v, want 0.8", sh.Cascade.ShortFraction)
+	}
+	if math.Abs(sh.Cascade.Stage0PerSamp-50) > 0.5 {
+		t.Fatalf("cascade stage-0 cost %vns/sample, want 50", sh.Cascade.Stage0PerSamp)
+	}
 
 	g := st.Gateways[0]
 	if g.ShardsHealthy != 2 || g.Reroutes != 3 {
@@ -224,6 +243,9 @@ cluster_streams_routed_total{shard="10.0.0.1:7000"} 16
 	if g.Shards[1].Up {
 		t.Fatalf("down shard reported up: %+v", g.Shards[1])
 	}
+	if g.Cascade != nil {
+		t.Fatalf("no-cascade gateway grew a cascade section: %+v", g.Cascade)
+	}
 
 	if len(st.Errors) != 1 || st.Errors[0].Addr != dead {
 		t.Fatalf("errors = %+v, want the dead node", st.Errors)
@@ -241,7 +263,7 @@ cluster_streams_routed_total{shard="10.0.0.1:7000"} 16
 	// Both render paths work on the merged status.
 	var text, js strings.Builder
 	st.Render(&text)
-	for _, want := range []string{"GATEWAY", "SHARDS", "tiny v3", "retrain", "SLOWEST TRACES", "UNREACHABLE"} {
+	for _, want := range []string{"GATEWAY", "SHARDS", "tiny v3", "retrain", "CASCADE", "80.0% @50ns", "STAGE0", "SLOWEST TRACES", "UNREACHABLE"} {
 		if !strings.Contains(text.String(), want) {
 			t.Errorf("render missing %q:\n%s", want, text.String())
 		}

@@ -30,6 +30,9 @@ func (st *Status) Render(w io.Writer) {
 		if g.TraceDropped > 0 {
 			fmt.Fprintf(w, " (dropped %d)", g.TraceDropped)
 		}
+		if g.Cascade != nil {
+			fmt.Fprintf(w, "  cascade=%s", cascadeCell(g.Cascade))
+		}
 		fmt.Fprintln(w)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "  SHARD\tUP\tFWD/S\tRELAY/S\tPROBE RTT\tROUTED")
@@ -47,7 +50,7 @@ func (st *Status) Render(w io.Writer) {
 	if len(st.Shards) > 0 {
 		fmt.Fprintln(w, "\nSHARDS")
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "  ADDR\tMODEL\tVERDICTS/S\tSHED/S\tP99\tDRIFT\tTRACES")
+		fmt.Fprintln(tw, "  ADDR\tMODEL\tVERDICTS/S\tSHED/S\tP99\tDRIFT\tCASCADE\tTRACES")
 		for _, s := range st.Shards {
 			model := s.Model
 			if model == "" {
@@ -59,8 +62,8 @@ func (st *Status) Render(w io.Writer) {
 			if s.TraceDropped > 0 {
 				traces += fmt.Sprintf(" (dropped %d)", s.TraceDropped)
 			}
-			fmt.Fprintf(tw, "  %s\t%s\t%.1f\t%.1f\t%s\t%s\t%s\n",
-				s.Addr, model, s.VerdictRate, s.ShedRate, dur(s.P99), s.Drift, traces)
+			fmt.Fprintf(tw, "  %s\t%s\t%.1f\t%.1f\t%s\t%s\t%s\t%s\n",
+				s.Addr, model, s.VerdictRate, s.ShedRate, dur(s.P99), s.Drift, cascadeCell(s.Cascade), traces)
 		}
 		tw.Flush()
 	}
@@ -72,19 +75,30 @@ func (st *Status) Render(w io.Writer) {
 	if len(st.Slowest) > 0 {
 		fmt.Fprintln(w, "\nSLOWEST TRACES (per-hop attribution)")
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "  NODE\tTIER\tAPP\tSTREAM:SEQ\tTOTAL\tGATEWAY\tQUEUE\tASSEMBLY\tSCORE\tEMIT")
+		fmt.Fprintln(tw, "  NODE\tTIER\tAPP\tSTREAM:SEQ\tTOTAL\tGATEWAY\tQUEUE\tASSEMBLY\tSTAGE0\tSCORE\tEMIT")
 		for _, t := range st.Slowest {
-			fmt.Fprintf(tw, "  %s\t%s\t%s\t%d:%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%d:%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
 				t.Node, t.Tier, t.App, t.Stream, t.Seq,
 				durNanos(t.TotalNanos),
 				durNanos(t.Hops[trace.HopGateway]),
 				durNanos(t.Hops[trace.HopQueue]),
 				durNanos(t.Hops[trace.HopAssembly]),
+				durNanos(t.Hops[trace.HopStage0]),
 				durNanos(t.Hops[trace.HopScore]),
 				durNanos(t.Hops[trace.HopEmit]))
 		}
 		tw.Flush()
 	}
+}
+
+// cascadeCell renders one node's cascade column: the short-circuit
+// fraction and the stage-0 cost per sample, or "-" when the node runs no
+// cascade.
+func cascadeCell(cs *CascadeStatus) string {
+	if cs == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%% @%.0fns", cs.ShortFraction*100, cs.Stage0PerSamp)
 }
 
 // dur renders seconds compactly (µs/ms/s as appropriate).

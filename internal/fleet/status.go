@@ -53,6 +53,51 @@ type ShardStatus struct {
 	Drift        string `json:"drift"`
 	TraceCount   int    `json:"trace_count"`
 	TraceDropped uint64 `json:"trace_dropped"`
+	// Cascade mirrors the node's cascade_* families: absent entirely when
+	// the node runs no stage-0 cascade.
+	Cascade *CascadeStatus `json:"cascade,omitempty"`
+}
+
+// CascadeStatus is one node's stage-0 cascade view: what fraction of its
+// traffic the envelope short-circuited and what the envelope pass costs
+// per sample. Window rates are preferred; with no window traffic the
+// lifetime totals stand in.
+type CascadeStatus struct {
+	ShortFraction float64 `json:"short_fraction"`
+	Stage0PerSamp float64 `json:"stage0_ns_per_sample"`
+	ShortTotal    float64 `json:"short_total"`
+	PassTotal     float64 `json:"pass_total"`
+}
+
+// cascadeStatus extracts the cascade section from a scrape pair, or nil
+// when the node exposes no cascade families (cascade disabled: the
+// instruments are created lazily on both tiers).
+func cascadeStatus(before, after *Metrics) *CascadeStatus {
+	if _, ok := after.Get("cascade_stage0_samples_total"); !ok {
+		return nil
+	}
+	cs := &CascadeStatus{}
+	cs.ShortTotal, _ = after.Get("cascade_short_total")
+	cs.PassTotal, _ = after.Get("cascade_pass_total")
+	short := Delta(before, after, "cascade_short_total")
+	pass := Delta(before, after, "cascade_pass_total")
+	if short+pass == 0 {
+		// Quiet window: fall back to lifetime totals.
+		short, pass = cs.ShortTotal, cs.PassTotal
+	}
+	if tot := short + pass; tot > 0 {
+		cs.ShortFraction = short / tot
+	}
+	nanos := Delta(before, after, "cascade_stage0_nanos_total")
+	samples := Delta(before, after, "cascade_stage0_samples_total")
+	if samples == 0 {
+		nanos, _ = after.Get("cascade_stage0_nanos_total")
+		samples, _ = after.Get("cascade_stage0_samples_total")
+	}
+	if samples > 0 {
+		cs.Stage0PerSamp = nanos / samples
+	}
+	return cs
 }
 
 // GatewayShard is the gateway's per-upstream view.
@@ -74,6 +119,9 @@ type GatewayStatus struct {
 	Shards        []GatewayShard `json:"shards"`
 	TraceCount    int            `json:"trace_count"`
 	TraceDropped  uint64         `json:"trace_dropped"`
+	// Cascade is the gateway's edge-cascade view (nil when the gateway
+	// forwards everything).
+	Cascade *CascadeStatus `json:"cascade,omitempty"`
 }
 
 // NodeError records a node that could not be scraped.
@@ -203,6 +251,7 @@ func shardStatus(addr string, before, after *Metrics, sec float64, dump *trace.D
 	} else {
 		s.Drift = "steady"
 	}
+	s.Cascade = cascadeStatus(before, after)
 	return s
 }
 
@@ -233,6 +282,7 @@ func gatewayStatus(addr string, before, after *Metrics, sec float64, dump *trace
 		g.Shards = append(g.Shards, gs)
 	}
 	sort.Slice(g.Shards, func(i, j int) bool { return g.Shards[i].Shard < g.Shards[j].Shard })
+	g.Cascade = cascadeStatus(before, after)
 	return g
 }
 

@@ -3,6 +3,7 @@ package persist
 import (
 	"testing"
 
+	"twosmart/internal/anomaly"
 	"twosmart/internal/ml/ensemble"
 	"twosmart/internal/ml/mltest"
 	"twosmart/internal/ml/tree"
@@ -49,6 +50,47 @@ func FuzzUnmarshalClassifier(f *testing.F) {
 		}
 		if _, err := MarshalClassifier(c); err != nil {
 			t.Fatalf("decoded classifier does not re-marshal: %v", err)
+		}
+	})
+}
+
+// FuzzUnmarshalEnvelope is the same never-panic pin for the stage-0
+// anomaly envelope encoding: whatever the bytes, the decoder either
+// errors or yields a Validate-clean envelope that re-marshals.
+func FuzzUnmarshalEnvelope(f *testing.F) {
+	env := &anomaly.Envelope{
+		Features:  []string{"branch-instructions", "cache-references"},
+		Lo:        []float64{10, 20},
+		Hi:        []float64{100, 200},
+		InvWidth:  []float64{1.0 / 90, 1.0 / 180},
+		Threshold: 0.25,
+		Budget:    0.001,
+	}
+	blob, err := MarshalEnvelope(env)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte(`{"v":1,"type":"anomaly-envelope","data":{}}`))
+	f.Add([]byte(`{"v":1,"type":"anomaly-envelope","data":{"features":["x"],"lo":[0],"hi":[1],"inv_width":[1]}}`))
+	f.Add([]byte(`{"v":1,"type":"anomaly-envelope","data":{"features":["x"],"lo":[1],"hi":[0],"inv_width":[1e308]}}`))
+	f.Add([]byte(`{"v":2,"type":"anomaly-envelope","data":{}}`))
+	f.Add([]byte(`{"v":1,"type":"j48","data":{}}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := UnmarshalEnvelope(data)
+		if err != nil {
+			return
+		}
+		if e == nil {
+			t.Fatal("nil envelope with nil error")
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("decoded envelope invalid: %v", err)
+		}
+		if _, err := MarshalEnvelope(e); err != nil {
+			t.Fatalf("decoded envelope does not re-marshal: %v", err)
 		}
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"twosmart/internal/anomaly"
 	"twosmart/internal/ml"
 	"twosmart/internal/ml/bayes"
 	"twosmart/internal/ml/ensemble"
@@ -53,6 +54,7 @@ const (
 	typeMLR      = "mlr"
 	typeNB       = "naivebayes"
 	typeAdaBoost = "adaboost"
+	typeAnomaly  = "anomaly-envelope"
 )
 
 type ensembleDTO struct {
@@ -102,6 +104,43 @@ func wrap(typ string, data []byte, err error) ([]byte, error) {
 		return nil, err
 	}
 	return json.Marshal(envelope{Version: FormatVersion, Type: typ, Data: data})
+}
+
+// MarshalEnvelope serialises a trained stage-0 anomaly envelope to the
+// same versioned JSON wrapper as classifiers, under its own family tag.
+// The envelope is validated first so no invalid model ever reaches disk
+// or a registry blob.
+func MarshalEnvelope(e *anomaly.Envelope) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	data, err := json.Marshal(e)
+	return wrap(typeAnomaly, data, err)
+}
+
+// UnmarshalEnvelope reconstructs an anomaly envelope serialised by
+// MarshalEnvelope, enforcing the format version and re-validating the
+// decoded model.
+func UnmarshalEnvelope(data []byte) (*anomaly.Envelope, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("persist: reading envelope: %w", err)
+	}
+	if env.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: %w v%d (this build reads v%d; re-train the envelope)",
+			ErrFormatVersion, env.Version, FormatVersion)
+	}
+	if env.Type != typeAnomaly {
+		return nil, fmt.Errorf("persist: blob is %q, not an anomaly envelope", env.Type)
+	}
+	var e anomaly.Envelope
+	if err := json.Unmarshal(env.Data, &e); err != nil {
+		return nil, fmt.Errorf("persist: decoding anomaly envelope: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return &e, nil
 }
 
 // UnmarshalClassifier reconstructs a classifier serialised by

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"twosmart/internal/anomaly"
 	"twosmart/internal/ml"
 	"twosmart/internal/ml/bayes"
 	"twosmart/internal/ml/ensemble"
@@ -324,5 +325,71 @@ func TestRoundTripNaiveBayes(t *testing.T) {
 	env, _ := json.Marshal(map[string]any{"v": FormatVersion, "type": "naivebayes", "data": map[string]any{"num_classes": 2}})
 	if _, err := UnmarshalClassifier(env); err == nil {
 		t.Fatal("corrupt NB payload accepted")
+	}
+}
+
+func TestRoundTripEnvelope(t *testing.T) {
+	e := &anomaly.Envelope{
+		Features:  []string{"branch-instructions", "cache-references", "branch-misses", "node-stores"},
+		Lo:        []float64{10, 20, 30, 40},
+		Hi:        []float64{100, 200, 300, 400},
+		InvWidth:  []float64{1.0 / 90, 1.0 / 180, 1.0 / 270, 1.0 / 360},
+		Threshold: 0.125,
+		Budget:    0.001,
+	}
+	blob, err := MarshalEnvelope(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalEnvelope(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threshold != e.Threshold || got.Budget != e.Budget {
+		t.Fatalf("threshold/budget changed across round trip: %+v", got)
+	}
+	for i := range e.Features {
+		if got.Features[i] != e.Features[i] || got.Lo[i] != e.Lo[i] ||
+			got.Hi[i] != e.Hi[i] || got.InvWidth[i] != e.InvWidth[i] {
+			t.Fatalf("feature %d changed across round trip", i)
+		}
+	}
+}
+
+func TestEnvelopeRejections(t *testing.T) {
+	valid := &anomaly.Envelope{
+		Features: []string{"x"}, Lo: []float64{0}, Hi: []float64{1}, InvWidth: []float64{1},
+	}
+	blob, err := MarshalEnvelope(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong format version is ErrFormatVersion, matchable with errors.Is.
+	bad := []byte(strings.Replace(string(blob), `"v":1`, `"v":9`, 1))
+	if _, err := UnmarshalEnvelope(bad); !errors.Is(err, ErrFormatVersion) {
+		t.Fatalf("v9 envelope error = %v, want ErrFormatVersion", err)
+	}
+	// A classifier blob is not an envelope.
+	d := mltest.Gaussian2Class(100, 2, 2.0, 7)
+	model, err := (&tree.J48Trainer{}).Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cblob, err := MarshalClassifier(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalEnvelope(cblob); err == nil {
+		t.Fatal("classifier blob decoded as envelope")
+	}
+	// An invalid envelope never reaches disk...
+	invalid := &anomaly.Envelope{Features: []string{"x"}, Lo: []float64{2}, Hi: []float64{1}, InvWidth: []float64{1}}
+	if _, err := MarshalEnvelope(invalid); err == nil {
+		t.Fatal("invalid envelope marshalled")
+	}
+	// ...and never comes back from it.
+	forged := []byte(`{"v":1,"type":"anomaly-envelope","data":{"features":["x"],"lo":[2],"hi":[1],"inv_width":[1]}}`)
+	if _, err := UnmarshalEnvelope(forged); err == nil {
+		t.Fatal("invalid envelope decoded")
 	}
 }

@@ -2,10 +2,12 @@ package registry
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"regexp"
 	"time"
 
+	"twosmart/internal/anomaly"
 	"twosmart/internal/drift"
 )
 
@@ -45,6 +47,29 @@ type Entry struct {
 	// monitoring; optional (models published without one serve with
 	// drift monitoring disabled).
 	Reference *drift.Reference `json:"reference,omitempty"`
+	// Envelope is the stage-0 anomaly envelope for the detection
+	// cascade; optional. Pre-cascade manifests have no envelope field
+	// and load unchanged — serving with such an entry simply runs with
+	// the cascade disabled (see CascadeEnvelope).
+	Envelope *anomaly.Envelope `json:"envelope,omitempty"`
+}
+
+// ErrNoEnvelope is returned by CascadeEnvelope for an entry published
+// without a stage-0 anomaly envelope. It is a typed "cascade disabled"
+// signal, not a failure: the serve path matches it with errors.Is, logs
+// the note and serves the full two-stage path for every sample.
+var ErrNoEnvelope = errors.New("registry: entry has no anomaly envelope (cascade disabled)")
+
+// CascadeEnvelope returns the entry's stage-0 envelope, or ErrNoEnvelope
+// when the entry predates the cascade (or was published without one).
+// Callers in the serve path use this instead of dereferencing Envelope so
+// a pre-cascade manifest degrades to "cascade disabled" with a typed
+// note, never a nil-deref.
+func (e *Entry) CascadeEnvelope() (*anomaly.Envelope, error) {
+	if e.Envelope == nil {
+		return nil, fmt.Errorf("%w (model v%d)", ErrNoEnvelope, e.Version)
+	}
+	return e.Envelope, nil
 }
 
 // Manifest is the registry's index document: every published version
@@ -137,6 +162,24 @@ func validateManifest(m *Manifest) error {
 			if e.Reference.NumFeatures() != len(e.Features) {
 				return fmt.Errorf("registry: v%d drift reference covers %d features, model has %d",
 					e.Version, e.Reference.NumFeatures(), len(e.Features))
+			}
+		}
+		if e.Envelope != nil {
+			if err := e.Envelope.Validate(); err != nil {
+				return fmt.Errorf("registry: v%d anomaly envelope: %w", e.Version, err)
+			}
+			// The envelope scores the same sample vectors the model does,
+			// so its feature space must match the model's exactly —
+			// names and order, not just width.
+			if e.Envelope.NumFeatures() != len(e.Features) {
+				return fmt.Errorf("registry: v%d anomaly envelope covers %d features, model has %d",
+					e.Version, e.Envelope.NumFeatures(), len(e.Features))
+			}
+			for i, name := range e.Envelope.Features {
+				if name != e.Features[i] {
+					return fmt.Errorf("registry: v%d anomaly envelope feature %d is %q, model has %q",
+						e.Version, i, name, e.Features[i])
+				}
 			}
 		}
 	}

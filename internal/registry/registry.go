@@ -31,6 +31,7 @@ import (
 	"sort"
 	"time"
 
+	"twosmart/internal/anomaly"
 	"twosmart/internal/core"
 	"twosmart/internal/drift"
 	"twosmart/internal/persist"
@@ -136,6 +137,11 @@ type PublishOptions struct {
 	// Reference is the training-time feature distribution for drift
 	// monitoring; must cover exactly the model's feature space when set.
 	Reference *drift.Reference
+	// Envelope is the stage-0 anomaly envelope for the detection
+	// cascade; must cover exactly the model's feature space (names and
+	// order) when set. Entries published without one serve with the
+	// cascade disabled.
+	Envelope *anomaly.Envelope
 	// Promote makes the new version active in the same manifest write.
 	Promote bool
 }
@@ -174,6 +180,22 @@ func (r *Registry) Publish(blob []byte, opts PublishOptions) (Entry, error) {
 				opts.Reference.NumFeatures(), len(e.Features))
 		}
 		e.Reference = opts.Reference
+	}
+	if opts.Envelope != nil {
+		if err := opts.Envelope.Validate(); err != nil {
+			return Entry{}, fmt.Errorf("registry: anomaly envelope: %w", err)
+		}
+		if opts.Envelope.NumFeatures() != len(e.Features) {
+			return Entry{}, fmt.Errorf("registry: anomaly envelope covers %d features, model has %d",
+				opts.Envelope.NumFeatures(), len(e.Features))
+		}
+		for i, name := range opts.Envelope.Features {
+			if name != e.Features[i] {
+				return Entry{}, fmt.Errorf("registry: anomaly envelope feature %d is %q, model has %q",
+					i, name, e.Features[i])
+			}
+		}
+		e.Envelope = opts.Envelope
 	}
 	// Blob first, manifest second: a crash between the two leaves an
 	// orphaned blob (harmless, prunable), never a dangling manifest entry.

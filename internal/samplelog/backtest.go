@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"twosmart/internal/anomaly"
 	"twosmart/internal/core"
 	"twosmart/internal/parallel"
 	"twosmart/internal/shadow"
@@ -25,6 +26,35 @@ type BacktestOptions struct {
 	// App restricts the replay to one application's records; empty means
 	// all apps.
 	App string
+	// Envelope, when non-nil, additionally replays every record through
+	// the stage-0 cascade envelope and reports what the cascade would have
+	// done to the recorded traffic — including the safety number: recorded
+	// malware verdicts the envelope would have short-circuited as clear
+	// benign. The envelope's width must match the candidate's.
+	Envelope *anomaly.Envelope
+	// CascadeThreshold is the short-circuit knob for the cascade replay:
+	// 0 uses the envelope's calibrated threshold, > 0 overrides it, < 0
+	// skips the cascade replay even with an Envelope set.
+	CascadeThreshold float64
+}
+
+// CascadeBacktest is the cascade section of a BacktestResult: what the
+// stage-0 envelope would have decided about the recorded, scored traffic.
+type CascadeBacktest struct {
+	// Threshold is the effective short-circuit threshold replayed.
+	Threshold float64 `json:"threshold"`
+	// ShortCircuited counts replayed records the envelope would have
+	// answered as clear benign without reaching the full detector.
+	ShortCircuited uint64 `json:"short_circuited"`
+	// PassedOn counts replayed records the envelope would have forwarded.
+	PassedOn uint64 `json:"passed_on"`
+	// ShortFraction is ShortCircuited over the replayed total.
+	ShortFraction float64 `json:"short_fraction"`
+	// MalwareShortCircuited is the safety number: recorded malware
+	// verdicts the cascade would have short-circuited. Anything above zero
+	// means the envelope would have suppressed a detection the fleet
+	// actually made.
+	MalwareShortCircuited uint64 `json:"malware_short_circuited"`
 }
 
 // BacktestResult pairs the divergence report with the log-scan context a
@@ -44,6 +74,10 @@ type BacktestResult struct {
 	// SkippedFiltered counts scored records excluded by the window or
 	// app filter.
 	SkippedFiltered int `json:"skipped_filtered"`
+	// Cascade is the stage-0 replay section, present only when
+	// BacktestOptions carried an envelope (and the threshold knob did not
+	// disable it).
+	Cascade *CascadeBacktest `json:"cascade,omitempty"`
 }
 
 // backtest divergence accumulator; shadow keeps its own unexported, so
@@ -56,6 +90,12 @@ type btStats struct {
 	sumAbsDelta   float64
 	maxDelta      float64
 	perClass      map[string]*btClass
+
+	// cascade replay accounting (all zero when no envelope rides along)
+	cascadeShort  uint64
+	cascadePass   uint64
+	malwareShort  uint64
+	cascadeErrors uint64 // records whose width the envelope could not score
 }
 
 type btClass struct {
@@ -95,6 +135,23 @@ func (st *btStats) observe(cand *core.CompiledDetector, rec Record) {
 	}
 }
 
+// observeCascade replays one record through the stage-0 envelope and
+// accounts what the cascade would have done to it.
+func (st *btStats) observeCascade(env *anomaly.Compiled, threshold float64, rec Record) {
+	if len(rec.Features) != env.NumFeatures() {
+		st.cascadeErrors++
+		return
+	}
+	if env.Score(rec.Features) <= threshold {
+		st.cascadeShort++
+		if rec.Malware() {
+			st.malwareShort++
+		}
+	} else {
+		st.cascadePass++
+	}
+}
+
 func (st *btStats) merge(o btStats) {
 	st.scored += o.scored
 	st.errors += o.errors
@@ -113,6 +170,10 @@ func (st *btStats) merge(o btStats) {
 		dst.disagreed += ca.disagreed
 		dst.sumAbsDelta += ca.sumAbsDelta
 	}
+	st.cascadeShort += o.cascadeShort
+	st.cascadePass += o.cascadePass
+	st.malwareShort += o.malwareShort
+	st.cascadeErrors += o.cascadeErrors
 }
 
 func (st *btStats) report(version int) shadow.Report {
@@ -152,6 +213,21 @@ func Backtest(ctx context.Context, dir string, candidate *core.Detector, opts Ba
 	if candidate == nil {
 		return res, errors.New("samplelog: nil candidate detector")
 	}
+	var cascadeThreshold float64
+	runCascade := opts.Envelope != nil && opts.CascadeThreshold >= 0
+	if runCascade {
+		if err := opts.Envelope.Validate(); err != nil {
+			return res, fmt.Errorf("samplelog: cascade envelope: %w", err)
+		}
+		if opts.Envelope.NumFeatures() != candidate.NumFeatures() {
+			return res, fmt.Errorf("samplelog: cascade envelope has %d features, candidate wants %d",
+				opts.Envelope.NumFeatures(), candidate.NumFeatures())
+		}
+		cascadeThreshold = opts.Envelope.Threshold
+		if opts.CascadeThreshold > 0 {
+			cascadeThreshold = opts.CascadeThreshold
+		}
+	}
 	var records []Record
 	rep, err := ReadDir(dir, func(r Record) error {
 		if !r.Scored() {
@@ -189,9 +265,16 @@ func Backtest(ctx context.Context, dir string, candidate *core.Detector, opts Ba
 		lo := w * chunk
 		hi := min(lo+chunk, len(records))
 		cand := candidate.Compile()
+		var env *anomaly.Compiled
+		if runCascade {
+			env = opts.Envelope.Compile()
+		}
 		st := btStats{perClass: make(map[string]*btClass)}
 		for _, rec := range records[lo:hi] {
 			st.observe(cand, rec)
+			if env != nil {
+				st.observeCascade(env, cascadeThreshold, rec)
+			}
 		}
 		return st, nil
 	})
@@ -206,5 +289,17 @@ func Backtest(ctx context.Context, dir string, candidate *core.Detector, opts Ba
 		return res, fmt.Errorf("samplelog: candidate scored none of %d records (feature width mismatch?)", len(records))
 	}
 	res.Report = total.report(opts.Version)
+	if runCascade {
+		cb := &CascadeBacktest{
+			Threshold:             cascadeThreshold,
+			ShortCircuited:        total.cascadeShort,
+			PassedOn:              total.cascadePass,
+			MalwareShortCircuited: total.malwareShort,
+		}
+		if replayed := total.cascadeShort + total.cascadePass; replayed > 0 {
+			cb.ShortFraction = float64(total.cascadeShort) / float64(replayed)
+		}
+		res.Cascade = cb
+	}
 	return res, nil
 }

@@ -76,6 +76,10 @@ const (
 	// at the forwarding edge, before any shard scored them) leave it
 	// clear; backtests skip them, replay uses them like any other.
 	FlagScored uint8 = 1 << 2
+	// FlagShortCircuit marks a record whose verdict came from the
+	// stage-0 anomaly envelope (clear benign, full detector never ran).
+	// Pre-cascade logs simply never set the bit.
+	FlagShortCircuit uint8 = 1 << 3
 )
 
 // Record is one logged sample: what arrived, what the serving tier
@@ -91,7 +95,7 @@ type Record struct {
 	// ModelVersion is the registry version that scored the sample
 	// (0 outside a registry, or at the gateway tier).
 	ModelVersion uint32
-	// Flags carries FlagMalware/FlagAlarm/FlagScored.
+	// Flags carries FlagMalware/FlagAlarm/FlagScored/FlagShortCircuit.
 	Flags uint8
 	// Class is the recorded stage-1 class (workload.Class), meaningful
 	// only with FlagScored.
@@ -107,6 +111,9 @@ func (r Record) Scored() bool { return r.Flags&FlagScored != 0 }
 
 // Malware reports the recorded malware decision.
 func (r Record) Malware() bool { return r.Flags&FlagMalware != 0 }
+
+// ShortCircuited reports whether the stage-0 envelope decided the record.
+func (r Record) ShortCircuited() bool { return r.Flags&FlagShortCircuit != 0 }
 
 // Typed decode errors.
 var (

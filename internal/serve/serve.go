@@ -60,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"twosmart/internal/anomaly"
 	"twosmart/internal/core"
 	"twosmart/internal/drift"
 	"twosmart/internal/monitor"
@@ -94,6 +95,16 @@ type Config struct {
 	// model generation for feature-distribution monitoring. A hot swap
 	// installs the replacement generation's monitor (see Model.Drift).
 	Drift *drift.Monitor
+	// Envelope, when non-nil, enables the stage-0 cascade for the initial
+	// model generation: samples inside the envelope short-circuit with a
+	// benign verdict before the full detector runs. Must cover the
+	// detector's exact feature width.
+	Envelope *anomaly.Envelope
+	// CascadeThreshold is the operator's short-circuit knob, applied to
+	// every generation (initial and swapped-in): 0 uses each envelope's
+	// calibrated threshold, > 0 overrides it, < 0 disables the cascade
+	// even when an envelope is present.
+	CascadeThreshold float64
 	// Monitor tunes the per-stream smoothing and alarm hysteresis.
 	Monitor monitor.Config
 	// QueueDepth bounds each connection's ingress ring; beyond it the
@@ -175,6 +186,48 @@ type Model struct {
 	// Drift, when non-nil, receives every sample scored under this
 	// generation. It must be safe for concurrent use (drift.Monitor is).
 	Drift *drift.Monitor
+	// Envelope, when non-nil, is the generation's stage-0 anomaly
+	// envelope. The server resolves it against the CascadeThreshold knob
+	// at bind/swap time (see resolveCascade); entries without one serve
+	// with the cascade disabled.
+	Envelope *anomaly.Envelope
+
+	// resolved by New/Swap: the compiled envelope (nil = cascade off for
+	// this generation) and the effective short-circuit threshold.
+	cascade          *anomaly.Compiled
+	cascadeThreshold float64
+}
+
+// CascadeEnabled reports whether streams binding this generation run the
+// stage-0 cascade.
+func (m Model) CascadeEnabled() bool { return m.cascade != nil }
+
+// CascadeThreshold returns the effective short-circuit threshold (0 when
+// the cascade is disabled).
+func (m Model) CascadeThreshold() float64 { return m.cascadeThreshold }
+
+// resolveCascade compiles m.Envelope into the generation's cascade under
+// the server's threshold knob: override < 0 disables the cascade even
+// with an envelope present, 0 selects the envelope's calibrated
+// threshold, > 0 overrides it. n is the served feature width.
+func resolveCascade(m *Model, n int, override float64) error {
+	m.cascade, m.cascadeThreshold = nil, 0
+	if m.Envelope == nil || override < 0 {
+		return nil
+	}
+	if err := m.Envelope.Validate(); err != nil {
+		return fmt.Errorf("serve: anomaly envelope: %w", err)
+	}
+	if m.Envelope.NumFeatures() != n {
+		return fmt.Errorf("serve: anomaly envelope covers %d features, model has %d",
+			m.Envelope.NumFeatures(), n)
+	}
+	m.cascade = m.Envelope.Compile()
+	m.cascadeThreshold = m.Envelope.Threshold
+	if override > 0 {
+		m.cascadeThreshold = override
+	}
+	return nil
 }
 
 // Server serves one trained detector over the wire protocol.
@@ -242,6 +295,10 @@ func New(cfg Config) (*Server, error) {
 		Version:  filled.ModelVersion,
 		Name:     filled.Model,
 		Drift:    filled.Drift,
+		Envelope: filled.Envelope,
+	}
+	if err := resolveCascade(initial, n, filled.CascadeThreshold); err != nil {
+		return nil, err
 	}
 	s.active.Store(initial)
 	s.setModelInfo(nil, initial)
@@ -270,6 +327,9 @@ func (s *Server) Swap(m Model) error {
 	}
 	if m.Drift != nil && m.Drift.NumFeatures() != s.numFeatures {
 		return fmt.Errorf("serve: swap drift monitor covers %d features, serving %d", m.Drift.NumFeatures(), s.numFeatures)
+	}
+	if err := resolveCascade(&m, s.numFeatures, s.cfg.CascadeThreshold); err != nil {
+		return err
 	}
 	if m.Name == "" {
 		m.Name = s.cfg.Model
@@ -393,15 +453,22 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) {
 	scoring, err := session.NewScoring(session.ScoringConfig{
 		Source: func() session.Generation {
 			am := s.active.Load()
-			return session.Generation{Detector: am.Detector, Version: am.Version, Drift: am.Drift}
+			return session.Generation{
+				Detector:         am.Detector,
+				Version:          am.Version,
+				Drift:            am.Drift,
+				Cascade:          am.cascade,
+				CascadeThreshold: am.cascadeThreshold,
+			}
 		},
-		Emit:     c,
-		Monitor:  s.cfg.Monitor,
-		MaxBatch: s.cfg.MaxBatch,
-		Tap:      c.tap,
-		Tracer:   s.cfg.Tracer,
-		Latency:  s.latency,
-		Hook:     s.scoreHook,
+		Emit:      c,
+		Monitor:   s.cfg.Monitor,
+		MaxBatch:  s.cfg.MaxBatch,
+		Tap:       c.tap,
+		Tracer:    s.cfg.Tracer,
+		Latency:   s.latency,
+		Telemetry: s.cfg.Telemetry,
+		Hook:      s.scoreHook,
 	})
 	if err != nil {
 		log.Error("scoring", "err", err)
@@ -617,6 +684,9 @@ func (c *conn) tap(ch session.TapChunk) {
 			if ch.Events[i].Alarm {
 				flags |= samplelog.FlagAlarm
 			}
+			if ch.Verdicts[i].Stage == core.StageShortCircuit {
+				flags |= samplelog.FlagShortCircuit
+			}
 			recs[i] = samplelog.Record{
 				Nanos:        ch.Ats[i].UnixNano(),
 				Stream:       ch.Stream,
@@ -649,6 +719,9 @@ func (c *conn) Verdicts(id uint32, _ int, seqs []uint32, ats []time.Time,
 		}
 		if events[i].Changed {
 			flags |= wire.FlagAlarmChanged
+		}
+		if verdicts[i].Stage == core.StageShortCircuit {
+			flags |= wire.FlagShortCircuit
 		}
 		if err := c.w.Write(wire.Verdict{
 			Stream:   id,

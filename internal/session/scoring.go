@@ -2,25 +2,38 @@ package session
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"twosmart/internal/anomaly"
 	"twosmart/internal/core"
 	"twosmart/internal/drift"
 	"twosmart/internal/monitor"
 	"twosmart/internal/telemetry"
 	"twosmart/internal/trace"
+	"twosmart/internal/workload"
 )
 
 // Generation is one servable model generation as the scoring handler
-// binds it: the trained detector, its registry version, and the optional
-// drift monitor that observes every sample scored under it. The Source
-// callback returns the generation active *right now*; each stream
-// captures the generation at open time (the hot-swap epoch model from
-// DESIGN §11) and keeps it for life.
+// binds it: the trained detector, its registry version, the optional
+// drift monitor that observes every sample scored under it, and the
+// optional stage-0 cascade. The Source callback returns the generation
+// active *right now*; each stream captures the generation at open time
+// (the hot-swap epoch model from DESIGN §11) and keeps it for life.
 type Generation struct {
 	Detector *core.Detector
 	Version  int
 	Drift    *drift.Monitor
+	// Cascade, when non-nil, is the compiled stage-0 anomaly envelope:
+	// samples scoring <= CascadeThreshold short-circuit with a benign
+	// verdict (Stage = core.StageShortCircuit) and never reach the full
+	// detector. Must cover the detector's exact feature width — the
+	// caller's invariant (serve validates at model bind/swap time).
+	Cascade *anomaly.Compiled
+	// CascadeThreshold is the effective short-circuit threshold for this
+	// generation (the envelope's calibrated default or an operator
+	// override, already resolved by the caller).
+	CascadeThreshold float64
 }
 
 // Emitter receives the scoring handler's output. Methods are called on
@@ -84,6 +97,12 @@ type ScoringConfig struct {
 	// trace. The serve transport passes its verdict-latency histogram so
 	// /metrics p99s link back to /debug/traces records.
 	Latency telemetry.Histogram
+	// Telemetry, when non-nil, receives the cascade_* metric families
+	// (short-circuit / pass-through counts, per-stage nanos and sample
+	// counts, plus per-app splits). Only touched on streams whose
+	// generation carries a cascade, so a no-cascade server exposes no
+	// cascade families at all.
+	Telemetry *telemetry.Registry
 	// Hook, when non-nil (tests only), runs before every per-stream
 	// scoring round; a slow hook makes load-shedding deterministic.
 	Hook func()
@@ -97,6 +116,46 @@ type ScoringConfig struct {
 type Scoring struct {
 	cfg ScoringConfig
 	tr  *monitor.Tracker
+
+	// cascade instruments, created on the first stream whose generation
+	// carries a cascade — a server that never runs one exposes no
+	// cascade_* families at all.
+	cmOnce sync.Once
+	cm     *cascadeMetrics
+}
+
+// cascadeInstruments returns the shared cascade_* instruments, creating
+// them on first use.
+func (s *Scoring) cascadeInstruments() *cascadeMetrics {
+	s.cmOnce.Do(func() {
+		cm := newCascadeMetrics(s.cfg.Telemetry)
+		s.cm = &cm
+	})
+	return s.cm
+}
+
+// cascadeMetrics caches the shared cascade_* instruments so the hot path
+// never formats a metric name. All fields come from a *telemetry.Registry
+// (nil registry yields valid no-op instruments) but are only incremented
+// on streams that actually run a cascade.
+type cascadeMetrics struct {
+	short         telemetry.Counter // samples short-circuited by stage 0
+	pass          telemetry.Counter // samples passed through to the full detector
+	stage0Nanos   telemetry.Counter // wall nanos spent in the stage-0 envelope pass
+	stage0Samples telemetry.Counter // samples the stage-0 pass scored
+	stage1Nanos   telemetry.Counter // wall nanos spent in the full-detector pass
+	stage1Samples telemetry.Counter // samples the full detector scored
+}
+
+func newCascadeMetrics(reg *telemetry.Registry) cascadeMetrics {
+	return cascadeMetrics{
+		short:         reg.Counter("cascade_short_total"),
+		pass:          reg.Counter("cascade_pass_total"),
+		stage0Nanos:   reg.Counter("cascade_stage0_nanos_total"),
+		stage0Samples: reg.Counter("cascade_stage0_samples_total"),
+		stage1Nanos:   reg.Counter("cascade_stage1_nanos_total"),
+		stage1Samples: reg.Counter("cascade_stage1_samples_total"),
+	}
 }
 
 // NewScoring validates the configuration and builds the handler.
@@ -146,7 +205,15 @@ func (s *Scoring) OpenStream(id uint32, app string) (Stream, error) {
 			return nil, fmt.Errorf("session: tracker scorer for %q is %T, want *core.CompiledDetector", app, s.tr.ScorerFor(app))
 		}
 	}
-	return &scoredStream{s: s, id: id, app: app, det: det, version: g.Version, drft: g.Drift}, nil
+	st := &scoredStream{s: s, id: id, app: app, det: det, version: g.Version, drft: g.Drift}
+	if g.Cascade != nil {
+		st.env = g.Cascade
+		st.threshold = g.CascadeThreshold
+		st.cm = s.cascadeInstruments()
+		st.appShort = s.cfg.Telemetry.Counter(telemetry.Label("cascade_app_short_total", "app", app))
+		st.appPass = s.cfg.Telemetry.Counter(telemetry.Label("cascade_app_pass_total", "app", app))
+	}
+	return st, nil
 }
 
 // RoundEnd flushes the emitter's buffered output.
@@ -170,10 +237,28 @@ type scoredStream struct {
 	version int
 	drft    *drift.Monitor
 
+	// stage-0 cascade, captured with the epoch (nil = disabled): the
+	// compiled envelope, the effective threshold, and this app's
+	// short/pass counters.
+	env       *anomaly.Compiled
+	threshold float64
+	cm        *cascadeMetrics
+	appShort  telemetry.Counter
+	appPass   telemetry.Counter
+
 	// reusable scoring arenas, grown to the largest micro-batch seen
 	verdicts []core.Verdict
 	scores   []float64
 	events   []monitor.Event
+
+	// cascade pass-through scatter/gather arenas: indices of samples the
+	// envelope passed onward, their gathered feature rows, and the
+	// verdict/score slots the full detector writes before the scatter
+	// back into the chunk arenas.
+	passIdx      []int
+	passSamples  [][]float64
+	passVerdicts []core.Verdict
+	passScores   []float64
 }
 
 // Process scores one pending micro-batch in MaxBatch chunks through the
@@ -197,16 +282,27 @@ func (st *scoredStream) Process(b Batch) error {
 		n := end - off
 		// One sampling decision per chunk: a single atomic add when not
 		// chosen, three time.Now calls bracketing score and emit when it is.
+		// A cascade chunk is always bracketed — the per-stage cost model is
+		// the feature — at two extra time.Now calls amortized over the chunk.
 		traceIdx, traceID, traced := s.cfg.Tracer.SampleBatch(n)
-		var scoreStart time.Time
-		if traced {
-			scoreStart = time.Now()
-		}
+		var scoreStart, stage0End time.Time
 		verdicts := st.verdicts[:n]
 		scores := st.scores[:n]
 		events := st.events[:n]
-		if err := st.det.DetectScoredBatch(verdicts, scores, b.Samples[off:end]); err != nil {
-			return err
+		if st.env != nil {
+			scoreStart = time.Now()
+			var err error
+			stage0End, err = st.cascadeChunk(verdicts, scores, b.Samples[off:end], scoreStart)
+			if err != nil {
+				return err
+			}
+		} else {
+			if traced {
+				scoreStart = time.Now()
+			}
+			if err := st.det.DetectScoredBatch(verdicts, scores, b.Samples[off:end]); err != nil {
+				return err
+			}
 		}
 		if err := s.tr.ObserveScoredBatch(st.app, events, scores); err != nil {
 			return err
@@ -236,10 +332,68 @@ func (st *scoredStream) Process(b Batch) error {
 			return err
 		}
 		if traced {
-			st.capture(b, off+traceIdx, traceID, scoreStart, scoreEnd)
+			st.capture(b, off+traceIdx, traceID, scoreStart, stage0End, scoreEnd)
 		}
 	}
 	return nil
+}
+
+// cascadeChunk runs the stage-0 envelope over one chunk: samples inside
+// the envelope (score <= threshold) get a benign short-circuit verdict in
+// place; the rest are gathered, scored through the fused full-detector
+// path, and scattered back. Returns the stage-0/stage-1 boundary
+// timestamp for trace attribution. Verdict and malware-score slots for
+// short-circuited samples are written directly (score 0: the envelope
+// decided "clear benign", and the stream's EWMA smoothing should see
+// exactly that evidence).
+func (st *scoredStream) cascadeChunk(verdicts []core.Verdict, scores []float64, samples [][]float64, stage0Start time.Time) (time.Time, error) {
+	st.passIdx = st.passIdx[:0]
+	st.passSamples = st.passSamples[:0]
+	for i, fv := range samples {
+		if st.env.Score(fv) <= st.threshold {
+			verdicts[i] = core.Verdict{
+				PredictedClass: workload.Benign,
+				Confidence:     1,
+				Stage:          core.StageShortCircuit,
+			}
+			scores[i] = 0
+		} else {
+			st.passIdx = append(st.passIdx, i)
+			st.passSamples = append(st.passSamples, fv)
+		}
+	}
+	stage0End := time.Now()
+	p := len(st.passIdx)
+	if p > 0 {
+		if cap(st.passVerdicts) < p {
+			st.passVerdicts = make([]core.Verdict, len(samples))
+			st.passScores = make([]float64, len(samples))
+		}
+		pv := st.passVerdicts[:p]
+		ps := st.passScores[:p]
+		if err := st.det.DetectScoredBatch(pv, ps, st.passSamples); err != nil {
+			return stage0End, err
+		}
+		for j, i := range st.passIdx {
+			verdicts[i] = pv[j]
+			scores[i] = ps[j]
+		}
+	}
+	stage1End := time.Now()
+
+	cm := st.cm
+	n := len(samples)
+	cm.short.Add(uint64(n - p))
+	cm.pass.Add(uint64(p))
+	st.appShort.Add(uint64(n - p))
+	st.appPass.Add(uint64(p))
+	cm.stage0Nanos.Add(uint64(max64(stage0End.Sub(stage0Start).Nanoseconds(), 0)))
+	cm.stage0Samples.Add(uint64(n))
+	if p > 0 {
+		cm.stage1Nanos.Add(uint64(max64(stage1End.Sub(stage0End).Nanoseconds(), 0)))
+		cm.stage1Samples.Add(uint64(p))
+	}
+	return stage0End, nil
 }
 
 // capture assembles the end-to-end trace record for the sampled sample
@@ -249,7 +403,7 @@ func (st *scoredStream) Process(b Batch) error {
 // construction; only HopGateway crosses a process boundary and relies on
 // wall clocks (clamped at zero against skew), every other hop is a
 // monotonic same-process delta.
-func (st *scoredStream) capture(b Batch, i int, traceID uint64, scoreStart, scoreEnd time.Time) {
+func (st *scoredStream) capture(b Batch, i int, traceID uint64, scoreStart, stage0End, scoreEnd time.Time) {
 	s := st.s
 	emitEnd := time.Now()
 	at := b.Ats[i]
@@ -267,7 +421,15 @@ func (st *scoredStream) capture(b Batch, i int, traceID uint64, scoreStart, scor
 	}
 	rec.Hops[trace.HopQueue] = max64(b.DrainedAt.Sub(at).Nanoseconds(), 0)
 	rec.Hops[trace.HopAssembly] = max64(scoreStart.Sub(b.DrainedAt).Nanoseconds(), 0)
-	rec.Hops[trace.HopScore] = scoreEnd.Sub(scoreStart).Nanoseconds()
+	fullStart := scoreStart
+	if !stage0End.IsZero() {
+		// Cascade chunk: stage-0's envelope pass owns its own hop and the
+		// score hop covers the remaining full-detector work. Without a
+		// cascade the stage0 hop stays zero.
+		rec.Hops[trace.HopStage0] = stage0End.Sub(scoreStart).Nanoseconds()
+		fullStart = stage0End
+	}
+	rec.Hops[trace.HopScore] = scoreEnd.Sub(fullStart).Nanoseconds()
 	rec.Hops[trace.HopEmit] = emitEnd.Sub(scoreEnd).Nanoseconds()
 	for _, h := range rec.Hops {
 		rec.TotalNanos += h

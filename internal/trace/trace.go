@@ -43,19 +43,25 @@ const (
 	// HopAssembly is drain → score start: per-stream batch grouping and
 	// fan-out dispatch.
 	HopAssembly
+	// HopStage0 is the stage-0 anomaly-envelope pass over the chunk: the
+	// cascade's pre-filter scoring plus the short-circuit partition. Zero
+	// when no cascade is configured (and on gateway-tier records unless
+	// the gateway runs an edge cascade).
+	HopStage0
 	// HopScore is the fused detect+observe scoring pass over the chunk
-	// (includes drift observation and the shadow tap offer).
+	// (includes drift observation and the shadow tap offer). With a
+	// cascade enabled this covers only the pass-through subset.
 	HopScore
 	// HopEmit is score end → verdict handed to the emitter (for a TCP
 	// shard: encoded into the connection's write buffer).
 	HopEmit
 
 	// NumHops is the number of attributed segments.
-	NumHops = 5
+	NumHops = 6
 )
 
 // HopNames maps Hop indices to their wire/JSON names.
-var HopNames = [NumHops]string{"gateway", "queue", "assembly", "score", "emit"}
+var HopNames = [NumHops]string{"gateway", "queue", "assembly", "stage0", "score", "emit"}
 
 func (h Hop) String() string {
 	if h < 0 || int(h) >= NumHops {

@@ -69,6 +69,7 @@ const (
 	FlagMalware      = 1 << 0 // the sample classified as malware
 	FlagAlarm        = 1 << 1 // the stream's smoothed alarm is raised
 	FlagAlarmChanged = 1 << 2 // this sample raised or cleared the alarm
+	FlagShortCircuit = 1 << 3 // stage-0 envelope short-circuited the sample as clear benign
 )
 
 // Error frame codes.
