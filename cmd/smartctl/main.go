@@ -16,6 +16,23 @@
 //	smartctl status   -fleet 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
 //	smartctl backtest -registry models/ -log samples/ -version 3
 //	smartctl logverify -log samples/
+//	smartctl rollout start  -registry models/ -candidate 3 -canary-shard shard-a \
+//	    -canary-addr 127.0.0.1:8082 -baseline-addrs 127.0.0.1:8083 -bake 2m
+//	smartctl rollout status -registry models/ [-json]
+//	smartctl rollout abort  -registry models/
+//
+// rollout drives a staged canary rollout: start pins the candidate
+// version to one canary shard (whose smartserve -shard-id ... -watch
+// picks it up like any hot swap), bakes it for -bake while scraping the
+// canary and baseline shards, and gates each evidence window on shadow
+// divergence, p99 regression ratio, the drift monitor's verdict, and a
+// minimum canary sample count (an idle canary can never pass). Every
+// gate holding for the full bake widens the candidate fleet-wide;
+// any failure unpins immediately and records why. start exits 0 only
+// when the rollout widened, so scripts can branch on the outcome.
+// status renders the durable evidence trail (rollout.json in the
+// registry root); abort drops a cooperative flag the running controller
+// honors — it never writes the manifest from a second process.
 //
 // backtest replays a durable sample log (smartserve -samplelog) through
 // a published candidate version at full speed and reports divergence
@@ -65,13 +82,14 @@ import (
 	"twosmart/internal/parallel"
 	"twosmart/internal/persist"
 	"twosmart/internal/registry"
+	"twosmart/internal/rollout"
 	"twosmart/internal/samplelog"
 	"twosmart/internal/shadow"
 )
 
 var app = cli.New("smartctl")
 
-const usageHint = "usage: smartctl {publish|list|promote|rollback|diff|prune|backtest} -registry DIR [flags] | smartctl status -fleet ADDR,... [flags] | smartctl logverify -log DIR [flags]"
+const usageHint = "usage: smartctl {publish|list|promote|rollback|diff|prune|backtest} -registry DIR [flags] | smartctl rollout {start|status|abort} -registry DIR [flags] | smartctl status -fleet ADDR,... [flags] | smartctl logverify -log DIR [flags]"
 
 func main() {
 	regDir := flag.String("registry", "", "model registry directory; required")
@@ -83,7 +101,7 @@ func main() {
 	version := flag.Int("version", 0, "promote: version to make active; backtest: candidate version to replay (default: the latest)")
 	keep := flag.Int("keep", 5, "prune: newest versions to keep (the active one always survives)")
 	baseline := flag.Int("baseline", 0, "diff: baseline version (default: the active one)")
-	candidate := flag.Int("candidate", 0, "diff: candidate version (default: the latest)")
+	candidate := flag.Int("candidate", 0, "diff/rollout start: candidate version (default: the latest)")
 	scale := flag.Float64("scale", 0.01, "diff/-reference: synthetic corpus scale")
 	seed := flag.Int64("seed", 1, "diff/-reference: synthetic corpus seed")
 	workers := flag.Int("workers", 0, "diff/backtest: scoring parallelism (0 = NumCPU)")
@@ -96,7 +114,16 @@ func main() {
 	fleetAddrs := flag.String("fleet", "", "status: comma-separated telemetry addresses of the gateways and shards to scrape (their -telemetry-addr)")
 	window := flag.Duration("window", 2*time.Second, "status: time between the two /metrics scrapes that anchor the rate columns")
 	top := flag.Int("top", 5, "status: slowest traces to show")
-	jsonOut := flag.Bool("json", false, "status/backtest/logverify: emit the result as JSON instead of text")
+	jsonOut := flag.Bool("json", false, "status/backtest/logverify/rollout status: emit the result as JSON instead of text")
+	canaryShard := flag.String("canary-shard", "", "rollout start: the canary shard's -shard-id (the registry pin key)")
+	canaryAddr := flag.String("canary-addr", "", "rollout start: the canary shard's -telemetry-addr, scraped for canary-side evidence")
+	baselineAddrs := flag.String("baseline-addrs", "", "rollout start: comma-separated -telemetry-addr of the shards staying on the baseline version")
+	bake := flag.Duration("bake", 2*time.Minute, "rollout start: total bake window before the candidate may widen")
+	every := flag.Duration("every", 0, "rollout start: gate evaluation cadence (0 = bake/4); each evaluation scrapes both sides twice, this far apart")
+	convergeTimeout := flag.Duration("converge-timeout", 30*time.Second, "rollout start: how long the canary may take to start serving the candidate after the pin")
+	maxDivergence := flag.Float64("max-divergence", 0, "rollout start: gate — max canary shadow_divergence (0 disables; skipped when the canary runs no shadow scorer)")
+	maxP99Ratio := flag.Float64("max-p99-ratio", 0, "rollout start: gate — max canary/baseline p99 latency ratio (0 disables)")
+	minSamples := flag.Float64("min-samples", 50, "rollout start: gate — min canary verdicts per evaluation window, so an idle canary cannot pass (0 disables)")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
 		fmt.Fprintln(os.Stderr, usageHint)
@@ -104,6 +131,16 @@ func main() {
 	}
 	cmd := os.Args[1]
 	os.Args = append(os.Args[:1], os.Args[2:]...)
+	// rollout carries its own action word before the flags.
+	var rolloutAction string
+	if cmd == "rollout" {
+		if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
+			fmt.Fprintln(os.Stderr, "usage: smartctl rollout {start|status|abort} -registry DIR [flags]")
+			os.Exit(2)
+		}
+		rolloutAction = os.Args[1]
+		os.Args = append(os.Args[:1], os.Args[2:]...)
+	}
 	flag.Parse()
 	ctx := app.Start()
 	defer app.Close()
@@ -151,6 +188,33 @@ func main() {
 		runDiff(ctx, reg, *baseline, *candidate, *scale, *seed, *workers)
 	case "backtest":
 		runBacktest(ctx, reg, *logDir, *version, *appFilter, *fromTS, *toTS, *envelopeIn, *cascadeThreshold, *workers, *jsonOut)
+	case "rollout":
+		switch rolloutAction {
+		case "start":
+			runRolloutStart(ctx, reg, rollout.Config{
+				Candidate:       *candidate,
+				CanaryShard:     *canaryShard,
+				CanaryAddr:      *canaryAddr,
+				BaselineAddrs:   splitAddrs(*baselineAddrs),
+				Bake:            *bake,
+				Every:           *every,
+				ConvergeTimeout: *convergeTimeout,
+				Gates: rollout.Gates{
+					MaxDivergence: *maxDivergence,
+					MaxP99Ratio:   *maxP99Ratio,
+					MinSamples:    *minSamples,
+				},
+			})
+		case "status":
+			runRolloutStatus(reg, *jsonOut)
+		case "abort":
+			if err := rollout.RequestAbort(reg); err != nil {
+				app.Fatal(err)
+			}
+			fmt.Println("abort requested; the running controller will unpin the canary at its next poll")
+		default:
+			app.Fatal(fmt.Errorf("unknown rollout action %q (want start, status or abort)", rolloutAction))
+		}
 	case "prune":
 		removed, err := reg.Prune(*keep)
 		if err != nil {
@@ -189,6 +253,110 @@ func runStatus(ctx context.Context, fleetAddrs string, window time.Duration, top
 		return
 	}
 	st.Render(os.Stdout)
+}
+
+// splitAddrs splits a comma-separated address list, trimming whitespace
+// and dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runRolloutStart drives one staged canary rollout to a terminal phase
+// and prints the outcome with its gate evidence. Exit status: 0 only
+// when the candidate widened; a rollback or abort exits 1 so CI and
+// scripts can branch on it.
+func runRolloutStart(ctx context.Context, reg *registry.Registry, cfg rollout.Config) {
+	cfg.Registry = reg
+	cfg.Telemetry = app.Telemetry
+	cfg.Log = app.Log
+	if cfg.Candidate == 0 {
+		m, err := reg.Manifest()
+		if err != nil {
+			app.Fatal(err)
+		}
+		e, ok := m.Latest()
+		if !ok {
+			app.Fatal(fmt.Errorf("rollout start: registry is empty, nothing to roll out"))
+		}
+		cfg.Candidate = e.Version
+	}
+	ctrl, err := rollout.New(cfg)
+	if err != nil {
+		app.Fatal(err)
+	}
+	st, err := ctrl.Run(ctx)
+	if err != nil {
+		app.Fatal(err)
+	}
+	renderRollout(st)
+	if st.Phase != rollout.PhaseWidened {
+		app.Close()
+		os.Exit(1)
+	}
+}
+
+// runRolloutStatus renders the durable rollout document — phase,
+// gates, and the canary-vs-baseline evidence trail.
+func runRolloutStatus(reg *registry.Registry, jsonOut bool) {
+	st, err := rollout.ReadState(reg)
+	if err != nil {
+		app.Fatal(err)
+	}
+	if st == nil {
+		app.Fatal(fmt.Errorf("rollout status: no rollout has been run against this registry"))
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			app.Fatal(err)
+		}
+		return
+	}
+	renderRollout(st)
+}
+
+// renderRollout prints the human-readable rollout summary: identity,
+// gates, per-evaluation evidence, and why the terminal phase was
+// reached.
+func renderRollout(st *rollout.State) {
+	fmt.Printf("rollout %s: candidate v%d vs baseline v%d (canary shard %s)\n",
+		st.Phase, st.Candidate, st.Baseline, st.CanaryShard)
+	fmt.Printf("  started %s, updated %s, bake %s\n",
+		st.StartedAt.Format(time.RFC3339), st.UpdatedAt.Format(time.RFC3339),
+		time.Duration(st.BakeSeconds*float64(time.Second)))
+	fmt.Printf("  gates: max-divergence %g, max-p99-ratio %g, min-samples %g\n",
+		st.Gates.MaxDivergence, st.Gates.MaxP99Ratio, st.Gates.MinSamples)
+	if len(st.Evaluations) > 0 {
+		fmt.Printf("  evidence (%d evaluation(s)):\n", len(st.Evaluations))
+		fmt.Printf("    %-22s %-6s %-14s %-14s %-10s %-10s %s\n",
+			"AT", "PASS", "CANARY V/S", "BASELINE V/S", "P99 RATIO", "DIVERGE", "DRIFT")
+		for _, ev := range st.Evaluations {
+			diverge := "-"
+			if ev.Divergence >= 0 {
+				diverge = fmt.Sprintf("%.4f", ev.Divergence)
+			}
+			drift := "ok"
+			if ev.DriftRetrain {
+				drift = "RETRAIN"
+			}
+			fmt.Printf("    %-22s %-6t %-14.1f %-14.1f %-10.2f %-10s %s\n",
+				ev.At.Format("2006-01-02T15:04:05Z"), ev.Pass,
+				ev.Canary.VerdictRate, ev.Baseline.VerdictRate, ev.P99Ratio, diverge, drift)
+			for _, f := range ev.Failures {
+				fmt.Printf("      FAIL %s\n", f)
+			}
+		}
+	}
+	if st.Reason != "" {
+		fmt.Printf("  reason: %s\n", st.Reason)
+	}
 }
 
 func short(sha string) string {

@@ -87,6 +87,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 512, "largest per-stream scoring micro-batch")
 	workers := flag.Int("workers", 0, "per-connection scoring fan-out across streams (0 = NumCPU)")
 	shard := flag.Bool("shard", false, "run as a backend shard behind smartgw: tags logs with the shard role and defaults -idle-timeout to 5m so abandoned gateway connections are reaped")
+	shardID := flag.String("shard-id", "", "stable shard identity for per-shard version pins (the registry pin table key smartctl rollout targets); implies -shard. With -registry the shard serves its pinned version when one exists, the active version otherwise")
 	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections that send no frame (not even a Heartbeat) for this long (0 = never; -shard defaults it to 5m)")
 	alpha := flag.Float64("alpha", 0, "EWMA smoothing coefficient in (0,1] (0 = monitor default)")
 	raise := flag.Float64("raise", 0, "smoothed score above which the alarm raises (0 = monitor default)")
@@ -105,8 +106,14 @@ func main() {
 	tracer := trace.New(trace.Config{SampleEvery: *traceSample, Depth: *traceDepth})
 	app.DebugHandle("/debug/traces", tracer.Handler())
 
+	if *shardID != "" {
+		*shard = true
+	}
 	if *shard {
 		app.Log = app.Log.With("role", "shard")
+		if *shardID != "" {
+			app.Log = app.Log.With("shard_id", *shardID)
+		}
 		if *idleTimeout == 0 {
 			*idleTimeout = 5 * time.Minute
 		}
@@ -129,7 +136,7 @@ func main() {
 		if err != nil {
 			app.Fatal(err)
 		}
-		initial, err = loadFromRegistry(reg, *driftAlert)
+		initial, err = loadFromRegistry(reg, *driftAlert, *shardID)
 	} else {
 		initial, err = loadFromFile(*modelIn)
 		if err == nil && *envelopeIn != "" {
@@ -209,14 +216,34 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-hup:
-					swapFromRegistry(srv, reg, *driftAlert, "SIGHUP")
+					swapFromRegistry(srv, reg, *driftAlert, *shardID, "SIGHUP")
 				}
 			}
 		}()
 		if *watch {
-			go reg.Watch(ctx, *watchInterval, initial.Version,
-				func(registry.Entry) { swapFromRegistry(srv, reg, *driftAlert, "watch") },
+			// WatchEffective tracks this shard's pinned-else-active
+			// version, so a pin-table-only manifest write (smartctl
+			// rollout start) swaps the canary without any promotion.
+			go reg.WatchEffective(ctx, *watchInterval, *shardID, initial.Version,
+				func(registry.Entry) { swapFromRegistry(srv, reg, *driftAlert, *shardID, "watch") },
 				func(err error) { app.Log.Warn("registry watch", "err", err) })
+		}
+		if *shardID != "" {
+			// The pinned gauge can change without an effective-version
+			// change (widen promotes the candidate, then unpins), so it
+			// refreshes on its own poll rather than riding the watch.
+			go func() {
+				tick := time.NewTicker(*watchInterval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+						updatePinnedGauge(reg, *shardID)
+					}
+				}
+			}()
 		}
 	}
 
@@ -260,14 +287,16 @@ func loadFromFile(path string) (serve.Model, error) {
 	return serve.Model{Detector: det, Name: filepath.Base(path)}, nil
 }
 
-// loadFromRegistry loads the registry's active version (integrity
-// checked against the manifest) and builds its drift monitor when the
+// loadFromRegistry loads the shard's effective registry version — its
+// pin when -shard-id names one, the active version otherwise (integrity
+// checked against the manifest) — and builds its drift monitor when the
 // entry carries a training-time feature reference.
-func loadFromRegistry(reg *registry.Registry, alertPSI float64) (serve.Model, error) {
-	det, entry, err := reg.LoadActive()
+func loadFromRegistry(reg *registry.Registry, alertPSI float64, shardID string) (serve.Model, error) {
+	det, entry, err := reg.LoadEffective(shardID)
 	if err != nil {
 		return serve.Model{}, err
 	}
+	updatePinnedGauge(reg, shardID)
 	m := serve.Model{
 		Detector: det,
 		Version:  entry.Version,
@@ -318,6 +347,26 @@ func cascadeEnvelopeFor(entry registry.Entry) (*anomaly.Envelope, error) {
 	return env, nil
 }
 
+// updatePinnedGauge keeps serve_rollout_pinned at 1 while this shard is
+// the target of a registry pin (a baking canary) and 0 when it follows
+// the active version — the fleet status plane renders it as the ROLLOUT
+// column. Manifest read errors leave the gauge untouched; the next poll
+// retries.
+func updatePinnedGauge(reg *registry.Registry, shardID string) {
+	if shardID == "" {
+		return
+	}
+	m, err := reg.Manifest()
+	if err != nil {
+		return
+	}
+	var pinned float64
+	if _, ok := m.Pins[shardID]; ok {
+		pinned = 1
+	}
+	app.Telemetry.Gauge("serve_rollout_pinned").Set(pinned)
+}
+
 func driftMonitorFor(det *core.Detector, entry registry.Entry, alertPSI float64) (*drift.Monitor, error) {
 	if entry.Reference == nil {
 		return nil, nil
@@ -333,16 +382,18 @@ func driftMonitorFor(det *core.Detector, entry registry.Entry, alertPSI float64)
 	return mon, nil
 }
 
-// swapFromRegistry re-reads the registry's active version and promotes
-// it into the running server. In-flight streams keep the generation
-// they opened with; a same-version trigger is a logged no-op.
-func swapFromRegistry(srv *serve.Server, reg *registry.Registry, alertPSI float64, trigger string) {
+// swapFromRegistry re-reads the shard's effective registry version
+// (pinned-else-active) and promotes it into the running server.
+// In-flight streams keep the generation they opened with; a
+// same-version trigger is a logged no-op.
+func swapFromRegistry(srv *serve.Server, reg *registry.Registry, alertPSI float64, shardID, trigger string) {
 	cur := srv.ActiveModel()
-	det, entry, err := reg.LoadActive()
+	det, entry, err := reg.LoadEffective(shardID)
 	if err != nil {
 		app.Log.Error("hot swap failed", "trigger", trigger, "err", err)
 		return
 	}
+	updatePinnedGauge(reg, shardID)
 	if entry.Version == cur.Version {
 		app.Log.Info("hot swap skipped: version unchanged", "trigger", trigger, "version", entry.Version)
 		return

@@ -151,13 +151,17 @@ type routeState struct {
 }
 
 // shardMetrics caches one shard's labeled instruments so the data path
-// never formats label strings.
+// never formats label strings. isCanary mirrors the canary gauge as an
+// atomic so the per-sample forward path can test it without locking.
 type shardMetrics struct {
 	routed    telemetry.Counter
 	forwarded telemetry.Counter
 	relayed   telemetry.Counter
 	up        telemetry.Gauge
 	probeRTT  telemetry.Gauge
+	version   telemetry.Gauge
+	canary    telemetry.Gauge
+	isCanary  atomic.Bool
 }
 
 // Gateway accepts agent connections and routes their streams across the
@@ -171,11 +175,12 @@ type Gateway struct {
 	routeP  atomic.Pointer[routeState]
 	welcome atomic.Pointer[wire.Welcome] // shard Welcome template for agent handshakes
 
-	mu     sync.Mutex
-	epoch  uint64
-	up     map[string]bool
-	probes map[string]*serve.Client
-	perSh  map[string]*shardMetrics
+	mu       sync.Mutex
+	epoch    uint64
+	up       map[string]bool
+	probes   map[string]*serve.Client
+	perSh    map[string]*shardMetrics
+	versions map[string]uint32 // live per-shard model version, fed by heartbeat echoes
 
 	connsActive    telemetry.Gauge
 	connsTotal     telemetry.Counter
@@ -189,6 +194,8 @@ type Gateway struct {
 	memberChanges  telemetry.Counter
 	batchSize      telemetry.Histogram
 	healthFailures telemetry.Counter
+	canaryStreams  telemetry.Counter
+	canarySamples  telemetry.Counter
 
 	// edge cascade, resolved at New (nil = disabled). The cascade_*
 	// instruments exist only on a cascade-running gateway.
@@ -218,6 +225,7 @@ func New(cfg Config) (*Gateway, error) {
 		up:             make(map[string]bool, len(filled.Shards)),
 		probes:         make(map[string]*serve.Client, len(filled.Shards)),
 		perSh:          make(map[string]*shardMetrics, len(filled.Shards)),
+		versions:       make(map[string]uint32, len(filled.Shards)),
 		connsActive:    reg.Gauge("cluster_connections_active"),
 		connsTotal:     reg.Counter("cluster_connections_total"),
 		samplesIn:      reg.Counter("cluster_samples_total"),
@@ -230,6 +238,8 @@ func New(cfg Config) (*Gateway, error) {
 		memberChanges:  reg.Counter("cluster_membership_changes_total"),
 		batchSize:      reg.Histogram("cluster_batch_size", batchSizeBuckets),
 		healthFailures: reg.Counter("cluster_health_check_failures_total"),
+		canaryStreams:  reg.Counter("cluster_canary_streams_total"),
+		canarySamples:  reg.Counter("cluster_canary_samples_total"),
 	}
 	if filled.Envelope != nil && filled.CascadeThreshold >= 0 {
 		if err := filled.Envelope.Validate(); err != nil {
@@ -267,6 +277,8 @@ func (g *Gateway) metricsForLocked(shard string) *shardMetrics {
 			relayed:   reg.Counter(telemetry.Label("cluster_verdicts_relayed_total", "shard", shard)),
 			up:        reg.Gauge(telemetry.Label("cluster_shard_up", "shard", shard)),
 			probeRTT:  reg.Gauge(telemetry.Label("cluster_probe_rtt_seconds", "shard", shard)),
+			version:   reg.Gauge(telemetry.Label("cluster_shard_model_version", "shard", shard)),
+			canary:    reg.Gauge(telemetry.Label("cluster_shard_canary", "shard", shard)),
 		}
 		g.perSh[shard] = m
 	}
@@ -325,9 +337,68 @@ func (g *Gateway) rebuildLocked(shard string, healthy bool) {
 	} else {
 		m.up.Set(0)
 	}
+	g.recomputeCanaryLocked()
 	g.cfg.Log.Info("shard membership changed",
 		"shard", shard, "healthy", healthy,
 		"fleet", len(members), "epoch", g.epoch)
+}
+
+// observeVersion records the model version a shard reported in its
+// heartbeat echo — the live feed that keeps per-shard version tracking
+// correct across hot swaps (the dial-time Welcome goes stale the moment
+// a swap lands).
+func (g *Gateway) observeVersion(shard string, v uint32) {
+	if v == 0 {
+		return // pre-registry shard; nothing to track
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.versions[shard] == v {
+		return
+	}
+	g.versions[shard] = v
+	g.metricsForLocked(shard).version.Set(float64(v))
+	g.recomputeCanaryLocked()
+	g.cfg.Log.Info("shard model version observed", "shard", shard, "version", v)
+}
+
+// recomputeCanaryLocked relabels the canary split after any version or
+// membership change. The baseline is the version most healthy shards
+// report (ties break toward the older version — a rollout pins the
+// newer candidate to the minority); every healthy shard on a different
+// version is a canary. The agent-facing Welcome template follows the
+// baseline so new agents see the fleet's version, not whichever shard
+// happened to be probed last. Caller holds g.mu.
+func (g *Gateway) recomputeCanaryLocked() {
+	counts := make(map[uint32]int)
+	for s, up := range g.up {
+		if up {
+			if v := g.versions[s]; v != 0 {
+				counts[v]++
+			}
+		}
+	}
+	var baseline uint32
+	for v, n := range counts {
+		if baseline == 0 || n > counts[baseline] || (n == counts[baseline] && v < baseline) {
+			baseline = v
+		}
+	}
+	for s := range g.up {
+		m := g.metricsForLocked(s)
+		isCanary := baseline != 0 && g.up[s] && g.versions[s] != 0 && g.versions[s] != baseline
+		m.isCanary.Store(isCanary)
+		if isCanary {
+			m.canary.Set(1)
+		} else {
+			m.canary.Set(0)
+		}
+	}
+	if w := g.welcome.Load(); w != nil && baseline != 0 && w.ModelVersion != baseline {
+		nw := *w
+		nw.ModelVersion = baseline
+		g.welcome.Store(&nw)
+	}
 }
 
 // checkShard runs one health probe: ensure a probe connection exists
@@ -352,6 +423,7 @@ func (g *Gateway) checkShard(ctx context.Context, shard string) bool {
 		cli = c
 	}
 	probeStart := time.Now()
+	var echoedVersion uint32
 	ok := func() bool {
 		if err := cli.Heartbeat(uint64(probeStart.UnixNano())); err != nil {
 			return false
@@ -365,11 +437,15 @@ func (g *Gateway) checkShard(ctx context.Context, shard string) bool {
 		if err != nil {
 			return false
 		}
-		_, isHB := f.(wire.Heartbeat)
+		hb, isHB := f.(wire.Heartbeat)
+		if isHB {
+			echoedVersion = hb.ModelVersion
+		}
 		return isHB
 	}()
 	if ok {
 		g.metricsFor(shard).probeRTT.Set(time.Since(probeStart).Seconds())
+		g.observeVersion(shard, echoedVersion)
 	}
 	if !ok {
 		g.healthFailures.Inc()
@@ -942,6 +1018,9 @@ func (st *fwdStream) ensureRoute() *upstream {
 			st.opened = true
 		}
 		up.met.routed.Inc()
+		if up.met.isCanary.Load() {
+			g.canaryStreams.Inc()
+		}
 		st.up = up
 		st.epoch = cur.epoch
 		return up
@@ -1005,6 +1084,9 @@ func (st *fwdStream) Process(b session.Batch) error {
 		}
 		st.sent += uint64(fb.Len())
 		up.met.forwarded.Add(uint64(fb.Len()))
+		if up.met.isCanary.Load() {
+			g.canarySamples.Add(uint64(fb.Len()))
+		}
 		if traced {
 			st.capture(fb, traceIdx, traceID, sendStart, stage0, up.shard)
 		}

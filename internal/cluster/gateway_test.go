@@ -401,3 +401,101 @@ func TestGatewayNoShards(t *testing.T) {
 		t.Fatal("handshake succeeded with no healthy shard")
 	}
 }
+
+// TestGatewayCanaryLabeling exercises the version-feed → canary-split
+// relabeling directly: the baseline is the version most healthy shards
+// report (ties break toward the older version), every healthy shard on
+// a different version is a canary, and the agent-facing Welcome
+// template tracks the baseline.
+func TestGatewayCanaryLabeling(t *testing.T) {
+	shards := []string{"10.0.0.1:1", "10.0.0.2:1", "10.0.0.3:1"}
+	reg := telemetry.New()
+	gw, err := New(Config{
+		Shards:        shards,
+		CheckInterval: time.Hour, // health loop never runs; the test drives the feed
+		DialTimeout:   time.Second,
+		Telemetry:     reg,
+		Log:           quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.mu.Lock()
+	for _, s := range shards {
+		gw.up[s] = true
+	}
+	gw.mu.Unlock()
+	gw.welcome.Store(&wire.Welcome{Proto: wire.ProtoVersion, ModelVersion: 1})
+
+	canaryOf := func(s string) float64 {
+		return reg.Gauge(telemetry.Label("cluster_shard_canary", "shard", s)).Value()
+	}
+	versionOf := func(s string) float64 {
+		return reg.Gauge(telemetry.Label("cluster_shard_model_version", "shard", s)).Value()
+	}
+
+	// Pre-registry echoes (version 0) are ignored entirely.
+	gw.observeVersion(shards[0], 0)
+	if got := versionOf(shards[0]); got != 0 {
+		t.Fatalf("version gauge after v0 echo = %v, want 0", got)
+	}
+
+	// Uniform fleet: no canary anywhere.
+	for _, s := range shards {
+		gw.observeVersion(s, 1)
+	}
+	for _, s := range shards {
+		if canaryOf(s) != 0 {
+			t.Errorf("uniform fleet: shard %s labeled canary", s)
+		}
+	}
+
+	// One shard pinned to a newer candidate: it alone is the canary and
+	// its version gauge follows the echo.
+	gw.observeVersion(shards[2], 2)
+	if got := versionOf(shards[2]); got != 2 {
+		t.Errorf("version gauge = %v, want 2", got)
+	}
+	if canaryOf(shards[2]) != 1 {
+		t.Error("pinned shard not labeled canary")
+	}
+	if canaryOf(shards[0]) != 0 || canaryOf(shards[1]) != 0 {
+		t.Error("baseline shard labeled canary")
+	}
+	if w := gw.welcome.Load(); w.ModelVersion != 1 {
+		t.Errorf("welcome ModelVersion = %d, want baseline 1", w.ModelVersion)
+	}
+
+	// Even 1-vs-1 split (third shard down): the tie breaks toward the
+	// older version, so the newer shard stays the canary; the down shard
+	// is never a canary regardless of its last echo.
+	gw.mu.Lock()
+	gw.up[shards[1]] = false
+	gw.mu.Unlock()
+	gw.observeVersion(shards[2], 2) // same version: no-op fast path
+	gw.mu.Lock()
+	gw.recomputeCanaryLocked()
+	gw.mu.Unlock()
+	if canaryOf(shards[2]) != 1 {
+		t.Error("tie split: newer shard lost canary label")
+	}
+	if canaryOf(shards[1]) != 0 {
+		t.Error("down shard labeled canary")
+	}
+
+	// Widen lands: the whole fleet reports the candidate, the canary
+	// label clears and the Welcome template moves to the new baseline.
+	gw.mu.Lock()
+	gw.up[shards[1]] = true
+	gw.mu.Unlock()
+	gw.observeVersion(shards[0], 2)
+	gw.observeVersion(shards[1], 2)
+	for _, s := range shards {
+		if canaryOf(s) != 0 {
+			t.Errorf("post-widen: shard %s still labeled canary", s)
+		}
+	}
+	if w := gw.welcome.Load(); w.ModelVersion != 2 {
+		t.Errorf("post-widen welcome ModelVersion = %d, want 2", w.ModelVersion)
+	}
+}

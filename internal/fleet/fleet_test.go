@@ -90,6 +90,51 @@ func TestParseMetricsMalformed(t *testing.T) {
 	}
 }
 
+// TestParseMetricsNonFiniteValues pins skip-and-count: a NaN or ±Inf
+// sample value drops just that series (counted in NonFinite) instead of
+// rejecting the node's whole scrape — or worse, silently keeping a
+// value that poisons every aggregate built on it. The le="+Inf" bucket
+// *label* is not a value and must keep parsing.
+func TestParseMetricsNonFiniteValues(t *testing.T) {
+	cases := []struct {
+		name      string
+		in        string
+		samples   int
+		nonFinite int
+	}{
+		{"nan skipped", "a 1\nb NaN\nc 2\n", 2, 1},
+		{"plus inf skipped", "a +Inf\n", 0, 1},
+		{"minus inf skipped", "a -Inf\nb 7\n", 1, 1},
+		{"lowercase nan skipped", "a nan\n", 0, 1},
+		{"labeled series survives siblings", "x{shard=\"s1\"} NaN\nx{shard=\"s2\"} 3\n", 1, 1},
+		{"inf bucket label kept", "x_bucket{le=\"+Inf\"} 5\n", 1, 0},
+		{"all finite", "a 1\nb 2\n", 2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := ParseMetrics(strings.NewReader(tc.in))
+			if err != nil {
+				t.Fatalf("ParseMetrics(%q): %v", tc.in, err)
+			}
+			if len(m.Samples) != tc.samples || m.NonFinite != tc.nonFinite {
+				t.Fatalf("samples=%d nonfinite=%d, want %d/%d",
+					len(m.Samples), m.NonFinite, tc.samples, tc.nonFinite)
+			}
+		})
+	}
+	// The surviving labeled sibling is still addressable.
+	m, err := ParseMetrics(strings.NewReader("x{shard=\"s1\"} NaN\nx{shard=\"s2\"} 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Get("x", "shard", "s2"); !ok || v != 3 {
+		t.Fatalf("x{shard=s2} = %v/%v, want 3", v, ok)
+	}
+	if _, ok := m.Get("x", "shard", "s1"); ok {
+		t.Fatal("NaN series still addressable after skip")
+	}
+}
+
 func TestQuantileInterpolation(t *testing.T) {
 	bs := []bucket{{le: 1, cum: 0}, {le: 2, cum: 100}, {le: math.Inf(1), cum: 100}}
 	// All 100 observations sit in (1, 2]; the median interpolates to 1.5.
@@ -138,6 +183,8 @@ serve_shed_total %d
 # TYPE serve_model_info gauge
 serve_model_info{model="tiny",version="3"} 1
 serve_model_info{model="tiny",version="2"} 0
+# TYPE serve_rollout_pinned gauge
+serve_rollout_pinned 1
 # TYPE drift_alert gauge
 drift_alert 1
 # TYPE cascade_short_total counter
@@ -178,7 +225,15 @@ cluster_streams_rerouted_total 3
 cluster_probe_rtt_seconds{shard="10.0.0.1:7000"} 0.0004
 # TYPE cluster_streams_routed_total counter
 cluster_streams_routed_total{shard="10.0.0.1:7000"} 16
-`, 400*n, 390*n)
+# TYPE cluster_shard_model_version gauge
+cluster_shard_model_version{shard="10.0.0.1:7000"} 3
+# TYPE cluster_shard_canary gauge
+cluster_shard_canary{shard="10.0.0.1:7000"} 1
+# TYPE cluster_canary_streams_total counter
+cluster_canary_streams_total 16
+# TYPE cluster_canary_samples_total counter
+cluster_canary_samples_total %d
+`, 400*n, 390*n, 400*n)
 	}, trace.Dump{Records: []trace.Record{gwTrace}})
 
 	dead := "127.0.0.1:1" // nothing listens here
@@ -207,6 +262,9 @@ cluster_streams_routed_total{shard="10.0.0.1:7000"} 16
 	}
 	if !sh.DriftAlert || sh.Drift != "retrain" {
 		t.Fatalf("drift = %v/%q, want alert/retrain", sh.DriftAlert, sh.Drift)
+	}
+	if sh.Rollout != "canary" {
+		t.Fatalf("rollout = %q, want canary (serve_rollout_pinned=1)", sh.Rollout)
 	}
 	if sh.P99 <= 0.001 || sh.P99 > 0.005 {
 		t.Fatalf("p99 = %v, want inside the (0.001, 0.005] bucket", sh.P99)
@@ -237,6 +295,15 @@ cluster_streams_routed_total{shard="10.0.0.1:7000"} 16
 	if up.Shard != "10.0.0.1:7000" || !up.Up || up.ProbeRTT != 0.0004 {
 		t.Fatalf("per-shard view %+v", up)
 	}
+	if up.ModelVersion != 3 || !up.Canary {
+		t.Fatalf("per-shard version view %+v, want v3 canary", up)
+	}
+	if g.CanaryStreams != 16 {
+		t.Fatalf("canary streams = %v, want 16", g.CanaryStreams)
+	}
+	if want := 400 / sec; math.Abs(g.CanarySampleRate-want) > want*0.01 {
+		t.Fatalf("canary sample rate %v, want %v", g.CanarySampleRate, want)
+	}
 	if want := 400 / sec; math.Abs(up.ForwardRate-want) > want*0.01 {
 		t.Fatalf("forward rate %v, want %v", up.ForwardRate, want)
 	}
@@ -263,7 +330,8 @@ cluster_streams_routed_total{shard="10.0.0.1:7000"} 16
 	// Both render paths work on the merged status.
 	var text, js strings.Builder
 	st.Render(&text)
-	for _, want := range []string{"GATEWAY", "SHARDS", "tiny v3", "retrain", "CASCADE", "80.0% @50ns", "STAGE0", "SLOWEST TRACES", "UNREACHABLE"} {
+	for _, want := range []string{"GATEWAY", "SHARDS", "tiny v3", "retrain", "CASCADE", "80.0% @50ns", "STAGE0", "SLOWEST TRACES", "UNREACHABLE",
+		"[1 node(s) UNREACHABLE]", "ROLLOUT", "canary", "v3 (canary)"} {
 		if !strings.Contains(text.String(), want) {
 			t.Errorf("render missing %q:\n%s", want, text.String())
 		}

@@ -35,13 +35,21 @@ type Metrics struct {
 	Types map[string]string
 	// Samples holds every series in exposition order.
 	Samples []Sample
+	// NonFinite counts series lines dropped because their value was NaN
+	// or ±Inf. One poisoned gauge (a division by a zero window, an
+	// uninitialised quantile) must not reject the whole node's scrape —
+	// the rest of the exposition is still good evidence — but silently
+	// keeping the value would poison every aggregate it touches.
+	NonFinite int
 }
 
 // ParseMetrics parses a Prometheus text exposition (version 0.0.4). It
 // understands everything internal/telemetry emits: TYPE comments,
 // escaped label values, and cumulative histogram _bucket/_sum/_count
 // series. Unknown comment lines are skipped; a malformed series line is
-// an error.
+// an error; a series with a NaN or ±Inf value is skipped and counted in
+// NonFinite (note: ±Inf as a value — the le="+Inf" bucket *label* is
+// untouched).
 func ParseMetrics(r io.Reader) (*Metrics, error) {
 	m := &Metrics{Types: map[string]string{}}
 	sc := bufio.NewScanner(r)
@@ -60,6 +68,10 @@ func ParseMetrics(r io.Reader) (*Metrics, error) {
 		s, err := parseSeries(line)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: %w in series %q", err, line)
+		}
+		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			m.NonFinite++
+			continue
 		}
 		m.Samples = append(m.Samples, s)
 	}

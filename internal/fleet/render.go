@@ -22,7 +22,14 @@ func (st *Status) WriteJSON(w io.Writer) error {
 // rates, latency, model and drift state, then the slowest traces with
 // their per-hop breakdown.
 func (st *Status) Render(w io.Writer) {
-	fmt.Fprintf(w, "fleet status (rates over %gs window)\n", st.Window)
+	// The unreachable count rides the summary line: a half-blind
+	// collection must announce itself up front, not only in per-node
+	// rows a scanning operator can miss.
+	fmt.Fprintf(w, "fleet status (rates over %gs window)", st.Window)
+	if n := len(st.Errors); n > 0 {
+		fmt.Fprintf(w, "  [%d node(s) UNREACHABLE]", n)
+	}
+	fmt.Fprintln(w)
 
 	for _, g := range st.Gateways {
 		fmt.Fprintf(w, "\nGATEWAY %s  shards_healthy=%d  reroutes=%.0f (%.1f/s)  traces=%d",
@@ -33,16 +40,26 @@ func (st *Status) Render(w io.Writer) {
 		if g.Cascade != nil {
 			fmt.Fprintf(w, "  cascade=%s", cascadeCell(g.Cascade))
 		}
+		if g.CanaryStreams > 0 || g.CanarySampleRate > 0 {
+			fmt.Fprintf(w, "  canary_streams=%.0f (%.1f samples/s)", g.CanaryStreams, g.CanarySampleRate)
+		}
 		fmt.Fprintln(w)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "  SHARD\tUP\tFWD/S\tRELAY/S\tPROBE RTT\tROUTED")
+		fmt.Fprintln(tw, "  SHARD\tUP\tVERSION\tFWD/S\tRELAY/S\tPROBE RTT\tROUTED")
 		for _, s := range g.Shards {
 			up := "down"
 			if s.Up {
 				up = "up"
 			}
-			fmt.Fprintf(tw, "  %s\t%s\t%.1f\t%.1f\t%s\t%.0f\n",
-				s.Shard, up, s.ForwardRate, s.RelayRate, dur(s.ProbeRTT), s.Routed)
+			version := "-"
+			if s.ModelVersion > 0 {
+				version = fmt.Sprintf("v%d", s.ModelVersion)
+				if s.Canary {
+					version += " (canary)"
+				}
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%.1f\t%.1f\t%s\t%.0f\n",
+				s.Shard, up, version, s.ForwardRate, s.RelayRate, dur(s.ProbeRTT), s.Routed)
 		}
 		tw.Flush()
 	}
@@ -50,7 +67,7 @@ func (st *Status) Render(w io.Writer) {
 	if len(st.Shards) > 0 {
 		fmt.Fprintln(w, "\nSHARDS")
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "  ADDR\tMODEL\tVERDICTS/S\tSHED/S\tP99\tDRIFT\tCASCADE\tTRACES")
+		fmt.Fprintln(tw, "  ADDR\tMODEL\tVERDICTS/S\tSHED/S\tP99\tDRIFT\tROLLOUT\tCASCADE\tTRACES")
 		for _, s := range st.Shards {
 			model := s.Model
 			if model == "" {
@@ -62,8 +79,12 @@ func (st *Status) Render(w io.Writer) {
 			if s.TraceDropped > 0 {
 				traces += fmt.Sprintf(" (dropped %d)", s.TraceDropped)
 			}
-			fmt.Fprintf(tw, "  %s\t%s\t%.1f\t%.1f\t%s\t%s\t%s\t%s\n",
-				s.Addr, model, s.VerdictRate, s.ShedRate, dur(s.P99), s.Drift, cascadeCell(s.Cascade), traces)
+			rollout := s.Rollout
+			if rollout == "" {
+				rollout = "-"
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%.1f\t%.1f\t%s\t%s\t%s\t%s\t%s\n",
+				s.Addr, model, s.VerdictRate, s.ShedRate, dur(s.P99), s.Drift, rollout, cascadeCell(s.Cascade), traces)
 		}
 		tw.Flush()
 	}

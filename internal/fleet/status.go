@@ -50,7 +50,12 @@ type ShardStatus struct {
 	// Drift is the drift recommendation: "retrain" when the monitor's
 	// alert gauge is raised, "steady" when present and clear, "n/a"
 	// when the shard runs without a drift reference.
-	Drift        string `json:"drift"`
+	Drift string `json:"drift"`
+	// Rollout is the shard's rollout role: "canary" while the registry
+	// pin table targets it (serve_rollout_pinned=1), "active" when it
+	// follows the promoted version, "" for a shard without -shard-id
+	// (the gauge is absent).
+	Rollout      string `json:"rollout,omitempty"`
 	TraceCount   int    `json:"trace_count"`
 	TraceDropped uint64 `json:"trace_dropped"`
 	// Cascade mirrors the node's cascade_* families: absent entirely when
@@ -108,6 +113,12 @@ type GatewayShard struct {
 	RelayRate   float64 `json:"relay_rate"`   // verdicts relayed/s over the window
 	ProbeRTT    float64 `json:"probe_rtt_seconds"`
 	Routed      float64 `json:"streams_routed_total"`
+	// ModelVersion is the registry version the shard last reported in a
+	// heartbeat echo (0 before the first probe or outside a registry).
+	ModelVersion int `json:"model_version,omitempty"`
+	// Canary marks the shard as serving a minority version — the live
+	// traffic-split label a staged rollout watches.
+	Canary bool `json:"canary,omitempty"`
 }
 
 // GatewayStatus is one gateway's merged view over the window.
@@ -117,8 +128,13 @@ type GatewayStatus struct {
 	Reroutes      float64        `json:"streams_rerouted_total"`
 	RerouteRate   float64        `json:"reroute_rate"`
 	Shards        []GatewayShard `json:"shards"`
-	TraceCount    int            `json:"trace_count"`
-	TraceDropped  uint64         `json:"trace_dropped"`
+	// CanaryStreams / CanarySampleRate quantify the canary traffic
+	// split: streams ever routed to a canary shard, and canary-bound
+	// samples/s over the window.
+	CanaryStreams    float64 `json:"canary_streams_total,omitempty"`
+	CanarySampleRate float64 `json:"canary_sample_rate,omitempty"`
+	TraceCount       int     `json:"trace_count"`
+	TraceDropped     uint64  `json:"trace_dropped"`
 	// Cascade is the gateway's edge-cascade view (nil when the gateway
 	// forwards everything).
 	Cascade *CascadeStatus `json:"cascade,omitempty"`
@@ -251,6 +267,13 @@ func shardStatus(addr string, before, after *Metrics, sec float64, dump *trace.D
 	} else {
 		s.Drift = "steady"
 	}
+	if pinned, ok := after.Get("serve_rollout_pinned"); ok {
+		if pinned >= 1 {
+			s.Rollout = "canary"
+		} else {
+			s.Rollout = "active"
+		}
+	}
 	s.Cascade = cascadeStatus(before, after)
 	return s
 }
@@ -279,9 +302,17 @@ func gatewayStatus(addr string, before, after *Metrics, sec float64, dump *trace
 		}
 		gs.ProbeRTT, _ = after.Get("cluster_probe_rtt_seconds", "shard", shard)
 		gs.Routed, _ = after.Get("cluster_streams_routed_total", "shard", shard)
+		if v, ok := after.Get("cluster_shard_model_version", "shard", shard); ok {
+			gs.ModelVersion = int(v)
+		}
+		if c, ok := after.Get("cluster_shard_canary", "shard", shard); ok && c >= 1 {
+			gs.Canary = true
+		}
 		g.Shards = append(g.Shards, gs)
 	}
 	sort.Slice(g.Shards, func(i, j int) bool { return g.Shards[i].Shard < g.Shards[j].Shard })
+	g.CanaryStreams, _ = after.Get("cluster_canary_streams_total")
+	g.CanarySampleRate = Delta(before, after, "cluster_canary_samples_total") / sec
 	g.Cascade = cascadeStatus(before, after)
 	return g
 }
@@ -327,6 +358,17 @@ func get(ctx context.Context, client *http.Client, addr, path string) (*http.Res
 		return nil, fmt.Errorf("GET %s%s: %s", addr, path, resp.Status)
 	}
 	return resp, nil
+}
+
+// FetchMetrics scrapes and parses one node's /metrics endpoint. addr may
+// be a bare host:port (http:// is assumed). A nil client gets a 5s
+// timeout default. The rollout controller builds its canary-vs-baseline
+// evidence on this.
+func FetchMetrics(ctx context.Context, client *http.Client, addr string) (*Metrics, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return fetchMetrics(ctx, client, addr)
 }
 
 func fetchMetrics(ctx context.Context, client *http.Client, addr string) (*Metrics, error) {

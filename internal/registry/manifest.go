@@ -80,6 +80,12 @@ type Manifest struct {
 	// Active is the promoted version number, 0 when nothing is promoted.
 	Active int     `json:"active"`
 	Models []Entry `json:"models"`
+	// Pins targets specific shards (by the shard id smartserve announces
+	// with -shard-id) at a version other than Active — the canary
+	// mechanism behind staged rollout. Omitted when empty, so pre-rollout
+	// manifests round-trip byte-identical and old builds that ignore
+	// unknown fields keep serving the active version.
+	Pins map[string]int `json:"pins,omitempty"`
 }
 
 // Entry returns the entry for a version number.
@@ -90,6 +96,18 @@ func (m *Manifest) Entry(version int) (Entry, bool) {
 		}
 	}
 	return Entry{}, false
+}
+
+// EffectiveVersion resolves the version a shard should serve: its pin
+// when one exists, the active version otherwise. A shardID the pin
+// table does not mention (or the empty string) follows Active.
+func (m *Manifest) EffectiveVersion(shardID string) int {
+	if shardID != "" {
+		if v, ok := m.Pins[shardID]; ok {
+			return v
+		}
+	}
+	return m.Active
 }
 
 // Latest returns the highest published version, or false when the
@@ -186,6 +204,14 @@ func validateManifest(m *Manifest) error {
 	if m.Active != 0 {
 		if _, ok := m.Entry(m.Active); !ok {
 			return fmt.Errorf("registry: active version %d not in manifest", m.Active)
+		}
+	}
+	for shard, v := range m.Pins {
+		if shard == "" {
+			return fmt.Errorf("registry: pin table has an empty shard id")
+		}
+		if _, ok := m.Entry(v); !ok {
+			return fmt.Errorf("registry: shard %q pinned to version %d not in manifest", shard, v)
 		}
 	}
 	return nil

@@ -251,6 +251,65 @@ func (r *Registry) Promote(version int) (Entry, error) {
 	return e, r.writeManifest(m)
 }
 
+// Pin targets one shard at a published version, overriding Active for
+// that shard only. This is the canary primitive: the rollout controller
+// pins a candidate to a single shard, bakes, then either widens
+// (Promote + Unpin) or rolls back (Unpin).
+func (r *Registry) Pin(shardID string, version int) (Entry, error) {
+	if shardID == "" {
+		return Entry{}, errors.New("registry: pin needs a shard id")
+	}
+	m, err := r.Manifest()
+	if err != nil {
+		return Entry{}, err
+	}
+	e, ok := m.Entry(version)
+	if !ok {
+		return Entry{}, fmt.Errorf("registry: version %d not published", version)
+	}
+	if m.Pins == nil {
+		m.Pins = make(map[string]int)
+	}
+	m.Pins[shardID] = version
+	return e, r.writeManifest(m)
+}
+
+// Unpin removes a shard's pin so it follows the active version again.
+// Unpinning a shard that has no pin is a no-op.
+func (r *Registry) Unpin(shardID string) error {
+	m, err := r.Manifest()
+	if err != nil {
+		return err
+	}
+	if _, ok := m.Pins[shardID]; !ok {
+		return nil
+	}
+	delete(m.Pins, shardID)
+	if len(m.Pins) == 0 {
+		m.Pins = nil
+	}
+	return r.writeManifest(m)
+}
+
+// EffectiveEntry resolves the entry a shard should serve: its pinned
+// version when the pin table mentions shardID, the active version
+// otherwise (ErrNoActive when neither applies).
+func (r *Registry) EffectiveEntry(shardID string) (Entry, error) {
+	m, err := r.Manifest()
+	if err != nil {
+		return Entry{}, err
+	}
+	v := m.EffectiveVersion(shardID)
+	if v == 0 {
+		return Entry{}, ErrNoActive
+	}
+	e, ok := m.Entry(v)
+	if !ok {
+		return Entry{}, fmt.Errorf("registry: effective version %d missing from manifest", v)
+	}
+	return e, nil
+}
+
 // Rollback demotes the active version to the newest published version
 // below it and returns the newly active entry.
 func (r *Registry) Rollback() (Entry, error) {
@@ -300,6 +359,18 @@ func (r *Registry) LoadActive() (*core.Detector, Entry, error) {
 	return det, e, err
 }
 
+// LoadEffective loads the version a shard should serve — its pin when
+// one exists, the active version otherwise. With an empty shardID it is
+// exactly LoadActive.
+func (r *Registry) LoadEffective(shardID string) (*core.Detector, Entry, error) {
+	e, err := r.EffectiveEntry(shardID)
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	det, err := r.loadEntry(e)
+	return det, e, err
+}
+
 func (r *Registry) loadEntry(e Entry) (*core.Detector, error) {
 	blob, err := os.ReadFile(r.BlobPath(e.SHA256))
 	if err != nil {
@@ -322,9 +393,11 @@ func (r *Registry) loadEntry(e Entry) (*core.Detector, error) {
 }
 
 // Prune removes all but the newest keep versions from the manifest and
-// deletes blobs no surviving entry references. The active version is
-// always kept, even when older than the cut. It returns the removed
-// entries.
+// deletes blobs no surviving entry references. The active version and
+// every version a shard pin references are always kept, even when older
+// than the cut — pruning a pinned canary out from under a baking shard
+// would turn its next watch poll into a load error. It returns the
+// removed entries.
 func (r *Registry) Prune(keep int) ([]Entry, error) {
 	if keep < 1 {
 		return nil, fmt.Errorf("registry: prune must keep at least 1 version, got %d", keep)
@@ -336,11 +409,15 @@ func (r *Registry) Prune(keep int) ([]Entry, error) {
 	if len(m.Models) <= keep {
 		return nil, nil
 	}
+	pinned := make(map[int]bool, len(m.Pins))
+	for _, v := range m.Pins {
+		pinned[v] = true
+	}
 	cut := len(m.Models) - keep
 	var removed []Entry
 	kept := make([]Entry, 0, keep+1)
 	for i, e := range m.Models {
-		if i < cut && e.Version != m.Active {
+		if i < cut && e.Version != m.Active && !pinned[e.Version] {
 			removed = append(removed, e)
 		} else {
 			kept = append(kept, e)
@@ -372,6 +449,15 @@ func (r *Registry) Prune(keep int) ([]Entry, error) {
 // are reported through onError (nil to ignore) and polling continues —
 // a torn NFS read must not kill the serving tier's swap loop.
 func (r *Registry) Watch(ctx context.Context, interval time.Duration, from int, onChange func(Entry), onError func(error)) {
+	r.WatchEffective(ctx, interval, "", from, onChange, onError)
+}
+
+// WatchEffective is Watch for a specific shard: it tracks the shard's
+// effective version (pin when present, active otherwise), so a
+// pin-table-only manifest write — no version published, no promotion —
+// still fires onChange on the shard it targets. With an empty shardID it
+// degenerates to Watch.
+func (r *Registry) WatchEffective(ctx context.Context, interval time.Duration, shardID string, from int, onChange func(Entry), onError func(error)) {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
@@ -391,14 +477,15 @@ func (r *Registry) Watch(ctx context.Context, interval time.Duration, from int, 
 			}
 			continue
 		}
-		if m.Active == 0 || m.Active == last {
+		v := m.EffectiveVersion(shardID)
+		if v == 0 || v == last {
 			continue
 		}
-		e, ok := m.Entry(m.Active)
+		e, ok := m.Entry(v)
 		if !ok {
 			continue
 		}
-		last = m.Active
+		last = v
 		onChange(e)
 	}
 }

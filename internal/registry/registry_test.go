@@ -312,6 +312,126 @@ func TestOpenRejectsCorruptManifest(t *testing.T) {
 	}
 }
 
+// TestPinLifecycle pins the canary primitive: Pin overrides Active for
+// one shard only, Unpin restores it, and the pin table round-trips the
+// manifest (omitted when empty).
+func TestPinLifecycle(t *testing.T) {
+	blob1, blob2, _ := fixtures(t)
+	r := open(t)
+	if _, err := r.Publish(blob1, PublishOptions{Promote: true}); err != nil { // v1 active
+		t.Fatal(err)
+	}
+	e2, err := r.Publish(blob2, PublishOptions{}) // v2 candidate
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := r.Pin("", e2.Version); err == nil {
+		t.Fatal("pin with empty shard id accepted")
+	}
+	if _, err := r.Pin("canary", 9); err == nil {
+		t.Fatal("pin to unpublished version accepted")
+	}
+	if _, err := r.Pin("canary", e2.Version); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned shard sees v2; everyone else still follows active v1.
+	_, eff, err := r.LoadEffective("canary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Version != 2 {
+		t.Fatalf("pinned shard loads v%d, want v2", eff.Version)
+	}
+	_, eff, err = r.LoadEffective("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Version != 1 {
+		t.Fatalf("unpinned shard loads v%d, want active v1", eff.Version)
+	}
+	_, eff, err = r.LoadEffective("")
+	if err != nil || eff.Version != 1 {
+		t.Fatalf("empty shard id: v%d, %v, want active v1", eff.Version, err)
+	}
+
+	if err := r.Unpin("canary"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unpin("canary"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	_, eff, err = r.LoadEffective("canary")
+	if err != nil || eff.Version != 1 {
+		t.Fatalf("after unpin: v%d, %v, want active v1", eff.Version, err)
+	}
+	m, err := r.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pins != nil {
+		t.Fatalf("empty pin table persisted: %v", m.Pins)
+	}
+}
+
+// TestPruneKeepsPinned is the regression test for prune removing a
+// version a shard pin references: only the active version used to be
+// protected, so pruning mid-bake deleted the canary's blob.
+func TestPruneKeepsPinned(t *testing.T) {
+	blob1, blob2, _ := fixtures(t)
+	r := open(t)
+	if _, err := r.Publish(blob1, PublishOptions{}); err != nil { // v1 pinned
+		t.Fatal(err)
+	}
+	if _, err := r.Publish(blob2, PublishOptions{}); err != nil { // v2 prunable
+		t.Fatal(err)
+	}
+	if _, err := r.Publish(blob1, PublishOptions{Promote: true}); err != nil { // v3 active
+		t.Fatal(err)
+	}
+	if _, err := r.Pin("canary", 1); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := r.Prune(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0].Version != 2 {
+		t.Fatalf("removed %+v, want just v2 (v1 is pinned, v3 is active)", removed)
+	}
+	if _, _, err := r.LoadEffective("canary"); err != nil {
+		t.Fatalf("pinned v1 gone after prune: %v", err)
+	}
+	// v1 and v3 share bytes; the digest must survive v2's removal.
+	if _, _, err := r.Load(3); err != nil {
+		t.Fatalf("active v3 gone after prune: %v", err)
+	}
+}
+
+// TestManifestRejectsDanglingPin pins validation: a pin referencing an
+// unpublished version (e.g. hand-edited manifest) fails decode loudly.
+func TestManifestRejectsDanglingPin(t *testing.T) {
+	blob1, _, _ := fixtures(t)
+	r := open(t)
+	e, err := r.Publish(blob1, PublishOptions{Promote: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Pins = map[string]int{"canary": e.Version + 7}
+	if _, err := EncodeManifest(m); err == nil || !strings.Contains(err.Error(), "pinned to version") {
+		t.Fatalf("dangling pin encode: %v", err)
+	}
+	m.Pins = map[string]int{"": e.Version}
+	if _, err := EncodeManifest(m); err == nil || !strings.Contains(err.Error(), "empty shard id") {
+		t.Fatalf("empty shard id encode: %v", err)
+	}
+}
+
 // TestWatchSeesPromotion pins the watch loop: promoting a version wakes
 // the callback with the new entry.
 func TestWatchSeesPromotion(t *testing.T) {
@@ -338,5 +458,60 @@ func TestWatchSeesPromotion(t *testing.T) {
 		}
 	case <-ctx.Done():
 		t.Fatal("watch never reported the promotion")
+	}
+}
+
+// TestWatchEffectiveSeesPinOnlyChange pins the rollout-critical watch
+// path: a pin-table-only manifest write — no new version, no promotion,
+// Active untouched — must still wake the shard it targets, and the
+// later unpin must swap it back to the active version. A shard watching
+// under a different id must see neither.
+func TestWatchEffectiveSeesPinOnlyChange(t *testing.T) {
+	blob1, blob2, _ := fixtures(t)
+	r := open(t)
+	e1, err := r.Publish(blob1, PublishOptions{Promote: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := r.Publish(blob2, PublishOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	canary := make(chan Entry, 1)
+	other := make(chan Entry, 1)
+	go r.WatchEffective(ctx, 5*time.Millisecond, "canary", e1.Version, func(e Entry) { canary <- e }, nil)
+	go r.WatchEffective(ctx, 5*time.Millisecond, "other", e1.Version, func(e Entry) { other <- e }, nil)
+
+	if _, err := r.Pin("canary", e2.Version); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-canary:
+		if e.Version != 2 {
+			t.Fatalf("pinned shard watch reported v%d, want v2", e.Version)
+		}
+	case <-ctx.Done():
+		t.Fatal("pin-only manifest change never reached the pinned shard's watch")
+	}
+
+	if err := r.Unpin("canary"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-canary:
+		if e.Version != 1 {
+			t.Fatalf("unpin reported v%d, want active v1", e.Version)
+		}
+	case <-ctx.Done():
+		t.Fatal("unpin never reached the pinned shard's watch")
+	}
+
+	// The untargeted shard's effective version never changed.
+	select {
+	case e := <-other:
+		t.Fatalf("untargeted shard woke on someone else's pin: v%d", e.Version)
+	case <-time.After(50 * time.Millisecond):
 	}
 }

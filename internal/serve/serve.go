@@ -620,6 +620,10 @@ func (c *conn) readLoop() error {
 		case wire.CloseStream:
 			c.eng.Close(fr.Stream)
 		case wire.Heartbeat:
+			// Echo Nanos verbatim, but stamp the live serving version:
+			// probing gateways use heartbeats as their version feed
+			// across hot swaps (the dial-time Welcome goes stale).
+			fr.ModelVersion = uint32(c.s.active.Load().Version)
 			c.writeFrame(fr)
 			c.Flush()
 		default:

@@ -38,8 +38,12 @@ import (
 // zero-downtime model swap. v3 added IngressNanos to Sample so the
 // gateway tier can stamp its ingress wall clock onto forwarded samples,
 // letting the shard attribute gateway→shard latency in end-to-end
-// traces (internal/trace).
-const ProtoVersion = 3
+// traces (internal/trace). v4 added ModelVersion to Heartbeat: the
+// server fills it from its active model on echo, so the gateway's
+// periodic liveness probes double as a live per-shard version feed —
+// Welcome only reports the version at dial time, which goes stale the
+// moment a hot swap lands (the canary rollout split depends on this).
+const ProtoVersion = 4
 
 // Codec resource bounds, enforced during decode before any allocation.
 const (
@@ -169,10 +173,14 @@ type StreamSummary struct {
 	MaxSmoothed  float64
 }
 
-// Heartbeat is an opaque token the server echoes back verbatim; agents
-// use it for liveness and RTT probes and as a write-path drain barrier.
+// Heartbeat is a liveness and RTT probe. The server echoes Nanos back
+// verbatim (agents use the round-trip as a write-path drain barrier)
+// and fills ModelVersion from its active model, so a probing gateway
+// tracks each shard's serving version live across hot swaps instead of
+// trusting the dial-time Welcome. Clients send it zero.
 type Heartbeat struct {
-	Nanos uint64
+	Nanos        uint64
+	ModelVersion uint32
 }
 
 // Error reports a protocol-level failure (one of the Code constants).
@@ -258,6 +266,7 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 		dst = appendF64(dst, fr.MaxSmoothed)
 	case Heartbeat:
 		dst = appendU64(dst, fr.Nanos)
+		dst = appendU32(dst, fr.ModelVersion)
 	case Error:
 		dst = appendU16(dst, fr.Code)
 		dst, err = appendString(dst, fr.Msg)
@@ -404,7 +413,7 @@ func DecodePayload(body []byte, feats []float64) (Frame, error) {
 		f := StreamSummary{Stream: r.u32(), ModelVersion: r.u32(), Samples: r.u64(), Shed: r.u64(), Alarms: r.u32(), MaxSmoothed: r.f64()}
 		return r.finish(f)
 	case TypeHeartbeat:
-		f := Heartbeat{Nanos: r.u64()}
+		f := Heartbeat{Nanos: r.u64(), ModelVersion: r.u32()}
 		return r.finish(f)
 	case TypeError:
 		f := Error{Code: r.u16(), Msg: r.str()}
